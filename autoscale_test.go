@@ -1,0 +1,267 @@
+package autoscale
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNewWorldDevices(t *testing.T) {
+	for _, name := range DeviceNames() {
+		w, err := NewWorld(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Device.Name != name {
+			t.Errorf("world device = %s, want %s", w.Device.Name, name)
+		}
+	}
+	if _, err := NewWorld("iPhone", 1); err == nil {
+		t.Error("unknown device should fail")
+	}
+}
+
+func TestModelsAndLookup(t *testing.T) {
+	if len(Models()) != 10 {
+		t.Errorf("Models() = %d, want the Table III zoo", len(Models()))
+	}
+	m, err := Model("MobileBERT")
+	if err != nil || m.Task != Translation {
+		t.Fatalf("Model lookup: %v, %v", m, err)
+	}
+	if _, err := Model("GPT-3"); err == nil {
+		t.Error("unknown model should fail")
+	}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	w, err := NewWorld(Mi8Pro, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(w, DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnvironment(EnvS1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Model("MobileNet v1")
+	for i := 0; i < 30; i++ {
+		d, err := e.RunInference(m, env.Sample())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Measurement.EnergyJ <= 0 {
+			t.Fatal("bad decision")
+		}
+	}
+}
+
+func TestTrainAndPolicies(t *testing.T) {
+	w, _ := NewWorld(GalaxyS10e, 2)
+	cfg := DefaultEngineConfig()
+	e, err := NewEngine(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := Models()[:2]
+	if err := Train(e, models, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	pol := AsPolicy(e)
+	env, _ := NewEnvironment(EnvD1, 2)
+	if _, err := pol.Run(models[0], env.Sample()); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(Baselines(w, NonStreaming)); got != 5 {
+		t.Errorf("Baselines = %d", got)
+	}
+	if got := len(PriorWork(w, NonStreaming)); got != 2 {
+		t.Errorf("PriorWork = %d", got)
+	}
+	if Opt(w, NonStreaming).Name() != "Opt" {
+		t.Error("Opt policy name wrong")
+	}
+}
+
+func TestSaveLoadQTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.json")
+	w, _ := NewWorld(Mi8Pro, 4)
+	e, err := NewEngine(w, DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Model("Inception v1")
+	env, _ := NewEnvironment(EnvS1, 4)
+	for i := 0; i < 20; i++ {
+		e.RunInference(m, env.Sample())
+	}
+	if err := SaveQTable(e, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("file not written")
+	}
+	e2, err := NewEngine(w, DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadQTable(e2, path); err != nil {
+		t.Fatal(err)
+	}
+	if len(e2.Agent().States()) != len(e.Agent().States()) {
+		t.Error("restored table differs")
+	}
+	if err := LoadQTable(e2, filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestQoSForAPI(t *testing.T) {
+	bert, _ := Model("MobileBERT")
+	if QoSFor(bert, NonStreaming) != 0.100 {
+		t.Error("translation QoS wrong")
+	}
+	mb, _ := Model("MobileNet v1")
+	if QoSFor(mb, NonStreaming) != 0.050 {
+		t.Error("vision QoS wrong")
+	}
+	if QoSFor(mb, Streaming) >= 0.050 {
+		t.Error("streaming QoS must be tighter")
+	}
+}
+
+func TestExperimentRegistryAPI(t *testing.T) {
+	ids := Experiments()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	tab, err := RunExperiment("tableIII", QuickOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Error("tableIII rows wrong")
+	}
+	if _, err := RunExperiment("nope", QuickOptions(1)); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestNewTrainedEngineAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training loop skipped in -short mode")
+	}
+	w, _ := NewWorld(MotoXForce, 5)
+	e, err := NewTrainedEngine(w, DefaultEngineConfig(), 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Agent().States()) == 0 {
+		t.Error("trained engine has no states")
+	}
+}
+
+func TestRunSessionAPI(t *testing.T) {
+	w, err := NewWorld(Mi8Pro, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Model("MobileNet v1")
+	env, _ := NewEnvironment(EnvS1, 6)
+	b, err := NewBattery(3000, 3.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunSession(Opt(w, NonStreaming), SessionConfig{
+		Model:     m,
+		Env:       env,
+		Arrival:   Periodic{PeriodS: 0.2},
+		DurationS: 10,
+		IdleW:     1.0,
+		Seed:      6,
+	}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inferences == 0 || stats.BatteryDrainedJ <= 0 {
+		t.Errorf("session stats incomplete: %+v", stats)
+	}
+	if b.SoC() >= 1 {
+		t.Error("battery must have drained")
+	}
+}
+
+func TestTracedPolicyAPI(t *testing.T) {
+	w, _ := NewWorld(Mi8Pro, 7)
+	e, err := NewEngine(w, DefaultEngineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	p := TracedPolicy(e, tw)
+	m, _ := Model("Inception v1")
+	env, _ := NewEnvironment(EnvS1, 7)
+	for i := 0; i < 10; i++ {
+		if _, err := p.Run(m, env.Sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("trace records = %d", len(recs))
+	}
+	sum := SummarizeTrace(recs)
+	if sum.Records != 10 || sum.TotalEnergyJ <= 0 {
+		t.Errorf("summary incomplete: %+v", sum)
+	}
+}
+
+func TestFleetProvision(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	fleet, err := NewFleet(Mi8Pro, cfg, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Donor() == nil {
+		t.Fatal("fleet has no donor")
+	}
+	for _, dev := range []string{GalaxyS10e, MotoXForce} {
+		e, err := fleet.Provision(dev, cfg, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", dev, err)
+		}
+		if len(e.Agent().States()) == 0 {
+			t.Errorf("%s: transferred engine has no states", dev)
+		}
+		m, _ := Model("MobileNet v1")
+		env, _ := NewEnvironment(EnvS1, 9)
+		if _, err := e.RunInference(m, env.Sample()); err != nil {
+			t.Fatalf("%s: %v", dev, err)
+		}
+	}
+	if _, err := fleet.Provision("iPhone", cfg, 1); err == nil {
+		t.Error("unknown device should fail")
+	}
+	if _, err := FleetFromEngine(nil); err == nil {
+		t.Error("nil donor should fail")
+	}
+	wrapped, err := FleetFromEngine(fleet.Donor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Donor() != fleet.Donor() {
+		t.Error("wrapped donor mismatch")
+	}
+}

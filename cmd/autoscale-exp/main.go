@@ -1,0 +1,78 @@
+// Command autoscale-exp regenerates the paper's tables and figures on the
+// simulated edge-cloud testbed.
+//
+// Usage:
+//
+//	autoscale-exp -exp fig9            # one experiment at full fidelity
+//	autoscale-exp -exp all -quick      # every experiment, reduced fidelity
+//	autoscale-exp -list                # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"autoscale"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "all", "experiment ID (e.g. fig9, tableIII) or 'all'")
+		quick = flag.Bool("quick", false, "reduced-fidelity run for smoke testing")
+		seed  = flag.Int64("seed", 42, "random seed")
+		runs  = flag.Int("runs", 0, "override measured inferences per cell (0 = default)")
+		train = flag.Int("train", 0, "override training runs per state (0 = default)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		csvTo = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range autoscale.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := autoscale.ExperimentOptions{Seed: *seed}
+	if *quick {
+		opts = autoscale.QuickOptions(*seed)
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *train > 0 {
+		opts.TrainRuns = *train
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = autoscale.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := autoscale.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autoscale-exp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		if *csvTo != "" {
+			path := filepath.Join(*csvTo, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "autoscale-exp: %v\n", err)
+				os.Exit(1)
+			}
+			if err := table.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "autoscale-exp: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

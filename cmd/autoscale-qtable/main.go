@@ -1,0 +1,99 @@
+// Command autoscale-qtable inspects a trained Q-table: it loads a snapshot
+// written by autoscale-train (or trains one in place), decodes each visited
+// state back into its Table I feature bins and prints the learned greedy
+// policy — which execution target AutoScale would pick in that situation.
+//
+// Usage:
+//
+//	autoscale-qtable -device Mi8Pro -in mi8pro.qtable
+//	autoscale-qtable -device Mi8Pro -train 60            # train then inspect
+//	autoscale-qtable -device Mi8Pro -in t.qtable -model "ResNet 50"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autoscale"
+)
+
+func main() {
+	var (
+		device = flag.String("device", autoscale.Mi8Pro, "device: Mi8Pro, GalaxyS10e, MotoXForce")
+		in     = flag.String("in", "", "Q-table snapshot to load (from autoscale-train)")
+		train  = flag.Int("train", 0, "train in place with this many runs per (model, variance state)")
+		model  = flag.String("model", "", "only show states reachable by this model")
+		seed   = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(*device, *in, *model, *train, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "autoscale-qtable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(device, inPath, modelName string, train int, seed int64) error {
+	world, err := autoscale.NewWorld(device, seed)
+	if err != nil {
+		return err
+	}
+	cfg := autoscale.DefaultEngineConfig()
+	cfg.Seed = seed
+	var engine *autoscale.Engine
+	switch {
+	case inPath != "":
+		engine, err = autoscale.NewEngine(world, cfg)
+		if err != nil {
+			return err
+		}
+		if err := autoscale.LoadQTable(engine, inPath); err != nil {
+			return err
+		}
+	case train > 0:
+		engine, err = autoscale.NewTrainedEngine(world, cfg, train, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("provide -in <snapshot> or -train <runs>")
+	}
+
+	ag := engine.Agent()
+	states := ag.States()
+	fmt.Printf("device=%s  states=%d  actions=%d  table=%.1f KB\n\n",
+		device, len(states), ag.NumActions(), float64(ag.MemoryBytes())/1024)
+
+	var onlyKey string
+	if modelName != "" {
+		m, err := autoscale.Model(modelName)
+		if err != nil {
+			return err
+		}
+		// The model fixes the first four feature bins of the key.
+		full := string(engine.ObserveState(m, autoscale.Conditions{RSSIWLAN: -55, RSSIP2P: -55}))
+		onlyKey = strings.Join(strings.Split(full, "|")[:4], "|")
+	}
+
+	fmt.Printf("%-18s %-28s %10s %8s\n",
+		"state (Table I)", "greedy action", "Q", "visits")
+	for _, s := range states {
+		key := string(s)
+		if onlyKey != "" && !strings.HasPrefix(key, onlyKey) {
+			continue
+		}
+		best := -1
+		bestQ := 0.0
+		for i := 0; i < ag.NumActions(); i++ {
+			if q := ag.Q(s, i); best < 0 || q > bestQ {
+				best, bestQ = i, q
+			}
+		}
+		fmt.Printf("%-18s %-28s %10.1f %8d\n",
+			key, engine.Actions.Describe(best), bestQ, ag.Visits(s))
+	}
+	fmt.Println("\nkey: SCONV|SFC|SRC|SMAC|SCo_CPU|SCo_MEM|SRSSI_W|SRSSI_P (bin indices per Table I)")
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"autoscale"
+)
+
+func TestInspectTrainedTable(t *testing.T) {
+	if err := run(autoscale.Mi8Pro, "", "", 0, 1); err == nil {
+		t.Error("neither -in nor -train should fail")
+	}
+	if err := run(autoscale.Mi8Pro, "", "ResNet 50", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(autoscale.Mi8Pro, "", "AlexNet", 1, 1); err == nil {
+		t.Error("unknown model should fail")
+	}
+	if err := run("iPhone", "", "", 1, 1); err == nil {
+		t.Error("unknown device should fail")
+	}
+	if err := run(autoscale.Mi8Pro, "/does/not/exist", "", 0, 1); err == nil {
+		t.Error("missing snapshot should fail")
+	}
+}

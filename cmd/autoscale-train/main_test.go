@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autoscale"
+)
+
+func TestTrainSaveTransfer(t *testing.T) {
+	dir := t.TempDir()
+	donorPath := filepath.Join(dir, "donor.qtable")
+
+	// Train a tiny table on the Mi8Pro and save it.
+	if err := run(autoscale.Mi8Pro, autoscale.Mi8Pro, "", donorPath, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(donorPath); err != nil {
+		t.Fatal("snapshot not written")
+	}
+
+	// Transfer it onto the Galaxy S10e (different action space) and train.
+	outPath := filepath.Join(dir, "s10e.qtable")
+	if err := run(autoscale.GalaxyS10e, autoscale.Mi8Pro, donorPath, outPath, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatal("transferred snapshot not written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("iPhone", autoscale.Mi8Pro, "", "", 1, 1); err == nil {
+		t.Error("unknown device should fail")
+	}
+	if err := run(autoscale.Mi8Pro, autoscale.Mi8Pro, "/does/not/exist.qtable", "", 1, 1); err == nil {
+		t.Error("missing transfer snapshot should fail")
+	}
+}

@@ -1,0 +1,69 @@
+package autoscale
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fleet operationalizes the paper's learning-transfer result (Section VI-C):
+// train one donor Q-table on a reference device, then provision warm-started
+// engines for a heterogeneous fleet — each engine converges in a fraction of
+// the from-scratch runs because the donor's energy-trend knowledge maps onto
+// its action space.
+type Fleet struct {
+	mu    sync.Mutex
+	donor *Engine
+}
+
+// NewFleet trains the donor engine on the named device with the paper's
+// protocol (runsPerState epsilon-greedy runs per model and variance state;
+// the paper uses 100 — budgets below the ~66-action space size leave the
+// table half-explored and transfer poorly).
+func NewFleet(donorDevice string, cfg EngineConfig, runsPerState int, seed int64) (*Fleet, error) {
+	world, err := NewWorld(donorDevice, seed)
+	if err != nil {
+		return nil, err
+	}
+	donor, err := NewTrainedEngine(world, cfg, runsPerState, seed)
+	if err != nil {
+		return nil, fmt.Errorf("autoscale: fleet donor: %w", err)
+	}
+	return &Fleet{donor: donor}, nil
+}
+
+// FleetFromEngine wraps an already trained engine as the fleet donor.
+func FleetFromEngine(donor *Engine) (*Fleet, error) {
+	if donor == nil {
+		return nil, fmt.Errorf("autoscale: nil donor engine")
+	}
+	return &Fleet{donor: donor}, nil
+}
+
+// Donor returns the fleet's donor engine.
+func (f *Fleet) Donor() *Engine {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.donor
+}
+
+// Provision builds an engine for the named device, warm-started from the
+// donor's Q-table (actions map by location/kind/precision and nearest
+// relative DVFS position). The engine keeps learning online; call
+// Agent().SetEpsilon(0) once converged to exploit greedily.
+func (f *Fleet) Provision(device string, cfg EngineConfig, seed int64) (*Engine, error) {
+	world, err := NewWorld(device, seed)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := NewEngine(world, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	donor := f.donor
+	f.mu.Unlock()
+	if err := engine.TransferFrom(donor); err != nil {
+		return nil, fmt.Errorf("autoscale: fleet transfer to %s: %w", device, err)
+	}
+	return engine, nil
+}

@@ -1,0 +1,3 @@
+module autoscale
+
+go 1.22

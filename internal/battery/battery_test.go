@@ -1,0 +1,99 @@
+package battery
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	b, err := New(3000, 3.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 Ah x 3600 s x 3.85 V = 41.58 kJ.
+	if math.Abs(b.CapacityJ()-41580) > 1 {
+		t.Errorf("capacity = %v J, want ~41580", b.CapacityJ())
+	}
+	if b.SoC() != 1 || b.Empty() {
+		t.Error("fresh battery must be full")
+	}
+	if _, err := New(0, 3.85); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := New(3000, -1); err == nil {
+		t.Error("negative voltage should fail")
+	}
+}
+
+func TestDrainAccounting(t *testing.T) {
+	b, _ := New(1000, 3.6) // 12.96 kJ
+	if err := b.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.DrainedJ()-1000) > 1e-9 {
+		t.Errorf("drained = %v", b.DrainedJ())
+	}
+	if math.Abs(b.RemainingJ()-(b.CapacityJ()-1000)) > 1e-9 {
+		t.Error("remaining inconsistent")
+	}
+	if err := b.Drain(-1); err == nil {
+		t.Error("negative drain should fail")
+	}
+}
+
+func TestDrainToEmpty(t *testing.T) {
+	b, _ := New(100, 3.6) // 1296 J
+	if err := b.Drain(b.CapacityJ() + 50); err != ErrEmpty {
+		t.Errorf("overdrain error = %v, want ErrEmpty", err)
+	}
+	if !b.Empty() || b.RemainingJ() != 0 {
+		t.Error("battery must clamp at empty")
+	}
+	b.Recharge()
+	if b.Empty() || b.SoC() != 1 || b.DrainedJ() != 0 {
+		t.Error("recharge must restore full state")
+	}
+}
+
+func TestHoursAt(t *testing.T) {
+	b, _ := New(3000, 3.85)
+	h := b.HoursAt(2)
+	// 41.58 kJ at 2 W = 5.775 hours.
+	if math.Abs(h-5.775) > 0.01 {
+		t.Errorf("HoursAt(2) = %v, want ~5.775", h)
+	}
+	if b.HoursAt(0) < 1e8 {
+		t.Error("zero draw must project effectively forever")
+	}
+}
+
+func TestString(t *testing.T) {
+	b, _ := New(3000, 3.85)
+	if !strings.Contains(b.String(), "100%") {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestInvariantProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b, err := New(2000, 3.7)
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			_ = b.Drain(float64(r))
+			if b.RemainingJ() < 0 || b.RemainingJ() > b.CapacityJ() {
+				return false
+			}
+			if b.SoC() < 0 || b.SoC() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

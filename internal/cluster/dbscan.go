@@ -1,0 +1,182 @@
+// Package cluster implements the DBSCAN density-based clustering algorithm.
+//
+// AutoScale (Table I of the paper) converts continuous state features — layer
+// counts, MAC counts, co-runner CPU/memory utilization, RSSI — into discrete
+// values for the Q-table by clustering observed feature samples with DBSCAN
+// and cutting bins at the gaps between clusters. This package provides both
+// the general n-dimensional algorithm and the 1-D Discretizer built on it.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Noise is the label assigned to points that belong to no cluster.
+const Noise = -1
+
+// Point is an n-dimensional sample.
+type Point []float64
+
+func dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DBSCAN clusters pts with radius eps and density threshold minPts. It
+// returns one label per input point: 0..k-1 for cluster membership, Noise for
+// outliers, plus the number of clusters found. All points must share the same
+// dimensionality.
+func DBSCAN(pts []Point, eps float64, minPts int) ([]int, int, error) {
+	if eps <= 0 {
+		return nil, 0, errors.New("cluster: eps must be positive")
+	}
+	if minPts < 1 {
+		return nil, 0, errors.New("cluster: minPts must be >= 1")
+	}
+	if len(pts) == 0 {
+		return nil, 0, nil
+	}
+	dim := len(pts[0])
+	for _, p := range pts {
+		if len(p) != dim {
+			return nil, 0, errors.New("cluster: points have mixed dimensionality")
+		}
+	}
+
+	const unvisited = -2
+	labels := make([]int, len(pts))
+	for i := range labels {
+		labels[i] = unvisited
+	}
+
+	neighbors := func(i int) []int {
+		var out []int
+		for j := range pts {
+			if dist(pts[i], pts[j]) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	cluster := 0
+	for i := range pts {
+		if labels[i] != unvisited {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = cluster
+		// Expand the cluster over the density-reachable set.
+		queue := append([]int(nil), nb...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			jnb := neighbors(j)
+			if len(jnb) >= minPts {
+				queue = append(queue, jnb...)
+			}
+		}
+		cluster++
+	}
+	return labels, cluster, nil
+}
+
+// Discretizer maps a continuous scalar feature onto a small set of discrete
+// bins. Bins are defined by sorted cut points: value v falls in bin i where
+// cuts[i-1] <= v < cuts[i] (bin 0 is everything below cuts[0]).
+type Discretizer struct {
+	cuts []float64
+}
+
+// NewDiscretizer builds a Discretizer directly from explicit cut points,
+// which are sorted and deduplicated. An empty cut list yields a single bin.
+func NewDiscretizer(cuts []float64) *Discretizer {
+	c := append([]float64(nil), cuts...)
+	sort.Float64s(c)
+	dedup := c[:0]
+	for i, v := range c {
+		if i == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return &Discretizer{cuts: dedup}
+}
+
+// FitDiscretizer runs 1-D DBSCAN over the samples and places one cut point at
+// the midpoint of every gap between adjacent clusters. Noise points are
+// attached to the nearest cluster so every gap is between real densities. If
+// fewer than two clusters emerge, the resulting Discretizer has one bin.
+func FitDiscretizer(samples []float64, eps float64, minPts int) (*Discretizer, error) {
+	pts := make([]Point, len(samples))
+	for i, s := range samples {
+		pts[i] = Point{s}
+	}
+	labels, k, err := DBSCAN(pts, eps, minPts)
+	if err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return &Discretizer{}, nil
+	}
+	// Per-cluster [min,max] extents.
+	lo := make([]float64, k)
+	hi := make([]float64, k)
+	seen := make([]bool, k)
+	for i, l := range labels {
+		if l == Noise {
+			continue
+		}
+		v := samples[i]
+		if !seen[l] {
+			lo[l], hi[l], seen[l] = v, v, true
+			continue
+		}
+		if v < lo[l] {
+			lo[l] = v
+		}
+		if v > hi[l] {
+			hi[l] = v
+		}
+	}
+	type extent struct{ lo, hi float64 }
+	exts := make([]extent, 0, k)
+	for c := 0; c < k; c++ {
+		if seen[c] {
+			exts = append(exts, extent{lo[c], hi[c]})
+		}
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i].lo < exts[j].lo })
+	cuts := make([]float64, 0, len(exts)-1)
+	for i := 1; i < len(exts); i++ {
+		cuts = append(cuts, (exts[i-1].hi+exts[i].lo)/2)
+	}
+	return NewDiscretizer(cuts), nil
+}
+
+// Bin returns the bin index for v (0..Bins()-1).
+func (d *Discretizer) Bin(v float64) int {
+	// cuts is sorted; find the first cut strictly greater than v.
+	return sort.SearchFloat64s(d.cuts, math.Nextafter(v, math.Inf(1)))
+}
+
+// Bins returns the number of bins.
+func (d *Discretizer) Bins() int { return len(d.cuts) + 1 }
+
+// Cuts returns a copy of the cut points.
+func (d *Discretizer) Cuts() []float64 { return append([]float64(nil), d.cuts...) }

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBSCANTwoBlobs(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 10; i++ {
+		pts = append(pts, Point{float64(i) * 0.1})    // blob near 0
+		pts = append(pts, Point{10 + float64(i)*0.1}) // blob near 10
+	}
+	labels, k, err := DBSCAN(pts, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Fatalf("clusters = %d, want 2", k)
+	}
+	// Points within a blob share a label; blobs differ.
+	if labels[0] != labels[2] {
+		t.Error("same-blob points split")
+	}
+	if labels[0] == labels[1] {
+		t.Error("different blobs merged")
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	pts := []Point{{0}, {0.1}, {0.2}, {0.3}, {100}}
+	labels, k, err := DBSCAN(pts, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("clusters = %d, want 1", k)
+	}
+	if labels[4] != Noise {
+		t.Errorf("outlier label = %d, want Noise", labels[4])
+	}
+}
+
+func TestDBSCANErrors(t *testing.T) {
+	if _, _, err := DBSCAN([]Point{{1}}, 0, 1); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, _, err := DBSCAN([]Point{{1}}, 1, 0); err == nil {
+		t.Error("minPts=0 should fail")
+	}
+	if _, _, err := DBSCAN([]Point{{1}, {1, 2}}, 1, 1); err == nil {
+		t.Error("mixed dimensionality should fail")
+	}
+	labels, k, err := DBSCAN(nil, 1, 1)
+	if err != nil || labels != nil || k != 0 {
+		t.Error("empty input should be a no-op")
+	}
+}
+
+func TestDBSCAN2D(t *testing.T) {
+	var pts []Point
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		pts = append(pts, Point{rng.Float64(), rng.Float64()})
+		pts = append(pts, Point{5 + rng.Float64(), 5 + rng.Float64()})
+	}
+	_, k, err := DBSCAN(pts, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 2 {
+		t.Errorf("2D clusters = %d, want 2", k)
+	}
+}
+
+func TestDiscretizerBins(t *testing.T) {
+	d := NewDiscretizer([]float64{10, 20})
+	if d.Bins() != 3 {
+		t.Fatalf("bins = %d, want 3", d.Bins())
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{{5, 0}, {10, 1}, {15, 1}, {20, 2}, {25, 2}, {-100, 0}}
+	for _, c := range cases {
+		if got := d.Bin(c.v); got != c.want {
+			t.Errorf("Bin(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDiscretizerBoundarySemantics(t *testing.T) {
+	// Table I semantics: small(<30) medium(<50): a value of exactly 30
+	// belongs to the upper bin.
+	d := NewDiscretizer([]float64{30, 50, 90})
+	if d.Bin(29) != 0 || d.Bin(30) != 1 || d.Bin(49) != 1 || d.Bin(50) != 2 || d.Bin(90) != 3 {
+		t.Error("boundary values land in the wrong bin")
+	}
+}
+
+func TestDiscretizerDedupSort(t *testing.T) {
+	d := NewDiscretizer([]float64{20, 10, 20, 10})
+	if d.Bins() != 3 {
+		t.Errorf("bins after dedup = %d, want 3", d.Bins())
+	}
+	cuts := d.Cuts()
+	if !sort.Float64sAreSorted(cuts) {
+		t.Errorf("cuts not sorted: %v", cuts)
+	}
+}
+
+func TestDiscretizerEmpty(t *testing.T) {
+	d := NewDiscretizer(nil)
+	if d.Bins() != 1 {
+		t.Errorf("empty discretizer bins = %d, want 1", d.Bins())
+	}
+	if d.Bin(123) != 0 {
+		t.Error("single-bin discretizer must map everything to 0")
+	}
+}
+
+func TestFitDiscretizer(t *testing.T) {
+	var samples []float64
+	for i := 0; i < 20; i++ {
+		samples = append(samples, float64(i%5))     // cluster near 0-4
+		samples = append(samples, 100+float64(i%5)) // cluster near 100-104
+	}
+	d, err := FitDiscretizer(samples, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bins() != 2 {
+		t.Fatalf("fitted bins = %d, want 2", d.Bins())
+	}
+	if d.Bin(2) != 0 || d.Bin(102) != 1 {
+		t.Error("fitted cut separates clusters incorrectly")
+	}
+	cut := d.Cuts()[0]
+	if cut <= 4 || cut >= 100 {
+		t.Errorf("cut %v not in the gap", cut)
+	}
+}
+
+func TestFitDiscretizerSingleCluster(t *testing.T) {
+	d, err := FitDiscretizer([]float64{1, 1.1, 1.2, 1.3}, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Bins() != 1 {
+		t.Errorf("single-cluster fit bins = %d, want 1", d.Bins())
+	}
+}
+
+func TestFitDiscretizerError(t *testing.T) {
+	if _, err := FitDiscretizer([]float64{1}, 0, 1); err == nil {
+		t.Error("invalid eps should propagate")
+	}
+}
+
+func TestDiscretizerMonotoneProperty(t *testing.T) {
+	d := NewDiscretizer([]float64{-5, 0, 5, 50})
+	f := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return d.Bin(a) <= d.Bin(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscretizerBinRangeProperty(t *testing.T) {
+	d := NewDiscretizer([]float64{1, 2, 3})
+	f := func(v float64) bool {
+		b := d.Bin(v)
+		return b >= 0 && b < d.Bins()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"autoscale/internal/dnn"
+	"autoscale/internal/rl"
+	"autoscale/internal/sim"
+)
+
+// Config assembles an AutoScale engine.
+type Config struct {
+	// Reward parameterizes equation (5). If Reward.QoSTargetS is zero the
+	// engine derives the QoS target per request from the model's task and
+	// the configured Intensity (Section V-B scenarios).
+	Reward RewardConfig
+	// Intensity selects the computer-vision usage mode used to derive
+	// per-request QoS targets when Reward.QoSTargetS is zero.
+	Intensity sim.Intensity
+	// RL holds the Q-learning hyperparameters.
+	RL rl.Config
+	// EnergyMAPE is the relative error of the Renergy estimator
+	// (paper: 0.073). Non-positive means a perfect estimator.
+	EnergyMAPE float64
+	// Algorithm selects the TD update rule: AlgorithmQLearning (default,
+	// the paper's choice) or AlgorithmSARSA (the on-policy alternative
+	// the paper weighs it against).
+	Algorithm Algorithm
+	// PartitionActions adds the layer-granularity partition actions of
+	// the paper's footnote 4 extension to the action space.
+	PartitionActions bool
+	// States overrides the Table I state space (nil = paper default).
+	States *StateSpace
+	// Seed drives the energy estimator.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's configuration — gamma = 0.9, mu = 0.1,
+// epsilon = 0.1, beta = 0.1, 7.3% Renergy MAPE — with the latency weight
+// alpha raised to 1.0 per the boundary-valued latency term (see
+// RewardConfig and DESIGN.md).
+func DefaultConfig() Config {
+	return Config{
+		Reward:     RewardConfig{Alpha: 1.0, Beta: 0.1},
+		RL:         rl.DefaultConfig(),
+		EnergyMAPE: PaperEnergyMAPE,
+		Seed:       1,
+	}
+}
+
+// Algorithm selects the engine's temporal-difference update rule.
+type Algorithm int
+
+// Supported update rules.
+const (
+	// AlgorithmQLearning is the paper's off-policy choice (Algorithm 1).
+	AlgorithmQLearning Algorithm = iota
+	// AlgorithmSARSA bootstraps from the action the policy actually takes
+	// next; same table, same overhead, on-policy semantics.
+	AlgorithmSARSA
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	if a == AlgorithmSARSA {
+		return "SARSA"
+	}
+	return "Q-learning"
+}
+
+// Decision records one engine step: what was observed, chosen, measured and
+// learned.
+type Decision struct {
+	State       rl.State
+	ActionIndex int
+	Target      sim.Target
+	Measurement sim.Measurement
+	// EstimatedEnergyJ is the Renergy fed to the reward.
+	EstimatedEnergyJ float64
+	Reward           float64
+	QoSTargetS       float64
+	QoSViolated      bool
+	AccuracyMissed   bool
+}
+
+// pendingUpdate holds the (S, A, R) of the previous step; Algorithm 1
+// completes the Q update once the next state S' is observed.
+type pendingUpdate struct {
+	state  rl.State
+	action int
+	reward float64
+}
+
+// Engine is the AutoScale execution-scaling engine of Fig 8. It is safe for
+// concurrent use by multiple services sharing one device: the paper deploys
+// AutoScale "as part of intelligent services" on the mobile CPU, and a phone
+// runs several such services at once.
+type Engine struct {
+	World   *sim.World
+	Actions *ActionSpace
+	States  *StateSpace
+
+	mu      sync.Mutex
+	cfg     Config
+	agent   *rl.Agent
+	sarsa   *rl.SarsaAgent // non-nil when cfg.Algorithm == AlgorithmSARSA
+	est     *EnergyEstimator
+	pending *pendingUpdate
+}
+
+// NewEngine builds an engine for a world.
+func NewEngine(w *sim.World, cfg Config) (*Engine, error) {
+	if w == nil {
+		return nil, errors.New("core: nil world")
+	}
+	if cfg.Reward.Alpha == 0 && cfg.Reward.Beta == 0 && cfg.RL.LearningRate == 0 {
+		cfg = DefaultConfig()
+	}
+	states := cfg.States
+	if states == nil {
+		states = NewStateSpace()
+	}
+	actions := NewActionSpace(w)
+	if cfg.PartitionActions {
+		actions = NewActionSpaceWithPartitions(w)
+	}
+	e := &Engine{
+		World:   w,
+		Actions: actions,
+		States:  states,
+		cfg:     cfg,
+		est:     NewEnergyEstimator(cfg.EnergyMAPE, cfg.Seed),
+	}
+	if cfg.Algorithm == AlgorithmSARSA {
+		sarsa, err := rl.NewSarsaAgent(cfg.RL, actions.Len())
+		if err != nil {
+			return nil, err
+		}
+		e.sarsa = sarsa
+		e.agent = sarsa.Agent
+	} else {
+		agent, err := rl.NewAgent(cfg.RL, actions.Len())
+		if err != nil {
+			return nil, err
+		}
+		e.agent = agent
+	}
+	return e, nil
+}
+
+// Agent exposes the underlying Q-learning agent (for persistence, transfer
+// and inspection).
+func (e *Engine) Agent() *rl.Agent { return e.agent }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// qosFor resolves the latency constraint for a request.
+func (e *Engine) qosFor(m *dnn.Model) float64 {
+	if e.cfg.Reward.QoSTargetS > 0 {
+		return e.cfg.Reward.QoSTargetS
+	}
+	return sim.QoSFor(m.Task == dnn.Translation, e.cfg.Intensity)
+}
+
+// ObserveState discretizes the current request into its Q-table state.
+func (e *Engine) ObserveState(m *dnn.Model, c sim.Conditions) rl.State {
+	return e.States.Key(ObservationOf(m, c))
+}
+
+// Predict returns the engine's current greedy choice for a request without
+// executing or learning — the trained-table exploitation path whose lookup
+// overhead Section VI-C reports.
+func (e *Engine) Predict(m *dnn.Model, c sim.Conditions) (sim.Target, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.ObserveState(m, c)
+	e.seedIfUnseen(s)
+	idx, err := e.agent.BestAction(s, e.Actions.Mask(m))
+	if err != nil {
+		return sim.Target{}, fmt.Errorf("core: predict %s: %w", m.Name, err)
+	}
+	return e.Actions.Target(idx), nil
+}
+
+// RunInference performs one full engine step: observe the state (completing
+// the previous step's deferred Q update with it, per Algorithm 1), select an
+// action epsilon-greedily, execute the inference on the simulated world,
+// estimate Renergy, compute the reward and stage the update.
+func (e *Engine) RunInference(m *dnn.Model, c sim.Conditions) (Decision, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mask := e.Actions.Mask(m)
+	s := e.ObserveState(m, c)
+	e.seedIfUnseen(s)
+
+	// Q-learning completes the previous step's update as soon as S' is
+	// known, so the selection below sees the freshest values (Algorithm 1).
+	if e.sarsa == nil && e.pending != nil {
+		if err := e.agent.Update(e.pending.state, e.pending.action, e.pending.reward, s, mask); err != nil {
+			return Decision{}, err
+		}
+		e.pending = nil
+	}
+
+	idx, err := e.agent.SelectAction(s, mask)
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: select for %s: %w", m.Name, err)
+	}
+
+	// SARSA bootstraps from the action the policy actually took in S'.
+	if e.sarsa != nil && e.pending != nil {
+		if err := e.sarsa.UpdateSarsa(e.pending.state, e.pending.action, e.pending.reward, s, idx); err != nil {
+			return Decision{}, err
+		}
+		e.pending = nil
+	}
+	target := e.Actions.Target(idx)
+
+	meas, err := e.Actions.Execute(m, idx, c)
+	if err != nil {
+		return Decision{}, err
+	}
+
+	qos := e.qosFor(m)
+	rc := e.cfg.Reward
+	rc.QoSTargetS = qos
+	energyEst := e.est.Estimate(meas)
+	reward := rc.Reward(energyEst, meas.LatencyS, meas.Accuracy)
+
+	if !e.agent.Frozen() {
+		e.pending = &pendingUpdate{state: s, action: idx, reward: reward}
+	}
+
+	return Decision{
+		State:            s,
+		ActionIndex:      idx,
+		Target:           target,
+		Measurement:      meas,
+		EstimatedEnergyJ: energyEst,
+		Reward:           reward,
+		QoSTargetS:       qos,
+		QoSViolated:      meas.LatencyS > qos,
+		AccuracyMissed:   rc.AccuracyTarget > 0 && meas.Accuracy < rc.AccuracyTarget,
+	}, nil
+}
+
+// Flush applies any staged Q update using the last observed state as S'
+// (end-of-episode approximation). Call it when a training run ends.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pending == nil {
+		return nil
+	}
+	p := e.pending
+	e.pending = nil
+	return e.agent.Update(p.state, p.action, p.reward, p.state, nil)
+}
+
+// Freeze switches the engine to exploitation-only mode (greedy policy, no
+// learning), discarding any staged update.
+func (e *Engine) Freeze() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pending = nil
+	e.agent.Freeze()
+}
+
+// TransferFrom warm-starts this engine's Q-table from another engine — the
+// paper's learning transfer across devices (Section VI-C). Action spaces may
+// differ (other DVFS ladders, missing co-processors): each local action maps
+// to the donor action with the same location/kind/precision and the nearest
+// relative DVFS position; actions with no donor counterpart keep their local
+// initialization.
+func (e *Engine) TransferFrom(donor *Engine) error {
+	if donor == nil {
+		return errors.New("core: nil donor engine")
+	}
+	mapping := make([]int, e.Actions.Len())
+	for i := range mapping {
+		mapping[i] = donorActionFor(e.Actions.Target(i), e, donor)
+	}
+	return e.agent.ImportMapped(donor.agent, mapping)
+}
+
+// donorActionFor finds the donor action semantically closest to target t, or
+// -1 when the donor has no engine of that location/kind/precision.
+func donorActionFor(t sim.Target, dst, donor *Engine) int {
+	rel := func(e *Engine, u sim.Target) float64 {
+		if u.Location != sim.Local {
+			return 0
+		}
+		proc := e.World.Device.Processor(u.Kind)
+		if proc == nil || proc.Steps <= 1 {
+			return 1
+		}
+		return float64(u.Step) / float64(proc.Steps-1)
+	}
+	want := rel(dst, t)
+	best, bestDist := -1, 0.0
+	for j, u := range donor.Actions.Targets() {
+		if u.Location != t.Location || u.Kind != t.Kind || u.Prec != t.Prec {
+			continue
+		}
+		d := rel(donor, u) - want
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < bestDist {
+			best, bestDist = j, d
+		}
+	}
+	return best
+}
+
+// SnapshotQTable serializes the engine's Q-table.
+func (e *Engine) SnapshotQTable() ([]byte, error) { return e.agent.Snapshot() }
+
+// RestoreQTable replaces the engine's agent with one restored from a
+// snapshot; the action-space size must match.
+func (e *Engine) RestoreQTable(data []byte) error {
+	ag, err := rl.Restore(data)
+	if err != nil {
+		return err
+	}
+	if ag.NumActions() != e.Actions.Len() {
+		return fmt.Errorf("core: snapshot has %d actions, world has %d", ag.NumActions(), e.Actions.Len())
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.agent = ag
+	e.sarsa = nil
+	e.pending = nil
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"autoscale/internal/rl"
+)
+
+// State-lattice generalization. Tabular Q-learning has no notion of state
+// similarity, yet the paper's leave-one-out evaluation tests each network
+// with a table trained on the *other* networks — whose layer-count and MAC
+// bins need not coincide — and reports that "an RL model trained in a device
+// has this energy trend knowledge implicitly" (Section IV). We realize that
+// implicit generalization explicitly: when the engine first observes a state
+// with no Q row, it seeds the row from the nearest trained state on the
+// feature lattice (exact match required on the runtime-variance features
+// when possible, smallest bin distance on the NN features). Online learning
+// then refines the seeded row. DESIGN.md documents this substitution.
+
+// parseKey splits a state key into per-feature bin indices; disabled
+// features ("*") parse as -1.
+func parseKey(s rl.State) ([NumFeatures]int, bool) {
+	var bins [NumFeatures]int
+	parts := strings.Split(string(s), "|")
+	if len(parts) != NumFeatures {
+		return bins, false
+	}
+	for i, p := range parts {
+		if p == "*" {
+			bins[i] = -1
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return bins, false
+		}
+		bins[i] = v
+	}
+	return bins, true
+}
+
+// nnWeight makes mismatches on NN features much more expensive than
+// runtime-variance mismatches: a state of the *same network* under different
+// variance is a far better donor than a different network under the same
+// variance, because the action ranking is dominated by the network's
+// compute/memory profile and the engine re-adapts to variance online within
+// a few runs.
+const nnWeight = 100
+
+func stateDistance(a, b [NumFeatures]int) int {
+	d := 0
+	for f := 0; f < NumFeatures; f++ {
+		if a[f] < 0 || b[f] < 0 {
+			continue // ablated feature
+		}
+		diff := a[f] - b[f]
+		if diff < 0 {
+			diff = -diff
+		}
+		if Feature(f) < FeatCoCPU {
+			diff *= nnWeight
+		}
+		d += diff
+	}
+	return d
+}
+
+// seedIfUnseen seeds the Q row of s from the nearest visited state. It is a
+// no-op when s already has a row or no other state exists.
+func (e *Engine) seedIfUnseen(s rl.State) {
+	if e.agent.HasState(s) {
+		return
+	}
+	target, ok := parseKey(s)
+	if !ok {
+		return
+	}
+	bestDist := -1
+	var best rl.State
+	for _, cand := range e.agent.States() {
+		cb, ok := parseKey(cand)
+		if !ok {
+			continue
+		}
+		d := stateDistance(target, cb)
+		if bestDist < 0 || d < bestDist {
+			bestDist, best = d, cand
+		}
+	}
+	if bestDist >= 0 {
+		e.agent.CopyRow(s, best)
+	}
+}

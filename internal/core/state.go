@@ -1,0 +1,236 @@
+// Package core implements AutoScale itself (Section IV of the paper): the
+// Table I state space with its discretization, the augmented action space of
+// Section V-C, the reward of equation (5) with the Renergy estimator of
+// equations (1)-(4), and the engine loop of Fig 8 — observe, select,
+// execute, reward, update — on top of the Q-learning agent in internal/rl.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"autoscale/internal/cluster"
+	"autoscale/internal/dnn"
+	"autoscale/internal/rl"
+	"autoscale/internal/sim"
+)
+
+// Feature identifies one of the eight Table I state features.
+type Feature int
+
+// The Table I features, in table order.
+const (
+	FeatConv  Feature = iota // SCONV: number of CONV layers
+	FeatFC                   // SFC: number of FC layers
+	FeatRC                   // SRC: number of RC layers
+	FeatMAC                  // SMAC: number of MAC operations
+	FeatCoCPU                // SCo_CPU: CPU utilization of co-running apps
+	FeatCoMem                // SCo_MEM: memory usage of co-running apps
+	FeatRSSIW                // SRSSI_W: RSSI of the wireless LAN
+	FeatRSSIP                // SRSSI_P: RSSI of the peer-to-peer network
+	numFeatures
+)
+
+var featureNames = [...]string{
+	"SCONV", "SFC", "SRC", "SMAC", "SCo_CPU", "SCo_MEM", "SRSSI_W", "SRSSI_P",
+}
+
+// String returns the Table I feature name.
+func (f Feature) String() string {
+	if int(f) < len(featureNames) {
+		return featureNames[f]
+	}
+	return fmt.Sprintf("Feature(%d)", int(f))
+}
+
+// NumFeatures is the number of Table I features.
+const NumFeatures = int(numFeatures)
+
+// Observation is one raw (pre-discretization) state sample.
+type Observation struct {
+	NumConv int
+	NumFC   int
+	NumRC   int
+	MACs    float64
+	// CoCPU and CoMem are co-runner utilizations in percent (0..100).
+	CoCPU float64
+	CoMem float64
+	// RSSIW and RSSIP are signal strengths in dBm.
+	RSSIW float64
+	RSSIP float64
+}
+
+// ObservationOf assembles the observation for a model under conditions c —
+// what AutoScale's monitor reads from the runtime libraries and kernel APIs.
+func ObservationOf(m *dnn.Model, c sim.Conditions) Observation {
+	return Observation{
+		NumConv: m.NumConv(),
+		NumFC:   m.NumFC(),
+		NumRC:   m.NumRC(),
+		MACs:    m.MACs(),
+		CoCPU:   c.Load.CPUUtil * 100,
+		CoMem:   c.Load.MemUtil * 100,
+		RSSIW:   c.RSSIWLAN,
+		RSSIP:   c.RSSIP2P,
+	}
+}
+
+// value extracts the raw scalar for a feature.
+func (o Observation) value(f Feature) float64 {
+	switch f {
+	case FeatConv:
+		return float64(o.NumConv)
+	case FeatFC:
+		return float64(o.NumFC)
+	case FeatRC:
+		return float64(o.NumRC)
+	case FeatMAC:
+		return o.MACs
+	case FeatCoCPU:
+		return o.CoCPU
+	case FeatCoMem:
+		return o.CoMem
+	case FeatRSSIW:
+		return o.RSSIW
+	case FeatRSSIP:
+		return o.RSSIP
+	}
+	return 0
+}
+
+// StateSpace discretizes observations into rl.State keys. Each feature has a
+// Discretizer and may be disabled (for the paper's state-ablation study).
+type StateSpace struct {
+	disc    [NumFeatures]*cluster.Discretizer
+	enabled [NumFeatures]bool
+}
+
+// NewStateSpace returns the paper's Table I discretization, which its
+// authors obtained by running DBSCAN over observed feature samples:
+//
+//	SCONV: small(<30) medium(<50) large(<90) larger(>=90)
+//	SFC:   small(<10) large(>=10)
+//	SRC:   small(<10) large(>=10)
+//	SMAC:  small(<1000M) medium(<2000M) large(>=2000M)
+//	SCo_CPU / SCo_MEM: none(0) small(<25) medium(<75) large(<=100)
+//	SRSSI_W / SRSSI_P: regular(>-80dBm) weak(<=-80dBm)
+func NewStateSpace() *StateSpace {
+	s := &StateSpace{}
+	s.disc[FeatConv] = cluster.NewDiscretizer([]float64{30, 50, 90})
+	s.disc[FeatFC] = cluster.NewDiscretizer([]float64{10})
+	s.disc[FeatRC] = cluster.NewDiscretizer([]float64{10})
+	s.disc[FeatMAC] = cluster.NewDiscretizer([]float64{1000e6, 2000e6})
+	s.disc[FeatCoCPU] = cluster.NewDiscretizer([]float64{0.5, 25, 75})
+	s.disc[FeatCoMem] = cluster.NewDiscretizer([]float64{0.5, 25, 75})
+	// Table I counts exactly -80 dBm as weak ("<= -80"), so the cut sits
+	// just above the boundary.
+	s.disc[FeatRSSIW] = cluster.NewDiscretizer([]float64{-79.999})
+	s.disc[FeatRSSIP] = cluster.NewDiscretizer([]float64{-79.999})
+	for i := range s.enabled {
+		s.enabled[i] = true
+	}
+	return s
+}
+
+// FitStateSpace rebuilds the discretization by clustering the given
+// observation samples with DBSCAN, exactly as the paper derives Table I.
+// Features whose samples do not split into at least two clusters fall back
+// to the Table I cuts.
+func FitStateSpace(samples []Observation) (*StateSpace, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no samples to fit")
+	}
+	fallback := NewStateSpace()
+	s := &StateSpace{}
+	for i := range s.enabled {
+		s.enabled[i] = true
+	}
+	// Per-feature DBSCAN radii scaled to the feature's natural units.
+	eps := [NumFeatures]float64{
+		FeatConv: 8, FeatFC: 4, FeatRC: 4, FeatMAC: 400e6,
+		FeatCoCPU: 10, FeatCoMem: 10, FeatRSSIW: 5, FeatRSSIP: 5,
+	}
+	minPts := 2
+	for f := Feature(0); f < numFeatures; f++ {
+		vals := make([]float64, len(samples))
+		for i, o := range samples {
+			vals[i] = o.value(f)
+		}
+		d, err := cluster.FitDiscretizer(vals, eps[f], minPts)
+		if err != nil {
+			return nil, fmt.Errorf("core: fit %s: %w", f, err)
+		}
+		if d.Bins() < 2 {
+			d = fallback.disc[f]
+		}
+		s.disc[f] = d
+	}
+	return s, nil
+}
+
+// Disable removes a feature from the state key (ablation). It returns the
+// receiver for chaining.
+func (s *StateSpace) Disable(f Feature) *StateSpace {
+	if f >= 0 && f < numFeatures {
+		s.enabled[f] = false
+	}
+	return s
+}
+
+// Enabled reports whether feature f contributes to the state key.
+func (s *StateSpace) Enabled(f Feature) bool { return f >= 0 && f < numFeatures && s.enabled[f] }
+
+// Bins returns the number of bins for feature f.
+func (s *StateSpace) Bins(f Feature) int {
+	if f < 0 || f >= numFeatures {
+		return 0
+	}
+	return s.disc[f].Bins()
+}
+
+// Size returns the total number of distinct states (product of enabled
+// feature bins). The paper's space has 3,072 states.
+func (s *StateSpace) Size() int {
+	n := 1
+	for f := Feature(0); f < numFeatures; f++ {
+		if s.enabled[f] {
+			n *= s.disc[f].Bins()
+		}
+	}
+	return n
+}
+
+// Key discretizes an observation into the Q-table state key. Disabled
+// features render as "*" so ablated tables collapse their dimension. Bin
+// indices are single digits for every realistic discretization; larger
+// indices fall back to full formatting.
+func (s *StateSpace) Key(o Observation) rl.State {
+	var buf [2*NumFeatures - 1]byte
+	for f := Feature(0); f < numFeatures; f++ {
+		if f > 0 {
+			buf[2*f-1] = '|'
+		}
+		if !s.enabled[f] {
+			buf[2*f] = '*'
+			continue
+		}
+		bin := s.disc[f].Bin(o.value(f))
+		if bin > 9 {
+			return s.slowKey(o)
+		}
+		buf[2*f] = byte('0' + bin)
+	}
+	return rl.State(buf[:])
+}
+
+func (s *StateSpace) slowKey(o Observation) rl.State {
+	parts := make([]string, NumFeatures)
+	for f := Feature(0); f < numFeatures; f++ {
+		if !s.enabled[f] {
+			parts[f] = "*"
+			continue
+		}
+		parts[f] = fmt.Sprintf("%d", s.disc[f].Bin(o.value(f)))
+	}
+	return rl.State(strings.Join(parts, "|"))
+}

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+
+	"autoscale/internal/dnn"
+	"autoscale/internal/sched"
+	"autoscale/internal/sim"
+	"autoscale/internal/soc"
+)
+
+// Fig7 reproduces Fig 7 and the surrounding Section III-C analysis: the gap
+// between the prediction-based approaches (LR, SVR, SVM, KNN, BO) and Opt in
+// normalized PPW and QoS violations, plus the regressors' energy-estimation
+// MAPE with and without runtime variance and the classifiers'
+// mis-classification ratios. Like the main evaluation, the predictors are
+// tested leave-one-out: each model is evaluated with predictors fitted on
+// the other nine (Section V-C).
+func Fig7(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:    "fig7",
+		Title: "Prediction-based approaches vs Opt (Mi8Pro, leave-one-out)",
+		Columns: []string{"Approach", "PPW (vs Edge CPU)", "QoS violation",
+			"MAPE no-var (%)", "MAPE var (%)", "Misclass (%)"},
+	}
+	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+	models := dnn.Zoo()
+	envIDs := sim.StaticEnvIDs()
+	cells := Cells(models, envIDs)
+
+	// Aggregates across folds.
+	approaches := []string{"LR", "SVR", "SVM", "KNN", "BO"}
+	agg := make(map[string]*Result, len(approaches))
+	for _, name := range approaches {
+		agg[name] = &Result{
+			Policy:       name,
+			MeanEnergyJ:  make(map[Cell]float64),
+			MeanLatencyS: make(map[Cell]float64),
+			QoSViolRatio: make(map[Cell]float64),
+			Decisions:    make(map[sim.Location]int),
+		}
+	}
+	type mapeAcc struct{ noVarSum, varSum float64 }
+	mapes := map[string]*mapeAcc{"LR": {}, "SVR": {}, "BO": {}}
+	misr := map[string]float64{"SVM": 0, "KNN": 0}
+
+	for fold, held := range models {
+		var trainSet []*dnn.Model
+		for _, m := range models {
+			if m.Name != held.Name {
+				trainSet = append(trainSet, m)
+			}
+		}
+		foldSeed := opts.Seed + int64(fold)*1000
+		data, err := BuildDataset(w, ProfileConfig{
+			Models: trainSet, ActionsPerState: 12, WithVariance: true, Seed: foldSeed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		labels, err := BuildLabels(w, ProfileConfig{Models: trainSet, Seed: foldSeed + 2})
+		if err != nil {
+			return nil, err
+		}
+
+		lr, err := NewLRPolicy(w, data, sim.NonStreaming)
+		if err != nil {
+			return nil, err
+		}
+		svr, err := NewSVRPolicy(w, data, sim.NonStreaming)
+		if err != nil {
+			return nil, err
+		}
+		svm, err := NewSVMPolicy(w, labels)
+		if err != nil {
+			return nil, err
+		}
+		knn, err := NewKNNPolicy(w, labels, 5)
+		if err != nil {
+			return nil, err
+		}
+		bo, err := NewBOPolicy(w, data[:len(data)/4], 120, foldSeed+3, sim.NonStreaming)
+		if err != nil {
+			return nil, err
+		}
+
+		evalCfg := EvalConfig{Models: []*dnn.Model{held}, EnvIDs: envIDs,
+			Runs: opts.Runs, Seed: foldSeed + 4}
+		for _, p := range []sched.Policy{lr, svr, svm, knn, bo} {
+			res, err := EvaluatePolicy(p, evalCfg)
+			if err != nil {
+				return nil, err
+			}
+			dst := agg[p.Name()]
+			for c, v := range res.MeanEnergyJ {
+				dst.MeanEnergyJ[c] = v
+			}
+			for c, v := range res.MeanLatencyS {
+				dst.MeanLatencyS[c] = v
+			}
+			for c, v := range res.QoSViolRatio {
+				dst.QoSViolRatio[c] = v
+			}
+			for l, n := range res.Decisions {
+				dst.Decisions[l] += n
+			}
+			dst.Inferences += res.Inferences
+		}
+
+	}
+
+	// Estimation-error metrics are properties of the fitted predictors on
+	// their design space, so they are measured on models fitted to the
+	// full zoo (not leave-one-out), matching the paper's MAPE protocol.
+	fullData, err := BuildDataset(w, ProfileConfig{
+		Models: models, ActionsPerState: 12, WithVariance: true, Seed: opts.Seed + 501,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fullLabels, err := BuildLabels(w, ProfileConfig{Models: models, Seed: opts.Seed + 502})
+	if err != nil {
+		return nil, err
+	}
+	fullLR, err := NewLRPolicy(w, fullData, sim.NonStreaming)
+	if err != nil {
+		return nil, err
+	}
+	fullSVR, err := NewSVRPolicy(w, fullData, sim.NonStreaming)
+	if err != nil {
+		return nil, err
+	}
+	fullBO, err := NewBOPolicy(w, fullData[:len(fullData)/4], 120, opts.Seed+503, sim.NonStreaming)
+	if err != nil {
+		return nil, err
+	}
+	fullSVM, err := NewSVMPolicy(w, fullLabels)
+	if err != nil {
+		return nil, err
+	}
+	fullKNN, err := NewKNNPolicy(w, fullLabels, 5)
+	if err != nil {
+		return nil, err
+	}
+	mapeRuns := opts.Runs
+	for name, reg := range map[string]*RegressionPolicy{"LR": fullLR, "SVR": fullSVR, "BO": fullBO} {
+		noVar, err := RegressorMAPE(w, reg.Energy, models, false, mapeRuns, opts.Seed+504)
+		if err != nil {
+			return nil, err
+		}
+		withVar, err := RegressorMAPE(w, reg.Energy, models, true, mapeRuns, opts.Seed+505)
+		if err != nil {
+			return nil, err
+		}
+		mapes[name].noVarSum = noVar
+		mapes[name].varSum = withVar
+	}
+	for name, clf := range map[string]*ClassifierPolicy{"SVM": fullSVM, "KNN": fullKNN} {
+		mis, err := ClassifierMisrate(w, clf.Clf, models, sim.NonStreaming, mapeRuns/2+1, opts.Seed+506)
+		if err != nil {
+			return nil, err
+		}
+		misr[name] = mis
+	}
+
+	evalCfg := EvalConfig{Models: models, EnvIDs: envIDs, Runs: opts.Runs, Seed: opts.Seed + 9}
+	base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, evalCfg)
+	if err != nil {
+		return nil, err
+	}
+	optRes, err := EvaluatePolicy(sched.Opt{World: w}, evalCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	t.AddRow("Edge (CPU)", 1.0, base.MeanQoSViolation(cells), "-", "-", "-")
+	for _, name := range approaches {
+		res := agg[name]
+		row := []interface{}{name, res.MeanNormPPW(base, cells), res.MeanQoSViolation(cells)}
+		if m, ok := mapes[name]; ok {
+			row = append(row, m.noVarSum, m.varSum, "-")
+		} else {
+			row = append(row, "-", "-", misr[name]*100)
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("Opt", optRes.MeanNormPPW(base, cells), optRes.MeanQoSViolation(cells), "-", "-", "-")
+
+	t.Notes = append(t.Notes,
+		"paper MAPE (no-var/var): LR 13.6/24.6, SVR 10.8/21.1, BO 9.2/15.7; "+
+			"misclassification with variance: SVM 12.7%, KNN 14.3%; all leave a significant gap to Opt")
+	t.Notes = append(t.Notes, fmt.Sprintf("leave-one-out over %d models, %d static environments", len(models), len(envIDs)))
+	return t, nil
+}

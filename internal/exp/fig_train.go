@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"autoscale/internal/core"
+	"autoscale/internal/dnn"
+	"autoscale/internal/sim"
+	"autoscale/internal/soc"
+)
+
+// Fig14 reproduces Fig 14 and the Section VI-C training-overhead analysis:
+// how many inference runs the learning needs to converge when training from
+// scratch, how much a model transferred from the Mi8Pro accelerates
+// convergence on the other devices, and how dynamic environments slow
+// convergence relative to static ones.
+func Fig14(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Training convergence and learning transfer",
+		Columns: []string{"Device", "Mode", "Environment", "Converge runs (avg)"},
+	}
+	models := dnn.Zoo()
+
+	// Donor: fully trained engine on the Mi8Pro. The donor's budget must
+	// exceed the action-space size per state (the paper's 100 runs versus
+	// ~66 actions): with fewer runs the optimistic initialization leaves
+	// untried actions looking attractive and the transferred table would
+	// mislead rather than help.
+	donorRuns := opts.TrainRuns
+	if donorRuns < 120 {
+		donorRuns = 120
+	}
+	donorWorld := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+	donorCfg := core.DefaultConfig()
+	donorCfg.Seed = opts.Seed
+	donor, err := NewTrainedEngine(donorWorld, donorCfg, TrainConfig{
+		Models: models, RunsPerState: donorRuns, Seed: opts.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var scratchSum, transferSum float64
+	var scratchN int
+	for i, dev := range soc.Phones() {
+		w := sim.NewWorld(dev, opts.Seed+int64(i))
+		for _, mode := range []string{"scratch", "transfer"} {
+			for _, envKind := range []string{"static", "dynamic"} {
+				runs, err := convergenceRuns(w, donor, models, mode == "transfer", envKind == "dynamic", opts, int64(i))
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(dev.Name, mode, envKind, runs)
+				if envKind == "static" {
+					if mode == "scratch" {
+						scratchSum += runs
+						scratchN++
+					} else {
+						transferSum += runs
+					}
+				}
+			}
+		}
+	}
+	if scratchN > 0 && scratchSum > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"measured: transfer reduces average convergence runs by %.1f%%",
+			(1-transferSum/scratchSum)*100))
+	}
+	t.Notes = append(t.Notes,
+		"paper: reward converges in 40-50 runs; learning transfer reduces training time by 21.2%; "+
+			"dynamic environments converge 9.1% slower from scratch, 0.5% with transfer")
+	return t, nil
+}
+
+// convergenceRuns measures, per model on a fresh engine (optionally
+// transfer-seeded from the donor), the number of inference runs until the
+// learned policy enters its convergence band, and returns the mean across
+// the zoo — the Fig 14 "reward converges in 40-50 runs" quantity. A fresh
+// engine per model isolates the cold-start dynamics the paper measures;
+// within a dynamic environment the engine still generalizes across its own
+// variance states.
+func convergenceRuns(w *sim.World, donor *core.Engine, models []*dnn.Model, transfer, dynamic bool, opts Options, salt int64) (float64, error) {
+	rng := rand.New(rand.NewSource(opts.Seed + 31*salt))
+	const maxRuns = 300
+	envID := sim.EnvS1
+	if dynamic {
+		envID = sim.EnvD4
+	}
+	var perModel []float64
+	for mi, m := range models {
+		cfg := core.DefaultConfig()
+		cfg.Seed = opts.Seed + salt
+		cfg.RL.Seed = opts.Seed + salt + int64(mi)
+		e, err := core.NewEngine(w, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if transfer {
+			if err := e.TransferFrom(donor); err != nil {
+				return 0, err
+			}
+		}
+		env, err := sim.NewEnvironment(envID, opts.Seed+salt)
+		if err != nil {
+			return 0, err
+		}
+		mask := e.Actions.Mask(m)
+		qos := sim.QoSFor(m.Task == dnn.Translation, sim.NonStreaming)
+		ratios := make([]float64, 0, maxRuns)
+		for run := 1; run <= maxRuns; run++ {
+			c := env.Sample()
+			if dynamic {
+				// extra jitter keeps the dynamic series noisy
+				c.RSSIWLAN += 2 * rng.NormFloat64()
+			}
+			d, err := e.RunInference(m, c)
+			if err != nil {
+				return 0, err
+			}
+			best, err := e.Agent().BestAction(d.State, mask)
+			if err != nil {
+				return 0, err
+			}
+			greedyMeas, err := w.Expected(m, e.Actions.Target(best), c)
+			if err != nil {
+				return 0, err
+			}
+			_, optMeas, err := w.BestTarget(m, c, qos, 0)
+			if err != nil {
+				return 0, err
+			}
+			ratio := 1.0
+			if optMeas.EnergyJ > 0 {
+				ratio = greedyMeas.EnergyJ / optMeas.EnergyJ
+			}
+			ratios = append(ratios, ratio)
+		}
+		perModel = append(perModel, float64(convergePoint(ratios)))
+	}
+	var sum float64
+	for _, v := range perModel {
+		sum += v
+	}
+	return sum / float64(len(perModel)), nil
+}
+
+// convergePoint finds the run at which a greedy-to-oracle energy-ratio
+// series converges: the first run whose windowed median enters the
+// convergence band — within 10% of the oracle, or within 5% of the policy's
+// own final plateau when that plateau sits above the oracle band (a model
+// whose converged choice is, say, 25% off the oracle has still converged).
+// The median window suppresses the epsilon-greedy exploration spikes that
+// never disappear.
+func convergePoint(ratios []float64) int {
+	const window = 15
+	if len(ratios) <= window {
+		return len(ratios)
+	}
+	med := func(start int) float64 {
+		w := append([]float64(nil), ratios[start:start+window]...)
+		sort.Float64s(w)
+		return w[window/2]
+	}
+	band := 1.10
+	if final := med(len(ratios) - window); final*1.05 > band {
+		band = final * 1.05
+	}
+	for i := 0; i+window <= len(ratios); i++ {
+		if med(i) <= band {
+			return i + 1
+		}
+	}
+	return len(ratios)
+}
+
+// StateAblation reproduces the Section IV-A sensitivity study: removing any
+// one state feature degrades prediction accuracy (the paper reports a 32.1%
+// average drop).
+func StateAblation(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		ID:      "ablation-states",
+		Title:   "State-feature ablation (prediction accuracy, Mi8Pro)",
+		Columns: []string{"Removed feature", "Prediction accuracy (%)", "Drop vs full (pp)"},
+	}
+	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+	models := dnn.Zoo()
+	envs := sim.StaticEnvIDs()
+
+	measure := func(disabled core.Feature, disable bool) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = opts.Seed
+		states := core.NewStateSpace()
+		if disable {
+			states.Disable(disabled)
+		}
+		cfg.States = states
+		loo := &LeaveOneOutAutoScale{
+			World:  w,
+			Config: cfg,
+			Train: TrainConfig{Models: models, RunsPerState: opts.TrainRuns,
+				Seed: opts.Seed + 2},
+		}
+		// Warm the engines over the evaluation envs before measuring.
+		warmCfg := EvalConfig{Models: models, EnvIDs: envs, Runs: 1,
+			Seed: opts.Seed + 3, WarmupRuns: opts.Warmup}
+		if _, err := EvaluatePolicy(loo, warmCfg); err != nil {
+			return 0, err
+		}
+		return predictionAccuracy(w, loo, models, envs, opts)
+	}
+
+	full, err := measure(0, false)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("(none)", full*100, 0.0)
+	for f := core.Feature(0); int(f) < core.NumFeatures; f++ {
+		acc, err := measure(f, true)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(f.String(), acc*100, (full-acc)*100)
+	}
+	t.Notes = append(t.Notes, "paper: removing any one state degrades accuracy by 32.1% on average")
+	return t, nil
+}

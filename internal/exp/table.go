@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is the uniform output of every experiment: an identifier matching
+// the paper's table/figure number, column headers, string-rendered rows, and
+// free-form notes (e.g. the paper's reported numbers for comparison).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row rendered with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table as aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			pad := 2
+			if i == len(cells)-1 {
+				pad = 0
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+pad, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Columns)
+	for _, r := range t.Rows {
+		printRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// Options controls experiment fidelity. The zero value selects the paper's
+// full protocol; Quick() shrinks everything for tests.
+type Options struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Runs is the number of measured inferences per (model, env) cell.
+	Runs int
+	// TrainRuns is the training budget per (model, variance state).
+	TrainRuns int
+	// Warmup is the per-cell adaptation budget before measurement.
+	Warmup int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Runs == 0 {
+		o.Runs = 100
+	}
+	if o.TrainRuns == 0 {
+		o.TrainRuns = 100
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 60
+	}
+	return o
+}
+
+// Quick returns reduced-fidelity options for fast test runs.
+func Quick(seed int64) Options {
+	return Options{Seed: seed, Runs: 25, TrainRuns: 20, Warmup: 25}
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (header row first); notes are
+// omitted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,217 @@
+// Package interfere models on-device interference from co-running
+// applications (Section III-B of the paper). Each application produces a
+// time series of CPU-utilization / memory-usage loads; the performance model
+// converts those into latency and throttling penalties, and AutoScale
+// observes them as the SCo_CPU / SCo_MEM state features.
+package interfere
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Load is the resource pressure exerted by co-running applications at one
+// inference: fractions (0..1) of the device's CPU capacity and memory
+// bandwidth consumed by everything except the inference itself.
+type Load struct {
+	CPUUtil float64
+	MemUtil float64
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Clamped returns the load with both components clamped to [0,1].
+func (l Load) Clamped() Load {
+	return Load{CPUUtil: clamp01(l.CPUUtil), MemUtil: clamp01(l.MemUtil)}
+}
+
+// App generates the interference load sample observed at each inference.
+type App interface {
+	// Name identifies the workload (used in environment descriptions).
+	Name() string
+	// Next returns the load at the next inference request.
+	Next() Load
+}
+
+// none is the empty co-runner (environment S1).
+type none struct{}
+
+func (none) Name() string { return "none" }
+func (none) Next() Load   { return Load{} }
+
+// None returns the no-co-runner app.
+func None() App { return none{} }
+
+// fixedApp emits a constant load (the paper's synthetic hogs, environments
+// S2 and S3, hold CPU and memory usage constant).
+type fixedApp struct {
+	name string
+	load Load
+}
+
+func (f *fixedApp) Name() string { return f.name }
+func (f *fixedApp) Next() Load   { return f.load }
+
+// Fixed returns an app with a constant load.
+func Fixed(name string, cpu, mem float64) App {
+	return &fixedApp{name: name, load: Load{CPUUtil: cpu, MemUtil: mem}.Clamped()}
+}
+
+// CPUHog returns the CPU-intensive synthetic co-runner of environment S2:
+// high CPU pressure, little memory traffic.
+func CPUHog() App { return Fixed("cpu-hog", 0.85, 0.10) }
+
+// MemHog returns the memory-intensive synthetic co-runner of environment S3:
+// saturating memory traffic with modest CPU use.
+func MemHog() App { return Fixed("mem-hog", 0.20, 0.85) }
+
+// jitterApp perturbs a base load with bounded Gaussian jitter, modelling
+// lightly varying real applications.
+type jitterApp struct {
+	name     string
+	base     Load
+	cpuSigma float64
+	memSigma float64
+	rng      *rand.Rand
+}
+
+func (j *jitterApp) Name() string { return j.name }
+
+func (j *jitterApp) Next() Load {
+	return Load{
+		CPUUtil: j.base.CPUUtil + j.cpuSigma*j.rng.NormFloat64(),
+		MemUtil: j.base.MemUtil + j.memSigma*j.rng.NormFloat64(),
+	}.Clamped()
+}
+
+// MusicPlayer returns the D1 co-runner: a real-world music player with a
+// small, steady decode load.
+func MusicPlayer(seed int64) App {
+	return &jitterApp{
+		name:     "music-player",
+		base:     Load{CPUUtil: 0.12, MemUtil: 0.15},
+		cpuSigma: 0.03, memSigma: 0.03,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// browser replays a scripted interaction trace: idle reading punctuated by
+// page loads and scrolling bursts, as the paper generates with an automatic
+// input generator (Section V-B). The phase sequence is deterministic for a
+// given seed.
+type browser struct {
+	rng   *rand.Rand
+	phase int // remaining samples in the current phase
+	burst bool
+}
+
+func (b *browser) Name() string { return "web-browser" }
+
+func (b *browser) Next() Load {
+	if b.phase == 0 {
+		b.burst = !b.burst
+		if b.burst {
+			b.phase = 2 + b.rng.Intn(4) // page-load burst
+		} else {
+			b.phase = 4 + b.rng.Intn(8) // reading/scrolling
+		}
+	}
+	b.phase--
+	if b.burst {
+		return Load{
+			CPUUtil: 0.55 + 0.15*b.rng.Float64(),
+			MemUtil: 0.45 + 0.20*b.rng.Float64(),
+		}.Clamped()
+	}
+	return Load{
+		CPUUtil: 0.15 + 0.10*b.rng.Float64(),
+		MemUtil: 0.25 + 0.10*b.rng.Float64(),
+	}.Clamped()
+}
+
+// WebBrowser returns the D2 co-runner.
+func WebBrowser(seed int64) App {
+	return &browser{rng: rand.New(rand.NewSource(seed))}
+}
+
+// alternating switches between a list of apps every period samples
+// (environment D4: varying co-running apps, music player to web browser).
+type alternating struct {
+	name   string
+	apps   []App
+	period int
+	n      int
+}
+
+func (a *alternating) Name() string { return a.name }
+
+func (a *alternating) Next() Load {
+	app := a.apps[(a.n/a.period)%len(a.apps)]
+	a.n++
+	return app.Next()
+}
+
+// Alternating returns an app that cycles through apps, switching every
+// period samples. Period values below 1 are raised to 1.
+func Alternating(name string, period int, apps ...App) App {
+	if period < 1 {
+		period = 1
+	}
+	if len(apps) == 0 {
+		apps = []App{None()}
+	}
+	return &alternating{name: name, apps: apps, period: period}
+}
+
+// VaryingApps returns the D4 co-runner: the music player and the web browser
+// in alternation.
+func VaryingApps(seed int64) App {
+	return Alternating("varying-apps", 25, MusicPlayer(seed), WebBrowser(seed+1))
+}
+
+// Penalties converts a load into the simulator's slowdown factors.
+//
+// A CPU co-runner steals cycles from inference on the CPU (the inference
+// time-shares what remains) and raises sustained utilization (feeding the
+// thermal model); a memory co-runner slows every engine because all of them
+// share the DRAM controller (Section III-B: "energy efficiency of all
+// on-device processors is degraded").
+type Penalties struct {
+	// CPUShare is the fraction of CPU throughput left for inference.
+	CPUShare float64
+	// MemSlowdown multiplies memory-traffic time on every engine.
+	MemSlowdown float64
+	// CPUComputeSlowdown multiplies CPU compute time under memory
+	// pressure (cache thrashing and DRAM stalls hit compute too).
+	CPUComputeSlowdown float64
+	// CoprocSlowdown multiplies compute time on GPU/DSP (DMA contention).
+	CoprocSlowdown float64
+	// SustainedCPUUtil is the total CPU pressure seen by the thermal
+	// governor while inference runs alongside the co-runner.
+	SustainedCPUUtil float64
+}
+
+// PenaltiesFor derives the slowdown factors from a load.
+func PenaltiesFor(l Load) Penalties {
+	l = l.Clamped()
+	return Penalties{
+		// The inference thread contends for cores: an 85%-CPU co-runner
+		// leaves a bit under half of the machine's effective throughput.
+		CPUShare: math.Max(0.25, 1-0.65*l.CPUUtil),
+		// Memory pressure lengthens every byte moved and stalls compute
+		// on every engine (Section III-B: "the energy efficiency of all
+		// on-device processors is degraded").
+		MemSlowdown:        1 + 1.2*l.MemUtil,
+		CPUComputeSlowdown: 1 + 1.5*l.MemUtil,
+		CoprocSlowdown:     1 + 1.5*l.MemUtil,
+		SustainedCPUUtil:   math.Min(1, l.CPUUtil+0.5),
+	}
+}

@@ -1,0 +1,165 @@
+package interfere
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadClamping(t *testing.T) {
+	l := Load{CPUUtil: 1.5, MemUtil: -0.5}.Clamped()
+	if l.CPUUtil != 1 || l.MemUtil != 0 {
+		t.Errorf("Clamped = %+v", l)
+	}
+}
+
+func TestNone(t *testing.T) {
+	app := None()
+	if app.Name() != "none" {
+		t.Error("name wrong")
+	}
+	for i := 0; i < 5; i++ {
+		if l := app.Next(); l.CPUUtil != 0 || l.MemUtil != 0 {
+			t.Fatal("None must emit zero load")
+		}
+	}
+}
+
+func TestHogs(t *testing.T) {
+	cpu := CPUHog().Next()
+	if cpu.CPUUtil < 0.7 || cpu.MemUtil > 0.3 {
+		t.Errorf("CPUHog load = %+v", cpu)
+	}
+	mem := MemHog().Next()
+	if mem.MemUtil < 0.7 || mem.CPUUtil > 0.3 {
+		t.Errorf("MemHog load = %+v", mem)
+	}
+	// Hogs are constant (static environments S2/S3).
+	h := CPUHog()
+	first := h.Next()
+	for i := 0; i < 10; i++ {
+		if h.Next() != first {
+			t.Fatal("hog load must be constant")
+		}
+	}
+}
+
+func TestAppsStayInRange(t *testing.T) {
+	apps := []App{MusicPlayer(1), WebBrowser(2), VaryingApps(3)}
+	for _, app := range apps {
+		for i := 0; i < 500; i++ {
+			l := app.Next()
+			if l.CPUUtil < 0 || l.CPUUtil > 1 || l.MemUtil < 0 || l.MemUtil > 1 {
+				t.Fatalf("%s emitted out-of-range load %+v", app.Name(), l)
+			}
+		}
+	}
+}
+
+func TestMusicPlayerIsLight(t *testing.T) {
+	app := MusicPlayer(4)
+	var cpuSum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		cpuSum += app.Next().CPUUtil
+	}
+	if avg := cpuSum / n; avg > 0.25 {
+		t.Errorf("music player mean CPU = %v, want light", avg)
+	}
+}
+
+func TestWebBrowserIsBursty(t *testing.T) {
+	app := WebBrowser(5)
+	var lo, hi int
+	for i := 0; i < 500; i++ {
+		l := app.Next()
+		if l.CPUUtil > 0.5 {
+			hi++
+		}
+		if l.CPUUtil < 0.3 {
+			lo++
+		}
+	}
+	if hi == 0 || lo == 0 {
+		t.Errorf("browser not bursty: hi=%d lo=%d", hi, lo)
+	}
+}
+
+func TestAlternatingSwitches(t *testing.T) {
+	a := Alternating("alt", 3, Fixed("a", 0.1, 0.1), Fixed("b", 0.9, 0.9))
+	var seq []float64
+	for i := 0; i < 12; i++ {
+		seq = append(seq, a.Next().CPUUtil)
+	}
+	for i := 0; i < 3; i++ {
+		if seq[i] != 0.1 || seq[i+3] != 0.9 || seq[i+6] != 0.1 {
+			t.Fatalf("alternation broken: %v", seq)
+		}
+	}
+}
+
+func TestAlternatingDegenerate(t *testing.T) {
+	a := Alternating("empty", 0)
+	if l := a.Next(); l.CPUUtil != 0 {
+		t.Error("empty alternating must behave like None")
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	a, b := WebBrowser(7), WebBrowser(7)
+	for i := 0; i < 50; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed browsers must agree")
+		}
+	}
+}
+
+func TestPenaltiesNoLoad(t *testing.T) {
+	p := PenaltiesFor(Load{})
+	if p.CPUShare != 1 || p.MemSlowdown != 1 || p.CPUComputeSlowdown != 1 || p.CoprocSlowdown != 1 {
+		t.Errorf("no-load penalties = %+v", p)
+	}
+}
+
+func TestPenaltiesMonotone(t *testing.T) {
+	prev := PenaltiesFor(Load{})
+	for u := 0.1; u <= 1.0; u += 0.1 {
+		p := PenaltiesFor(Load{CPUUtil: u, MemUtil: u})
+		if p.CPUShare > prev.CPUShare {
+			t.Errorf("CPUShare increased at u=%v", u)
+		}
+		if p.MemSlowdown < prev.MemSlowdown || p.CoprocSlowdown < prev.CoprocSlowdown ||
+			p.CPUComputeSlowdown < prev.CPUComputeSlowdown {
+			t.Errorf("slowdowns decreased at u=%v", u)
+		}
+		prev = p
+	}
+}
+
+func TestPenaltiesBoundsProperty(t *testing.T) {
+	f := func(cu, mu float64) bool {
+		p := PenaltiesFor(Load{CPUUtil: cu, MemUtil: mu})
+		return p.CPUShare >= 0.25 && p.CPUShare <= 1 &&
+			p.MemSlowdown >= 1 && p.CoprocSlowdown >= 1 &&
+			p.CPUComputeSlowdown >= 1 &&
+			p.SustainedCPUUtil >= 0 && p.SustainedCPUUtil <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPenaltiesHogShapes(t *testing.T) {
+	// Section III-B shapes: a CPU hog mostly hurts the CPU path; a memory
+	// hog hurts everything.
+	cpuHog := PenaltiesFor(CPUHog().Next())
+	memHog := PenaltiesFor(MemHog().Next())
+	if cpuHog.CPUShare > 0.5 {
+		t.Errorf("CPU hog leaves CPUShare %v, want significant contention", cpuHog.CPUShare)
+	}
+	if cpuHog.CoprocSlowdown > 1.2 {
+		t.Errorf("CPU hog should barely touch co-processors, got %v", cpuHog.CoprocSlowdown)
+	}
+	if memHog.CoprocSlowdown < 1.5 || memHog.CPUComputeSlowdown < 1.5 {
+		t.Errorf("memory hog must slow all engines: %+v", memHog)
+	}
+}

@@ -1,0 +1,169 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"autoscale/internal/dnn"
+	"autoscale/internal/interfere"
+	"autoscale/internal/soc"
+)
+
+func mi8CPU() Exec {
+	cpu := soc.Mi8Pro().Processor(soc.CPU)
+	return Exec{Proc: cpu, Step: cpu.Steps - 1, Prec: dnn.FP32}
+}
+
+func mi8GPU() Exec {
+	gpu := soc.Mi8Pro().Processor(soc.GPU)
+	return Exec{Proc: gpu, Step: gpu.Steps - 1, Prec: dnn.FP32}
+}
+
+func mi8DSP() Exec {
+	return Exec{Proc: soc.Mi8Pro().Processor(soc.DSP), Prec: dnn.INT8}
+}
+
+func TestExecValidate(t *testing.T) {
+	if err := mi8CPU().Validate(); err != nil {
+		t.Error(err)
+	}
+	if (Exec{}).Validate() == nil {
+		t.Error("nil processor should fail")
+	}
+	bad := mi8DSP()
+	bad.Prec = dnn.FP32
+	if bad.Validate() == nil {
+		t.Error("DSP at FP32 should fail")
+	}
+}
+
+func TestCanRun(t *testing.T) {
+	bert := dnn.MustByName("MobileBERT")
+	if mi8GPU().CanRun(bert) {
+		t.Error("mobile GPU must reject MobileBERT")
+	}
+	if !mi8CPU().CanRun(bert) {
+		t.Error("CPU must accept MobileBERT")
+	}
+}
+
+func TestModelLatencySumsLayers(t *testing.T) {
+	m := dnn.MustByName("Inception v1")
+	pen := NoInterference()
+	per := PerLayerLatencies(mi8CPU(), m, pen)
+	if len(per) != len(m.Layers) {
+		t.Fatalf("per-layer count %d != %d", len(per), len(m.Layers))
+	}
+	var sum float64
+	for _, v := range per {
+		if v <= 0 {
+			t.Fatal("layer latency must be positive")
+		}
+		sum += v
+	}
+	if total := ModelLatency(mi8CPU(), m, pen); math.Abs(total-sum) > 1e-12 {
+		t.Errorf("ModelLatency %v != sum %v", total, sum)
+	}
+	byType := LatencyByType(mi8CPU(), m, pen)
+	var typeSum float64
+	for _, v := range byType {
+		typeSum += v
+	}
+	if math.Abs(typeSum-sum) > 1e-9 {
+		t.Errorf("LatencyByType sum %v != %v", typeSum, sum)
+	}
+}
+
+func TestDVFSMonotonic(t *testing.T) {
+	m := dnn.MustByName("MobileNet v1")
+	pen := NoInterference()
+	cpu := soc.Mi8Pro().Processor(soc.CPU)
+	prev := math.Inf(1)
+	for s := 0; s < cpu.Steps; s++ {
+		lat := ModelLatency(Exec{Proc: cpu, Step: s, Prec: dnn.FP32}, m, pen)
+		if lat >= prev {
+			t.Errorf("latency did not shrink at step %d", s)
+		}
+		prev = lat
+	}
+}
+
+func TestQuantizationSpeedsUpCPU(t *testing.T) {
+	m := dnn.MustByName("MobileNet v2")
+	pen := NoInterference()
+	cpu := soc.Mi8Pro().Processor(soc.CPU)
+	fp32 := ModelLatency(Exec{Proc: cpu, Step: cpu.Steps - 1, Prec: dnn.FP32}, m, pen)
+	int8 := ModelLatency(Exec{Proc: cpu, Step: cpu.Steps - 1, Prec: dnn.INT8}, m, pen)
+	if int8 >= fp32 {
+		t.Errorf("INT8 (%v) must beat FP32 (%v) on CPU", int8, fp32)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	pen := NoInterference()
+	// CONV-heavy Inception v1 runs faster on co-processors...
+	iv1 := dnn.MustByName("Inception v1")
+	cpuLat := ModelLatency(mi8CPU(), iv1, pen)
+	gpuLat := ModelLatency(mi8GPU(), iv1, pen)
+	dspLat := ModelLatency(mi8DSP(), iv1, pen)
+	if gpuLat >= cpuLat || dspLat >= cpuLat {
+		t.Errorf("Inception v1: GPU %v / DSP %v must beat CPU %v", gpuLat, dspLat, cpuLat)
+	}
+	// ...while FC-heavy MobileNet v3 runs faster on the CPU (Fig 3).
+	mbv3 := dnn.MustByName("MobileNet v3")
+	cpuLat = ModelLatency(mi8CPU(), mbv3, pen)
+	gpuLat = ModelLatency(mi8GPU(), mbv3, pen)
+	if cpuLat >= gpuLat {
+		t.Errorf("MobileNet v3: CPU %v must beat GPU %v", cpuLat, gpuLat)
+	}
+	// The FC share of MobileNet v3 dominates its GPU time.
+	byType := LatencyByType(mi8GPU(), mbv3, pen)
+	if byType[dnn.FC] <= byType[dnn.Conv] {
+		t.Errorf("MobileNet v3 on GPU: FC time %v must dominate CONV %v",
+			byType[dnn.FC], byType[dnn.Conv])
+	}
+}
+
+func TestInterferenceSlowsDown(t *testing.T) {
+	m := dnn.MustByName("MobileNet v3")
+	base := ModelLatency(mi8CPU(), m, NoInterference())
+	cpuHog := ModelLatency(mi8CPU(), m, interfere.PenaltiesFor(interfere.CPUHog().Next()))
+	if cpuHog <= base*1.5 {
+		t.Errorf("CPU hog slowdown too small: %v vs %v", cpuHog, base)
+	}
+	memHog := ModelLatency(mi8CPU(), m, interfere.PenaltiesFor(interfere.MemHog().Next()))
+	if memHog <= base {
+		t.Error("memory hog must slow the CPU")
+	}
+	// A CPU hog barely touches the DSP; a memory hog slows it.
+	dspBase := ModelLatency(mi8DSP(), m, NoInterference())
+	dspCPUHog := ModelLatency(mi8DSP(), m, interfere.PenaltiesFor(interfere.CPUHog().Next()))
+	dspMemHog := ModelLatency(mi8DSP(), m, interfere.PenaltiesFor(interfere.MemHog().Next()))
+	if dspCPUHog > dspBase*1.2 {
+		t.Errorf("CPU hog slowed the DSP too much: %v vs %v", dspCPUHog, dspBase)
+	}
+	if dspMemHog <= dspBase*1.2 {
+		t.Errorf("memory hog must slow the DSP: %v vs %v", dspMemHog, dspBase)
+	}
+}
+
+func TestOverheadDominatesTinyLayers(t *testing.T) {
+	// A layer with negligible work still costs the dispatch overhead.
+	tiny := dnn.Layer{Name: "tiny", Type: dnn.Conv, MACs: 1}
+	gpu := mi8GPU()
+	lat := LayerLatency(gpu, tiny, NoInterference())
+	if lat < gpu.Proc.Overhead(dnn.Conv) {
+		t.Errorf("latency %v below dispatch overhead", lat)
+	}
+}
+
+func TestRooflineMemoryBound(t *testing.T) {
+	// A layer with huge traffic and no compute is bound by memory time.
+	l := dnn.Layer{Name: "membound", Type: dnn.FC, MACs: 1, WeightBytes: 1e9}
+	cpu := mi8CPU()
+	lat := LayerLatency(cpu, l, NoInterference())
+	wantMem := 1e9 / (cpu.Proc.MemBWGBs * 1e9)
+	if lat < wantMem {
+		t.Errorf("latency %v below memory time %v", lat, wantMem)
+	}
+}

@@ -1,0 +1,75 @@
+// Package power implements the energy models of Section IV-A of the paper,
+// equations (1) through (4): utilization-based CPU energy, GPU energy,
+// constant-power DSP energy, and the signal-strength-based energy model for
+// offloading to connected systems. The simulator uses these equations as
+// ground truth; AutoScale's Renergy estimator applies them to measured
+// latencies with a small noise term (the paper reports 7.3% MAPE).
+package power
+
+import (
+	"errors"
+
+	"autoscale/internal/radio"
+	"autoscale/internal/soc"
+)
+
+// Breakdown itemizes where one inference's energy went, in joules, on the
+// *mobile device* side (the battery the paper's Monsoon meter drains).
+type Breakdown struct {
+	// Compute is engine busy energy (CPU/GPU/DSP busy power x busy time).
+	Compute float64
+	// Radio is the TX+RX energy of the wireless interface.
+	Radio float64
+	// Idle is platform and engine idle energy over the inference span.
+	Idle float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 { return b.Compute + b.Radio + b.Idle }
+
+// OnDevice computes eq (1)/(2)/(3): the energy of running an inference of
+// the given busy duration on processor p at DVFS step, with the platform
+// idling at platformIdleW for the same span. For CPUs and GPUs this is the
+// utilization-based model with t_idle = 0 during inference (the engine is
+// busy for the whole latency); for DSPs the busy power is the constant
+// pre-measured P_DSP of eq (3).
+func OnDevice(p *soc.Processor, step int, busySeconds, platformIdleW float64) (Breakdown, error) {
+	if p == nil {
+		return Breakdown{}, errors.New("power: nil processor")
+	}
+	if busySeconds < 0 {
+		return Breakdown{}, errors.New("power: negative duration")
+	}
+	busyW := p.BusyPowerW(step)
+	if p.Steps == 1 {
+		// eq (3): single-step engines (DSP, NPU) draw their constant
+		// pre-measured power.
+		busyW = p.PeakBusyW
+	}
+	return Breakdown{
+		Compute: busyW * busySeconds,
+		Idle:    platformIdleW * busySeconds,
+	}, nil
+}
+
+// Offload computes eq (4): the mobile-side energy of offloading over link l
+// at signal strength rssi, where tTX/tRX are the measured transmit/receive
+// times and total is the full inference latency (transfer plus remote
+// compute plus wait). During the remote-compute window the device pays
+// platform idle plus the radio's connected-idle power.
+func Offload(l *radio.Link, rssi, tTX, tRX, total, platformIdleW float64) (Breakdown, error) {
+	if l == nil {
+		return Breakdown{}, errors.New("power: nil link")
+	}
+	if tTX < 0 || tRX < 0 || total < 0 {
+		return Breakdown{}, errors.New("power: negative duration")
+	}
+	wait := total - tTX - tRX
+	if wait < 0 {
+		wait = 0
+	}
+	return Breakdown{
+		Radio: l.TXPowerW(rssi)*tTX + l.RXPowerW(rssi)*tRX + l.IdleW*wait,
+		Idle:  platformIdleW * total,
+	}, nil
+}

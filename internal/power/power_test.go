@@ -1,0 +1,126 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"autoscale/internal/radio"
+	"autoscale/internal/soc"
+)
+
+func TestOnDeviceCPU(t *testing.T) {
+	cpu := soc.Mi8Pro().Processor(soc.CPU)
+	const lat, idle = 0.1, 1.2
+	bd, err := OnDevice(cpu, cpu.Steps-1, lat, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCompute := cpu.BusyPowerW(cpu.Steps-1) * lat
+	if math.Abs(bd.Compute-wantCompute) > 1e-9 {
+		t.Errorf("compute = %v, want %v", bd.Compute, wantCompute)
+	}
+	if math.Abs(bd.Idle-idle*lat) > 1e-9 {
+		t.Errorf("idle = %v, want %v", bd.Idle, idle*lat)
+	}
+	if bd.Radio != 0 {
+		t.Error("on-device execution must have no radio energy")
+	}
+	if math.Abs(bd.Total()-(bd.Compute+bd.Idle)) > 1e-12 {
+		t.Error("total mismatch")
+	}
+}
+
+func TestOnDeviceDVFSSavesPower(t *testing.T) {
+	cpu := soc.Mi8Pro().Processor(soc.CPU)
+	hi, err := OnDevice(cpu, cpu.Steps-1, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := OnDevice(cpu, 0, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Compute >= hi.Compute {
+		t.Error("lower DVFS step must draw less power for the same duration")
+	}
+}
+
+func TestOnDeviceDSPConstantPower(t *testing.T) {
+	dsp := soc.Mi8Pro().Processor(soc.DSP)
+	bd, err := OnDevice(dsp, 0, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq (3): E_DSP = P_DSP x latency with the constant pre-measured power.
+	want := dsp.PeakBusyW * 0.05
+	if math.Abs(bd.Compute-want) > 1e-9 {
+		t.Errorf("DSP energy = %v, want %v", bd.Compute, want)
+	}
+}
+
+func TestOnDeviceErrors(t *testing.T) {
+	cpu := soc.Mi8Pro().Processor(soc.CPU)
+	if _, err := OnDevice(nil, 0, 1, 0); err == nil {
+		t.Error("nil processor should fail")
+	}
+	if _, err := OnDevice(cpu, 0, -1, 0); err == nil {
+		t.Error("negative duration should fail")
+	}
+}
+
+func TestOffloadEq4(t *testing.T) {
+	l := radio.WiFi()
+	const rssi, tTX, tRX, total, idle = -55.0, 0.02, 0.005, 0.05, 1.2
+	bd, err := Offload(l, rssi, tTX, tRX, total, idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := total - tTX - tRX
+	wantRadio := l.TXPowerW(rssi)*tTX + l.RXPowerW(rssi)*tRX + l.IdleW*wait
+	if math.Abs(bd.Radio-wantRadio) > 1e-9 {
+		t.Errorf("radio = %v, want %v", bd.Radio, wantRadio)
+	}
+	if math.Abs(bd.Idle-idle*total) > 1e-9 {
+		t.Errorf("idle = %v, want %v", bd.Idle, idle*total)
+	}
+	if bd.Compute != 0 {
+		t.Error("offload must have no local compute energy")
+	}
+}
+
+func TestOffloadWeakSignalCostsMore(t *testing.T) {
+	l := radio.WiFi()
+	strong, err := Offload(l, -55, 0.02, 0.005, 0.05, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := Offload(l, -90, 0.02, 0.005, 0.05, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.Radio <= strong.Radio {
+		t.Error("weak-signal transmission must cost more energy")
+	}
+}
+
+func TestOffloadNegativeWaitClamped(t *testing.T) {
+	l := radio.WiFi()
+	// tTX + tRX exceeding total must not produce negative idle-radio time.
+	bd, err := Offload(l, -55, 0.04, 0.03, 0.05, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minRadio := l.TXPowerW(-55)*0.04 + l.RXPowerW(-55)*0.03
+	if bd.Radio < minRadio-1e-9 {
+		t.Error("negative wait leaked into the radio energy")
+	}
+}
+
+func TestOffloadErrors(t *testing.T) {
+	if _, err := Offload(nil, -55, 0, 0, 0, 0); err == nil {
+		t.Error("nil link should fail")
+	}
+	if _, err := Offload(radio.WiFi(), -55, -1, 0, 0, 0); err == nil {
+		t.Error("negative duration should fail")
+	}
+}

@@ -1,0 +1,177 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SVM is a linear multi-class classifier (one weight vector per action)
+// trained with the multi-class hinge loss by stochastic sub-gradient
+// descent; the paper's classification-based comparison uses least-squares
+// SVMs (Suykens & Vandewalle [102]).
+type SVM struct {
+	scaler  *Scaler
+	weights [][]float64 // [action][dim]
+	bias    []float64
+	classes int
+}
+
+// SVMConfig holds SVM training hyperparameters.
+type SVMConfig struct {
+	C            float64
+	Epochs       int
+	LearningRate float64
+}
+
+// DefaultSVMConfig returns sensible defaults.
+func DefaultSVMConfig() SVMConfig {
+	return SVMConfig{C: 100, Epochs: 300, LearningRate: 0.1}
+}
+
+// FitSVM trains a multi-class linear SVM on labeled optimal-action states.
+func FitSVM(data []LabeledState, classes int, cfg SVMConfig) (*SVM, error) {
+	if len(data) == 0 {
+		return nil, errors.New("predict: svm needs data")
+	}
+	if classes < 2 {
+		return nil, errors.New("predict: svm needs at least two classes")
+	}
+	xs := make([][]float64, len(data))
+	for i, d := range data {
+		xs[i] = d.X
+	}
+	scaler, err := FitScaler(xs)
+	if err != nil {
+		return nil, err
+	}
+	std := scaler.TransformAll(xs)
+	dim := len(std[0])
+	w := make([][]float64, classes)
+	b := make([]float64, classes)
+	for i := range w {
+		w[i] = make([]float64, dim)
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + 0.1*float64(epoch))
+		for i, x := range std {
+			y := data[i].Action
+			if y < 0 || y >= classes {
+				return nil, errors.New("predict: svm label out of range")
+			}
+			// Crammer-Singer style: most violating competitor.
+			yScore := dot(w[y], x) + b[y]
+			worst, worstScore := -1, math.Inf(-1)
+			for c := 0; c < classes; c++ {
+				if c == y {
+					continue
+				}
+				s := dot(w[c], x) + b[c]
+				if s > worstScore {
+					worst, worstScore = c, s
+				}
+			}
+			// Regularize every class.
+			for c := 0; c < classes; c++ {
+				for j := range w[c] {
+					w[c][j] -= lr * w[c][j] / cfg.C
+				}
+			}
+			if worst >= 0 && worstScore+1 > yScore {
+				for j := range x {
+					w[y][j] += lr * x[j]
+					w[worst][j] -= lr * x[j]
+				}
+				b[y] += lr
+				b[worst] -= lr
+			}
+		}
+	}
+	return &SVM{scaler: scaler, weights: w, bias: b, classes: classes}, nil
+}
+
+// Classify implements Classifier: the feasible class with the highest score.
+func (m *SVM) Classify(x []float64, feasible []bool) int {
+	z := m.scaler.Transform(x)
+	best, bestScore := -1, math.Inf(-1)
+	for c := 0; c < m.classes; c++ {
+		if feasible != nil && (c >= len(feasible) || !feasible[c]) {
+			continue
+		}
+		s := dot(m.weights[c], z) + m.bias[c]
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// KNN is a k-nearest-neighbour classifier over standardized state features
+// (Zhang & Srihari [114]).
+type KNN struct {
+	scaler *Scaler
+	data   []LabeledState // with standardized X
+	k      int
+}
+
+// FitKNN stores the training set. k values below 1 are raised to 1.
+func FitKNN(data []LabeledState, k int) (*KNN, error) {
+	if len(data) == 0 {
+		return nil, errors.New("predict: knn needs data")
+	}
+	if k < 1 {
+		k = 1
+	}
+	xs := make([][]float64, len(data))
+	for i, d := range data {
+		xs[i] = d.X
+	}
+	scaler, err := FitScaler(xs)
+	if err != nil {
+		return nil, err
+	}
+	std := make([]LabeledState, len(data))
+	for i, d := range data {
+		std[i] = LabeledState{X: scaler.Transform(d.X), Action: d.Action}
+	}
+	return &KNN{scaler: scaler, data: std, k: k}, nil
+}
+
+// Classify implements Classifier: majority vote over the k nearest feasible
+// neighbours (falling back to nearest-feasible when the vote is empty).
+func (m *KNN) Classify(x []float64, feasible []bool) int {
+	z := m.scaler.Transform(x)
+	type nb struct {
+		dist  float64
+		label int
+	}
+	nbs := make([]nb, 0, len(m.data))
+	for _, d := range m.data {
+		var dist float64
+		for j := range z {
+			dlt := z[j] - d.X[j]
+			dist += dlt * dlt
+		}
+		nbs = append(nbs, nb{dist: dist, label: d.Action})
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].dist < nbs[j].dist })
+	votes := make(map[int]int)
+	counted := 0
+	for _, n := range nbs {
+		if feasible != nil && (n.label >= len(feasible) || !feasible[n.label]) {
+			continue
+		}
+		votes[n.label]++
+		counted++
+		if counted == m.k {
+			break
+		}
+	}
+	best, bestVotes := -1, 0
+	for label, v := range votes {
+		if v > bestVotes || (v == bestVotes && label < best) {
+			best, bestVotes = label, v
+		}
+	}
+	return best
+}

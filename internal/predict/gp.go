@@ -1,0 +1,154 @@
+package predict
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// GP is a Gaussian-process regressor with an RBF kernel — the surrogate
+// model of the paper's Bayesian-optimization comparison (Section III-C,
+// [32],[39],[92]). Exact GP inference is cubic in the training-set size, so
+// FitGP subsamples when given more than MaxPoints samples.
+type GP struct {
+	scaler    *Scaler
+	xs        [][]float64
+	alpha     []float64
+	lengthSq  float64
+	signalVar float64
+	meanY     float64
+}
+
+// GPConfig holds GP hyperparameters.
+type GPConfig struct {
+	// LengthScale of the RBF kernel in standardized feature units.
+	LengthScale float64
+	// SignalVar is the kernel amplitude.
+	SignalVar float64
+	// NoiseVar is the observation noise added to the kernel diagonal.
+	NoiseVar float64
+	// MaxPoints caps the training-set size (uniform subsample).
+	MaxPoints int
+	// Seed drives the subsample.
+	Seed int64
+}
+
+// DefaultGPConfig returns defaults suited to standardized features. A zero
+// LengthScale is resolved by FitGP to sqrt(dim), the natural scale at which
+// standardized points in dim dimensions see each other.
+func DefaultGPConfig() GPConfig {
+	return GPConfig{LengthScale: 0, SignalVar: 1.0, NoiseVar: 0.01, MaxPoints: 400, Seed: 1}
+}
+
+// FitGP fits the GP to (xs, ys).
+func FitGP(xs [][]float64, ys []float64, cfg GPConfig) (*GP, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, errors.New("predict: gp needs equal-length non-empty data")
+	}
+	if cfg.MaxPoints > 0 && len(xs) > cfg.MaxPoints {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		idx := rng.Perm(len(xs))[:cfg.MaxPoints]
+		sx := make([][]float64, cfg.MaxPoints)
+		sy := make([]float64, cfg.MaxPoints)
+		for i, j := range idx {
+			sx[i], sy[i] = xs[j], ys[j]
+		}
+		xs, ys = sx, sy
+	}
+	scaler, err := FitScaler(xs)
+	if err != nil {
+		return nil, err
+	}
+	std := scaler.TransformAll(xs)
+	if cfg.LengthScale <= 0 {
+		cfg.LengthScale = math.Sqrt(float64(len(std[0])))
+	}
+
+	var meanY float64
+	for _, y := range ys {
+		meanY += y
+	}
+	meanY /= float64(len(ys))
+	centered := make([]float64, len(ys))
+	for i, y := range ys {
+		centered[i] = y - meanY
+	}
+
+	g := &GP{
+		scaler:    scaler,
+		xs:        std,
+		lengthSq:  cfg.LengthScale * cfg.LengthScale,
+		signalVar: cfg.SignalVar,
+		meanY:     meanY,
+	}
+	n := len(std)
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := g.kernel(std[i], std[j])
+			k[i][j] = v
+			k[j][i] = v
+		}
+		k[i][i] += cfg.NoiseVar + 1e-8
+	}
+	alpha, err := solveSPD(k, centered)
+	if err != nil {
+		return nil, err
+	}
+	g.alpha = alpha
+	return g, nil
+}
+
+func (g *GP) kernel(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		dlt := a[i] - b[i]
+		d2 += dlt * dlt
+	}
+	return g.signalVar * math.Exp(-d2/(2*g.lengthSq))
+}
+
+// Predict implements Regressor (posterior mean).
+func (g *GP) Predict(x []float64) float64 {
+	m, _ := g.PredictVar(x)
+	return m
+}
+
+// PredictVar returns the posterior mean and (approximate) variance at x.
+func (g *GP) PredictVar(x []float64) (mean, variance float64) {
+	z := g.scaler.Transform(x)
+	kstar := make([]float64, len(g.xs))
+	for i, xi := range g.xs {
+		kstar[i] = g.kernel(z, xi)
+	}
+	mean = g.meanY + dot(kstar, g.alpha)
+	// Cheap variance bound: prior variance minus explained part (clamped);
+	// exact posterior variance would need another solve per query.
+	explained := dot(kstar, kstar) / float64(len(kstar))
+	variance = g.signalVar - explained
+	if variance < 1e-6 {
+		variance = 1e-6
+	}
+	return mean, variance
+}
+
+// ExpectedImprovement returns the EI acquisition value at x for a
+// minimization problem with current best observed value best.
+func (g *GP) ExpectedImprovement(x []float64, best float64) float64 {
+	mean, variance := g.PredictVar(x)
+	sigma := math.Sqrt(variance)
+	if sigma < 1e-9 {
+		return 0
+	}
+	z := (best - mean) / sigma
+	return (best-mean)*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+func stdNormCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

@@ -1,0 +1,127 @@
+package predict
+
+import (
+	"errors"
+	"math"
+)
+
+// Small dense linear algebra used by the regression and Gaussian-process
+// predictors. Matrices are row-major [][]float64; sizes here are tens to a
+// few hundred, so simplicity beats blocking.
+
+// solveSPD solves A x = b for symmetric positive-definite A via Cholesky
+// decomposition. A is not modified.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, errors.New("predict: dimension mismatch")
+	}
+	// Cholesky: A = L L^T.
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errors.New("predict: matrix not positive definite")
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	// Forward solve L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * y[k]
+		}
+		y[i] = sum / l[i][i]
+	}
+	// Back solve L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x, nil
+}
+
+// dot returns the inner product of equal-length vectors.
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Scaler standardizes feature vectors to zero mean and unit variance per
+// dimension, fitted from training data.
+type Scaler struct {
+	mean []float64
+	std  []float64
+}
+
+// FitScaler computes per-dimension statistics from xs.
+func FitScaler(xs [][]float64) (*Scaler, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("predict: no samples to fit scaler")
+	}
+	d := len(xs[0])
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for _, x := range xs {
+		if len(x) != d {
+			return nil, errors.New("predict: ragged feature matrix")
+		}
+		for j, v := range x {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(xs))
+	}
+	for _, x := range xs {
+		for j, v := range x {
+			dlt := v - mean[j]
+			std[j] += dlt * dlt
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(xs)))
+		if std[j] < 1e-9 {
+			std[j] = 1
+		}
+	}
+	return &Scaler{mean: mean, std: std}, nil
+}
+
+// Transform standardizes one vector (returns a new slice).
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes a matrix.
+func (s *Scaler) TransformAll(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = s.Transform(x)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package predict
+
+import (
+	"errors"
+)
+
+// LinearRegression is ordinary least squares with a small ridge penalty,
+// solved in closed form via the normal equations. The paper uses it as the
+// canonical regression-based approach (Seber & Lee [96]).
+type LinearRegression struct {
+	scaler  *Scaler
+	weights []float64 // last entry is the bias
+}
+
+// FitLinearRegression fits y ~ X with ridge strength lambda (>= 0).
+func FitLinearRegression(xs [][]float64, ys []float64, lambda float64) (*LinearRegression, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, errors.New("predict: linreg needs equal-length non-empty data")
+	}
+	scaler, err := FitScaler(xs)
+	if err != nil {
+		return nil, err
+	}
+	std := scaler.TransformAll(xs)
+	d := len(std[0]) + 1 // + bias
+
+	// Normal equations: (X^T X + lambda I) w = X^T y.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	row := make([]float64, d)
+	for n, x := range std {
+		copy(row, x)
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j <= i; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * ys[n]
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += lambda + 1e-9
+	}
+	w, err := solveSPD(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearRegression{scaler: scaler, weights: w}, nil
+}
+
+// Predict implements Regressor.
+func (m *LinearRegression) Predict(x []float64) float64 {
+	z := m.scaler.Transform(x)
+	d := len(m.weights)
+	var s float64
+	for i := 0; i < d-1 && i < len(z); i++ {
+		s += m.weights[i] * z[i]
+	}
+	return s + m.weights[d-1]
+}
+
+// SVR is a linear support-vector regressor with an epsilon-insensitive loss,
+// trained by stochastic sub-gradient descent (Drucker et al. [21]).
+type SVR struct {
+	scaler  *Scaler
+	weights []float64
+	bias    float64
+}
+
+// SVRConfig holds SVR training hyperparameters.
+type SVRConfig struct {
+	// Epsilon is the insensitive-tube half width, in target units.
+	Epsilon float64
+	// C is the slack weight (inverse regularization).
+	C float64
+	// Epochs over the training set.
+	Epochs int
+	// LearningRate is the initial SGD step.
+	LearningRate float64
+}
+
+// DefaultSVRConfig returns sensible defaults for the simulator's scales.
+func DefaultSVRConfig() SVRConfig {
+	return SVRConfig{Epsilon: 0.01, C: 100, Epochs: 250, LearningRate: 0.05}
+}
+
+// FitSVR trains a linear SVR on the data.
+func FitSVR(xs [][]float64, ys []float64, cfg SVRConfig) (*SVR, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil, errors.New("predict: svr needs equal-length non-empty data")
+	}
+	scaler, err := FitScaler(xs)
+	if err != nil {
+		return nil, err
+	}
+	std := scaler.TransformAll(xs)
+	d := len(std[0])
+	w := make([]float64, d)
+	var b float64
+	// Sub-gradient steps decay with the global iteration count, and the
+	// returned model averages the weights over the final quarter of the
+	// run (Polyak averaging) — per-sample +-1 sub-gradients otherwise
+	// oscillate around the optimum without converging.
+	total := cfg.Epochs * len(std)
+	avgFrom := total * 3 / 4
+	avgW := make([]float64, d)
+	var avgB float64
+	var avgN int
+	t := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i, x := range std {
+			lr := cfg.LearningRate / (1 + cfg.LearningRate*float64(t)/float64(len(std)))
+			t++
+			pred := dot(w, x) + b
+			resid := pred - ys[i]
+			// Epsilon-insensitive sub-gradient.
+			var g float64
+			switch {
+			case resid > cfg.Epsilon:
+				g = 1
+			case resid < -cfg.Epsilon:
+				g = -1
+			}
+			for j := range w {
+				w[j] -= lr * (w[j]/cfg.C + g*x[j])
+			}
+			b -= lr * g
+			if t >= avgFrom {
+				for j := range w {
+					avgW[j] += w[j]
+				}
+				avgB += b
+				avgN++
+			}
+		}
+	}
+	if avgN > 0 {
+		for j := range avgW {
+			avgW[j] /= float64(avgN)
+		}
+		avgB /= float64(avgN)
+		w, b = avgW, avgB
+	}
+	return &SVR{scaler: scaler, weights: w, bias: b}, nil
+}
+
+// Predict implements Regressor.
+func (m *SVR) Predict(x []float64) float64 {
+	return dot(m.weights, m.scaler.Transform(x)) + m.bias
+}

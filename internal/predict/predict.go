@@ -1,0 +1,73 @@
+// Package predict implements the prediction-based approaches the paper
+// compares against in Section III-C: linear regression and support-vector
+// regression (which estimate energy and latency per execution target),
+// support-vector-machine and k-nearest-neighbour classifiers (which predict
+// the optimal target directly), and a Bayesian-optimization approach built
+// on a Gaussian-process surrogate with expected improvement. Their shared
+// weakness — the reason Fig 7 shows a gap to Opt — is that they are fitted
+// offline and cannot track stochastic runtime variance.
+package predict
+
+import (
+	"errors"
+)
+
+// Sample is one profiled inference: the observed state features, the action
+// index that was executed, and the measured outcome.
+type Sample struct {
+	// X is the raw state feature vector (see exp for the encoding).
+	X []float64
+	// Action is the executed action index.
+	Action int
+	// EnergyJ and LatencyS are the measured outcome.
+	EnergyJ  float64
+	LatencyS float64
+}
+
+// LabeledState is one training state with its oracle-optimal action, used by
+// the classification approaches.
+type LabeledState struct {
+	X      []float64
+	Action int
+}
+
+// Regressor estimates a scalar from a feature vector.
+type Regressor interface {
+	Predict(x []float64) float64
+}
+
+// Classifier predicts an action index from a state feature vector, given the
+// set of feasible actions.
+type Classifier interface {
+	Classify(x []float64, feasible []bool) int
+}
+
+// appendOneHot encodes (state, action) pairs for the regression approaches:
+// the state features followed by a one-hot action indicator.
+func appendOneHot(x []float64, action, numActions int) []float64 {
+	out := make([]float64, len(x)+numActions)
+	copy(out, x)
+	if action >= 0 && action < numActions {
+		out[len(x)+action] = 1
+	}
+	return out
+}
+
+// EncodeSamples builds the (state ++ one-hot action) design matrix and the
+// chosen target column from profiled samples.
+func EncodeSamples(samples []Sample, numActions int, energy bool) ([][]float64, []float64, error) {
+	if len(samples) == 0 {
+		return nil, nil, errors.New("predict: no samples")
+	}
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = appendOneHot(s.X, s.Action, numActions)
+		if energy {
+			ys[i] = s.EnergyJ
+		} else {
+			ys[i] = s.LatencyS
+		}
+	}
+	return xs, ys, nil
+}

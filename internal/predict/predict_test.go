@@ -1,0 +1,317 @@
+package predict
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaler(t *testing.T) {
+	xs := [][]float64{{1, 10}, {3, 30}, {5, 50}}
+	s, err := FitScaler(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := s.Transform([]float64{3, 30})
+	if math.Abs(z[0]) > 1e-9 || math.Abs(z[1]) > 1e-9 {
+		t.Errorf("mean sample should standardize to zero: %v", z)
+	}
+	all := s.TransformAll(xs)
+	var mean0 float64
+	for _, x := range all {
+		mean0 += x[0]
+	}
+	if math.Abs(mean0) > 1e-9 {
+		t.Error("standardized mean must be zero")
+	}
+	// Constant columns must not divide by zero.
+	s2, err := FitScaler([][]float64{{1, 5}, {1, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z2 := s2.Transform([]float64{1, 5})
+	if math.IsNaN(z2[0]) || math.IsInf(z2[0], 0) {
+		t.Error("constant column produced NaN/Inf")
+	}
+	if _, err := FitScaler(nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := FitScaler([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := [][]float64{{4, 1}, {1, 3}}
+	b := []float64{1, 2}
+	x, err := solveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A x = b.
+	for i := range b {
+		got := a[i][0]*x[0] + a[i][1]*x[1]
+		if math.Abs(got-b[i]) > 1e-9 {
+			t.Errorf("row %d: %v != %v", i, got, b[i])
+		}
+	}
+	if _, err := solveSPD([][]float64{{-1}}, []float64{1}); err == nil {
+		t.Error("non-PD matrix should fail")
+	}
+	if _, err := solveSPD(nil, nil); err == nil {
+		t.Error("empty system should fail")
+	}
+}
+
+func TestLinearRegressionRecoversLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, 3*a-2*b+5)
+	}
+	m, err := FitLinearRegression(xs, ys, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		want := 3*a - 2*b + 5
+		got := m.Predict([]float64{a, b})
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("Predict(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+	if _, err := FitLinearRegression(nil, nil, 0); err == nil {
+		t.Error("empty fit should fail")
+	}
+}
+
+func TestSVRApproximatesLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 400; i++ {
+		a := rng.Float64() * 4
+		xs = append(xs, []float64{a})
+		ys = append(ys, 2*a+1)
+	}
+	cfg := DefaultSVRConfig()
+	cfg.Epsilon = 0.01
+	m, err := FitSVR(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errSum float64
+	for i := 0; i < 50; i++ {
+		a := rng.Float64() * 4
+		errSum += math.Abs(m.Predict([]float64{a}) - (2*a + 1))
+	}
+	if avg := errSum / 50; avg > 0.5 {
+		t.Errorf("SVR mean error %v too large", avg)
+	}
+}
+
+func makeSeparable(rng *rand.Rand, n int) []LabeledState {
+	var out []LabeledState
+	for i := 0; i < n; i++ {
+		c := i % 3
+		base := float64(c) * 10
+		out = append(out, LabeledState{
+			X:      []float64{base + rng.Float64(), -base + rng.Float64()},
+			Action: c,
+		})
+	}
+	return out
+}
+
+func TestSVMSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := makeSeparable(rng, 300)
+	m, err := FitSVM(data, 3, DefaultSVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, d := range data {
+		if m.Classify(d.X, nil) == d.Action {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(data)); acc < 0.95 {
+		t.Errorf("SVM training accuracy %v too low", acc)
+	}
+	// Feasibility masking excludes classes.
+	got := m.Classify(data[0].X, []bool{false, true, true})
+	if got == 0 {
+		t.Error("masked class selected")
+	}
+	if _, err := FitSVM(nil, 3, DefaultSVMConfig()); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := FitSVM(data, 1, DefaultSVMConfig()); err == nil {
+		t.Error("single class should fail")
+	}
+	bad := append([]LabeledState(nil), data...)
+	bad[0].Action = 99
+	if _, err := FitSVM(bad, 3, DefaultSVMConfig()); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := makeSeparable(rng, 150)
+	m, err := FitKNN(data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, d := range data {
+		if m.Classify(d.X, nil) == d.Action {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(data)); acc < 0.95 {
+		t.Errorf("KNN training accuracy %v too low", acc)
+	}
+	// k is clamped to >= 1.
+	if _, err := FitKNN(data, 0); err != nil {
+		t.Error("k=0 should be clamped, not fail")
+	}
+	if _, err := FitKNN(nil, 5); err == nil {
+		t.Error("empty fit should fail")
+	}
+	// Masking: nearest feasible wins.
+	got := m.Classify(data[0].X, []bool{false, true, true})
+	if got == 0 {
+		t.Error("masked class selected")
+	}
+	if got := m.Classify(data[0].X, []bool{false, false, false}); got != -1 {
+		t.Error("fully masked classify must return -1")
+	}
+}
+
+func TestGPInterpolates(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 30; i++ {
+		x := float64(i) / 3
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(x))
+	}
+	cfg := DefaultGPConfig()
+	cfg.LengthScale = 0.5
+	cfg.NoiseVar = 1e-6
+	g, err := FitGP(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-exact at training points.
+	for i := 0; i < 30; i += 5 {
+		got := g.Predict(xs[i])
+		if math.Abs(got-ys[i]) > 0.05 {
+			t.Errorf("GP at training point %v: %v vs %v", xs[i], got, ys[i])
+		}
+	}
+	// Reasonable between points.
+	mid := g.Predict([]float64{1.5})
+	if math.Abs(mid-math.Sin(1.5)) > 0.2 {
+		t.Errorf("GP interpolation at 1.5: %v vs %v", mid, math.Sin(1.5))
+	}
+}
+
+func TestGPSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64() * 5
+		xs = append(xs, []float64{x})
+		ys = append(ys, 2*x)
+	}
+	cfg := DefaultGPConfig()
+	cfg.MaxPoints = 100
+	g, err := FitGP(xs, ys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.xs) != 100 {
+		t.Errorf("subsample kept %d points, want 100", len(g.xs))
+	}
+	if _, err := FitGP(nil, nil, cfg); err == nil {
+		t.Error("empty fit should fail")
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 10; i++ {
+		xs = append(xs, []float64{float64(i)})
+		ys = append(ys, float64(i))
+	}
+	g, err := FitGP(xs, ys, DefaultGPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EI is non-negative everywhere.
+	for i := -5.0; i < 15; i++ {
+		if ei := g.ExpectedImprovement([]float64{i}, 5); ei < 0 {
+			t.Fatalf("EI(%v) = %v < 0", i, ei)
+		}
+	}
+	// EI is larger where the posterior mean is far below the incumbent.
+	low := g.ExpectedImprovement([]float64{0}, 5)
+	high := g.ExpectedImprovement([]float64{9}, 5)
+	if low <= high {
+		t.Errorf("EI at a good point (%v) must exceed a bad point (%v)", low, high)
+	}
+}
+
+func TestEncodeSamples(t *testing.T) {
+	samples := []Sample{
+		{X: []float64{1, 2}, Action: 1, EnergyJ: 0.5, LatencyS: 0.01},
+		{X: []float64{3, 4}, Action: 0, EnergyJ: 0.7, LatencyS: 0.02},
+	}
+	xs, ys, err := EncodeSamples(samples, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs[0]) != 5 {
+		t.Errorf("encoded width = %d, want 5", len(xs[0]))
+	}
+	if xs[0][2+1] != 1 || xs[1][2+0] != 1 {
+		t.Error("one-hot encoding wrong")
+	}
+	if ys[0] != 0.5 {
+		t.Error("energy column wrong")
+	}
+	_, ys, _ = EncodeSamples(samples, 3, false)
+	if ys[0] != 0.01 {
+		t.Error("latency column wrong")
+	}
+	if _, _, err := EncodeSamples(nil, 3, true); err == nil {
+		t.Error("empty samples should fail")
+	}
+}
+
+func TestStdNormFunctions(t *testing.T) {
+	if math.Abs(stdNormCDF(0)-0.5) > 1e-9 {
+		t.Error("CDF(0) != 0.5")
+	}
+	if math.Abs(stdNormPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Error("PDF(0) wrong")
+	}
+	f := func(z float64) bool {
+		z = math.Mod(z, 10)
+		c := stdNormCDF(z)
+		return c >= 0 && c <= 1 && stdNormPDF(z) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package radio simulates the wireless links of the paper's edge–cloud
+// testbed: the wireless LAN used to reach the cloud (Wi-Fi through an access
+// point) and the peer-to-peer link to the locally connected edge device
+// (Wi-Fi Direct). The model follows the paper's cited characterization
+// ([19], [61]): data rate degrades exponentially and transmit power rises as
+// the received signal strength (RSSI) weakens, with -80 dBm as the
+// regular/weak boundary (Table I).
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LinkKind distinguishes the two radio paths.
+type LinkKind int
+
+// Link kinds. WLAN reaches the access point and beyond it the cloud; P2P is
+// the device-to-device Wi-Fi Direct link.
+const (
+	WLAN LinkKind = iota
+	P2P
+)
+
+// String returns the link-kind name.
+func (k LinkKind) String() string {
+	switch k {
+	case WLAN:
+		return "WLAN"
+	case P2P:
+		return "P2P"
+	}
+	return fmt.Sprintf("LinkKind(%d)", int(k))
+}
+
+// RSSI boundaries used throughout the simulator (dBm).
+const (
+	// RegularRSSI is a comfortable strong-signal operating point.
+	RegularRSSI = -55.0
+	// WeakThresholdRSSI is the paper's regular/weak state boundary.
+	WeakThresholdRSSI = -80.0
+	// WeakRSSI is a representative weak-signal operating point.
+	WeakRSSI = -88.0
+	// MinRSSI and MaxRSSI clamp simulated signal strengths.
+	MinRSSI = -95.0
+	MaxRSSI = -40.0
+)
+
+// degradeOnsetRSSI is where rate begins to fall; above it the link runs at
+// its base rate.
+const degradeOnsetRSSI = -70.0
+
+// Link models one radio path.
+type Link struct {
+	Kind LinkKind
+	// BaseRateMBps is the goodput at strong signal, in megabytes/second.
+	BaseRateMBps float64
+	// BaseTXW / BaseRXW are interface powers at strong signal.
+	BaseTXW float64
+	BaseRXW float64
+	// IdleW is the interface idle (connected, not transferring) power.
+	IdleW float64
+	// RTTSeconds is the round-trip latency of the path at strong signal
+	// (for WLAN this includes AP and WAN hops to the server).
+	RTTSeconds float64
+}
+
+// WiFi returns the wireless-LAN link profile (802.11ac-class through an AP,
+// then a metro WAN hop to the cloud server).
+func WiFi() *Link {
+	return &Link{
+		Kind:         WLAN,
+		BaseRateMBps: 7,
+		BaseTXW:      2.20,
+		BaseRXW:      1.60,
+		IdleW:        0.50,
+		RTTSeconds:   0.016,
+	}
+}
+
+// WiFiDirect returns the peer-to-peer link profile between the phone and the
+// locally connected tablet.
+func WiFiDirect() *Link {
+	return &Link{
+		Kind:         P2P,
+		BaseRateMBps: 12,
+		BaseTXW:      1.60,
+		BaseRXW:      1.20,
+		IdleW:        0.35,
+		RTTSeconds:   0.004,
+	}
+}
+
+// RateFactor returns the rate multiplier (0,1] at signal strength rssi:
+// 1 above the degradation onset, then an exponential fall of one halving per
+// 6 dB, which yields roughly a 10x slowdown at -90 dBm — the "exponential
+// increase in transmission latency at weak signal" of the paper.
+func RateFactor(rssi float64) float64 {
+	rssi = clampRSSI(rssi)
+	if rssi >= degradeOnsetRSSI {
+		return 1
+	}
+	return math.Exp2((rssi - degradeOnsetRSSI) / 6)
+}
+
+// RateMBps returns the link goodput at the given signal strength.
+func (l *Link) RateMBps(rssi float64) float64 { return l.BaseRateMBps * RateFactor(rssi) }
+
+// TXPowerW returns the interface transmit power at the given signal
+// strength: the radio raises its output (and retries more) as the signal
+// weakens, up to roughly 2.2x at the floor.
+func (l *Link) TXPowerW(rssi float64) float64 {
+	rssi = clampRSSI(rssi)
+	excess := math.Max(0, degradeOnsetRSSI-rssi)
+	return l.BaseTXW * (1 + 1.2*excess/(degradeOnsetRSSI-MinRSSI))
+}
+
+// RXPowerW returns the interface receive power at the given signal strength;
+// reception pays a milder weak-signal penalty than transmission.
+func (l *Link) RXPowerW(rssi float64) float64 {
+	rssi = clampRSSI(rssi)
+	excess := math.Max(0, degradeOnsetRSSI-rssi)
+	return l.BaseRXW * (1 + 0.5*excess/(degradeOnsetRSSI-MinRSSI))
+}
+
+// TransferSeconds returns the one-way time to move n bytes at the given
+// signal strength, including half the path RTT.
+func (l *Link) TransferSeconds(n float64, rssi float64) float64 {
+	if n <= 0 {
+		return l.RTTSeconds / 2
+	}
+	return n/(l.RateMBps(rssi)*1e6) + l.RTTSeconds/2
+}
+
+// Validate checks the profile invariants.
+func (l *Link) Validate() error {
+	if l.BaseRateMBps <= 0 || l.BaseTXW <= 0 || l.BaseRXW <= 0 || l.IdleW < 0 || l.RTTSeconds < 0 {
+		return fmt.Errorf("radio: invalid %s link profile", l.Kind)
+	}
+	return nil
+}
+
+func clampRSSI(rssi float64) float64 {
+	if rssi < MinRSSI {
+		return MinRSSI
+	}
+	if rssi > MaxRSSI {
+		return MaxRSSI
+	}
+	return rssi
+}
+
+// SignalProcess generates a signal-strength time series. The paper emulates
+// random signal strength with a Gaussian distribution (Section V-B); Fixed
+// processes model the static environments S1/S4/S5.
+type SignalProcess interface {
+	// Next returns the RSSI (dBm) observed at the next inference.
+	Next() float64
+}
+
+// Fixed is a SignalProcess pinned to one RSSI value.
+type Fixed float64
+
+// Next returns the fixed RSSI.
+func (f Fixed) Next() float64 { return clampRSSI(float64(f)) }
+
+// Gaussian is a SignalProcess drawing i.i.d. normal samples, clamped to the
+// physical RSSI range.
+type Gaussian struct {
+	Mean, StdDev float64
+	rng          *rand.Rand
+}
+
+// NewGaussian creates a Gaussian RSSI process with the given parameters and
+// seed.
+func NewGaussian(mean, stddev float64, seed int64) *Gaussian {
+	return &Gaussian{Mean: mean, StdDev: stddev, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws one RSSI sample.
+func (g *Gaussian) Next() float64 {
+	return clampRSSI(g.Mean + g.StdDev*g.rng.NormFloat64())
+}

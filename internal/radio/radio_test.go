@@ -1,0 +1,162 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinksValidate(t *testing.T) {
+	for _, l := range []*Link{WiFi(), WiFiDirect()} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%v: %v", l.Kind, err)
+		}
+	}
+	bad := WiFi()
+	bad.BaseRateMBps = 0
+	if bad.Validate() == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+func TestRateFactorRegions(t *testing.T) {
+	if RateFactor(-55) != 1 {
+		t.Error("strong signal must run at full rate")
+	}
+	if RateFactor(-70) != 1 {
+		t.Error("onset boundary must still be full rate")
+	}
+	// One halving per 6 dB below the onset.
+	if got := RateFactor(-76); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("RateFactor(-76) = %v, want 0.5", got)
+	}
+	if got := RateFactor(-82); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("RateFactor(-82) = %v, want 0.25", got)
+	}
+	// Roughly 10x slowdown at -90 dBm, as the paper's model implies.
+	if got := RateFactor(-90); got > 0.15 || got < 0.05 {
+		t.Errorf("RateFactor(-90) = %v, want ~0.1", got)
+	}
+}
+
+func TestRateFactorMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		fa, fb := RateFactor(a), RateFactor(b)
+		return fa <= fb+1e-12 && fa > 0 && fb <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTXPowerRisesAsSignalWeakens(t *testing.T) {
+	l := WiFi()
+	if got := l.TXPowerW(-55); got != l.BaseTXW {
+		t.Errorf("strong-signal TX power = %v, want base %v", got, l.BaseTXW)
+	}
+	prev := 0.0
+	for rssi := -40.0; rssi >= -95; rssi -= 5 {
+		p := l.TXPowerW(rssi)
+		if p < prev {
+			t.Errorf("TX power decreased at %v dBm", rssi)
+		}
+		prev = p
+	}
+	// Roughly 2.2x at the floor.
+	ratio := l.TXPowerW(MinRSSI) / l.BaseTXW
+	if ratio < 2.0 || ratio > 2.4 {
+		t.Errorf("floor TX ratio = %v, want ~2.2", ratio)
+	}
+	// RX pays a milder penalty than TX.
+	rxRatio := l.RXPowerW(MinRSSI) / l.BaseRXW
+	if rxRatio >= ratio {
+		t.Errorf("RX penalty %v not milder than TX %v", rxRatio, ratio)
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	l := WiFi()
+	// Zero/negative payloads still pay half the RTT.
+	if got := l.TransferSeconds(0, -55); got != l.RTTSeconds/2 {
+		t.Errorf("empty transfer = %v, want RTT/2", got)
+	}
+	strong := l.TransferSeconds(1e6, -55)
+	weak := l.TransferSeconds(1e6, -88)
+	if weak <= strong {
+		t.Error("weak-signal transfer must be slower")
+	}
+	want := 1e6/(l.BaseRateMBps*1e6) + l.RTTSeconds/2
+	if math.Abs(strong-want) > 1e-9 {
+		t.Errorf("strong transfer = %v, want %v", strong, want)
+	}
+	// Monotone in payload size.
+	if l.TransferSeconds(2e6, -55) <= strong {
+		t.Error("transfer time must grow with payload")
+	}
+}
+
+func TestWiFiDirectFasterSetup(t *testing.T) {
+	// The P2P path has lower RTT than the WAN path.
+	if WiFiDirect().RTTSeconds >= WiFi().RTTSeconds {
+		t.Error("Wi-Fi Direct RTT must be below the WAN RTT")
+	}
+}
+
+func TestFixedSignal(t *testing.T) {
+	if Fixed(-60).Next() != -60 {
+		t.Error("fixed signal must return its value")
+	}
+	if Fixed(-200).Next() != MinRSSI {
+		t.Error("fixed signal must clamp to the floor")
+	}
+	if Fixed(0).Next() != MaxRSSI {
+		t.Error("fixed signal must clamp to the ceiling")
+	}
+}
+
+func TestGaussianSignal(t *testing.T) {
+	g := NewGaussian(-70, 8, 3)
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := g.Next()
+		if v < MinRSSI || v > MaxRSSI {
+			t.Fatalf("sample %v out of range", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-(-70)) > 1.5 {
+		t.Errorf("sample mean = %v, want ~-70", mean)
+	}
+	// Determinism per seed.
+	a := NewGaussian(-70, 8, 9)
+	b := NewGaussian(-70, 8, 9)
+	for i := 0; i < 10; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must reproduce the sequence")
+		}
+	}
+}
+
+func TestWeakThresholdConsistency(t *testing.T) {
+	// The Table I weak boundary must lie inside the degradation region.
+	if WeakThresholdRSSI >= degradeOnsetRSSI {
+		t.Error("weak threshold must be below the degradation onset")
+	}
+	if RateFactor(WeakRSSI) >= RateFactor(WeakThresholdRSSI) {
+		t.Error("representative weak point must be slower than the boundary")
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	if WLAN.String() != "WLAN" || P2P.String() != "P2P" {
+		t.Error("link kind names wrong")
+	}
+	if LinkKind(7).String() == "" {
+		t.Error("out-of-range stringer must not be empty")
+	}
+}

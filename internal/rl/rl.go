@@ -1,0 +1,382 @@
+// Package rl implements the tabular Q-learning algorithm AutoScale is built
+// on (Algorithm 1 of the paper): a lazily materialized Q-table over discrete
+// states, epsilon-greedy action selection, the standard one-step Q update,
+// snapshot/restore for persistence, and table transfer for the paper's
+// learning-transfer experiments (Section VI-C).
+package rl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// State is a discrete state key. The core package composes it from the
+// Table I feature bins.
+type State string
+
+// Config holds the Q-learning hyperparameters.
+type Config struct {
+	// LearningRate is gamma in the paper's update rule (how much new
+	// information overrides old). The paper selects 0.9.
+	LearningRate float64
+	// Discount is mu, the weight of future reward. The paper selects 0.1:
+	// consecutive inference states are weakly related under stochastic
+	// variance.
+	Discount float64
+	// Epsilon is the exploration probability of the epsilon-greedy
+	// policy. The paper uses 0.1.
+	Epsilon float64
+	// InitLo/InitHi bound the random initialization of Q rows
+	// ("Initialize Q(S,A) as random values").
+	InitLo, InitHi float64
+	// Seed drives exploration and initialization.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's hyperparameters (Section V-C).
+func DefaultConfig() Config {
+	return Config{
+		LearningRate: 0.9,
+		Discount:     0.1,
+		Epsilon:      0.1,
+		InitLo:       -1,
+		InitHi:       1,
+		Seed:         1,
+	}
+}
+
+// Validate checks hyperparameter ranges.
+func (c Config) Validate() error {
+	switch {
+	case c.LearningRate <= 0 || c.LearningRate > 1:
+		return errors.New("rl: learning rate must be in (0,1]")
+	case c.Discount < 0 || c.Discount >= 1:
+		return errors.New("rl: discount must be in [0,1)")
+	case c.Epsilon < 0 || c.Epsilon > 1:
+		return errors.New("rl: epsilon must be in [0,1]")
+	case c.InitLo > c.InitHi:
+		return errors.New("rl: InitLo above InitHi")
+	}
+	return nil
+}
+
+// Agent is a tabular Q-learning agent. It is safe for concurrent use.
+type Agent struct {
+	mu      sync.Mutex
+	cfg     Config
+	actions int
+	q       map[State][]float64
+	visits  map[State]int
+	rng     *rand.Rand
+	frozen  bool
+}
+
+// NewAgent creates an agent over a fixed-size action space.
+func NewAgent(cfg Config, numActions int) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numActions < 1 {
+		return nil, errors.New("rl: need at least one action")
+	}
+	return &Agent{
+		cfg:     cfg,
+		actions: numActions,
+		q:       make(map[State][]float64),
+		visits:  make(map[State]int),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// NumActions returns the size of the action space.
+func (a *Agent) NumActions() int { return a.actions }
+
+// Config returns the agent's hyperparameters.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Freeze disables exploration and learning: SelectAction becomes purely
+// greedy and Update becomes a no-op. This is the paper's post-convergence
+// exploitation mode.
+func (a *Agent) Freeze() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.frozen = true
+}
+
+// SetEpsilon changes the exploration probability at runtime. AutoScale uses
+// this to switch a converged agent to greedy selection ("after the learning
+// is complete, the Q-table is used to select A which maximizes Q(S,A)",
+// Section IV-B) while leaving online learning active so the agent keeps
+// adapting to never-seen states.
+func (a *Agent) SetEpsilon(eps float64) error {
+	if eps < 0 || eps > 1 {
+		return errors.New("rl: epsilon must be in [0,1]")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cfg.Epsilon = eps
+	return nil
+}
+
+// Frozen reports whether the agent is in exploitation-only mode.
+func (a *Agent) Frozen() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.frozen
+}
+
+// row returns the Q row for s, materializing it with random values on first
+// touch. Caller must hold the lock.
+func (a *Agent) row(s State) []float64 {
+	r, ok := a.q[s]
+	if !ok {
+		r = make([]float64, a.actions)
+		span := a.cfg.InitHi - a.cfg.InitLo
+		for i := range r {
+			r[i] = a.cfg.InitLo + span*a.rng.Float64()
+		}
+		a.q[s] = r
+	}
+	return r
+}
+
+// SelectAction chooses an action for state s with the epsilon-greedy policy
+// over the actions enabled in mask. A nil mask enables every action. It
+// returns an error if the mask disables everything.
+func (a *Agent) SelectAction(s State, mask []bool) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	enabled := enabledActions(mask, a.actions)
+	if len(enabled) == 0 {
+		return 0, errors.New("rl: no enabled action")
+	}
+	a.visits[s]++
+	if !a.frozen && a.rng.Float64() < a.cfg.Epsilon {
+		return enabled[a.rng.Intn(len(enabled))], nil
+	}
+	return a.argmaxLocked(s, enabled), nil
+}
+
+// BestAction returns the greedy action for s over the enabled actions.
+func (a *Agent) BestAction(s State, mask []bool) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	enabled := enabledActions(mask, a.actions)
+	if len(enabled) == 0 {
+		return 0, errors.New("rl: no enabled action")
+	}
+	return a.argmaxLocked(s, enabled), nil
+}
+
+func (a *Agent) argmaxLocked(s State, enabled []int) int {
+	r := a.row(s)
+	best := enabled[0]
+	for _, i := range enabled[1:] {
+		if r[i] > r[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func enabledActions(mask []bool, n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if mask == nil || (i < len(mask) && mask[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Update applies the one-step Q-learning rule of Algorithm 1:
+//
+//	Q(S,A) <- Q(S,A) + gamma [ R + mu max_A' Q(S',A') - Q(S,A) ]
+//
+// nextMask restricts which next-state actions are considered (feasibility of
+// the next request's model). Frozen agents ignore updates.
+func (a *Agent) Update(s State, action int, reward float64, next State, nextMask []bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.frozen {
+		return nil
+	}
+	if action < 0 || action >= a.actions {
+		return fmt.Errorf("rl: action %d out of range", action)
+	}
+	enabled := enabledActions(nextMask, a.actions)
+	var nextBest float64
+	if len(enabled) > 0 {
+		nr := a.row(next)
+		nextBest = nr[enabled[0]]
+		for _, i := range enabled[1:] {
+			if nr[i] > nextBest {
+				nextBest = nr[i]
+			}
+		}
+	}
+	r := a.row(s)
+	r[action] += a.cfg.LearningRate * (reward + a.cfg.Discount*nextBest - r[action])
+	return nil
+}
+
+// HasState reports whether state s has a materialized Q row.
+func (a *Agent) HasState(s State) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.q[s]
+	return ok
+}
+
+// CopyRow initializes dst's Q row as a copy of src's current row. It is the
+// generalization hook AutoScale uses to seed a never-visited state from its
+// nearest trained neighbour (the "energy trend knowledge" the paper says a
+// trained model carries implicitly). Copying from a missing src materializes
+// it first (random init).
+func (a *Agent) CopyRow(dst, src State) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	srcRow := a.row(src)
+	a.q[dst] = append([]float64(nil), srcRow...)
+}
+
+// Q returns the current Q value of (s, action); untouched states return
+// their lazily initialized values.
+func (a *Agent) Q(s State, action int) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if action < 0 || action >= a.actions {
+		return 0
+	}
+	return a.row(s)[action]
+}
+
+// States returns the visited/materialized states in sorted order.
+func (a *Agent) States() []State {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]State, 0, len(a.q))
+	for s := range a.q {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Visits returns how many times s was selected against.
+func (a *Agent) Visits(s State) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.visits[s]
+}
+
+// MemoryBytes estimates the Q-table's resident footprint: one float64 per
+// (materialized state, action) pair plus key overhead. The paper reports
+// 0.4 MB for its full table.
+func (a *Agent) MemoryBytes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0
+	for s := range a.q {
+		total += len(s) + 8*a.actions
+	}
+	return total
+}
+
+// snapshot is the serialized agent state.
+type snapshot struct {
+	Config  Config              `json:"config"`
+	Actions int                 `json:"actions"`
+	Q       map[State][]float64 `json:"q"`
+	Visits  map[State]int       `json:"visits"`
+}
+
+// Snapshot serializes the agent (Q-table, visit counts, config) to JSON.
+func (a *Agent) Snapshot() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return json.Marshal(snapshot{Config: a.cfg, Actions: a.actions, Q: a.q, Visits: a.visits})
+}
+
+// Restore creates an agent from a Snapshot payload.
+func Restore(data []byte) (*Agent, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("rl: restore: %w", err)
+	}
+	ag, err := NewAgent(snap.Config, snap.Actions)
+	if err != nil {
+		return nil, err
+	}
+	for s, row := range snap.Q {
+		if len(row) != snap.Actions {
+			return nil, fmt.Errorf("rl: restore: state %q has %d actions, want %d", s, len(row), snap.Actions)
+		}
+		ag.q[s] = row
+	}
+	if snap.Visits != nil {
+		ag.visits = snap.Visits
+	}
+	return ag, nil
+}
+
+// TransferFrom warm-starts this agent's Q-table from a donor trained on
+// another device (the paper's learning transfer): every donor row is copied
+// in, overwriting local initialization, while this agent keeps its own
+// hyperparameters and exploration state. The action spaces must match; use
+// ImportMapped when they do not.
+func (a *Agent) TransferFrom(donor *Agent) error {
+	if donor == nil {
+		return errors.New("rl: nil donor")
+	}
+	if donor.actions != a.actions {
+		return fmt.Errorf("rl: transfer: action spaces differ (%d vs %d)", donor.actions, a.actions)
+	}
+	identity := make([]int, a.actions)
+	for i := range identity {
+		identity[i] = i
+	}
+	return a.ImportMapped(donor, identity)
+}
+
+// ImportMapped warm-starts this agent from a donor whose action space
+// differs: srcForDst[i] names the donor action whose Q value seeds this
+// agent's action i (-1 keeps the local initialization). This is how
+// AutoScale transfers a model between devices with different DVFS ladders
+// and co-processor sets (Section VI-C).
+func (a *Agent) ImportMapped(donor *Agent, srcForDst []int) error {
+	if donor == nil {
+		return errors.New("rl: nil donor")
+	}
+	if len(srcForDst) != a.actions {
+		return fmt.Errorf("rl: mapping has %d entries, want %d", len(srcForDst), a.actions)
+	}
+	donor.mu.Lock()
+	donorQ := make(map[State][]float64, len(donor.q))
+	for s, row := range donor.q {
+		donorQ[s] = append([]float64(nil), row...)
+	}
+	donorActions := donor.actions
+	donor.mu.Unlock()
+	for _, src := range srcForDst {
+		if src >= donorActions {
+			return fmt.Errorf("rl: mapping refers to donor action %d of %d", src, donorActions)
+		}
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for s, donorRow := range donorQ {
+		row := a.row(s)
+		for i, src := range srcForDst {
+			if src >= 0 {
+				row[i] = donorRow[src]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,441 @@
+package rl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestAgent(t *testing.T, actions int) *Agent {
+	t.Helper()
+	cfg := DefaultConfig()
+	ag, err := NewAgent(cfg, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LearningRate: 0, Discount: 0.1, Epsilon: 0.1},
+		{LearningRate: 1.5, Discount: 0.1, Epsilon: 0.1},
+		{LearningRate: 0.9, Discount: 1, Epsilon: 0.1},
+		{LearningRate: 0.9, Discount: -0.1, Epsilon: 0.1},
+		{LearningRate: 0.9, Discount: 0.1, Epsilon: 2},
+		{LearningRate: 0.9, Discount: 0.1, Epsilon: 0.1, InitLo: 1, InitHi: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewAgent(DefaultConfig(), 0); err == nil {
+		t.Error("zero actions should fail")
+	}
+}
+
+func TestDefaultHyperparameters(t *testing.T) {
+	cfg := DefaultConfig()
+	// Section V-C: gamma = 0.9, mu = 0.1, epsilon = 0.1.
+	if cfg.LearningRate != 0.9 || cfg.Discount != 0.1 || cfg.Epsilon != 0.1 {
+		t.Errorf("defaults drifted from the paper: %+v", cfg)
+	}
+}
+
+func TestUpdateRule(t *testing.T) {
+	cfg := Config{LearningRate: 0.5, Discount: 0.2, Epsilon: 0, InitLo: 0, InitHi: 0, Seed: 1}
+	ag, err := NewAgent(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All Q start at 0. Update (s,0) with reward 10, next state t.
+	if err := ag.Update("s", 0, 10, "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Q(s,0) = 0 + 0.5*(10 + 0.2*0 - 0) = 5.
+	if got := ag.Q("s", 0); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Q = %v, want 5", got)
+	}
+	// Seed next-state value and update again.
+	if err := ag.Update("t", 1, 20, "u", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Q(t,1) = 10. Now Q(s,0) += 0.5*(10 + 0.2*10 - 5) = 5 + 3.5 = 8.5.
+	if err := ag.Update("s", 0, 10, "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := ag.Q("s", 0); math.Abs(got-8.5) > 1e-12 {
+		t.Errorf("Q = %v, want 8.5", got)
+	}
+}
+
+func TestUpdateRespectsNextMask(t *testing.T) {
+	cfg := Config{LearningRate: 1, Discount: 0.5, Epsilon: 0, InitLo: 0, InitHi: 0, Seed: 1}
+	ag, err := NewAgent(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag.Update("n", 0, 100, "end", nil) // Q(n,0)=100
+	// With action 0 masked in the next state, the bootstrap must use the
+	// remaining action (Q=0), not the 100.
+	ag.Update("s", 1, 0, "n", []bool{false, true})
+	if got := ag.Q("s", 1); got != 0 {
+		t.Errorf("masked bootstrap Q = %v, want 0", got)
+	}
+	ag.Update("s2", 1, 0, "n", nil)
+	if got := ag.Q("s2", 1); got != 50 {
+		t.Errorf("unmasked bootstrap Q = %v, want 50", got)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	ag := newTestAgent(t, 3)
+	if err := ag.Update("s", 5, 0, "t", nil); err == nil {
+		t.Error("out-of-range action should fail")
+	}
+}
+
+func TestGreedySelection(t *testing.T) {
+	cfg := Config{LearningRate: 0.9, Discount: 0.1, Epsilon: 0, InitLo: 0, InitHi: 0, Seed: 1}
+	ag, _ := NewAgent(cfg, 3)
+	ag.Update("s", 2, 100, "s", nil)
+	for i := 0; i < 20; i++ {
+		a, err := ag.SelectAction("s", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != 2 {
+			t.Fatalf("greedy agent chose %d, want 2", a)
+		}
+	}
+	if b, _ := ag.BestAction("s", nil); b != 2 {
+		t.Error("BestAction disagrees")
+	}
+}
+
+func TestMaskedSelection(t *testing.T) {
+	cfg := Config{LearningRate: 0.9, Discount: 0.1, Epsilon: 0, InitLo: 0, InitHi: 0, Seed: 1}
+	ag, _ := NewAgent(cfg, 3)
+	ag.Update("s", 2, 100, "s", nil)
+	a, err := ag.SelectAction("s", []bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == 2 {
+		t.Error("masked action selected")
+	}
+	if _, err := ag.SelectAction("s", []bool{false, false, false}); err == nil {
+		t.Error("fully masked selection should fail")
+	}
+}
+
+func TestEpsilonExplores(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon = 1 // always explore
+	cfg.InitLo, cfg.InitHi = 0, 0
+	ag, _ := NewAgent(cfg, 4)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		a, err := ag.SelectAction("s", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("pure exploration visited %d of 4 actions", len(seen))
+	}
+}
+
+func TestSetEpsilon(t *testing.T) {
+	ag := newTestAgent(t, 2)
+	if err := ag.SetEpsilon(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.SetEpsilon(1.5); err == nil {
+		t.Error("epsilon > 1 should fail")
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	cfg := Config{LearningRate: 0.9, Discount: 0.1, Epsilon: 1, InitLo: 0, InitHi: 0, Seed: 1}
+	ag, _ := NewAgent(cfg, 2)
+	ag.Update("s", 1, 50, "s", nil)
+	ag.Freeze()
+	if !ag.Frozen() {
+		t.Error("agent should report frozen")
+	}
+	// Frozen agents act greedily despite epsilon=1 and ignore updates.
+	for i := 0; i < 20; i++ {
+		if a, _ := ag.SelectAction("s", nil); a != 1 {
+			t.Fatal("frozen agent must be greedy")
+		}
+	}
+	before := ag.Q("s", 1)
+	ag.Update("s", 1, -1000, "s", nil)
+	if ag.Q("s", 1) != before {
+		t.Error("frozen agent must not learn")
+	}
+}
+
+func TestRandomInitRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitLo, cfg.InitHi = -2, 3
+	ag, _ := NewAgent(cfg, 50)
+	for i := 0; i < 50; i++ {
+		q := ag.Q("fresh", i)
+		if q < -2 || q > 3 {
+			t.Fatalf("init Q %v outside [-2,3]", q)
+		}
+	}
+}
+
+func TestStatesAndVisits(t *testing.T) {
+	ag := newTestAgent(t, 2)
+	if len(ag.States()) != 0 {
+		t.Error("fresh agent must have no states")
+	}
+	ag.SelectAction("b", nil)
+	ag.SelectAction("a", nil)
+	ag.SelectAction("a", nil)
+	states := ag.States()
+	if len(states) != 2 || states[0] != "a" || states[1] != "b" {
+		t.Errorf("States = %v", states)
+	}
+	if ag.Visits("a") != 2 || ag.Visits("b") != 1 || ag.Visits("c") != 0 {
+		t.Error("visit counts wrong")
+	}
+}
+
+func TestHasStateCopyRow(t *testing.T) {
+	ag := newTestAgent(t, 3)
+	if ag.HasState("x") {
+		t.Error("fresh state must not exist")
+	}
+	ag.Update("x", 0, 42, "x", nil)
+	if !ag.HasState("x") {
+		t.Error("updated state must exist")
+	}
+	ag.CopyRow("y", "x")
+	for i := 0; i < 3; i++ {
+		if ag.Q("y", i) != ag.Q("x", i) {
+			t.Fatal("copied row differs")
+		}
+	}
+	// Copies are independent.
+	ag.Update("y", 1, 7, "y", nil)
+	if ag.Q("x", 1) == ag.Q("y", 1) {
+		t.Error("rows aliased after copy")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	ag := newTestAgent(t, 4)
+	ag.Update("s1", 0, 5, "s2", nil)
+	ag.Update("s2", 3, -2, "s1", nil)
+	ag.SelectAction("s1", nil)
+	data, err := ag.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumActions() != 4 {
+		t.Error("restored action count wrong")
+	}
+	for _, s := range ag.States() {
+		for i := 0; i < 4; i++ {
+			if got.Q(s, i) != ag.Q(s, i) {
+				t.Fatalf("restored Q(%s,%d) differs", s, i)
+			}
+		}
+	}
+	if got.Visits("s1") != ag.Visits("s1") {
+		t.Error("restored visits differ")
+	}
+	if _, err := Restore([]byte("not json")); err == nil {
+		t.Error("garbage restore should fail")
+	}
+}
+
+func TestTransferFrom(t *testing.T) {
+	donor := newTestAgent(t, 3)
+	donor.Update("s", 1, 99, "s", nil)
+	dst := newTestAgent(t, 3)
+	if err := dst.TransferFrom(donor); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Q("s", 1) != donor.Q("s", 1) {
+		t.Error("transfer did not copy Q values")
+	}
+	other := newTestAgent(t, 5)
+	if err := other.TransferFrom(donor); err == nil {
+		t.Error("mismatched action spaces should fail")
+	}
+	if err := dst.TransferFrom(nil); err == nil {
+		t.Error("nil donor should fail")
+	}
+}
+
+func TestImportMapped(t *testing.T) {
+	donor := newTestAgent(t, 3)
+	donor.Update("s", 0, 10, "s", nil)
+	donor.Update("s", 2, 30, "s", nil)
+	cfg := DefaultConfig()
+	cfg.InitLo, cfg.InitHi = 0, 0
+	dst, _ := NewAgent(cfg, 2)
+	// dst action 0 <- donor action 2; dst action 1 keeps local init.
+	if err := dst.ImportMapped(donor, []int{2, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Q("s", 0) != donor.Q("s", 2) {
+		t.Error("mapped import wrong")
+	}
+	if dst.Q("s", 1) != 0 {
+		t.Error("unmapped action must keep local init")
+	}
+	if err := dst.ImportMapped(donor, []int{0}); err == nil {
+		t.Error("wrong mapping length should fail")
+	}
+	if err := dst.ImportMapped(donor, []int{0, 7}); err == nil {
+		t.Error("out-of-range donor index should fail")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	ag := newTestAgent(t, 66)
+	if ag.MemoryBytes() != 0 {
+		t.Error("fresh table must be empty")
+	}
+	ag.Update("0|1|0|2|1|0|1|1", 0, 1, "0|1|0|2|1|0|1|1", nil)
+	got := ag.MemoryBytes()
+	want := len("0|1|0|2|1|0|1|1") + 8*66
+	if got != want {
+		t.Errorf("MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestFullTableFootprintNearPaper(t *testing.T) {
+	// The paper reports a 0.4 MB Q-table (3,072 states x ~66 actions).
+	ag := newTestAgent(t, 66)
+	count := 0
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 2; c++ {
+				for d := 0; d < 3; d++ {
+					for e := 0; e < 4; e++ {
+						for f := 0; f < 4; f++ {
+							for g := 0; g < 2; g++ {
+								for h := 0; h < 2; h++ {
+									s := State(string(rune('0'+a)) + "|" + string(rune('0'+b)) + "|" +
+										string(rune('0'+c)) + "|" + string(rune('0'+d)) + "|" +
+										string(rune('0'+e)) + "|" + string(rune('0'+f)) + "|" +
+										string(rune('0'+g)) + "|" + string(rune('0'+h)))
+									ag.CopyRow(s, s)
+									count++
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if count != 3072 {
+		t.Fatalf("state enumeration = %d, want 3072", count)
+	}
+	mb := float64(ag.MemoryBytes()) / 1e6
+	if mb < 0.3 || mb > 3 {
+		t.Errorf("full-table footprint = %.2f MB, want within a few x of the paper's 0.4 MB", mb)
+	}
+}
+
+func TestQOutOfRangeAction(t *testing.T) {
+	ag := newTestAgent(t, 2)
+	if ag.Q("s", -1) != 0 || ag.Q("s", 5) != 0 {
+		t.Error("out-of-range Q must be 0")
+	}
+}
+
+func TestUpdateContractionProperty(t *testing.T) {
+	// One Q update moves the value a (1-gamma) fraction of the way toward
+	// the TD target.
+	f := func(rawQ, rawR int16) bool {
+		cfg := Config{LearningRate: 0.9, Discount: 0, Epsilon: 0, InitLo: 0, InitHi: 0, Seed: 1}
+		ag, err := NewAgent(cfg, 1)
+		if err != nil {
+			return false
+		}
+		r := float64(rawR)
+		// Seed Q by one update from zero: Q = 0.9 * q0.
+		q0 := float64(rawQ)
+		ag.Update("s", 0, q0, "t", nil)
+		before := ag.Q("s", 0)
+		ag.Update("s", 0, r, "t", nil)
+		after := ag.Q("s", 0)
+		want := before + 0.9*(r-before)
+		return math.Abs(after-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSarsaUpdate(t *testing.T) {
+	cfg := Config{LearningRate: 0.5, Discount: 0.5, Epsilon: 0, InitLo: 0, InitHi: 0, Seed: 1}
+	ag, err := NewSarsaAgent(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed Q(next, 1) = 10 via one plain update.
+	ag.Agent.Update("next", 1, 20, "end", nil)
+	if got := ag.Q("next", 1); got != 10 {
+		t.Fatalf("setup Q = %v", got)
+	}
+	// SARSA bootstraps from the taken action (1), not the max.
+	ag.Agent.Update("next", 2, 100, "end", nil) // Q(next,2)=50, the max
+	if err := ag.UpdateSarsa("s", 0, 4, "next", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Q(s,0) = 0 + 0.5*(4 + 0.5*10 - 0) = 4.5 (not 0.5*(4+25)).
+	if got := ag.Q("s", 0); got != 4.5 {
+		t.Errorf("SARSA Q = %v, want 4.5", got)
+	}
+	if err := ag.UpdateSarsa("s", 9, 0, "next", 0); err == nil {
+		t.Error("out-of-range action should fail")
+	}
+	if err := ag.UpdateSarsa("s", 0, 0, "next", 9); err == nil {
+		t.Error("out-of-range next action should fail")
+	}
+	// Frozen SARSA agents ignore updates.
+	ag.Freeze()
+	before := ag.Q("s", 0)
+	ag.UpdateSarsa("s", 0, 1000, "next", 1)
+	if ag.Q("s", 0) != before {
+		t.Error("frozen SARSA agent must not learn")
+	}
+}
+
+func TestSarsaSharesAgentMachinery(t *testing.T) {
+	ag, err := NewSarsaAgent(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selection, snapshot and transfer all come from the embedded Agent.
+	if _, err := ag.SelectAction("s", nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ag.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(data); err != nil {
+		t.Fatal(err)
+	}
+}

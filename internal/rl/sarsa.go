@@ -1,0 +1,62 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SarsaAgent is an on-policy TD(0) alternative to the Q-learning Agent. The
+// paper weighs Q-learning against TD-learning and deep RL (Section IV,
+// [14],[70],[79]) and picks Q-learning for its lookup-table latency; SARSA
+// shares the table representation (and thus the overhead) but bootstraps
+// from the action the policy *actually* takes next instead of the greedy
+// maximum:
+//
+//	Q(S,A) <- Q(S,A) + gamma [ R + mu Q(S',A') - Q(S,A) ]
+//
+// It exists so the design choice can be evaluated empirically (see the
+// ablation benches); it reuses the Agent's table, exploration, persistence
+// and transfer machinery via embedding.
+type SarsaAgent struct {
+	*Agent
+}
+
+// NewSarsaAgent creates an on-policy agent over a fixed-size action space.
+func NewSarsaAgent(cfg Config, numActions int) (*SarsaAgent, error) {
+	ag, err := NewAgent(cfg, numActions)
+	if err != nil {
+		return nil, err
+	}
+	return &SarsaAgent{Agent: ag}, nil
+}
+
+// UpdateSarsa applies the SARSA rule using nextAction — the action the
+// policy selected in the next state. Frozen agents ignore updates.
+func (a *SarsaAgent) UpdateSarsa(s State, action int, reward float64, next State, nextAction int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.frozen {
+		return nil
+	}
+	if action < 0 || action >= a.actions {
+		return fmt.Errorf("rl: action %d out of range", action)
+	}
+	if nextAction < 0 || nextAction >= a.actions {
+		return fmt.Errorf("rl: next action %d out of range", nextAction)
+	}
+	nextQ := a.row(next)[nextAction]
+	r := a.row(s)
+	r[action] += a.cfg.LearningRate * (reward + a.cfg.Discount*nextQ - r[action])
+	return nil
+}
+
+// Update implements the off-policy signature by bootstrapping from the
+// greedy next action restricted to nextMask — allowing a SarsaAgent to stand
+// in anywhere an Agent is used. For the true on-policy rule use UpdateSarsa.
+func (a *SarsaAgent) Update(s State, action int, reward float64, next State, nextMask []bool) error {
+	return a.Agent.Update(s, action, reward, next, nextMask)
+}
+
+// ErrNotSarsa is returned when a SARSA-only operation is invoked on a plain
+// Q-learning agent.
+var ErrNotSarsa = errors.New("rl: agent is not a SARSA agent")

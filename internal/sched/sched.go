@@ -1,0 +1,234 @@
+// Package sched implements the paper's comparison policies: the four fixed
+// baselines of Section V-A (Edge CPU FP32, Edge Best, Cloud, Connected
+// Edge), the Opt oracle, and the two prior works of Fig 9 — MOSAIC-style
+// on-device layer slicing and NeuroSurgeon-style edge–cloud partitioning,
+// both of which plan offline with no knowledge of stochastic runtime
+// variance (their documented weakness).
+package sched
+
+import (
+	"fmt"
+
+	"autoscale/internal/dnn"
+	"autoscale/internal/sim"
+	"autoscale/internal/soc"
+)
+
+// Policy decides and executes one inference request, returning the measured
+// outcome. Implementations may keep per-model plans but must not learn from
+// runtime variance (only AutoScale does).
+type Policy interface {
+	// Name is the label used in figures.
+	Name() string
+	// Run executes one inference of m under conditions c.
+	Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error)
+}
+
+// noVariance is the conditions offline planners assume.
+func noVariance() sim.Conditions {
+	return sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55}
+}
+
+// EdgeCPU always runs on the local CPU at FP32, top frequency — the paper's
+// primary baseline.
+type EdgeCPU struct{ World *sim.World }
+
+// Name implements Policy.
+func (EdgeCPU) Name() string { return "Edge (CPU FP32)" }
+
+// Run implements Policy.
+func (p EdgeCPU) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	cpu := p.World.Device.Processor(soc.CPU)
+	if cpu == nil {
+		return sim.Measurement{}, fmt.Errorf("sched: device has no CPU")
+	}
+	t := sim.Target{Location: sim.Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+	return p.World.Execute(m, t, c)
+}
+
+// EdgeBest runs each model on the most energy-efficient on-device target,
+// chosen offline per model under no-variance conditions subject to the QoS
+// and accuracy constraints (the paper's Edge (Best) baseline).
+type EdgeBest struct {
+	World     *sim.World
+	QoSTarget float64 // seconds; 0 derives from the model's task
+	Accuracy  float64 // percent; 0 disables
+	Intensity sim.Intensity
+
+	plans map[string]sim.Target
+}
+
+// Name implements Policy.
+func (*EdgeBest) Name() string { return "Edge (Best)" }
+
+// Run implements Policy.
+func (p *EdgeBest) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	t, err := p.plan(m)
+	if err != nil {
+		return sim.Measurement{}, err
+	}
+	return p.World.Execute(m, t, c)
+}
+
+func (p *EdgeBest) qos(m *dnn.Model) float64 {
+	if p.QoSTarget > 0 {
+		return p.QoSTarget
+	}
+	return sim.QoSFor(m.Task == dnn.Translation, p.Intensity)
+}
+
+func (p *EdgeBest) plan(m *dnn.Model) (sim.Target, error) {
+	if p.plans == nil {
+		p.plans = make(map[string]sim.Target)
+	}
+	if t, ok := p.plans[m.Name]; ok {
+		return t, nil
+	}
+	qos := p.qos(m)
+	cond := noVariance()
+	var best sim.Target
+	bestE := -1.0
+	var fastest sim.Target
+	fastestLat := -1.0
+	for _, t := range p.World.Targets(m) {
+		if t.Location != sim.Local {
+			continue
+		}
+		meas, err := p.World.Expected(m, t, cond)
+		if err != nil {
+			return sim.Target{}, err
+		}
+		if p.Accuracy > 0 && meas.Accuracy < p.Accuracy {
+			continue
+		}
+		if fastestLat < 0 || meas.LatencyS < fastestLat {
+			fastest, fastestLat = t, meas.LatencyS
+		}
+		if meas.LatencyS > qos {
+			continue
+		}
+		if bestE < 0 || meas.EnergyJ < bestE {
+			best, bestE = t, meas.EnergyJ
+		}
+	}
+	if bestE < 0 {
+		if fastestLat < 0 {
+			return sim.Target{}, fmt.Errorf("sched: no local target for %s", m.Name)
+		}
+		best = fastest // nothing meets QoS: run the fastest local option
+	}
+	p.plans[m.Name] = best
+	return best, nil
+}
+
+// CloudAll always offloads to the cloud, using the server GPU when it can
+// run the model (the paper's Cloud baseline).
+type CloudAll struct{ World *sim.World }
+
+// Name implements Policy.
+func (CloudAll) Name() string { return "Cloud" }
+
+// Run implements Policy.
+func (p CloudAll) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	t := sim.Target{Location: sim.Cloud, Kind: soc.GPU, Prec: dnn.FP32}
+	if !p.World.Feasible(m, t) {
+		t = sim.Target{Location: sim.Cloud, Kind: soc.CPU, Prec: dnn.FP32}
+	}
+	return p.World.Execute(m, t, c)
+}
+
+// ConnectedEdge always offloads to the locally connected device, on its most
+// energy-efficient engine chosen offline per model (the paper's Connected
+// Edge baseline).
+type ConnectedEdge struct {
+	World     *sim.World
+	QoSTarget float64
+	Accuracy  float64
+	Intensity sim.Intensity
+
+	plans map[string]sim.Target
+}
+
+// Name implements Policy.
+func (*ConnectedEdge) Name() string { return "Connected Edge" }
+
+// Run implements Policy.
+func (p *ConnectedEdge) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	if p.plans == nil {
+		p.plans = make(map[string]sim.Target)
+	}
+	t, ok := p.plans[m.Name]
+	if !ok {
+		qos := p.QoSTarget
+		if qos == 0 {
+			qos = sim.QoSFor(m.Task == dnn.Translation, p.Intensity)
+		}
+		cond := noVariance()
+		bestE := -1.0
+		var fallback sim.Target
+		fbLat := -1.0
+		found := false
+		for _, cand := range p.World.Targets(m) {
+			if cand.Location != sim.Connected {
+				continue
+			}
+			meas, err := p.World.Expected(m, cand, cond)
+			if err != nil {
+				return sim.Measurement{}, err
+			}
+			if p.Accuracy > 0 && meas.Accuracy < p.Accuracy {
+				continue
+			}
+			if fbLat < 0 || meas.LatencyS < fbLat {
+				fallback, fbLat = cand, meas.LatencyS
+			}
+			if meas.LatencyS > qos {
+				continue
+			}
+			if bestE < 0 || meas.EnergyJ < bestE {
+				t, bestE = cand, meas.EnergyJ
+				found = true
+			}
+		}
+		if !found {
+			if fbLat < 0 {
+				return sim.Measurement{}, fmt.Errorf("sched: no connected target for %s", m.Name)
+			}
+			t = fallback
+		}
+		p.plans[m.Name] = t
+	}
+	return p.World.Execute(m, t, c)
+}
+
+// Opt is the oracular design: for every request it exhaustively evaluates
+// the whole action space under the *actual* current conditions and runs the
+// most energy-efficient target satisfying the QoS and accuracy constraints
+// (Section V-A footnote 8).
+type Opt struct {
+	World     *sim.World
+	QoSTarget float64
+	Accuracy  float64
+	Intensity sim.Intensity
+}
+
+// Name implements Policy.
+func (Opt) Name() string { return "Opt" }
+
+// Run implements Policy.
+func (p Opt) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	t, _, err := p.Choose(m, c)
+	if err != nil {
+		return sim.Measurement{}, err
+	}
+	return p.World.Execute(m, t, c)
+}
+
+// Choose returns the oracle's target and its expected measurement.
+func (p Opt) Choose(m *dnn.Model, c sim.Conditions) (sim.Target, sim.Measurement, error) {
+	qos := p.QoSTarget
+	if qos == 0 {
+		qos = sim.QoSFor(m.Task == dnn.Translation, p.Intensity)
+	}
+	return p.World.BestTarget(m, c, qos, p.Accuracy)
+}

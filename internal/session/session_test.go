@@ -1,0 +1,167 @@
+package session
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autoscale/internal/battery"
+	"autoscale/internal/dnn"
+	"autoscale/internal/sched"
+	"autoscale/internal/sim"
+	"autoscale/internal/soc"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Model:     dnn.MustByName("MobileNet v1"),
+		Env:       sim.MustEnvironment(sim.EnvS1, 1),
+		Arrival:   Periodic{PeriodS: 0.5},
+		DurationS: 30,
+		IdleW:     1.0,
+		Seed:      1,
+	}
+}
+
+func optPolicy(t *testing.T) sched.Policy {
+	t.Helper()
+	return sched.Opt{World: sim.NewWorld(soc.Mi8Pro(), 1)}
+}
+
+func TestPeriodicSession(t *testing.T) {
+	stats, err := Run(optPolicy(t), testConfig(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~60 requests in 30 s at 0.5 s cadence (latency eats a little time).
+	if stats.Inferences < 50 || stats.Inferences > 61 {
+		t.Errorf("inferences = %d, want ~58", stats.Inferences)
+	}
+	if stats.SimulatedS != 30 {
+		t.Errorf("simulated = %v, want 30", stats.SimulatedS)
+	}
+	if stats.EnergyJ <= 0 || stats.IdleEnergyJ <= 0 {
+		t.Error("both energy components must be positive")
+	}
+	if stats.MeanLatencyS <= 0 {
+		t.Error("mean latency missing")
+	}
+	if stats.AvgPowerW() <= 0 {
+		t.Error("average power missing")
+	}
+	total := 0
+	for _, n := range stats.ByLocation {
+		total += n
+	}
+	if total != stats.Inferences {
+		t.Error("location histogram inconsistent")
+	}
+}
+
+func TestPoissonSessionRate(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Arrival = Poisson{RatePerS: 4}
+	cfg.DurationS = 60
+	stats, err := Run(optPolicy(t), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~240 requests at 4/s over 60 s (minus inference time).
+	if stats.Inferences < 150 || stats.Inferences > 260 {
+		t.Errorf("inferences = %d, want ~220", stats.Inferences)
+	}
+}
+
+func TestPoissonZeroRateIdles(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Arrival = Poisson{}
+	stats, err := Run(optPolicy(t), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inferences != 0 {
+		t.Error("zero-rate arrivals must produce no requests")
+	}
+	if math.Abs(stats.IdleEnergyJ-30) > 1e-9 {
+		t.Errorf("idle energy = %v, want duration x IdleW", stats.IdleEnergyJ)
+	}
+}
+
+func TestBurstyArrival(t *testing.T) {
+	b := &Bursty{BurstLen: 5, WithinGapS: 0.01, BetweenGapS: 10}
+	rng := rand.New(rand.NewSource(2))
+	// First call pays the between-burst gap, then four short gaps follow.
+	first := b.NextGapS(rng)
+	short := 0
+	for i := 0; i < 4; i++ {
+		if b.NextGapS(rng) == 0.01 {
+			short++
+		}
+	}
+	if short != 4 {
+		t.Errorf("within-burst gaps = %d of 4", short)
+	}
+	if next := b.NextGapS(rng); next == 0.01 {
+		t.Error("burst must end after BurstLen requests")
+	}
+	_ = first
+}
+
+func TestBatteryDrainAndCutoff(t *testing.T) {
+	cfg := testConfig(t)
+	b, err := battery.New(1, 3.6) // 12.96 J: dies mid-session
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(optPolicy(t), cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Empty() {
+		t.Error("tiny battery should empty")
+	}
+	if stats.SimulatedS >= cfg.DurationS {
+		t.Error("session must stop when the battery dies")
+	}
+	if stats.BatteryDrainedJ < b.CapacityJ() {
+		t.Errorf("drained %v < capacity %v", stats.BatteryDrainedJ, b.CapacityJ())
+	}
+}
+
+func TestQoSAccounting(t *testing.T) {
+	// Edge CPU FP32 on ResNet 50 violates the 50 ms target every time.
+	w := sim.NewWorld(soc.Mi8Pro(), 2)
+	cfg := testConfig(t)
+	cfg.Model = dnn.MustByName("ResNet 50")
+	stats, err := Run(sched.EdgeCPU{World: w}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ViolationRatio() != 1 {
+		t.Errorf("violation ratio = %v, want 1", stats.ViolationRatio())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(nil, testConfig(t), nil); err == nil {
+		t.Error("nil policy should fail")
+	}
+	cfg := testConfig(t)
+	cfg.Model = nil
+	if _, err := Run(optPolicy(t), cfg, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	cfg = testConfig(t)
+	cfg.DurationS = 0
+	if _, err := Run(optPolicy(t), cfg, nil); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+func TestStatsZeroValues(t *testing.T) {
+	var s Stats
+	if s.ViolationRatio() != 0 || s.AvgPowerW() != 0 {
+		t.Error("zero stats must not divide by zero")
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+
+	"autoscale/internal/interfere"
+	"autoscale/internal/radio"
+)
+
+// Environment is one of the Table IV execution environments: a co-runner
+// workload plus signal-strength processes for the two radio links. Calling
+// Sample yields the runtime-variance conditions of the next inference.
+type Environment struct {
+	// ID is the Table IV label (S1..S5, D1..D4).
+	ID string
+	// Desc is the Table IV description.
+	Desc string
+	// Dynamic marks the D* environments.
+	Dynamic bool
+
+	app  interfere.App
+	wlan radio.SignalProcess
+	p2p  radio.SignalProcess
+}
+
+// Sample draws the conditions of the next inference.
+func (e *Environment) Sample() Conditions {
+	return Conditions{
+		Load:     e.app.Next(),
+		RSSIWLAN: e.wlan.Next(),
+		RSSIP2P:  e.p2p.Next(),
+	}
+}
+
+// String returns "ID: Desc".
+func (e *Environment) String() string { return fmt.Sprintf("%s: %s", e.ID, e.Desc) }
+
+// Environment IDs of Table IV.
+const (
+	EnvS1 = "S1"
+	EnvS2 = "S2"
+	EnvS3 = "S3"
+	EnvS4 = "S4"
+	EnvS5 = "S5"
+	EnvD1 = "D1"
+	EnvD2 = "D2"
+	EnvD3 = "D3"
+	EnvD4 = "D4"
+)
+
+// NewEnvironment constructs the Table IV environment with the given ID,
+// using seed to derive all of its stochastic processes. Unknown IDs return
+// an error.
+func NewEnvironment(id string, seed int64) (*Environment, error) {
+	regW := radio.Fixed(radio.RegularRSSI)
+	regP := radio.Fixed(radio.RegularRSSI)
+	switch id {
+	case EnvS1:
+		return &Environment{ID: id, Desc: "No runtime variance",
+			app: interfere.None(), wlan: regW, p2p: regP}, nil
+	case EnvS2:
+		return &Environment{ID: id, Desc: "CPU-intensive co-running app",
+			app: interfere.CPUHog(), wlan: regW, p2p: regP}, nil
+	case EnvS3:
+		return &Environment{ID: id, Desc: "Memory-intensive co-running app",
+			app: interfere.MemHog(), wlan: regW, p2p: regP}, nil
+	case EnvS4:
+		return &Environment{ID: id, Desc: "Weak Wi-Fi signal",
+			app: interfere.None(), wlan: radio.Fixed(radio.WeakRSSI), p2p: regP}, nil
+	case EnvS5:
+		return &Environment{ID: id, Desc: "Weak Wi-Fi Direct signal",
+			app: interfere.None(), wlan: regW, p2p: radio.Fixed(radio.WeakRSSI)}, nil
+	case EnvD1:
+		return &Environment{ID: id, Desc: "Co-running app: music player", Dynamic: true,
+			app: interfere.MusicPlayer(seed), wlan: regW, p2p: regP}, nil
+	case EnvD2:
+		return &Environment{ID: id, Desc: "Co-running app: web browser", Dynamic: true,
+			app: interfere.WebBrowser(seed), wlan: regW, p2p: regP}, nil
+	case EnvD3:
+		return &Environment{ID: id, Desc: "Random Wi-Fi signal", Dynamic: true,
+			app: interfere.None(), wlan: radio.NewGaussian(-72, 10, seed), p2p: regP}, nil
+	case EnvD4:
+		return &Environment{ID: id, Desc: "Varying co-running apps", Dynamic: true,
+			app: interfere.VaryingApps(seed), wlan: regW, p2p: regP}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown environment %q", id)
+}
+
+// StaticEnvIDs returns the Table IV static environment IDs in order.
+func StaticEnvIDs() []string { return []string{EnvS1, EnvS2, EnvS3, EnvS4, EnvS5} }
+
+// DynamicEnvIDs returns the Table IV dynamic environment IDs in order.
+func DynamicEnvIDs() []string { return []string{EnvD1, EnvD2, EnvD3, EnvD4} }
+
+// AllEnvIDs returns every Table IV environment ID in order.
+func AllEnvIDs() []string { return append(StaticEnvIDs(), DynamicEnvIDs()...) }
+
+// MustEnvironment is NewEnvironment for statically known IDs.
+func MustEnvironment(id string, seed int64) *Environment {
+	e, err := NewEnvironment(id, seed)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// QoS targets of the application scenarios (Section V-B).
+const (
+	// QoSNonStreamingS: single-shot camera inference; 50 ms interactive
+	// response bound.
+	QoSNonStreamingS = 0.050
+	// QoSStreamingS: real-time video inference; 30 FPS frame budget.
+	QoSStreamingS = 1.0 / 30
+	// QoSTranslationS: keyboard translation; 100 ms bound.
+	QoSTranslationS = 0.100
+)
+
+// Intensity distinguishes the computer-vision usage modes.
+type Intensity int
+
+// Usage intensities.
+const (
+	// NonStreaming issues one inference per user action.
+	NonStreaming Intensity = iota
+	// Streaming issues inference on every video frame.
+	Streaming
+)
+
+// String returns the intensity name.
+func (i Intensity) String() string {
+	if i == Streaming {
+		return "streaming"
+	}
+	return "non-streaming"
+}
+
+// QoSFor returns the latency target for a task and intensity, per the
+// Android-application scenarios of Section V-B.
+func QoSFor(taskIsTranslation bool, intensity Intensity) float64 {
+	if taskIsTranslation {
+		return QoSTranslationS
+	}
+	if intensity == Streaming {
+		return QoSStreamingS
+	}
+	return QoSNonStreamingS
+}

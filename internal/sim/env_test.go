@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"testing"
+
+	"autoscale/internal/radio"
+)
+
+func TestAllEnvironmentsConstruct(t *testing.T) {
+	ids := AllEnvIDs()
+	if len(ids) != 9 {
+		t.Fatalf("environment count = %d, want 9", len(ids))
+	}
+	for _, id := range ids {
+		env, err := NewEnvironment(id, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if env.ID != id {
+			t.Errorf("env ID = %s, want %s", env.ID, id)
+		}
+		c := env.Sample()
+		if c.Load.CPUUtil < 0 || c.Load.CPUUtil > 1 || c.Load.MemUtil < 0 || c.Load.MemUtil > 1 {
+			t.Errorf("%s load out of range: %+v", id, c.Load)
+		}
+		if c.RSSIWLAN < radio.MinRSSI || c.RSSIWLAN > radio.MaxRSSI {
+			t.Errorf("%s WLAN RSSI out of range: %v", id, c.RSSIWLAN)
+		}
+	}
+}
+
+func TestUnknownEnvironment(t *testing.T) {
+	if _, err := NewEnvironment("S9", 1); err == nil {
+		t.Error("unknown environment must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEnvironment must panic on unknown IDs")
+		}
+	}()
+	MustEnvironment("S9", 1)
+}
+
+func TestStaticDynamicSplit(t *testing.T) {
+	for _, id := range StaticEnvIDs() {
+		if MustEnvironment(id, 1).Dynamic {
+			t.Errorf("%s marked dynamic", id)
+		}
+	}
+	for _, id := range DynamicEnvIDs() {
+		if !MustEnvironment(id, 1).Dynamic {
+			t.Errorf("%s not marked dynamic", id)
+		}
+	}
+}
+
+func TestEnvironmentShapes(t *testing.T) {
+	s1 := MustEnvironment(EnvS1, 1).Sample()
+	if s1.Load.CPUUtil != 0 || s1.Load.MemUtil != 0 {
+		t.Error("S1 must have no co-runner load")
+	}
+	if s1.RSSIWLAN <= radio.WeakThresholdRSSI {
+		t.Error("S1 must have a regular Wi-Fi signal")
+	}
+	s2 := MustEnvironment(EnvS2, 1).Sample()
+	if s2.Load.CPUUtil < 0.5 {
+		t.Error("S2 must be CPU-intensive")
+	}
+	s3 := MustEnvironment(EnvS3, 1).Sample()
+	if s3.Load.MemUtil < 0.5 {
+		t.Error("S3 must be memory-intensive")
+	}
+	s4 := MustEnvironment(EnvS4, 1).Sample()
+	if s4.RSSIWLAN > radio.WeakThresholdRSSI {
+		t.Error("S4 must have a weak Wi-Fi signal")
+	}
+	if s4.RSSIP2P <= radio.WeakThresholdRSSI {
+		t.Error("S4 must keep a regular Wi-Fi Direct signal")
+	}
+	s5 := MustEnvironment(EnvS5, 1).Sample()
+	if s5.RSSIP2P > radio.WeakThresholdRSSI {
+		t.Error("S5 must have a weak Wi-Fi Direct signal")
+	}
+}
+
+func TestD3Varies(t *testing.T) {
+	env := MustEnvironment(EnvD3, 5)
+	seen := map[float64]bool{}
+	for i := 0; i < 50; i++ {
+		seen[env.Sample().RSSIWLAN] = true
+	}
+	if len(seen) < 10 {
+		t.Error("D3 Wi-Fi signal must vary")
+	}
+}
+
+func TestQoSFor(t *testing.T) {
+	if QoSFor(true, NonStreaming) != QoSTranslationS {
+		t.Error("translation QoS wrong")
+	}
+	if QoSFor(false, NonStreaming) != QoSNonStreamingS {
+		t.Error("non-streaming QoS wrong")
+	}
+	if QoSFor(false, Streaming) != QoSStreamingS {
+		t.Error("streaming QoS wrong")
+	}
+	// The paper's values: 50 ms, 33.3 ms, 100 ms.
+	if QoSNonStreamingS != 0.050 || QoSTranslationS != 0.100 {
+		t.Error("QoS constants drifted from the paper")
+	}
+	if QoSStreamingS < 0.033 || QoSStreamingS > 0.034 {
+		t.Error("streaming QoS must be the 30 FPS frame budget")
+	}
+}
+
+func TestIntensityString(t *testing.T) {
+	if NonStreaming.String() != "non-streaming" || Streaming.String() != "streaming" {
+		t.Error("intensity names wrong")
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"autoscale/internal/dnn"
+	"autoscale/internal/soc"
+)
+
+func TestOutageDisabledByDefault(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 1)
+	if w.OutageProb != 0 {
+		t.Error("outages must be off by default")
+	}
+	m := dnn.MustByName("ResNet 50")
+	cloud := Target{Location: Cloud, Kind: soc.GPU, Prec: dnn.FP32}
+	for i := 0; i < 50; i++ {
+		meas, err := w.Execute(m, cloud, strongCond())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meas.Target.Location != Cloud {
+			t.Fatal("no outage expected")
+		}
+	}
+}
+
+func TestOutageFallsBackToLocalCPU(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 2)
+	w.OutageProb = 1 // every offload fails
+	m := dnn.MustByName("Inception v1")
+	cloud := Target{Location: Cloud, Kind: soc.GPU, Prec: dnn.FP32}
+	meas, err := w.Execute(m, cloud, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Target.Location != Local || meas.Target.Kind != soc.CPU {
+		t.Fatalf("fallback target = %v, want local CPU", meas.Target)
+	}
+	// The failed attempt charges the timeout and the radio.
+	local, err := w.Expected(m, meas.Target, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.LatencyS < local.LatencyS+w.OutageTimeoutS {
+		t.Errorf("outage latency %v missing the timeout", meas.LatencyS)
+	}
+	if meas.Breakdown.Radio <= 0 {
+		t.Error("the wasted transmission must cost radio energy")
+	}
+	if meas.EnergyJ <= local.EnergyJ {
+		t.Error("outage must cost more than clean local execution")
+	}
+}
+
+func TestOutageDoesNotAffectLocal(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 3)
+	w.OutageProb = 1
+	m := dnn.MustByName("MobileNet v1")
+	local := Target{Location: Local, Kind: soc.DSP, Prec: dnn.INT8}
+	meas, err := w.Execute(m, local, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Target != local {
+		t.Error("local execution must never trip the outage path")
+	}
+}
+
+func TestOutageProbability(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 4)
+	w.OutageProb = 0.3
+	m := dnn.MustByName("ResNet 50")
+	cloud := Target{Location: Cloud, Kind: soc.GPU, Prec: dnn.FP32}
+	outages := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		meas, err := w.Execute(m, cloud, strongCond())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meas.Target.Location == Local {
+			outages++
+		}
+	}
+	rate := float64(outages) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("outage rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestExpectedIgnoresOutage(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 5)
+	w.OutageProb = 1
+	m := dnn.MustByName("ResNet 50")
+	cloud := Target{Location: Cloud, Kind: soc.GPU, Prec: dnn.FP32}
+	meas, err := w.Expected(m, cloud, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Target.Location != Cloud {
+		t.Error("Expected must stay outage-free (the oracle plans on averages)")
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"autoscale/internal/dnn"
+	"autoscale/internal/soc"
+)
+
+func TestPartitionedDegenerateLocal(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 1)
+	m := dnn.MustByName("Inception v1")
+	cpu := w.Device.Processor(soc.CPU)
+	local := Target{Location: Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+	part, err := w.Partitioned(m, len(m.Layers), local, Cloud, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := w.Expected(m, local, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(part.LatencyS-full.LatencyS) > 1e-9 || math.Abs(part.EnergyJ-full.EnergyJ) > 1e-9 {
+		t.Errorf("cut=len must equal local execution: %v vs %v", part, full)
+	}
+}
+
+func TestPartitionedFullOffload(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 1)
+	m := dnn.MustByName("ResNet 50")
+	cpu := w.Device.Processor(soc.CPU)
+	local := Target{Location: Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+	part, err := w.Partitioned(m, 0, local, Cloud, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Breakdown.Compute != 0 {
+		t.Error("cut=0 must spend no local compute energy")
+	}
+	if part.TTXSeconds <= 0 {
+		t.Error("cut=0 must transfer the input")
+	}
+	if part.Accuracy != m.Accuracy(dnn.FP32) {
+		t.Error("full offload accuracy must be the remote precision's")
+	}
+}
+
+func TestPartitionedMidCut(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 1)
+	m := dnn.MustByName("Inception v1")
+	gpu := w.Device.Processor(soc.GPU)
+	local := Target{Location: Local, Kind: soc.GPU, Step: gpu.Steps - 1, Prec: dnn.FP32}
+	part, err := w.Partitioned(m, len(m.Layers)/2, local, Cloud, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Breakdown.Compute <= 0 || part.Breakdown.Radio <= 0 {
+		t.Error("mid cut must pay both local compute and radio")
+	}
+}
+
+func TestPartitionedErrors(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 1)
+	m := dnn.MustByName("Inception v1")
+	cpu := w.Device.Processor(soc.CPU)
+	local := Target{Location: Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+	if _, err := w.Partitioned(m, -1, local, Cloud, strongCond()); err == nil {
+		t.Error("negative cut should fail")
+	}
+	if _, err := w.Partitioned(m, 0, local, Local, strongCond()); err == nil {
+		t.Error("local remote location should fail")
+	}
+	remote := Target{Location: Cloud, Kind: soc.GPU, Prec: dnn.FP32}
+	if _, err := w.Partitioned(m, 0, remote, Cloud, strongCond()); err == nil {
+		t.Error("non-local local target should fail")
+	}
+	// RC layers in the local prefix on a non-RC engine.
+	bert := dnn.MustByName("MobileBERT")
+	gpuT := Target{Location: Local, Kind: soc.GPU, Step: 0, Prec: dnn.FP32}
+	if _, err := w.Partitioned(bert, len(bert.Layers), gpuT, Cloud, strongCond()); err == nil {
+		t.Error("BERT prefix on mobile GPU should fail")
+	}
+}
+
+func TestSlicedFullCPUMatchesExpected(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 1)
+	m := dnn.MustByName("MobileNet v2")
+	cpu := w.Device.Processor(soc.CPU)
+	tgt := Target{Location: Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+	sl, err := w.ExpectedSliced(m, []Slice{{From: 0, To: len(m.Layers), Target: tgt}}, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := w.Expected(m, tgt, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sl.LatencyS-full.LatencyS) > 1e-9 {
+		t.Errorf("single-slice latency %v != %v", sl.LatencyS, full.LatencyS)
+	}
+	if math.Abs(sl.EnergyJ-full.EnergyJ) > 1e-9 {
+		t.Errorf("single-slice energy %v != %v", sl.EnergyJ, full.EnergyJ)
+	}
+}
+
+func TestSlicedSwitchCost(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 1)
+	m := dnn.MustByName("MobileNet v2")
+	cpu := w.Device.Processor(soc.CPU)
+	tgt := Target{Location: Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+	n := len(m.Layers)
+	one, _ := w.ExpectedSliced(m, []Slice{{From: 0, To: n, Target: tgt}}, strongCond())
+	gpu := w.Device.Processor(soc.GPU)
+	gpuT := Target{Location: Local, Kind: soc.GPU, Step: gpu.Steps - 1, Prec: dnn.FP32}
+	two, err := w.ExpectedSliced(m, []Slice{
+		{From: 0, To: n / 2, Target: tgt},
+		{From: n / 2, To: n, Target: gpuT},
+	}, strongCond())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = one
+	// The boundary costs at least the fixed handoff.
+	perCPU := 0.0
+	for range m.Layers[:n/2] {
+		perCPU++
+	}
+	if two.LatencyS <= 0 {
+		t.Fatal("sliced latency must be positive")
+	}
+}
+
+func TestSlicedValidation(t *testing.T) {
+	w := NewWorld(soc.Mi8Pro(), 1)
+	m := dnn.MustByName("MobileNet v2")
+	cpu := w.Device.Processor(soc.CPU)
+	tgt := Target{Location: Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+	n := len(m.Layers)
+	cases := [][]Slice{
+		nil,                                 // empty
+		{{From: 0, To: n - 1, Target: tgt}}, // gap at the tail
+		{{From: 1, To: n, Target: tgt}},     // gap at the head
+		{{From: 0, To: n, Target: Target{Location: Cloud, Kind: soc.GPU}}},       // non-local
+		{{From: 0, To: n / 2, Target: tgt}, {From: n/2 + 1, To: n, Target: tgt}}, // hole
+	}
+	for i, slices := range cases {
+		if _, err := w.ExpectedSliced(m, slices, strongCond()); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// RC layers on a non-RC engine.
+	bert := dnn.MustByName("MobileBERT")
+	gpu := w.Device.Processor(soc.GPU)
+	gpuT := Target{Location: Local, Kind: soc.GPU, Step: gpu.Steps - 1, Prec: dnn.FP32}
+	if _, err := w.ExpectedSliced(bert, []Slice{{From: 0, To: len(bert.Layers), Target: gpuT}}, strongCond()); err == nil {
+		t.Error("BERT sliced onto the GPU should fail")
+	}
+}

@@ -1,0 +1,407 @@
+// Package sim assembles the substrates into the paper's edge–cloud execution
+// world: a mobile device, a locally connected tablet reachable over Wi-Fi
+// Direct, and a cloud server reachable over Wi-Fi — and executes inferences
+// on any feasible target, producing latency/energy/accuracy measurements.
+// It also defines the Table IV static and dynamic environments and the
+// application scenarios (non-streaming, streaming, translation).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"autoscale/internal/dnn"
+	"autoscale/internal/interfere"
+	"autoscale/internal/perf"
+	"autoscale/internal/power"
+	"autoscale/internal/radio"
+	"autoscale/internal/soc"
+)
+
+// Location says where an inference executes.
+type Location int
+
+// Execution locations (Section IV-A actions).
+const (
+	// Local runs on the mobile device itself.
+	Local Location = iota
+	// Connected runs on the locally connected edge device (tablet) over
+	// Wi-Fi Direct.
+	Connected
+	// Cloud runs on the server over Wi-Fi.
+	Cloud
+)
+
+// String returns the location name.
+func (l Location) String() string {
+	switch l {
+	case Local:
+		return "local"
+	case Connected:
+		return "connected"
+	case Cloud:
+		return "cloud"
+	}
+	return fmt.Sprintf("Location(%d)", int(l))
+}
+
+// Target is one fully specified execution action: where, on which engine, at
+// which DVFS step (local only; remote systems run their engines at the top
+// step) and precision. This is exactly the action space of Section V-C.
+type Target struct {
+	Location Location
+	Kind     soc.Kind
+	// Step is the local DVFS step; ignored for Connected/Cloud.
+	Step int
+	Prec dnn.Precision
+}
+
+// String renders the target compactly, e.g. "local/CPU@17/INT8".
+func (t Target) String() string {
+	if t.Location == Local {
+		return fmt.Sprintf("%s/%s@%d/%s", t.Location, t.Kind, t.Step, t.Prec)
+	}
+	return fmt.Sprintf("%s/%s/%s", t.Location, t.Kind, t.Prec)
+}
+
+// Conditions captures the stochastic runtime variance at one inference: the
+// co-runner load on the local device and the two radio signal strengths.
+type Conditions struct {
+	Load     interfere.Load
+	RSSIWLAN float64
+	RSSIP2P  float64
+}
+
+// Measurement is the observed outcome of one inference.
+type Measurement struct {
+	Target   Target
+	LatencyS float64
+	EnergyJ  float64
+	// Breakdown itemizes the mobile-side energy.
+	Breakdown power.Breakdown
+	// Accuracy is the inference accuracy (percent) delivered by the
+	// target's precision.
+	Accuracy float64
+	// TTXSeconds/TRXSeconds are the transfer times (zero when local).
+	TTXSeconds float64
+	TRXSeconds float64
+}
+
+// PPW returns the performance-per-watt figure of merit the paper optimizes:
+// inferences per joule (1/latency divided by average power = 1/energy).
+func (m Measurement) PPW() float64 {
+	if m.EnergyJ <= 0 {
+		return 0
+	}
+	return 1 / m.EnergyJ
+}
+
+// World is the full edge–cloud system around one mobile device.
+type World struct {
+	Device *soc.Device
+	Tablet *soc.Device
+	Server *soc.Device
+	WiFi   *radio.Link
+	P2P    *radio.Link
+
+	// CloudServiceS / TabletServiceS are remote-side service overheads
+	// (request handling, queueing) added to remote compute time.
+	CloudServiceS  float64
+	TabletServiceS float64
+
+	// NoiseFrac is the relative sigma of multiplicative measurement noise
+	// applied by Execute; Expected applies none.
+	NoiseFrac float64
+
+	// OutageProb is the per-request probability that an offload attempt
+	// fails (AP handoff, server hiccup, link drop). On an outage the
+	// runtime waits out OutageTimeoutS with the radio up, then falls back
+	// to the local CPU at top frequency — failure injection for the
+	// robustness extension; zero (the default) disables it. Expected is
+	// always outage-free: the oracle plans on averages.
+	OutageProb     float64
+	OutageTimeoutS float64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewWorld builds the standard evaluation world around the given phone, with
+// the Galaxy Tab S6 as the connected edge and the Xeon+P100 server as the
+// cloud, using the given seed for measurement noise.
+func NewWorld(device *soc.Device, seed int64) *World {
+	return &World{
+		Device:         device,
+		Tablet:         soc.GalaxyTabS6(),
+		Server:         soc.CloudServer(),
+		WiFi:           radio.WiFi(),
+		P2P:            radio.WiFiDirect(),
+		CloudServiceS:  0.005,
+		TabletServiceS: 0.003,
+		NoiseFrac:      0.025,
+		OutageTimeoutS: 0.200,
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
+// systemAt returns the device serving a location.
+func (w *World) systemAt(loc Location) *soc.Device {
+	switch loc {
+	case Connected:
+		return w.Tablet
+	case Cloud:
+		return w.Server
+	default:
+		return w.Device
+	}
+}
+
+// linkTo returns the radio link used to reach a remote location (nil for
+// Local).
+func (w *World) linkTo(loc Location) *radio.Link {
+	switch loc {
+	case Connected:
+		return w.P2P
+	case Cloud:
+		return w.WiFi
+	default:
+		return nil
+	}
+}
+
+// rssiFor picks the relevant signal strength from the conditions.
+func (c Conditions) rssiFor(loc Location) float64 {
+	if loc == Cloud {
+		return c.RSSIWLAN
+	}
+	return c.RSSIP2P
+}
+
+// serviceOverhead returns the remote-side service overhead for a location.
+func (w *World) serviceOverhead(loc Location) float64 {
+	switch loc {
+	case Cloud:
+		return w.CloudServiceS
+	case Connected:
+		return w.TabletServiceS
+	default:
+		return 0
+	}
+}
+
+// Feasible reports whether target t can execute model m in this world.
+func (w *World) Feasible(m *dnn.Model, t Target) bool {
+	sys := w.systemAt(t.Location)
+	p := sys.Processor(t.Kind)
+	if p == nil {
+		return false
+	}
+	if t.Location == Local {
+		if t.Step < 0 || t.Step >= p.Steps {
+			return false
+		}
+	}
+	return p.CanRun(m, t.Prec)
+}
+
+// Targets enumerates every feasible action for model m: each local engine at
+// each DVFS step and supported precision, plus the remote engines at their
+// supported precisions (FP32 for cloud per Section V-C; the connected DSP is
+// INT8). This is the ~66-action augmented space of the paper.
+func (w *World) Targets(m *dnn.Model) []Target {
+	var out []Target
+	for _, p := range w.Device.Processors {
+		for _, prec := range p.Precisions {
+			if !p.CanRun(m, prec) {
+				continue
+			}
+			for step := 0; step < p.Steps; step++ {
+				out = append(out, Target{Location: Local, Kind: p.Kind, Step: step, Prec: prec})
+			}
+		}
+	}
+	for _, loc := range []Location{Connected, Cloud} {
+		sys := w.systemAt(loc)
+		for _, p := range sys.Processors {
+			prec := remotePrecision(loc, p)
+			if !p.CanRun(m, prec) {
+				continue
+			}
+			out = append(out, Target{Location: loc, Kind: p.Kind, Prec: prec})
+		}
+	}
+	return out
+}
+
+// remotePrecision picks the precision used on a remote engine: FP32
+// everywhere the paper uses it (cloud CPU/GPU/TPU, connected CPU/GPU), INT8
+// on the fixed-function edge accelerators (DSP, NPU).
+func remotePrecision(loc Location, p *soc.Processor) dnn.Precision {
+	if p.Kind == soc.DSP || p.Kind == soc.NPU {
+		return dnn.INT8
+	}
+	return dnn.FP32
+}
+
+// Expected computes the noise-free outcome of executing m on t under c.
+// This is what the Opt oracle exhaustively enumerates.
+func (w *World) Expected(m *dnn.Model, t Target, c Conditions) (Measurement, error) {
+	if !w.Feasible(m, t) {
+		return Measurement{}, fmt.Errorf("sim: target %v cannot run %s", t, m.Name)
+	}
+	sys := w.systemAt(t.Location)
+	proc := sys.Processor(t.Kind)
+
+	meas := Measurement{Target: t, Accuracy: m.Accuracy(t.Prec)}
+
+	if t.Location == Local {
+		pen := interfere.PenaltiesFor(c.Load)
+		lat := perf.ModelLatency(perf.Exec{Proc: proc, Step: t.Step, Prec: t.Prec}, m, pen)
+		bd, err := power.OnDevice(proc, t.Step, lat, w.Device.PlatformIdleW)
+		if err != nil {
+			return Measurement{}, err
+		}
+		meas.LatencyS = lat
+		meas.Breakdown = bd
+		meas.EnergyJ = bd.Total()
+		return meas, nil
+	}
+
+	// Remote execution: transfer input, compute at the remote top step
+	// with no interference, transfer output back (eq 4 energy model).
+	link := w.linkTo(t.Location)
+	rssi := c.rssiFor(t.Location)
+	tTX := link.TransferSeconds(m.InputBytes, rssi)
+	tRX := link.TransferSeconds(m.OutputBytes, rssi)
+	remote := perf.ModelLatency(perf.Exec{Proc: proc, Step: proc.Steps - 1, Prec: t.Prec}, m, perf.NoInterference())
+	total := tTX + remote + w.serviceOverhead(t.Location) + tRX
+
+	bd, err := power.Offload(link, rssi, tTX, tRX, total, w.Device.PlatformIdleW)
+	if err != nil {
+		return Measurement{}, err
+	}
+	meas.LatencyS = total
+	meas.TTXSeconds = tTX
+	meas.TRXSeconds = tRX
+	meas.Breakdown = bd
+	meas.EnergyJ = bd.Total()
+	return meas, nil
+}
+
+// Execute runs one inference with multiplicative measurement noise on
+// latency (and correspondingly on energy), modelling run-to-run variance of
+// a real system. When OutageProb is set, offload attempts may fail and fall
+// back to local CPU execution after the outage timeout.
+func (w *World) Execute(m *dnn.Model, t Target, c Conditions) (Measurement, error) {
+	if t.Location != Local && w.OutageProb > 0 && w.randFloat() < w.OutageProb {
+		return w.executeOutage(m, t, c)
+	}
+	meas, err := w.Expected(m, t, c)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if w.NoiseFrac > 0 {
+		f := 1 + w.NoiseFrac*w.randNorm()
+		if f < 0.5 {
+			f = 0.5
+		}
+		meas.LatencyS *= f
+		meas.EnergyJ *= f
+		meas.Breakdown.Compute *= f
+		meas.Breakdown.Radio *= f
+		meas.Breakdown.Idle *= f
+	}
+	return meas, nil
+}
+
+// randFloat and randNorm serialize access to the measurement-noise source so
+// a world shared by concurrent engines stays race-free.
+func (w *World) randFloat() float64 {
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
+	return w.rng.Float64()
+}
+
+func (w *World) randNorm() float64 {
+	w.rngMu.Lock()
+	defer w.rngMu.Unlock()
+	return w.rng.NormFloat64()
+}
+
+// executeOutage models a failed offload: the device transmits until the
+// timeout with no answer, then reruns the inference on the local CPU at top
+// frequency. The returned measurement charges both phases.
+func (w *World) executeOutage(m *dnn.Model, t Target, c Conditions) (Measurement, error) {
+	link := w.linkTo(t.Location)
+	rssi := c.rssiFor(t.Location)
+	cpu := w.Device.Processor(soc.CPU)
+	if cpu == nil {
+		return Measurement{}, fmt.Errorf("sim: outage fallback needs a CPU")
+	}
+	fallback := Target{Location: Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+	local, err := w.Expected(m, fallback, c)
+	if err != nil {
+		return Measurement{}, err
+	}
+	wasted, err := power.Offload(link, rssi, w.OutageTimeoutS, 0, w.OutageTimeoutS, w.Device.PlatformIdleW)
+	if err != nil {
+		return Measurement{}, err
+	}
+	local.LatencyS += w.OutageTimeoutS
+	local.Breakdown.Radio += wasted.Radio
+	local.Breakdown.Idle += wasted.Idle
+	local.EnergyJ = local.Breakdown.Total()
+	local.Target = fallback
+	return local, nil
+}
+
+// BestTarget exhaustively searches the action space for the feasible target
+// with maximum PPW subject to the latency QoS and accuracy constraints,
+// using noise-free expectations — the paper's Opt oracle. If no target meets
+// both constraints it relaxes to: meet accuracy and minimize latency; if
+// accuracy is unreachable it maximizes accuracy.
+func (w *World) BestTarget(m *dnn.Model, c Conditions, qosS, accTarget float64) (Target, Measurement, error) {
+	targets := w.Targets(m)
+	if len(targets) == 0 {
+		return Target{}, Measurement{}, fmt.Errorf("sim: no feasible target for %s", m.Name)
+	}
+	var (
+		best        Target
+		bestMeas    Measurement
+		haveBest    bool
+		fallback    Target
+		fbMeas      Measurement
+		haveFB      bool
+		accBest     Target
+		accBestMeas Measurement
+		haveAcc     bool
+	)
+	for _, t := range targets {
+		meas, err := w.Expected(m, t, c)
+		if err != nil {
+			return Target{}, Measurement{}, err
+		}
+		if meas.Accuracy >= accTarget {
+			if meas.LatencyS <= qosS {
+				if !haveBest || meas.PPW() > bestMeas.PPW() {
+					best, bestMeas, haveBest = t, meas, true
+				}
+			}
+			if !haveFB || meas.LatencyS < fbMeas.LatencyS {
+				fallback, fbMeas, haveFB = t, meas, true
+			}
+		}
+		if !haveAcc || meas.Accuracy > accBestMeas.Accuracy {
+			accBest, accBestMeas, haveAcc = t, meas, true
+		}
+	}
+	switch {
+	case haveBest:
+		return best, bestMeas, nil
+	case haveFB:
+		return fallback, fbMeas, nil
+	default:
+		return accBest, accBestMeas, nil
+	}
+}

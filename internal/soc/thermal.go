@@ -1,0 +1,44 @@
+package soc
+
+// Thermal throttling model. The paper observes that a CPU-intensive
+// co-runner causes "frequent thermal throttling due to high CPU utilization"
+// (Section III-B, [59]). We model the thermal governor as a frequency cap
+// that tightens with sustained engine utilization: below the onset the
+// engine runs unthrottled, beyond it the cap falls linearly to the floor.
+
+// Throttle onset and floor per engine kind. CPUs throttle first and hardest;
+// GPUs have more thermal headroom in these chassis; DSPs run at low enough
+// power that they do not throttle.
+const (
+	cpuThrottleOnset = 0.60
+	cpuThrottleFloor = 0.65
+	gpuThrottleOnset = 0.75
+	gpuThrottleFloor = 0.80
+)
+
+// ThrottleFactor returns the effective frequency multiplier (in (0,1]) the
+// thermal governor imposes on an engine of kind k under sustained
+// utilization u (0..1 of the engine's full power budget, including
+// co-running work).
+func ThrottleFactor(k Kind, u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	var onset, floor float64
+	switch k {
+	case CPU:
+		onset, floor = cpuThrottleOnset, cpuThrottleFloor
+	case GPU:
+		onset, floor = gpuThrottleOnset, gpuThrottleFloor
+	default:
+		return 1
+	}
+	if u <= onset {
+		return 1
+	}
+	// Linear descent from 1.0 at onset to floor at u == 1.
+	return 1 - (1-floor)*(u-onset)/(1-onset)
+}

@@ -1,0 +1,252 @@
+// Package stats provides small statistical helpers used across the AutoScale
+// simulator: summary statistics, error metrics, normalization, and online
+// accumulators. All functions are allocation-light and deterministic.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the smallest element of xs and an error for empty input.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs and an error for empty input.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Variance returns the population variance of xs (0 for fewer than 2 samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns an error for empty input or
+// p outside [0,100].
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// MAPE returns the mean absolute percentage error (in percent) of predictions
+// pred against ground truth actual. Pairs whose actual value is zero are
+// skipped; if every pair is skipped or the slices are empty or mismatched an
+// error is returned.
+func MAPE(actual, pred []float64) (float64, error) {
+	if len(actual) == 0 || len(actual) != len(pred) {
+		return 0, errors.New("stats: MAPE needs equal-length non-empty slices")
+	}
+	var sum float64
+	var n int
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs((pred[i] - actual[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("stats: MAPE has no nonzero ground-truth values")
+	}
+	return sum / float64(n) * 100, nil
+}
+
+// GeoMean returns the geometric mean of xs. All inputs must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geomean needs positive values")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Normalize divides every element of xs by base and returns a new slice. A
+// zero base yields a slice of zeros.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	if base == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Welford is an online accumulator for mean and variance (Welford's
+// algorithm). The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations seen so far.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 before any observation).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// ConvergenceDetector watches a noisy scalar series (e.g. per-episode reward)
+// and reports convergence once the values in a sliding window stay within a
+// relative band around the window mean. It mirrors the paper's notion of the
+// reward "converging in 40-50 runs".
+type ConvergenceDetector struct {
+	window int
+	relTol float64
+	buf    []float64
+}
+
+// NewConvergenceDetector creates a detector using a sliding window of the
+// given size and a relative tolerance band (e.g. 0.05 for ±5%). Window sizes
+// below 2 are raised to 2; non-positive tolerances default to 0.05.
+func NewConvergenceDetector(window int, relTol float64) *ConvergenceDetector {
+	if window < 2 {
+		window = 2
+	}
+	if relTol <= 0 {
+		relTol = 0.05
+	}
+	return &ConvergenceDetector{window: window, relTol: relTol}
+}
+
+// Observe adds one value and reports whether the series is converged as of
+// this observation.
+func (c *ConvergenceDetector) Observe(x float64) bool {
+	c.buf = append(c.buf, x)
+	if len(c.buf) > c.window {
+		c.buf = c.buf[len(c.buf)-c.window:]
+	}
+	return c.converged()
+}
+
+func (c *ConvergenceDetector) converged() bool {
+	if len(c.buf) < c.window {
+		return false
+	}
+	m := Mean(c.buf)
+	scale := math.Abs(m)
+	if scale < 1e-12 {
+		scale = 1e-12
+	}
+	for _, v := range c.buf {
+		if math.Abs(v-m) > c.relTol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the detector state.
+func (c *ConvergenceDetector) Reset() { c.buf = c.buf[:0] }

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanSumMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); !almostEq(got, 2.8, 1e-12) {
+		t.Errorf("Mean = %v, want 2.8", got)
+	}
+	if got := Sum(xs); got != 14 {
+		t.Errorf("Sum = %v, want 14", got)
+	}
+	if got, err := Min(xs); err != nil || got != 1 {
+		t.Errorf("Min = %v, %v", got, err)
+	}
+	if got, err := Max(xs); err != nil || got != 5 {
+		t.Errorf("Max = %v, %v", got, err)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Errorf("Min(nil) err = %v", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Errorf("Max(nil) err = %v", err)
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("Percentile(nil) should fail")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean(nil) should fail")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := Variance([]float64{7}); got != 0 {
+		t.Errorf("Variance of one sample = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("Percentile(101) should fail")
+	}
+	if got, err := Percentile([]float64{42}, 73); err != nil || got != 42 {
+		t.Errorf("single-sample percentile = %v, %v", got, err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	actual := []float64{100, 200}
+	pred := []float64{110, 180}
+	got, err := MAPE(actual, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 10, 1e-9) {
+		t.Errorf("MAPE = %v, want 10", got)
+	}
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := MAPE([]float64{0}, []float64{1}); err == nil {
+		t.Error("all-zero actuals should fail")
+	}
+	// Zero actuals are skipped, not divided by.
+	got, err = MAPE([]float64{0, 100}, []float64{5, 150})
+	if err != nil || !almostEq(got, 50, 1e-9) {
+		t.Errorf("MAPE with zero actual = %v, %v", got, err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || !almostEq(got, 4, 1e-9) {
+		t.Errorf("GeoMean = %v, %v", got, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative input should fail")
+	}
+}
+
+func TestNormalizeClamp(t *testing.T) {
+	out := Normalize([]float64{2, 4}, 2)
+	if out[0] != 1 || out[1] != 2 {
+		t.Errorf("Normalize = %v", out)
+	}
+	zeros := Normalize([]float64{2, 4}, 0)
+	if zeros[0] != 0 || zeros[1] != 0 {
+		t.Errorf("Normalize by zero = %v", zeros)
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		w.Add(xs[i])
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almostEq(w.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("Welford mean %v vs batch %v", w.Mean(), Mean(xs))
+	}
+	if !almostEq(w.Variance(), Variance(xs), 1e-6) {
+		t.Errorf("Welford variance %v vs batch %v", w.Variance(), Variance(xs))
+	}
+	if !almostEq(w.StdDev(), StdDev(xs), 1e-6) {
+		t.Errorf("Welford stddev %v vs batch %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, v := range raw {
+			xs[i] = float64(v)
+			w.Add(xs[i])
+		}
+		return almostEq(w.Mean(), Mean(xs), 1e-6) && almostEq(w.Variance(), Variance(xs), 1e-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(raw []int16, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pf := float64(p) / 255 * 100
+		got, err := Percentile(xs, pf)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return got >= mn-1e-9 && got <= mx+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvergenceDetector(t *testing.T) {
+	det := NewConvergenceDetector(5, 0.05)
+	// Ramping series never converges.
+	for i := 0; i < 20; i++ {
+		if det.Observe(float64(i)) {
+			t.Fatalf("ramp converged at %d", i)
+		}
+	}
+	det.Reset()
+	// Flat series converges once the window fills.
+	for i := 0; i < 4; i++ {
+		if det.Observe(10) {
+			t.Fatalf("converged before window filled (i=%d)", i)
+		}
+	}
+	if !det.Observe(10) {
+		t.Error("flat series should converge at window size")
+	}
+}
+
+func TestConvergenceDetectorTolerance(t *testing.T) {
+	det := NewConvergenceDetector(4, 0.10)
+	vals := []float64{100, 101, 99, 100}
+	converged := false
+	for _, v := range vals {
+		converged = det.Observe(v)
+	}
+	if !converged {
+		t.Error("values within 10% band should converge")
+	}
+	det.Reset()
+	for _, v := range []float64{100, 150, 100, 100} {
+		converged = det.Observe(v)
+	}
+	if converged {
+		t.Error("50% excursion should not converge")
+	}
+}
+
+func TestConvergenceDetectorDefaults(t *testing.T) {
+	det := NewConvergenceDetector(0, -1) // clamped to window 2, tol 0.05
+	det.Observe(1)
+	if !det.Observe(1) {
+		t.Error("window-2 flat series should converge on second observation")
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace records and replays AutoScale decision streams as JSON
+// Lines. A deployed scheduler wants an audit trail — which target served
+// each request, what it cost, whether QoS held — that survives the process
+// and can be summarized offline; this package provides the writer, reader
+// and summarizer, and the engine's Decision converts straight into a Record.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"autoscale/internal/core"
+	"autoscale/internal/dnn"
+	"autoscale/internal/sim"
+)
+
+// Record is one scheduled inference, flattened for the log.
+type Record struct {
+	// Seq is the request sequence number within the trace.
+	Seq int `json:"seq"`
+	// Model is the network name.
+	Model string `json:"model"`
+	// State is the Q-table state key observed (Table I bins).
+	State string `json:"state"`
+	// Target is the executed action (e.g. "local/DSP@0/INT8").
+	Target string `json:"target"`
+	// Location is the coarse execution location.
+	Location string `json:"location"`
+	// LatencyS, EnergyJ and Reward are the measured outcome.
+	LatencyS float64 `json:"latency_s"`
+	EnergyJ  float64 `json:"energy_j"`
+	Reward   float64 `json:"reward"`
+	// QoSViolated / AccuracyMissed flag constraint misses.
+	QoSViolated    bool `json:"qos_violated"`
+	AccuracyMissed bool `json:"accuracy_missed,omitempty"`
+}
+
+// FromDecision flattens an engine decision into a Record.
+func FromDecision(seq int, model string, d core.Decision) Record {
+	return Record{
+		Seq:            seq,
+		Model:          model,
+		State:          string(d.State),
+		Target:         d.Target.String(),
+		Location:       d.Target.Location.String(),
+		LatencyS:       d.Measurement.LatencyS,
+		EnergyJ:        d.Measurement.EnergyJ,
+		Reward:         d.Reward,
+		QoSViolated:    d.QoSViolated,
+		AccuracyMissed: d.AccuracyMissed,
+	}
+}
+
+// Writer appends records as JSON Lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps an io.Writer.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Append writes one record.
+func (t *Writer) Append(r Record) error {
+	if err := t.enc.Encode(r); err != nil {
+		return fmt.Errorf("trace: append: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of records appended.
+func (t *Writer) Count() int { return t.n }
+
+// Flush drains the buffer to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// ReadAll decodes a JSON Lines trace.
+func ReadAll(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Records        int
+	TotalEnergyJ   float64
+	MeanLatencyS   float64
+	ViolationRatio float64
+	// ByLocation is the decision share per execution location.
+	ByLocation map[string]float64
+	// ByModel is the record count per model.
+	ByModel map[string]int
+}
+
+// Summarize computes the aggregate view of a trace.
+func Summarize(records []Record) Summary {
+	s := Summary{
+		ByLocation: make(map[string]float64),
+		ByModel:    make(map[string]int),
+	}
+	if len(records) == 0 {
+		return s
+	}
+	var latency float64
+	var viol int
+	for _, r := range records {
+		s.TotalEnergyJ += r.EnergyJ
+		latency += r.LatencyS
+		if r.QoSViolated {
+			viol++
+		}
+		s.ByLocation[r.Location]++
+		s.ByModel[r.Model]++
+	}
+	s.Records = len(records)
+	s.MeanLatencyS = latency / float64(len(records))
+	s.ViolationRatio = float64(viol) / float64(len(records))
+	for loc := range s.ByLocation {
+		s.ByLocation[loc] /= float64(len(records))
+	}
+	return s
+}
+
+// RecordingPolicy adapts an engine to the sched.Policy interface while
+// appending every decision to a trace.
+type RecordingPolicy struct {
+	Engine *core.Engine
+	Out    *Writer
+	seq    int
+}
+
+// Name implements sched.Policy.
+func (p *RecordingPolicy) Name() string { return "AutoScale (traced)" }
+
+// Run implements sched.Policy: one engine step, recorded.
+func (p *RecordingPolicy) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	d, err := p.Engine.RunInference(m, c)
+	if err != nil {
+		return sim.Measurement{}, err
+	}
+	rec := FromDecision(p.seq, m.Name, d)
+	p.seq++
+	if err := p.Out.Append(rec); err != nil {
+		return sim.Measurement{}, err
+	}
+	return d.Measurement, nil
+}

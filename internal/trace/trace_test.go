@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"autoscale/internal/core"
+	"autoscale/internal/dnn"
+	"autoscale/internal/sim"
+	"autoscale/internal/soc"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{Seq: 0, Model: "MobileNet v1", State: "0|0|0|0|0|0|1|1", Target: "local/DSP@0/INT8",
+			Location: "local", LatencyS: 0.008, EnergyJ: 0.024, Reward: -19},
+		{Seq: 1, Model: "MobileBERT", Target: "cloud/GPU/FP32", Location: "cloud",
+			LatencyS: 0.031, EnergyJ: 0.076, Reward: -60, QoSViolated: true},
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 2 {
+		t.Errorf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("{\"seq\":0}\nnot json\n")); err == nil {
+		t.Error("garbage line should fail")
+	}
+	got, err := ReadAll(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Error("empty trace must read cleanly")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Model: "A", Location: "local", LatencyS: 0.010, EnergyJ: 0.02},
+		{Model: "A", Location: "cloud", LatencyS: 0.030, EnergyJ: 0.06, QoSViolated: true},
+		{Model: "B", Location: "local", LatencyS: 0.020, EnergyJ: 0.04},
+		{Model: "B", Location: "local", LatencyS: 0.020, EnergyJ: 0.04},
+	}
+	s := Summarize(recs)
+	if s.Records != 4 {
+		t.Errorf("records = %d", s.Records)
+	}
+	if s.ViolationRatio != 0.25 {
+		t.Errorf("violations = %v", s.ViolationRatio)
+	}
+	if s.ByLocation["local"] != 0.75 || s.ByLocation["cloud"] != 0.25 {
+		t.Errorf("location shares = %v", s.ByLocation)
+	}
+	if s.ByModel["A"] != 2 || s.ByModel["B"] != 2 {
+		t.Errorf("model counts = %v", s.ByModel)
+	}
+	if s.TotalEnergyJ != 0.16 {
+		t.Errorf("energy = %v", s.TotalEnergyJ)
+	}
+	if s.MeanLatencyS != 0.02 {
+		t.Errorf("mean latency = %v", s.MeanLatencyS)
+	}
+	empty := Summarize(nil)
+	if empty.Records != 0 || empty.ViolationRatio != 0 {
+		t.Error("empty summary must be zero")
+	}
+}
+
+func TestRecordingPolicy(t *testing.T) {
+	e, err := core.NewEngine(sim.NewWorld(soc.Mi8Pro(), 1), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	p := &RecordingPolicy{Engine: e, Out: NewWriter(&buf)}
+	if p.Name() != "AutoScale (traced)" {
+		t.Error("name wrong")
+	}
+	m := dnn.MustByName("MobileNet v1")
+	c := sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55}
+	for i := 0; i < 25; i++ {
+		if _, err := p.Run(m, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Out.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 25 {
+		t.Fatalf("trace has %d records, want 25", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != i {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.Model != m.Name || r.State == "" || r.Target == "" {
+			t.Fatalf("record %d incomplete: %+v", i, r)
+		}
+		if r.EnergyJ <= 0 || r.LatencyS <= 0 {
+			t.Fatalf("record %d lacks measurements", i)
+		}
+	}
+	sum := Summarize(recs)
+	if sum.ByModel[m.Name] != 25 {
+		t.Error("summary model count wrong")
+	}
+}

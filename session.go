@@ -1,0 +1,59 @@
+package autoscale
+
+import (
+	"io"
+
+	"autoscale/internal/session"
+	"autoscale/internal/trace"
+)
+
+// Session simulation: drive a policy with realistic request streams over
+// simulated wall-clock time, with battery accounting.
+type (
+	// SessionConfig describes one usage session (model, environment,
+	// arrival process, duration).
+	SessionConfig = session.Config
+	// SessionStats summarizes a session run.
+	SessionStats = session.Stats
+	// Arrival generates inference request gaps.
+	Arrival = session.Arrival
+	// Periodic issues requests at a fixed cadence (video frames).
+	Periodic = session.Periodic
+	// Poisson issues requests with exponential gaps (user interactions).
+	Poisson = session.Poisson
+	// Bursty alternates request bursts with long idle gaps.
+	Bursty = session.Bursty
+)
+
+// RunSession replays a usage session against a policy, optionally draining
+// a battery (nil skips battery accounting). The session ends at the
+// configured duration or when the battery empties.
+func RunSession(p Policy, cfg SessionConfig, b *Battery) (SessionStats, error) {
+	return session.Run(p, cfg, b)
+}
+
+// Decision tracing: an auditable JSON-Lines log of every scheduling
+// decision.
+type (
+	// TraceRecord is one scheduled inference in the log.
+	TraceRecord = trace.Record
+	// TraceWriter appends records as JSON Lines.
+	TraceWriter = trace.Writer
+	// TraceSummary aggregates a trace.
+	TraceSummary = trace.Summary
+)
+
+// NewTraceWriter wraps an io.Writer for decision logging.
+func NewTraceWriter(w io.Writer) *TraceWriter { return trace.NewWriter(w) }
+
+// ReadTrace decodes a JSON-Lines decision trace.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) { return trace.ReadAll(r) }
+
+// SummarizeTrace aggregates a decision trace.
+func SummarizeTrace(records []TraceRecord) TraceSummary { return trace.Summarize(records) }
+
+// TracedPolicy adapts an engine to the Policy interface while logging every
+// decision to the trace writer.
+func TracedPolicy(e *Engine, w *TraceWriter) Policy {
+	return &trace.RecordingPolicy{Engine: e, Out: w}
+}
