@@ -1,0 +1,25 @@
+# Repo checks. `make verify` is the documented pre-merge gate: it keeps the
+# concurrent serving/engine code race-clean on top of the tier-1
+# build-and-test pass.
+
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full gate: tier-1 (build + test) plus vet and the race detector.
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

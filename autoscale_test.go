@@ -2,6 +2,7 @@ package autoscale
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -263,5 +264,45 @@ func TestFleetProvision(t *testing.T) {
 	}
 	if wrapped.Donor() != fleet.Donor() {
 		t.Error("wrapped donor mismatch")
+	}
+}
+
+func TestProvisionGatewayAPI(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	fleet, err := NewFleet(Mi8Pro, cfg, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := fleet.ProvisionGateway([]string{GalaxyS10e, MotoXForce}, cfg,
+		GatewayConfig{QueueDepth: 16, FailoverLocal: true}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Model("MobileNet v1")
+	env, _ := NewEnvironment(EnvS1, 9)
+	for i := 0; i < 20; i++ {
+		r, err := gw.Do(Request{Model: m, Conditions: env.Sample()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != StatusServed || r.Decision.Measurement.EnergyJ <= 0 {
+			t.Fatalf("response %d: %+v", i, r)
+		}
+	}
+	snap := gw.Snapshot()
+	if snap.Served != 20 || snap.Accounted() != snap.Submitted {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if err := gw.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Submit(Request{Model: m}); err != ErrGatewayClosed {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+	if _, err := fleet.ProvisionGateway(nil, cfg, GatewayConfig{}, 1); err == nil {
+		t.Error("empty device list should fail")
+	}
+	if _, err := fleet.ProvisionGateway([]string{"iPhone"}, cfg, GatewayConfig{}, 1); err == nil {
+		t.Error("unknown device should fail")
 	}
 }

@@ -9,7 +9,10 @@ package autoscale
 // table). Ablation benches cover the design choices called out in DESIGN.md.
 
 import (
+	"context"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"autoscale/internal/core"
@@ -346,6 +349,93 @@ func BenchmarkQTableSnapshot(b *testing.B) {
 		if _, err := e.SnapshotQTable(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Serving gateway benches -----------------------------------------------
+
+// benchGateway builds a two-device gateway over lightly warmed engines.
+func benchGateway(b *testing.B) *Gateway {
+	b.Helper()
+	m := dnn.MustByName("MobileNet v3")
+	c := sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55}
+	var backends []GatewayBackend
+	for i, dev := range []*soc.Device{soc.Mi8Pro(), soc.GalaxyS10e()} {
+		e, err := core.NewEngine(sim.NewWorld(dev, int64(i+1)), core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			if _, err := e.RunInference(m, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		backends = append(backends, GatewayBackend{Device: dev.Name, Engine: e})
+	}
+	gw, err := NewGateway(backends, GatewayConfig{QueueDepth: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gw
+}
+
+// BenchmarkGatewayThroughput measures closed-loop requests/sec through the
+// serving gateway at increasing client concurrency — the perf baseline for
+// the serving layer (each client has at most one request in flight, so
+// ns/op is the per-request gateway overhead plus the engine step).
+func BenchmarkGatewayThroughput(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run("clients="+strconv.Itoa(clients), func(b *testing.B) {
+			gw := benchGateway(b)
+			m := dnn.MustByName("MobileNet v3")
+			c := sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55}
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for cl := 0; cl < clients; cl++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for remaining.Add(-1) >= 0 {
+						if _, err := gw.Do(Request{Model: m, Conditions: c}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if err := gw.Shutdown(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkGatewaySubmit measures the admission-control path alone —
+// open-loop submits that either enqueue or shed, never block — with the
+// responses collected outside the timer.
+func BenchmarkGatewaySubmit(b *testing.B) {
+	gw := benchGateway(b)
+	m := dnn.MustByName("MobileNet v3")
+	c := sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55}
+	chans := make([]<-chan Response, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := gw.Submit(Request{Model: m, Conditions: c})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	b.StopTimer()
+	if err := gw.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	for _, ch := range chans {
+		<-ch
 	}
 }
 

@@ -1,0 +1,267 @@
+// Command autoscale-serve load-tests the fleet-serving gateway: it
+// provisions one engine per device (optionally warm-started from a trained
+// donor), floods them with inference requests from concurrent clients —
+// closed-loop or Poisson open-loop — and prints the gateway's metrics
+// snapshot: served/shed/expired counts, latency and energy distributions,
+// queue high watermark and the decision breakdown.
+//
+// Usage:
+//
+//	autoscale-serve -devices Mi8Pro,GalaxyS10e -clients 16 -n 2000
+//	autoscale-serve -devices MotoXForce -rate 200 -deadline 50ms -shed oldest
+//	autoscale-serve -donor Mi8Pro -train 60 -devices GalaxyS10e,MotoXForce
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"autoscale"
+)
+
+func main() {
+	var (
+		devices  = flag.String("devices", "Mi8Pro,GalaxyS10e", "comma-separated device fleet")
+		donor    = flag.String("donor", "", "warm-start every engine from a donor trained on this device")
+		train    = flag.Int("train", 40, "donor training runs per (model, variance state); used with -donor")
+		model    = flag.String("model", "MobileNet v3", "model to serve")
+		envID    = flag.String("env", autoscale.EnvD2, "environment: S1-S5, D1-D4")
+		n        = flag.Int("n", 1000, "total requests")
+		clients  = flag.Int("clients", 16, "concurrent clients")
+		rate     = flag.Float64("rate", 0, "per-client Poisson request rate per second (0 = closed loop)")
+		queue    = flag.Int("queue", 0, "per-device queue depth (0 = gateway default)")
+		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+		shed     = flag.String("shed", "newest", "shed policy on full queue: newest, oldest")
+		failover = flag.Bool("failover", false, "re-execute QoS misses on the local fallback target")
+		snapdir  = flag.String("snapshots", "", "directory for Q-table snapshots flushed at shutdown")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		devices: strings.Split(*devices, ","), donor: *donor, train: *train,
+		model: *model, envID: *envID, n: *n, clients: *clients, rate: *rate,
+		queue: *queue, deadline: *deadline, shed: *shed, failover: *failover,
+		snapdir: *snapdir, seed: *seed,
+	}, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "autoscale-serve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	devices      []string
+	donor        string
+	train        int
+	model, envID string
+	n, clients   int
+	rate         float64
+	queue        int
+	deadline     time.Duration
+	shed         string
+	failover     bool
+	snapdir      string
+	seed         int64
+}
+
+func run(c config, out *os.File) error {
+	if c.clients < 1 {
+		return fmt.Errorf("need at least one client, got %d", c.clients)
+	}
+	gcfg := autoscale.GatewayConfig{QueueDepth: c.queue, FailoverLocal: c.failover}
+	switch c.shed {
+	case "newest":
+		gcfg.Shed = autoscale.ShedNewest
+	case "oldest":
+		gcfg.Shed = autoscale.ShedOldest
+	default:
+		return fmt.Errorf("unknown shed policy %q (newest, oldest)", c.shed)
+	}
+	if c.snapdir != "" {
+		if err := os.MkdirAll(c.snapdir, 0o755); err != nil {
+			return err
+		}
+		dir := c.snapdir
+		gcfg.Snapshot = func(device string, qtable []byte) error {
+			return os.WriteFile(filepath.Join(dir, device+".qtable.json"), qtable, 0o644)
+		}
+	}
+
+	m, err := autoscale.Model(c.model)
+	if err != nil {
+		return err
+	}
+
+	gw, err := buildGateway(c, gcfg)
+	if err != nil {
+		return err
+	}
+
+	mode := "closed-loop"
+	if c.rate > 0 {
+		mode = fmt.Sprintf("Poisson %.0f req/s per client", c.rate)
+	}
+	fmt.Fprintf(out, "serving %q on %s — %d requests, %d clients, %s\n",
+		m.Name, strings.Join(gw.Devices(), "+"), c.n, c.clients, mode)
+
+	start := time.Now()
+	if err := flood(gw, m, c); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		return err
+	}
+	printSnapshot(out, gw.Snapshot(), time.Since(start))
+	return nil
+}
+
+func buildGateway(c config, gcfg autoscale.GatewayConfig) (*autoscale.Gateway, error) {
+	ecfg := autoscale.DefaultEngineConfig()
+	if c.donor != "" {
+		fleet, err := autoscale.NewFleet(c.donor, ecfg, c.train, c.seed)
+		if err != nil {
+			return nil, err
+		}
+		return fleet.ProvisionGateway(c.devices, ecfg, gcfg, c.seed)
+	}
+	// Cold engines: learn online under the load itself.
+	backends := make([]autoscale.GatewayBackend, 0, len(c.devices))
+	for i, device := range c.devices {
+		world, err := autoscale.NewWorld(device, c.seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		engine, err := autoscale.NewEngine(world, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, autoscale.GatewayBackend{Device: device, Engine: engine})
+	}
+	return autoscale.NewGateway(backends, gcfg)
+}
+
+// flood drives the gateway from c.clients goroutines, each with its own
+// environment stream, and waits for every response.
+func flood(gw *autoscale.Gateway, m *autoscale.DNNModel, c config) error {
+	per := c.n / c.clients
+	extra := c.n % c.clients
+	errs := make(chan error, c.clients)
+	var wg sync.WaitGroup
+	for cl := 0; cl < c.clients; cl++ {
+		count := per
+		if cl < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(cl, count int) {
+			defer wg.Done()
+			env, err := autoscale.NewEnvironment(c.envID, c.seed+int64(cl))
+			if err != nil {
+				errs <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(c.seed + int64(cl)))
+			pending := make([]<-chan autoscale.Response, 0, count)
+			for i := 0; i < count; i++ {
+				if c.rate > 0 {
+					time.Sleep(time.Duration(rng.ExpFloat64() / c.rate * float64(time.Second)))
+				}
+				req := autoscale.Request{Model: m, Conditions: env.Sample()}
+				if c.deadline > 0 {
+					req.Deadline = time.Now().Add(c.deadline)
+				}
+				if c.rate > 0 {
+					// Open loop: fire and collect later.
+					ch, err := gw.Submit(req)
+					if err != nil {
+						errs <- err
+						return
+					}
+					pending = append(pending, ch)
+					continue
+				}
+				if _, err := gw.Do(req); err != nil &&
+					err != autoscale.ErrQueueFull && err != autoscale.ErrDeadlineExpired {
+					errs <- err
+					return
+				}
+			}
+			for _, ch := range pending {
+				<-ch
+			}
+		}(cl, count)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printSnapshot(out *os.File, s autoscale.GatewayMetrics, wall time.Duration) {
+	fmt.Fprintf(out, "\n%-14s %8d   (%.0f req/s wall)\n", "submitted", s.Submitted,
+		float64(s.Submitted)/wall.Seconds())
+	fmt.Fprintf(out, "%-14s %8d\n", "served", s.Served)
+	fmt.Fprintf(out, "%-14s %8d\n", "shed", s.Shed)
+	fmt.Fprintf(out, "%-14s %8d\n", "expired", s.Expired)
+	fmt.Fprintf(out, "%-14s %8d\n", "failed", s.Failed)
+	fmt.Fprintf(out, "%-14s %8d\n", "retried", s.Retried)
+	fmt.Fprintf(out, "%-14s %8d\n", "outages", s.Outages)
+	fmt.Fprintf(out, "%-14s %8d\n", "QoS misses", s.QoSViolations)
+	fmt.Fprintf(out, "%-14s %8d\n", "queue max", s.QueueMaxDepth)
+	if s.Served > 0 {
+		fmt.Fprintf(out, "\nlatency  mean %6.1f ms   p50 %s   p99 %s\n",
+			s.Latency.Mean()*1e3, quantileMS(s.Latency, 0.5), quantileMS(s.Latency, 0.99))
+		fmt.Fprintf(out, "wait     mean %6.2f ms   p99 %s\n",
+			s.Wait.Mean()*1e3, quantileMS(s.Wait, 0.99))
+		fmt.Fprintf(out, "energy   mean %6.1f mJ   total %.1f J\n",
+			s.Energy.Mean()*1e3, s.Energy.Sum)
+	}
+	if len(s.ByTarget) > 0 {
+		fmt.Fprintf(out, "\ndecisions:")
+		for _, loc := range sortedKeys(s.ByTarget) {
+			fmt.Fprintf(out, "  %s %.1f%%", loc, 100*float64(s.ByTarget[loc])/float64(s.Served))
+		}
+		fmt.Fprintln(out)
+	}
+	if len(s.ByDevice) > 0 {
+		fmt.Fprintf(out, "per device:")
+		for _, dev := range sortedKeys(s.ByDevice) {
+			fmt.Fprintf(out, "  %s %d", dev, s.ByDevice[dev])
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// quantileMS renders a histogram quantile, which is a bucket upper bound and
+// may be +Inf when the quantile lands in the overflow bucket.
+func quantileMS(h interface{ Quantile(float64) float64 }, q float64) string {
+	v := h.Quantile(q)
+	if math.IsInf(v, 1) {
+		return ">max"
+	}
+	return fmt.Sprintf("<=%.1fms", v*1e3)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func quick(t *testing.T) config {
+	t.Helper()
+	return config{
+		devices: []string{"Mi8Pro", "GalaxyS10e"},
+		model:   "MobileNet v1",
+		envID:   "S1",
+		n:       40,
+		clients: 4,
+		shed:    "newest",
+		seed:    1,
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	if err := run(quick(t), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOpenLoopWithDeadline(t *testing.T) {
+	c := quick(t)
+	c.rate = 5000 // fast open loop
+	c.deadline = 50 * time.Millisecond
+	c.shed = "oldest"
+	c.failover = true
+	c.n = 30
+	if err := run(c, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesSnapshots(t *testing.T) {
+	c := quick(t)
+	c.n = 20
+	c.snapdir = t.TempDir()
+	if err := run(c, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range c.devices {
+		path := filepath.Join(c.snapdir, dev+".qtable.json")
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("missing snapshot: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("empty snapshot %s", path)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	c := quick(t)
+	c.shed = "random"
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("bad shed policy accepted")
+	}
+	c = quick(t)
+	c.model = "AlexNet"
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("unknown model accepted")
+	}
+	c = quick(t)
+	c.devices = []string{"iPhone"}
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("unknown device accepted")
+	}
+	c = quick(t)
+	c.envID = "S9"
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("unknown environment accepted")
+	}
+}

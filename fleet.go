@@ -3,6 +3,8 @@ package autoscale
 import (
 	"fmt"
 	"sync"
+
+	"autoscale/internal/serve"
 )
 
 // Fleet operationalizes the paper's learning-transfer result (Section VI-C):
@@ -66,4 +68,23 @@ func (f *Fleet) Provision(device string, cfg EngineConfig, seed int64) (*Engine,
 		return nil, fmt.Errorf("autoscale: fleet transfer to %s: %w", device, err)
 	}
 	return engine, nil
+}
+
+// ProvisionGateway warm-starts one engine per named device (each seeded
+// seed, seed+1, ...) and wraps them in a serving gateway — the one-call path
+// from a trained donor to a fleet accepting traffic. Each name becomes one
+// gateway worker, so the list must not repeat a name.
+func (f *Fleet) ProvisionGateway(devices []string, cfg EngineConfig, gcfg GatewayConfig, seed int64) (*Gateway, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("autoscale: gateway needs at least one device")
+	}
+	backends := make([]GatewayBackend, 0, len(devices))
+	for i, device := range devices {
+		engine, err := f.Provision(device, cfg, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, GatewayBackend{Device: device, Engine: engine})
+	}
+	return serve.New(backends, gcfg)
 }

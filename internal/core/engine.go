@@ -96,7 +96,17 @@ type pendingUpdate struct {
 // Engine is the AutoScale execution-scaling engine of Fig 8. It is safe for
 // concurrent use by multiple services sharing one device: the paper deploys
 // AutoScale "as part of intelligent services" on the mobile CPU, and a phone
-// runs several such services at once.
+// runs several such services at once — and the serving gateway drives one
+// engine per device from its worker goroutines.
+//
+// Concurrency contract: every method serializes on one mutex, so each
+// RunInference step (observe, select, execute, reward, stage update) is
+// atomic with respect to the others. Under concurrent callers the deferred
+// Algorithm 1 update chain interleaves across callers — each step's staged
+// (S, A, R) completes against the next observed state regardless of which
+// caller observes it — which matches the paper's single-decision-stream
+// semantics: the device executes one inference at a time, so the engine sees
+// one totally ordered decision sequence.
 type Engine struct {
 	World   *sim.World
 	Actions *ActionSpace
@@ -151,8 +161,13 @@ func NewEngine(w *sim.World, cfg Config) (*Engine, error) {
 }
 
 // Agent exposes the underlying Q-learning agent (for persistence, transfer
-// and inspection).
-func (e *Engine) Agent() *rl.Agent { return e.agent }
+// and inspection). The agent is itself safe for concurrent use; the lock
+// here only guards the field against a concurrent RestoreQTable swap.
+func (e *Engine) Agent() *rl.Agent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.agent
+}
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -283,7 +298,10 @@ func (e *Engine) TransferFrom(donor *Engine) error {
 	for i := range mapping {
 		mapping[i] = donorActionFor(e.Actions.Target(i), e, donor)
 	}
-	return e.agent.ImportMapped(donor.agent, mapping)
+	// Snapshot both agent fields under their engines' locks (a concurrent
+	// RestoreQTable may swap either); ImportMapped then locks the agents
+	// themselves, one at a time, so a live donor keeps serving.
+	return e.Agent().ImportMapped(donor.Agent(), mapping)
 }
 
 // donorActionFor finds the donor action semantically closest to target t, or
@@ -317,7 +335,7 @@ func donorActionFor(t sim.Target, dst, donor *Engine) int {
 }
 
 // SnapshotQTable serializes the engine's Q-table.
-func (e *Engine) SnapshotQTable() ([]byte, error) { return e.agent.Snapshot() }
+func (e *Engine) SnapshotQTable() ([]byte, error) { return e.Agent().Snapshot() }
 
 // RestoreQTable replaces the engine's agent with one restored from a
 // snapshot; the action-space size must match.

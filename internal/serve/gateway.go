@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoscale/internal/core"
+	"autoscale/internal/dnn"
+	"autoscale/internal/serve/metrics"
+	"autoscale/internal/sim"
+	"autoscale/internal/soc"
+)
+
+// Gateway serves inference requests against a fleet of per-device engines,
+// one worker goroutine per device. It is safe for concurrent use by any
+// number of clients.
+type Gateway struct {
+	cfg     Config
+	met     *metrics.Registry
+	workers []*worker
+	byName  map[string]*worker
+	rr      atomic.Uint64
+
+	mu       sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup // Submit calls between admission and enqueue
+	wg       sync.WaitGroup // worker goroutines
+}
+
+// worker is one device's serving lane: a warm engine and a bounded queue.
+type worker struct {
+	device      string
+	engine      *core.Engine
+	queue       chan *pending
+	fallback    sim.Target
+	hasFallback bool
+}
+
+// pending is one admitted request awaiting execution.
+type pending struct {
+	req         Request
+	resp        chan Response
+	submittedAt time.Time
+}
+
+// New builds a gateway over the given backends and starts one worker per
+// device. Backends need distinct device names and non-nil engines.
+func New(backends []Backend, cfg Config) (*Gateway, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("serve: no backends")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		met:    metrics.New(),
+		byName: make(map[string]*worker, len(backends)),
+	}
+	for _, b := range backends {
+		if b.Engine == nil {
+			return nil, fmt.Errorf("serve: backend %q has nil engine", b.Device)
+		}
+		if b.Device == "" {
+			return nil, errors.New("serve: backend with empty device name")
+		}
+		if _, dup := g.byName[b.Device]; dup {
+			return nil, fmt.Errorf("serve: duplicate backend %q", b.Device)
+		}
+		w := &worker{
+			device: b.Device,
+			engine: b.Engine,
+			queue:  make(chan *pending, cfg.queueDepth()),
+		}
+		// The failover target mirrors the sim's outage fallback: local CPU
+		// at top frequency, FP32.
+		if cpu := b.Engine.World.Device.Processor(soc.CPU); cpu != nil {
+			w.fallback = sim.Target{Location: sim.Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+			w.hasFallback = true
+		}
+		g.workers = append(g.workers, w)
+		g.byName[b.Device] = w
+	}
+	for _, w := range g.workers {
+		g.wg.Add(1)
+		go g.runWorker(w)
+	}
+	return g, nil
+}
+
+// Devices returns the served device names in sorted order.
+func (g *Gateway) Devices() []string {
+	out := make([]string, 0, len(g.workers))
+	for _, w := range g.workers {
+		out = append(out, w.device)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Metrics exposes the live registry.
+func (g *Gateway) Metrics() *metrics.Registry { return g.met }
+
+// Snapshot copies the current metrics.
+func (g *Gateway) Snapshot() metrics.Snapshot { return g.met.Snapshot() }
+
+func (g *Gateway) now() time.Time {
+	if g.cfg.Clock != nil {
+		return g.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// Submit runs admission control on one request and, when admitted, enqueues
+// it; it never blocks on a full queue. The returned channel (buffered,
+// always delivered to exactly once) carries the terminal Response — shed and
+// expired requests get an immediate rejection response rather than an
+// execution. The error return is reserved for misuse (nil model) and a
+// closed gateway.
+func (g *Gateway) Submit(req Request) (<-chan Response, error) {
+	if req.Model == nil {
+		return nil, errors.New("serve: request needs a model")
+	}
+	g.mu.RLock()
+	if g.closed {
+		g.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	// inflight is raised before the closed check releases so Shutdown
+	// cannot close the queues while this request is between admission and
+	// enqueue.
+	g.inflight.Add(1)
+	g.mu.RUnlock()
+	defer g.inflight.Done()
+
+	now := g.now()
+	g.met.IncSubmitted()
+	p := &pending{req: req, resp: make(chan Response, 1), submittedAt: now}
+
+	// A dead-on-arrival deadline is failed fast without touching a queue.
+	if !req.Deadline.IsZero() && now.After(req.Deadline) {
+		g.met.IncExpired()
+		p.resp <- Response{
+			Status: StatusExpired, Err: ErrDeadlineExpired,
+			SubmittedAt: now, DoneAt: now,
+		}
+		return p.resp, nil
+	}
+
+	w, err := g.pick(req.Device)
+	if err != nil {
+		g.met.IncFailed()
+		p.resp <- Response{Status: StatusFailed, Err: err, SubmittedAt: now, DoneAt: now}
+		return p.resp, nil
+	}
+
+	if g.enqueue(w, p) {
+		return p.resp, nil
+	}
+	if g.cfg.Shed == ShedOldest {
+		// Evict the oldest queued request to make room; if a worker drained
+		// the queue in between, the eviction simply frees nothing and the
+		// retry below usually succeeds.
+		select {
+		case old := <-w.queue:
+			g.met.QueueExit()
+			g.reject(old, w.device)
+		default:
+		}
+		if g.enqueue(w, p) {
+			return p.resp, nil
+		}
+	}
+	g.reject(p, w.device)
+	return p.resp, nil
+}
+
+func (g *Gateway) enqueue(w *worker, p *pending) bool {
+	select {
+	case w.queue <- p:
+		g.met.QueueEnter()
+		return true
+	default:
+		return false
+	}
+}
+
+// reject sheds one request with a terminal response.
+func (g *Gateway) reject(p *pending, device string) {
+	g.met.IncShed()
+	p.resp <- Response{
+		Status: StatusShed, Device: device, Err: ErrQueueFull,
+		SubmittedAt: p.submittedAt, DoneAt: g.now(),
+	}
+}
+
+// pick routes a request: a named device directly, otherwise the least-loaded
+// queue with a rotating tiebreak.
+func (g *Gateway) pick(device string) (*worker, error) {
+	if device != "" {
+		w, ok := g.byName[device]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q (serving %v)", ErrUnknownDevice, device, g.Devices())
+		}
+		return w, nil
+	}
+	offset := int(g.rr.Add(1))
+	best := g.workers[offset%len(g.workers)]
+	for i := 1; i < len(g.workers); i++ {
+		w := g.workers[(offset+i)%len(g.workers)]
+		if len(w.queue) < len(best.queue) {
+			best = w
+		}
+	}
+	return best, nil
+}
+
+// Do submits one request and waits for its response — the synchronous
+// convenience for closed-loop clients. The response's Err is also returned
+// for non-served outcomes.
+func (g *Gateway) Do(req Request) (Response, error) {
+	ch, err := g.Submit(req)
+	if err != nil {
+		return Response{}, err
+	}
+	r := <-ch
+	if r.Status != StatusServed {
+		return r, r.Err
+	}
+	return r, nil
+}
+
+// runWorker drains one device queue until Shutdown closes it.
+func (g *Gateway) runWorker(w *worker) {
+	defer g.wg.Done()
+	for p := range w.queue {
+		g.met.QueueExit()
+		g.serveOne(w, p)
+	}
+}
+
+// serveOne executes one admitted request: deadline fast-fail, the engine
+// step, optional failover, metrics, response.
+func (g *Gateway) serveOne(w *worker, p *pending) {
+	start := g.now()
+	wait := start.Sub(p.submittedAt).Seconds()
+	g.met.ObserveWait(wait)
+
+	base := Response{Device: w.device, SubmittedAt: p.submittedAt, WaitS: wait}
+
+	// A request that waited past its deadline is failed fast, not executed:
+	// the client has already moved on, and running it would only burn
+	// device energy on a dead answer.
+	if !p.req.Deadline.IsZero() && start.After(p.req.Deadline) {
+		g.met.IncExpired()
+		base.Status, base.Err, base.DoneAt = StatusExpired, ErrDeadlineExpired, start
+		p.resp <- base
+		return
+	}
+
+	d, err := w.engine.RunInference(p.req.Model, p.req.Conditions)
+	if err != nil {
+		g.met.IncFailed()
+		base.Status, base.Err, base.DoneAt = StatusFailed, err, g.now()
+		p.resp <- base
+		return
+	}
+
+	// The sim reports an outage by executing the local fallback in place of
+	// the chosen remote target.
+	outage := d.Target.Location != sim.Local && d.Measurement.Target.Location == sim.Local
+	if outage {
+		g.met.IncOutage()
+	}
+
+	retried := false
+	if g.cfg.FailoverLocal && d.QoSViolated && w.hasFallback &&
+		!outage && d.Measurement.Target != w.fallback {
+		// Outage results already ran the fallback; everything else that
+		// missed QoS gets one local re-execution. Deadline permitting.
+		if p.req.Deadline.IsZero() || g.now().Before(p.req.Deadline) {
+			if meas, ferr := w.engine.World.Execute(p.req.Model, w.fallback, p.req.Conditions); ferr == nil {
+				d.Measurement = meas
+				d.QoSViolated = meas.LatencyS > d.QoSTargetS
+				retried = true
+				g.met.IncRetried()
+			}
+		}
+	}
+
+	if d.QoSViolated {
+		g.met.IncQoSViolation()
+	}
+	g.met.IncServed()
+	g.met.ObserveLatency(d.Measurement.LatencyS)
+	g.met.ObserveEnergy(d.Measurement.EnergyJ)
+	g.met.CountTarget(d.Measurement.Target.Location.String())
+	g.met.CountDevice(w.device)
+
+	base.Status, base.Decision, base.Retried, base.Outage, base.DoneAt =
+		StatusServed, d, retried, outage, g.now()
+	p.resp <- base
+}
+
+// Shutdown stops admission, drains every queue (queued requests still
+// execute, deadline rules still apply), waits for the workers, then flushes
+// each engine's Q-table through cfg.Snapshot. The context bounds only the
+// drain wait; on ctx expiry workers keep draining in the background but
+// snapshots are skipped.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	g.closed = true
+	g.mu.Unlock()
+
+	// Wait out Submits that passed the closed check, then close the queues
+	// — after this no send can race the close.
+	g.inflight.Wait()
+	for _, w := range g.workers {
+		close(w.queue)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+
+	if g.cfg.Snapshot == nil {
+		return nil
+	}
+	var errs []error
+	for _, w := range g.workers {
+		data, err := w.engine.SnapshotQTable()
+		if err == nil {
+			err = g.cfg.Snapshot(w.device, data)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("serve: snapshot %s: %w", w.device, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,286 @@
+// Package metrics is the serving gateway's runtime instrumentation: a
+// registry of lock-free counters and histograms every worker updates on the
+// hot path, plus a consistent-enough Snapshot for tests, the CLI and
+// operators. Counters are atomic so the gateway never serializes requests on
+// bookkeeping; the only mutex guards the low-cardinality per-target and
+// per-device maps.
+package metrics
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry accumulates gateway counters. The zero value is not usable; call
+// New.
+type Registry struct {
+	submitted     atomic.Int64
+	served        atomic.Int64
+	shed          atomic.Int64
+	expired       atomic.Int64
+	failed        atomic.Int64
+	retried       atomic.Int64
+	qosViolations atomic.Int64
+	outages       atomic.Int64
+
+	queueDepth atomic.Int64
+	queueMax   atomic.Int64
+
+	latency *Histogram
+	wait    *Histogram
+	energy  *Histogram
+
+	mu       sync.Mutex
+	byTarget map[string]int64
+	byDevice map[string]int64
+}
+
+// New builds a registry with the default latency/wait/energy bucket ladders:
+// exponential from 1 ms to ~16 s for the two time axes (sub-millisecond
+// lookups to radio-timeout stalls) and from 0.1 mJ to ~26 J for energy.
+func New() *Registry {
+	return &Registry{
+		latency:  NewHistogram(ExponentialBounds(1e-3, 2, 15)),
+		wait:     NewHistogram(ExponentialBounds(1e-3, 2, 15)),
+		energy:   NewHistogram(ExponentialBounds(1e-4, 2, 19)),
+		byTarget: make(map[string]int64),
+		byDevice: make(map[string]int64),
+	}
+}
+
+// IncSubmitted counts one request entering admission control.
+func (r *Registry) IncSubmitted() { r.submitted.Add(1) }
+
+// IncServed counts one executed request.
+func (r *Registry) IncServed() { r.served.Add(1) }
+
+// IncShed counts one request rejected by admission control (full queue).
+func (r *Registry) IncShed() { r.shed.Add(1) }
+
+// IncExpired counts one request failed fast on a passed deadline.
+func (r *Registry) IncExpired() { r.expired.Add(1) }
+
+// IncFailed counts one request whose execution returned an error.
+func (r *Registry) IncFailed() { r.failed.Add(1) }
+
+// IncRetried counts one failover re-execution on the local fallback target.
+func (r *Registry) IncRetried() { r.retried.Add(1) }
+
+// IncQoSViolation counts one served request over its latency target.
+func (r *Registry) IncQoSViolation() { r.qosViolations.Add(1) }
+
+// IncOutage counts one simulated radio outage absorbed by the sim's local
+// fallback.
+func (r *Registry) IncOutage() { r.outages.Add(1) }
+
+// QueueEnter bumps the aggregate queue-depth gauge and its high watermark.
+func (r *Registry) QueueEnter() {
+	d := r.queueDepth.Add(1)
+	for {
+		max := r.queueMax.Load()
+		if d <= max || r.queueMax.CompareAndSwap(max, d) {
+			return
+		}
+	}
+}
+
+// QueueExit drops the aggregate queue-depth gauge.
+func (r *Registry) QueueExit() { r.queueDepth.Add(-1) }
+
+// QueueDepth returns the current aggregate queue depth.
+func (r *Registry) QueueDepth() int64 { return r.queueDepth.Load() }
+
+// ObserveLatency records one end-to-end execution latency (seconds).
+func (r *Registry) ObserveLatency(s float64) { r.latency.Observe(s) }
+
+// ObserveWait records one queue wait (seconds).
+func (r *Registry) ObserveWait(s float64) { r.wait.Observe(s) }
+
+// ObserveEnergy records one mobile-side energy cost (joules).
+func (r *Registry) ObserveEnergy(j float64) { r.energy.Observe(j) }
+
+// CountTarget counts one execution against a target label (the coarse
+// location — local/connected/cloud — keeps the map small).
+func (r *Registry) CountTarget(label string) {
+	r.mu.Lock()
+	r.byTarget[label]++
+	r.mu.Unlock()
+}
+
+// CountDevice counts one execution against a gateway worker.
+func (r *Registry) CountDevice(device string) {
+	r.mu.Lock()
+	r.byDevice[device]++
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the registry. Individual fields are
+// read atomically; the snapshot as a whole is not a single atomic cut, so
+// cross-field invariants (Accounted == Submitted) only hold once the gateway
+// is quiescent.
+type Snapshot struct {
+	Submitted     int64
+	Served        int64
+	Shed          int64
+	Expired       int64
+	Failed        int64
+	Retried       int64
+	QoSViolations int64
+	Outages       int64
+
+	QueueDepth    int64
+	QueueMaxDepth int64
+
+	Latency HistogramSnapshot
+	Wait    HistogramSnapshot
+	Energy  HistogramSnapshot
+
+	// ByTarget counts executions per execution-location label; ByDevice per
+	// gateway worker.
+	ByTarget map[string]int64
+	ByDevice map[string]int64
+}
+
+// Accounted returns the number of requests with a terminal outcome.
+func (s Snapshot) Accounted() int64 { return s.Served + s.Shed + s.Expired + s.Failed }
+
+// Snapshot copies the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Submitted:     r.submitted.Load(),
+		Served:        r.served.Load(),
+		Shed:          r.shed.Load(),
+		Expired:       r.expired.Load(),
+		Failed:        r.failed.Load(),
+		Retried:       r.retried.Load(),
+		QoSViolations: r.qosViolations.Load(),
+		Outages:       r.outages.Load(),
+		QueueDepth:    r.queueDepth.Load(),
+		QueueMaxDepth: r.queueMax.Load(),
+		Latency:       r.latency.Snapshot(),
+		Wait:          r.wait.Snapshot(),
+		Energy:        r.energy.Snapshot(),
+		ByTarget:      make(map[string]int64),
+		ByDevice:      make(map[string]int64),
+	}
+	r.mu.Lock()
+	for k, v := range r.byTarget {
+		s.ByTarget[k] = v
+	}
+	for k, v := range r.byDevice {
+		s.ByDevice[k] = v
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe. Bucket
+// i counts observations <= Bounds[i]; the final (implicit) bucket counts the
+// overflow.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram over sorted ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExponentialBounds returns n upper bounds start, start*factor, ...
+func ExponentialBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time histogram copy.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra overflow
+	// bucket.
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) as the upper bound of the bucket
+// holding it; overflow observations report +Inf.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// atomicFloat is a float64 accumulated with compare-and-swap.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }

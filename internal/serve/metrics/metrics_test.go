@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCountersAndSnapshot(t *testing.T) {
+	r := New()
+	r.IncSubmitted()
+	r.IncSubmitted()
+	r.IncServed()
+	r.IncShed()
+	r.IncRetried()
+	r.IncQoSViolation()
+	r.IncOutage()
+	r.CountTarget("local")
+	r.CountTarget("local")
+	r.CountTarget("cloud")
+	r.CountDevice("Mi8Pro")
+
+	s := r.Snapshot()
+	if s.Submitted != 2 || s.Served != 1 || s.Shed != 1 || s.Expired != 0 {
+		t.Fatalf("snapshot counters: %+v", s)
+	}
+	if s.Retried != 1 || s.QoSViolations != 1 || s.Outages != 1 {
+		t.Fatalf("snapshot counters: %+v", s)
+	}
+	if s.Accounted() != 2 {
+		t.Fatalf("accounted = %d", s.Accounted())
+	}
+	if s.ByTarget["local"] != 2 || s.ByTarget["cloud"] != 1 || s.ByDevice["Mi8Pro"] != 1 {
+		t.Fatalf("maps: %+v %+v", s.ByTarget, s.ByDevice)
+	}
+	// The snapshot must be a copy, not a view.
+	s.ByTarget["local"] = 99
+	if r.Snapshot().ByTarget["local"] != 2 {
+		t.Fatal("snapshot aliases the registry map")
+	}
+}
+
+func TestQueueGauge(t *testing.T) {
+	r := New()
+	r.QueueEnter()
+	r.QueueEnter()
+	r.QueueEnter()
+	r.QueueExit()
+	if d := r.QueueDepth(); d != 2 {
+		t.Fatalf("depth = %d", d)
+	}
+	s := r.Snapshot()
+	if s.QueueDepth != 2 || s.QueueMaxDepth != 3 {
+		t.Fatalf("gauge: depth %d max %d", s.QueueDepth, s.QueueMaxDepth)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	want := []int64{2, 1, 1, 1} // <=1, <=10, <=100, overflow
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if got := s.Mean(); math.Abs(got-111.3) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if q := s.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := s.Quantile(0.99); !math.IsInf(q, 1) {
+		t.Fatalf("p99 = %v, want +Inf (overflow bucket)", q)
+	}
+	if q := s.Quantile(0.2); q != 1 {
+		t.Fatalf("p20 = %v", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := NewHistogram(ExponentialBounds(1e-3, 2, 4)).Snapshot()
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram: mean %v p50 %v", s.Mean(), s.Quantile(0.5))
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	b := ExponentialBounds(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v", b)
+		}
+	}
+}
+
+// TestConcurrentUpdates hammers every mutator from many goroutines; run with
+// -race this is the registry's thread-safety regression test.
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.IncSubmitted()
+				r.IncServed()
+				r.QueueEnter()
+				r.ObserveLatency(0.01)
+				r.ObserveEnergy(0.5)
+				r.ObserveWait(0.001)
+				r.CountTarget("local")
+				r.CountDevice("dev")
+				r.QueueExit()
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Submitted != workers*each || s.Served != workers*each {
+		t.Fatalf("lost counts: %+v", s)
+	}
+	if s.Latency.Count != workers*each {
+		t.Fatalf("lost latency observations: %d", s.Latency.Count)
+	}
+	if got := s.Latency.Sum; math.Abs(got-workers*each*0.01) > 1e-6 {
+		t.Fatalf("latency sum = %v", got)
+	}
+	if s.QueueDepth != 0 {
+		t.Fatalf("queue depth = %d", s.QueueDepth)
+	}
+	if s.ByTarget["local"] != workers*each {
+		t.Fatalf("target counts = %d", s.ByTarget["local"])
+	}
+}

@@ -1,0 +1,176 @@
+// Package serve is the fleet-serving layer on top of the AutoScale engine:
+// a Gateway that owns one warm-started engine per device, accepts inference
+// requests through bounded per-device queues, and returns responses on
+// per-request channels. The paper's engine decides one inference at a time
+// on one device; a production deployment faces a stream of requests from
+// many services against a heterogeneous fleet, and needs the plumbing the
+// paper never had to build — admission control instead of unbounded
+// blocking, deadline-aware dispatch that fails stale work fast, failover to
+// the local fallback target on QoS misses, runtime metrics, and a graceful
+// shutdown that drains queues and persists what each engine learned.
+//
+// The gateway deliberately preserves the paper's per-decision semantics:
+// every executed request goes through Engine.RunInference — observe, select
+// epsilon-greedily, execute, reward, stage the Q update — so engines keep
+// learning online under production traffic exactly as they do in the
+// single-stream experiments.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"autoscale/internal/core"
+	"autoscale/internal/dnn"
+	"autoscale/internal/sim"
+)
+
+// Sentinel errors surfaced on rejected or failed requests.
+var (
+	// ErrClosed is returned by Submit after Shutdown has begun.
+	ErrClosed = errors.New("serve: gateway closed")
+	// ErrQueueFull marks a request shed by admission control.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDeadlineExpired marks a request whose deadline passed before
+	// execution.
+	ErrDeadlineExpired = errors.New("serve: deadline expired")
+	// ErrUnknownDevice marks a request routed to a device the gateway does
+	// not serve.
+	ErrUnknownDevice = errors.New("serve: unknown device")
+)
+
+// Status is the terminal outcome of a request.
+type Status int
+
+// Request outcomes.
+const (
+	// StatusServed: the request executed (possibly with a failover retry).
+	StatusServed Status = iota
+	// StatusShed: admission control rejected the request on a full queue.
+	StatusShed
+	// StatusExpired: the deadline passed before execution; the request
+	// never ran.
+	StatusExpired
+	// StatusFailed: execution returned an error, or routing failed.
+	StatusFailed
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusServed:
+		return "served"
+	case StatusShed:
+		return "shed"
+	case StatusExpired:
+		return "expired"
+	case StatusFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Request is one inference to serve.
+type Request struct {
+	// Model is the network to run.
+	Model *dnn.Model
+	// Conditions is the stochastic runtime variance at this request.
+	Conditions sim.Conditions
+	// Deadline, when non-zero, is the latest useful completion time: a
+	// request still queued past it is failed fast, never executed.
+	Deadline time.Time
+	// Device pins the request to a named worker; empty routes to the
+	// least-loaded queue.
+	Device string
+}
+
+// Response is the terminal outcome delivered on the request's channel.
+type Response struct {
+	// Status classifies the outcome.
+	Status Status
+	// Device is the worker that handled the request (empty when rejected at
+	// admission before routing).
+	Device string
+	// Decision is the engine step for served requests (zero otherwise —
+	// shed and expired requests never execute).
+	Decision core.Decision
+	// Retried marks a failover re-execution on the local fallback target.
+	Retried bool
+	// Outage marks a simulated radio outage absorbed by the sim's local
+	// fallback during execution.
+	Outage bool
+	// Err carries the rejection or execution error (nil for clean serves).
+	Err error
+	// SubmittedAt / DoneAt bracket the request's life in the gateway.
+	SubmittedAt time.Time
+	DoneAt      time.Time
+	// WaitS is the queue wait in gateway wall-clock seconds.
+	WaitS float64
+}
+
+// ShedPolicy selects which request a full queue sacrifices.
+type ShedPolicy int
+
+// Shed policies.
+const (
+	// ShedNewest rejects the arriving request (default): queued work is
+	// older and closer to its deadline, so it keeps its slot.
+	ShedNewest ShedPolicy = iota
+	// ShedOldest evicts the oldest queued request to admit the new one:
+	// under overload the freshest request has the best chance of meeting
+	// its deadline.
+	ShedOldest
+)
+
+// String returns the policy name.
+func (p ShedPolicy) String() string {
+	if p == ShedOldest {
+		return "oldest"
+	}
+	return "newest"
+}
+
+// Config tunes a Gateway.
+type Config struct {
+	// QueueDepth bounds each worker's queue (default 64).
+	QueueDepth int
+	// Shed selects the admission-control victim on a full queue.
+	Shed ShedPolicy
+	// FailoverLocal re-executes a QoS-missed decision on the worker's local
+	// fallback target (CPU at top frequency, FP32 — the same fallback the
+	// sim's outage machinery uses). The retry is an operator action outside
+	// the learning loop: the engine already staged its reward for the
+	// original decision, so the Q-table still learns that the remote choice
+	// missed.
+	FailoverLocal bool
+	// Snapshot, when non-nil, receives each engine's Q-table from Shutdown
+	// after the queues drain — the persistence hook that keeps online
+	// learning across restarts.
+	Snapshot func(device string, qtable []byte) error
+	// Clock overrides the gateway's time source (tests; default time.Now).
+	Clock func() time.Time
+}
+
+// Backend pairs a device name with its (typically warm-started) engine.
+type Backend struct {
+	Device string
+	Engine *core.Engine
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth == 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+func (c Config) validate() error {
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("serve: negative queue depth %d", c.QueueDepth)
+	}
+	if c.Shed != ShedNewest && c.Shed != ShedOldest {
+		return fmt.Errorf("serve: unknown shed policy %d", c.Shed)
+	}
+	return nil
+}

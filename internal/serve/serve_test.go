@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"autoscale/internal/core"
+	"autoscale/internal/dnn"
+	"autoscale/internal/serve/metrics"
+	"autoscale/internal/sim"
+	"autoscale/internal/soc"
+)
+
+func testEngine(t testing.TB, dev *soc.Device, seed int64, cfg core.Config) *core.Engine {
+	t.Helper()
+	w := sim.NewWorld(dev, seed)
+	e, err := core.NewEngine(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testGateway(t testing.TB, cfg Config) *Gateway {
+	t.Helper()
+	g, err := New([]Backend{
+		{Device: "Mi8Pro", Engine: testEngine(t, soc.Mi8Pro(), 1, core.DefaultConfig())},
+		{Device: "GalaxyS10e", Engine: testEngine(t, soc.GalaxyS10e(), 2, core.DefaultConfig())},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func conds() sim.Conditions { return sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55} }
+
+// TestGatewayStress floods two devices from 16 concurrent clients and checks
+// the accounting invariants: no request is lost (served + shed + expired ==
+// submitted), rejected requests never execute, and the metrics snapshot
+// agrees with the per-request responses.
+func TestGatewayStress(t *testing.T) {
+	const clients, perClient = 16, 50
+	g := testGateway(t, Config{QueueDepth: 1})
+	m := dnn.MustByName("MobileNet v3")
+	devices := g.Devices()
+
+	var mu sync.Mutex
+	var chans []<-chan Response
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]<-chan Response, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				req := Request{Model: m, Conditions: conds(), Device: devices[(c+i)%len(devices)]}
+				if i%7 == 3 {
+					// Dead on arrival: must expire, never execute.
+					req.Deadline = time.Now().Add(-time.Second)
+				}
+				ch, err := g.Submit(req)
+				if err != nil {
+					t.Errorf("client %d: submit: %v", c, err)
+					return
+				}
+				local = append(local, ch)
+			}
+			mu.Lock()
+			chans = append(chans, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := g.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	tally := map[Status]int64{}
+	for _, ch := range chans {
+		select {
+		case r := <-ch:
+			tally[r.Status]++
+			if r.Status != StatusServed {
+				// Shed and expired requests must never have executed.
+				if r.Decision.Measurement.LatencyS != 0 || r.Decision.Measurement.EnergyJ != 0 {
+					t.Fatalf("%s request carries an execution: %+v", r.Status, r.Decision)
+				}
+				if r.Err == nil {
+					t.Fatalf("%s request without a cause", r.Status)
+				}
+			}
+		default:
+			t.Fatal("request lost: no response after drain")
+		}
+	}
+
+	total := int64(clients * perClient)
+	if got := tally[StatusServed] + tally[StatusShed] + tally[StatusExpired] + tally[StatusFailed]; got != total {
+		t.Fatalf("responses = %d, want %d (tally %v)", got, total, tally)
+	}
+	if tally[StatusFailed] != 0 {
+		t.Fatalf("unexpected failures: %v", tally)
+	}
+	if tally[StatusServed] == 0 || tally[StatusExpired] == 0 {
+		t.Fatalf("degenerate stress mix: %v", tally)
+	}
+
+	snap := g.Snapshot()
+	if snap.Submitted != total {
+		t.Errorf("snapshot submitted = %d, want %d", snap.Submitted, total)
+	}
+	if snap.Accounted() != total {
+		t.Errorf("snapshot accounts for %d of %d", snap.Accounted(), total)
+	}
+	for status, want := range map[Status]int64{
+		StatusServed:  snap.Served,
+		StatusShed:    snap.Shed,
+		StatusExpired: snap.Expired,
+		StatusFailed:  snap.Failed,
+	} {
+		if tally[status] != want {
+			t.Errorf("%s: responses %d vs snapshot %d", status, tally[status], want)
+		}
+	}
+	if snap.Latency.Count != snap.Served {
+		t.Errorf("latency observations = %d, want %d", snap.Latency.Count, snap.Served)
+	}
+	var byDevice int64
+	for _, n := range snap.ByDevice {
+		byDevice += n
+	}
+	if byDevice != snap.Served {
+		t.Errorf("per-device counts sum to %d, want %d", byDevice, snap.Served)
+	}
+	if snap.QueueDepth != 0 {
+		t.Errorf("queue depth after drain = %d", snap.QueueDepth)
+	}
+}
+
+// TestShedPolicies drives admission control deterministically against a
+// gateway whose worker is never started, so the queue state is fully
+// controlled by the test.
+func TestShedPolicies(t *testing.T) {
+	m := dnn.MustByName("MobileNet v1")
+	build := func(policy ShedPolicy) *Gateway {
+		w := &worker{device: "Mi8Pro", engine: testEngine(t, soc.Mi8Pro(), 1, core.DefaultConfig()),
+			queue: make(chan *pending, 1)}
+		return &Gateway{
+			cfg:     Config{QueueDepth: 1, Shed: policy},
+			met:     metrics.New(),
+			workers: []*worker{w},
+			byName:  map[string]*worker{"Mi8Pro": w},
+		}
+	}
+
+	t.Run("newest", func(t *testing.T) {
+		g := build(ShedNewest)
+		first, err := g.Submit(Request{Model: m, Conditions: conds()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := g.Submit(Request{Model: m, Conditions: conds()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case r := <-second:
+			if r.Status != StatusShed || r.Err != ErrQueueFull {
+				t.Fatalf("second request: %+v", r)
+			}
+		default:
+			t.Fatal("newest arrival not shed on full queue")
+		}
+		select {
+		case r := <-first:
+			t.Fatalf("queued request disturbed: %+v", r)
+		default:
+		}
+		if snap := g.Snapshot(); snap.Shed != 1 || snap.Submitted != 2 {
+			t.Fatalf("snapshot: %+v", snap)
+		}
+	})
+
+	t.Run("oldest", func(t *testing.T) {
+		g := build(ShedOldest)
+		first, err := g.Submit(Request{Model: m, Conditions: conds()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Submit(Request{Model: m, Conditions: conds()}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case r := <-first:
+			if r.Status != StatusShed || r.Err != ErrQueueFull {
+				t.Fatalf("oldest request: %+v", r)
+			}
+		default:
+			t.Fatal("oldest queued request not evicted")
+		}
+		if got := len(g.workers[0].queue); got != 1 {
+			t.Fatalf("queue depth after eviction = %d, want 1 (the new arrival)", got)
+		}
+	})
+}
+
+// TestDeadlineExpiredAtSubmit checks that dead-on-arrival requests are
+// rejected by admission control without ever touching a queue.
+func TestDeadlineExpiredAtSubmit(t *testing.T) {
+	g := testGateway(t, Config{})
+	defer g.Shutdown(context.Background())
+	r, err := g.Do(Request{
+		Model:      dnn.MustByName("MobileNet v1"),
+		Conditions: conds(),
+		Deadline:   time.Now().Add(-time.Minute),
+	})
+	if err != ErrDeadlineExpired {
+		t.Fatalf("err = %v, want ErrDeadlineExpired", err)
+	}
+	if r.Status != StatusExpired || r.Decision.Measurement.LatencyS != 0 {
+		t.Fatalf("response: %+v", r)
+	}
+	if snap := g.Snapshot(); snap.Expired != 1 || snap.Served != 0 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+// TestDeadlineExpiredInQueue covers the dispatch-time fast-fail: a request
+// admitted with a live deadline that dies while queued must not execute.
+func TestDeadlineExpiredInQueue(t *testing.T) {
+	// The clock jumps forward between admission and dispatch.
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	w := &worker{device: "Mi8Pro", engine: testEngine(t, soc.Mi8Pro(), 1, core.DefaultConfig()),
+		queue: make(chan *pending, 4)}
+	g := &Gateway{
+		cfg:     Config{QueueDepth: 4, Clock: clock},
+		met:     metrics.New(),
+		workers: []*worker{w},
+		byName:  map[string]*worker{"Mi8Pro": w},
+	}
+	ch, err := g.Submit(Request{
+		Model:      dnn.MustByName("MobileNet v1"),
+		Conditions: conds(),
+		Deadline:   now.Add(time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = now.Add(time.Minute)
+	mu.Unlock()
+	g.serveOne(w, <-w.queue)
+	r := <-ch
+	if r.Status != StatusExpired || r.Err != ErrDeadlineExpired {
+		t.Fatalf("response: %+v", r)
+	}
+	if r.Decision.Measurement.LatencyS != 0 {
+		t.Fatal("expired request executed")
+	}
+	if snap := g.Snapshot(); snap.Expired != 1 || snap.Served != 0 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+// TestFailoverLocal forces QoS misses (impossibly tight target) and checks
+// that the gateway re-executes on the local fallback target.
+func TestFailoverLocal(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Reward.QoSTargetS = 1e-9 // everything violates
+	g, err := New([]Backend{{Device: "Mi8Pro", Engine: testEngine(t, soc.Mi8Pro(), 1, cfg)}},
+		Config{FailoverLocal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Shutdown(context.Background())
+	m := dnn.MustByName("MobileNet v3")
+	sawRetry := false
+	for i := 0; i < 100; i++ {
+		r, err := g.Do(Request{Model: m, Conditions: conds()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Retried {
+			sawRetry = true
+			tgt := r.Decision.Measurement.Target
+			if tgt.Location != sim.Local || tgt.Kind != soc.CPU {
+				t.Fatalf("retry executed on %v, want local CPU fallback", tgt)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no failover retry in 100 forced QoS misses")
+	}
+	if snap := g.Snapshot(); snap.Retried == 0 {
+		t.Fatal("metrics missed the retries")
+	}
+}
+
+// TestOutageCounting turns every offload into a simulated radio outage and
+// checks the gateway records the sim's local fallback.
+func TestOutageCounting(t *testing.T) {
+	e := testEngine(t, soc.Mi8Pro(), 1, core.DefaultConfig())
+	e.World.OutageProb = 1
+	g, err := New([]Backend{{Device: "Mi8Pro", Engine: e}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Shutdown(context.Background())
+	m := dnn.MustByName("MobileNet v3")
+	sawOutage := false
+	for i := 0; i < 200 && !sawOutage; i++ {
+		r, err := g.Do(Request{Model: m, Conditions: conds()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Outage {
+			sawOutage = true
+			if r.Decision.Target.Location == sim.Local {
+				t.Fatal("outage flagged on a local decision")
+			}
+			if r.Decision.Measurement.Target.Location != sim.Local {
+				t.Fatal("outage measurement did not fall back to local")
+			}
+		}
+	}
+	if !sawOutage {
+		t.Fatal("no outage in 200 runs with OutageProb=1 (engine never offloaded?)")
+	}
+	if snap := g.Snapshot(); snap.Outages == 0 {
+		t.Fatal("metrics missed the outages")
+	}
+}
+
+// TestShutdownDrainsAndSnapshots checks graceful shutdown: queued requests
+// still execute, Submit is rejected afterwards, and every engine's Q-table
+// reaches the snapshot sink.
+func TestShutdownDrainsAndSnapshots(t *testing.T) {
+	var mu sync.Mutex
+	snaps := map[string][]byte{}
+	g := testGateway(t, Config{QueueDepth: 256, Snapshot: func(device string, qtable []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		snaps[device] = qtable
+		return nil
+	}})
+	m := dnn.MustByName("MobileNet v1")
+	var chans []<-chan Response
+	for i := 0; i < 40; i++ {
+		ch, err := g.Submit(Request{Model: m, Conditions: conds()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	if err := g.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		r := <-ch
+		if r.Status != StatusServed {
+			t.Fatalf("request %d not drained: %+v", i, r)
+		}
+	}
+	for _, dev := range g.Devices() {
+		if len(snaps[dev]) == 0 {
+			t.Fatalf("no Q-table snapshot for %s", dev)
+		}
+	}
+	if _, err := g.Submit(Request{Model: m, Conditions: conds()}); err != ErrClosed {
+		t.Fatalf("submit after shutdown: %v, want ErrClosed", err)
+	}
+	if err := g.Shutdown(context.Background()); err != ErrClosed {
+		t.Fatalf("second shutdown: %v, want ErrClosed", err)
+	}
+}
+
+// TestRouting covers pinned-device routing and the unknown-device failure.
+func TestRouting(t *testing.T) {
+	g := testGateway(t, Config{})
+	defer g.Shutdown(context.Background())
+	m := dnn.MustByName("MobileNet v1")
+	r, err := g.Do(Request{Model: m, Conditions: conds(), Device: "GalaxyS10e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Device != "GalaxyS10e" {
+		t.Fatalf("pinned request served by %s", r.Device)
+	}
+	r, err = g.Do(Request{Model: m, Conditions: conds(), Device: "Pixel"})
+	if r.Status != StatusFailed || err == nil {
+		t.Fatalf("unknown device: %+v, err %v", r, err)
+	}
+	if snap := g.Snapshot(); snap.Failed != 1 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+}
+
+// TestNewValidation covers constructor misuse.
+func TestNewValidation(t *testing.T) {
+	e := testEngine(t, soc.Mi8Pro(), 1, core.DefaultConfig())
+	cases := []struct {
+		name     string
+		backends []Backend
+		cfg      Config
+	}{
+		{"no backends", nil, Config{}},
+		{"nil engine", []Backend{{Device: "a"}}, Config{}},
+		{"empty name", []Backend{{Engine: e}}, Config{}},
+		{"duplicate", []Backend{{Device: "a", Engine: e}, {Device: "a", Engine: e}}, Config{}},
+		{"negative queue", []Backend{{Device: "a", Engine: e}}, Config{QueueDepth: -1}},
+		{"bad shed", []Backend{{Device: "a", Engine: e}}, Config{Shed: ShedPolicy(9)}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.backends, c.cfg); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+	if _, err := New([]Backend{{Device: "a", Engine: e}}, Config{}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestSubmitNilModel covers request misuse.
+func TestSubmitNilModel(t *testing.T) {
+	g := testGateway(t, Config{})
+	defer g.Shutdown(context.Background())
+	if _, err := g.Submit(Request{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}

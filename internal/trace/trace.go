@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
@@ -54,8 +56,11 @@ func FromDecision(seq int, model string, d core.Decision) Record {
 	}
 }
 
-// Writer appends records as JSON Lines.
+// Writer appends records as JSON Lines. It is safe for concurrent use: a
+// gateway's workers all log through one audit trail, so Append serializes
+// internally and records never interleave mid-line.
 type Writer struct {
+	mu  sync.Mutex
 	w   *bufio.Writer
 	enc *json.Encoder
 	n   int
@@ -69,6 +74,8 @@ func NewWriter(w io.Writer) *Writer {
 
 // Append writes one record.
 func (t *Writer) Append(r Record) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.enc.Encode(r); err != nil {
 		return fmt.Errorf("trace: append: %w", err)
 	}
@@ -77,10 +84,18 @@ func (t *Writer) Append(r Record) error {
 }
 
 // Count returns the number of records appended.
-func (t *Writer) Count() int { return t.n }
+func (t *Writer) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
 
 // Flush drains the buffer to the underlying writer.
-func (t *Writer) Flush() error { return t.w.Flush() }
+func (t *Writer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
 
 // ReadAll decodes a JSON Lines trace.
 func ReadAll(r io.Reader) ([]Record, error) {
@@ -140,11 +155,13 @@ func Summarize(records []Record) Summary {
 }
 
 // RecordingPolicy adapts an engine to the sched.Policy interface while
-// appending every decision to a trace.
+// appending every decision to a trace. Like the Writer it wraps, it is safe
+// for concurrent use; sequence numbers are unique but records may land in
+// the log out of sequence order under concurrency.
 type RecordingPolicy struct {
 	Engine *core.Engine
 	Out    *Writer
-	seq    int
+	seq    atomic.Int64
 }
 
 // Name implements sched.Policy.
@@ -156,8 +173,7 @@ func (p *RecordingPolicy) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, 
 	if err != nil {
 		return sim.Measurement{}, err
 	}
-	rec := FromDecision(p.seq, m.Name, d)
-	p.seq++
+	rec := FromDecision(int(p.seq.Add(1)-1), m.Name, d)
 	if err := p.Out.Append(rec); err != nil {
 		return sim.Measurement{}, err
 	}

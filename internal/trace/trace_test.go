@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"autoscale/internal/core"
@@ -37,6 +38,96 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
 		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestWriterConcurrent is the -race regression test for the gateway's shared
+// audit trail: many workers appending to one Writer must not interleave
+// records or lose counts.
+func TestWriterConcurrent(t *testing.T) {
+	const workers, each = 10, 200
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := w.Append(Record{Seq: g*each + i, Model: "M", Location: "local",
+					LatencyS: 0.01, EnergyJ: 0.02}); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = w.Count()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Count() != workers*each {
+		t.Fatalf("count = %d, want %d", w.Count(), workers*each)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("concurrent appends corrupted the log: %v", err)
+	}
+	if len(recs) != workers*each {
+		t.Fatalf("log has %d records, want %d", len(recs), workers*each)
+	}
+	seen := make(map[int]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}
+
+// TestRecordingPolicyConcurrent exercises the gateway's TracedPolicy path —
+// one engine, one writer, many callers — under -race.
+func TestRecordingPolicyConcurrent(t *testing.T) {
+	e, err := core.NewEngine(sim.NewWorld(soc.Mi8Pro(), 1), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	p := &RecordingPolicy{Engine: e, Out: NewWriter(&buf)}
+	m := dnn.MustByName("MobileNet v1")
+	c := sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55}
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := p.Run(m, c); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := p.Out.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != workers*each {
+		t.Fatalf("trace has %d records, want %d", len(recs), workers*each)
+	}
+	seen := make(map[int]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
 	}
 }
 

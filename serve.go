@@ -1,0 +1,60 @@
+package autoscale
+
+import (
+	"autoscale/internal/serve"
+	"autoscale/internal/serve/metrics"
+)
+
+// Fleet serving: a concurrent gateway that accepts inference requests
+// through bounded per-device queues and serves them from warm-started
+// engines, with admission control, deadline-aware dispatch, failover and
+// runtime metrics (see internal/serve for full documentation).
+type (
+	// Gateway serves inference requests against a fleet of engines.
+	Gateway = serve.Gateway
+	// GatewayConfig tunes queue depth, shed policy, failover and the
+	// shutdown snapshot sink.
+	GatewayConfig = serve.Config
+	// GatewayBackend pairs a device name with its engine.
+	GatewayBackend = serve.Backend
+	// Request is one inference to serve (model, conditions, deadline,
+	// optional device pin).
+	Request = serve.Request
+	// Response is the terminal outcome delivered per request.
+	Response = serve.Response
+	// RequestStatus classifies a response (served, shed, expired, failed).
+	RequestStatus = serve.Status
+	// ShedPolicy selects the admission-control victim on a full queue.
+	ShedPolicy = serve.ShedPolicy
+	// GatewayMetrics is a point-in-time copy of the gateway's counters and
+	// histograms.
+	GatewayMetrics = metrics.Snapshot
+)
+
+// Request outcomes.
+const (
+	StatusServed  = serve.StatusServed
+	StatusShed    = serve.StatusShed
+	StatusExpired = serve.StatusExpired
+	StatusFailed  = serve.StatusFailed
+)
+
+// Shed policies.
+const (
+	ShedNewest = serve.ShedNewest
+	ShedOldest = serve.ShedOldest
+)
+
+// Gateway sentinel errors.
+var (
+	ErrGatewayClosed   = serve.ErrClosed
+	ErrQueueFull       = serve.ErrQueueFull
+	ErrDeadlineExpired = serve.ErrDeadlineExpired
+)
+
+// NewGateway starts a serving gateway over the given backends (one worker
+// goroutine per device). Provision the engines however you like —
+// Fleet.ProvisionGateway warm-starts a whole fleet in one call.
+func NewGateway(backends []GatewayBackend, cfg GatewayConfig) (*Gateway, error) {
+	return serve.New(backends, cfg)
+}
