@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet fmt race race-policy verify bench
 
 build:
 	$(GO) build ./...
@@ -15,11 +15,24 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fails when any file needs gofmt.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
-# The full gate: tier-1 (build + test) plus vet and the race detector.
-verify: build vet race
+# The policy plane (checkpoint store, federation syncer, gateway wiring) is
+# the most concurrency-heavy subsystem; give it a dedicated race pass.
+race-policy:
+	$(GO) test -race ./internal/policy/ ./internal/serve/ .
+
+# The full gate: tier-1 (build + test) plus formatting, vet and the race
+# detector (which includes the dedicated policy-plane pass).
+verify: build fmt vet race race-policy
 
 bench:
 	$(GO) test -bench=. -benchmem

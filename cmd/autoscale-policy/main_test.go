@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autoscale"
+)
+
+// writeCk trains a small engine on a device and writes its checkpoint
+// envelope to dir, returning the path and the engine's config hash.
+func writeCk(t *testing.T, dir, device string, seed int64) (string, string) {
+	t.Helper()
+	world, err := autoscale.NewWorld(device, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := autoscale.NewTrainedEngine(world, autoscale.DefaultEngineConfig(), 1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := autoscale.NewPolicyCheckpoint(engine, device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, device+".ckpt")
+	if err := autoscale.WritePolicyCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	return path, ck.ConfigHash
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		nil,
+		{"frobnicate"},
+		{"inspect"},
+		{"diff", "only-one.ckpt"},
+		{"merge", "-o", "x.ckpt", "just-one.ckpt"},
+		{"merge", "a.ckpt", "b.ckpt"}, // no -o
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}
+
+func TestInspectFileAndStore(t *testing.T) {
+	dir := t.TempDir()
+	path, hash := writeCk(t, dir, autoscale.Mi8Pro, 1)
+
+	var out bytes.Buffer
+	if err := run([]string{"inspect", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Mi8Pro") || !strings.Contains(out.String(), hash) {
+		t.Fatalf("inspect output missing metadata:\n%s", out.String())
+	}
+
+	// Store-mode inspect over a real store directory.
+	storeDir := t.TempDir()
+	store, err := autoscale.OpenPolicyStore(storeDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := autoscale.ReadPolicyCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := store.SaveNext(ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.Reset()
+	if err := run([]string{"inspect", "-store", storeDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "gen "); got != 2 {
+		t.Fatalf("store inspect listed %d generations, want 2:\n%s", got, out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"inspect", "-store", t.TempDir()}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "store is empty") {
+		t.Fatalf("empty store output: %s", out.String())
+	}
+}
+
+func TestDiffAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	pathA, hash := writeCk(t, dir, autoscale.Mi8Pro, 1)
+	pathB, _ := writeCk(t, dir, autoscale.Mi8Pro, 99)
+
+	var out bytes.Buffer
+	if err := run([]string{"diff", pathA, pathB}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shared") {
+		t.Fatalf("diff output missing coverage summary:\n%s", out.String())
+	}
+
+	merged := filepath.Join(dir, "fleet.ckpt")
+	out.Reset()
+	if err := run([]string{"merge", "-o", merged, pathA, pathB}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := autoscale.ReadPolicyCheckpoint(merged)
+	if err != nil {
+		t.Fatalf("merged output unreadable: %v", err)
+	}
+	if ck.ConfigHash != hash || len(ck.Sources) != 2 {
+		t.Fatalf("merged meta: %+v", ck.Meta)
+	}
+	if !strings.Contains(out.String(), "merged from") {
+		t.Fatalf("merge output missing sources:\n%s", out.String())
+	}
+
+	// Different devices have different action spaces/config hashes: merge
+	// must refuse, diff must degrade to coverage-only.
+	pathC, _ := writeCk(t, dir, autoscale.GalaxyS10e, 1)
+	if err := run([]string{"merge", "-o", merged, pathA, pathC}, &out); err == nil {
+		t.Fatal("merge accepted incompatible checkpoints")
+	}
+	out.Reset()
+	if err := run([]string{"diff", pathA, pathC}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "incompatible") {
+		t.Fatalf("cross-device diff missing incompatibility note:\n%s", out.String())
+	}
+}

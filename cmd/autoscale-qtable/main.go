@@ -3,14 +3,22 @@
 // state back into its Table I feature bins and prints the learned greedy
 // policy — which execution target AutoScale would pick in that situation.
 //
+// Snapshots come in two formats: the policy-plane checkpoint envelope
+// (written by the serving gateway's store and by autoscale-policy) — whose
+// generation, device and config-hash metadata are printed and whose CRC is
+// verified — and the legacy raw JSON snapshot of autoscale-train. Truncated
+// or corrupt files of either format are rejected loudly, never half-loaded.
+//
 // Usage:
 //
 //	autoscale-qtable -device Mi8Pro -in mi8pro.qtable
+//	autoscale-qtable -device Mi8Pro -in store/Mi8Pro/gen-0000000000000003.ckpt
 //	autoscale-qtable -device Mi8Pro -train 60            # train then inspect
 //	autoscale-qtable -device Mi8Pro -in t.qtable -model "ResNet 50"
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,7 +57,7 @@ func run(device, inPath, modelName string, train int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		if err := autoscale.LoadQTable(engine, inPath); err != nil {
+		if err := loadSnapshot(engine, inPath); err != nil {
 			return err
 		}
 	case train > 0:
@@ -96,4 +104,42 @@ func run(device, inPath, modelName string, train int, seed int64) error {
 	}
 	fmt.Println("\nkey: SCONV|SFC|SRC|SMAC|SCo_CPU|SCo_MEM|SRSSI_W|SRSSI_P (bin indices per Table I)")
 	return nil
+}
+
+// loadSnapshot restores an engine from either snapshot format. Checkpoint
+// envelopes get their metadata printed and CRC verified; legacy raw
+// snapshots are validated strictly — an empty or truncated file is an
+// error, not an empty table.
+func loadSnapshot(engine *autoscale.Engine, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("load snapshot: %w", err)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("load snapshot: %s is empty (truncated write?)", path)
+	}
+	ck, err := autoscale.DecodePolicyCheckpoint(data)
+	switch {
+	case err == nil:
+		fmt.Printf("checkpoint envelope: device=%s generation=%d config=%s states=%d visits=%d\n",
+			ck.Device, ck.Generation, ck.ConfigHash, ck.States, ck.Meta.TotalVisits())
+		if hash := engine.ConfigHash(); ck.ConfigHash != hash {
+			fmt.Printf("warning: checkpoint config hash %s differs from this engine's %s\n",
+				ck.ConfigHash, hash)
+		}
+		if len(ck.Sources) > 0 {
+			fmt.Printf("merged from: %s\n", strings.Join(ck.Sources, ", "))
+		}
+		fmt.Println()
+		return engine.RestoreQTable(ck.Snapshot)
+	case errors.Is(err, autoscale.ErrPolicyNotEnvelope):
+		// Legacy raw rl snapshot; RestoreQTable fails loudly on malformed
+		// or cut-off JSON.
+		if err := engine.RestoreQTable(data); err != nil {
+			return fmt.Errorf("load snapshot %s: %w", path, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("load snapshot %s: %w", path, err)
+	}
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"autoscale"
@@ -21,5 +23,92 @@ func TestInspectTrainedTable(t *testing.T) {
 	}
 	if err := run(autoscale.Mi8Pro, "/does/not/exist", "", 0, 1); err == nil {
 		t.Error("missing snapshot should fail")
+	}
+}
+
+// trainedSnapshot trains a tiny engine and returns its raw legacy snapshot.
+func trainedSnapshot(t *testing.T) []byte {
+	t.Helper()
+	world, err := autoscale.NewWorld(autoscale.Mi8Pro, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := autoscale.NewTrainedEngine(world, autoscale.DefaultEngineConfig(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := engine.SnapshotQTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestInspectLegacySnapshotFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.qtable")
+	if err := os.WriteFile(path, trainedSnapshot(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(autoscale.Mi8Pro, path, "", 0, 1); err != nil {
+		t.Fatalf("legacy snapshot rejected: %v", err)
+	}
+}
+
+func TestInspectCheckpointEnvelope(t *testing.T) {
+	world, err := autoscale.NewWorld(autoscale.Mi8Pro, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := autoscale.NewTrainedEngine(world, autoscale.DefaultEngineConfig(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := autoscale.NewPolicyCheckpoint(engine, "Mi8Pro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Generation = 3
+	path := filepath.Join(t.TempDir(), "gen-0000000000000003.ckpt")
+	if err := autoscale.WritePolicyCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(autoscale.Mi8Pro, path, "", 0, 1); err != nil {
+		t.Fatalf("checkpoint envelope rejected: %v", err)
+	}
+}
+
+// TestInspectRejectsTruncatedFiles: a cut-off snapshot of either format must
+// be an error, never a silently empty (or smaller) table.
+func TestInspectRejectsTruncatedFiles(t *testing.T) {
+	snap := trainedSnapshot(t)
+	world, err := autoscale.NewWorld(autoscale.Mi8Pro, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := autoscale.NewTrainedEngine(world, autoscale.DefaultEngineConfig(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := autoscale.NewPolicyCheckpoint(engine, "Mi8Pro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope, err := autoscale.EncodePolicyCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for name, data := range map[string][]byte{
+		"empty.qtable":      nil,
+		"cut-legacy.qtable": snap[:len(snap)/2],
+		"cut-envelope.ckpt": envelope[:len(envelope)/2],
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(autoscale.Mi8Pro, path, "", 0, 1); err == nil {
+			t.Errorf("%s loaded without error", name)
+		}
 	}
 }

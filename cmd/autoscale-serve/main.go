@@ -19,7 +19,6 @@ import (
 	"math"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -42,7 +41,8 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
 		shed     = flag.String("shed", "newest", "shed policy on full queue: newest, oldest")
 		failover = flag.Bool("failover", false, "re-execute QoS misses on the local fallback target")
-		snapdir  = flag.String("snapshots", "", "directory for Q-table snapshots flushed at shutdown")
+		snapdir  = flag.String("snapshots", "", "policy checkpoint store directory: warm-start at boot, flush at shutdown")
+		sync     = flag.Duration("sync", 0, "background policy sync interval (0 = off; needs -snapshots)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -51,7 +51,7 @@ func main() {
 		devices: strings.Split(*devices, ","), donor: *donor, train: *train,
 		model: *model, envID: *envID, n: *n, clients: *clients, rate: *rate,
 		queue: *queue, deadline: *deadline, shed: *shed, failover: *failover,
-		snapdir: *snapdir, seed: *seed,
+		snapdir: *snapdir, sync: *sync, seed: *seed,
 	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "autoscale-serve:", err)
 		os.Exit(1)
@@ -70,6 +70,7 @@ type config struct {
 	shed         string
 	failover     bool
 	snapdir      string
+	sync         time.Duration
 	seed         int64
 }
 
@@ -87,13 +88,14 @@ func run(c config, out *os.File) error {
 		return fmt.Errorf("unknown shed policy %q (newest, oldest)", c.shed)
 	}
 	if c.snapdir != "" {
-		if err := os.MkdirAll(c.snapdir, 0o755); err != nil {
+		store, err := autoscale.OpenPolicyStore(c.snapdir, 0)
+		if err != nil {
 			return err
 		}
-		dir := c.snapdir
-		gcfg.Snapshot = func(device string, qtable []byte) error {
-			return os.WriteFile(filepath.Join(dir, device+".qtable.json"), qtable, 0o644)
-		}
+		gcfg.Checkpoints = store
+		gcfg.PolicySync.Interval = c.sync
+	} else if c.sync > 0 {
+		return fmt.Errorf("-sync needs -snapshots (the checkpoint store)")
 	}
 
 	m, err := autoscale.Model(c.model)
@@ -104,6 +106,11 @@ func run(c config, out *os.File) error {
 	gw, err := buildGateway(c, gcfg)
 	if err != nil {
 		return err
+	}
+	if c.sync > 0 {
+		if err := gw.StartPolicySync(); err != nil {
+			return err
+		}
 	}
 
 	mode := "closed-loop"

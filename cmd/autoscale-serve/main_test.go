@@ -2,9 +2,10 @@ package main
 
 import (
 	"os"
-	"path/filepath"
 	"testing"
 	"time"
+
+	"autoscale"
 )
 
 func quick(t *testing.T) config {
@@ -42,18 +43,43 @@ func TestRunWritesSnapshots(t *testing.T) {
 	c := quick(t)
 	c.n = 20
 	c.snapdir = t.TempDir()
+	c.sync = time.Hour // exercise the sync wiring; only shutdown will flush
+	if err := run(c, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	store, err := autoscale.OpenPolicyStore(c.snapdir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range c.devices {
+		ck, err := store.Latest(dev)
+		if err != nil {
+			t.Fatalf("missing checkpoint for %s: %v", dev, err)
+		}
+		if ck.Generation != 1 || ck.States == 0 {
+			t.Fatalf("degenerate checkpoint for %s: %+v", dev, ck.Meta)
+		}
+	}
+	// A second run against the same store warm-starts and flushes gen 2.
 	if err := run(c, os.Stdout); err != nil {
 		t.Fatal(err)
 	}
 	for _, dev := range c.devices {
-		path := filepath.Join(c.snapdir, dev+".qtable.json")
-		info, err := os.Stat(path)
+		ck, err := store.Latest(dev)
 		if err != nil {
-			t.Fatalf("missing snapshot: %v", err)
+			t.Fatal(err)
 		}
-		if info.Size() == 0 {
-			t.Fatalf("empty snapshot %s", path)
+		if ck.Generation != 2 {
+			t.Fatalf("restarted fleet wrote gen %d for %s, want 2", ck.Generation, dev)
 		}
+	}
+}
+
+func TestRunSyncNeedsStore(t *testing.T) {
+	c := quick(t)
+	c.sync = time.Second
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("-sync without -snapshots accepted")
 	}
 }
 

@@ -1,9 +1,11 @@
 package autoscale
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"autoscale/internal/policy"
 	"autoscale/internal/serve"
 )
 
@@ -68,6 +70,45 @@ func (f *Fleet) Provision(device string, cfg EngineConfig, seed int64) (*Engine,
 		return nil, fmt.Errorf("autoscale: fleet transfer to %s: %w", device, err)
 	}
 	return engine, nil
+}
+
+// ProvisionFromStore builds an engine for the named device, preferring real
+// fleet experience from a policy checkpoint store over the donor: the
+// device's own latest valid checkpoint first (a restarted device resumes
+// where it left off), then the store's merged fleet policy for the engine's
+// config hash (a brand-new device inherits the fleet's learning), and only
+// when the store has neither — or holds incompatible tables — the classic
+// donor transfer of Provision.
+func (f *Fleet) ProvisionFromStore(device string, cfg EngineConfig, sink PolicySink, seed int64) (*Engine, error) {
+	if sink == nil {
+		return f.Provision(device, cfg, seed)
+	}
+	world, err := NewWorld(device, seed)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := NewEngine(world, cfg)
+	if err != nil {
+		return nil, err
+	}
+	hash := engine.ConfigHash()
+	for _, name := range []string{device, policy.FleetDevice(hash)} {
+		ck, err := sink.Latest(name)
+		if errors.Is(err, ErrNoPolicyCheckpoint) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("autoscale: fleet provision %s: %w", device, err)
+		}
+		if ck.ConfigHash != hash {
+			continue
+		}
+		if err := engine.RestoreQTable(ck.Snapshot); err != nil {
+			return nil, fmt.Errorf("autoscale: fleet provision %s: %w", device, err)
+		}
+		return engine, nil
+	}
+	return f.Provision(device, cfg, seed)
 }
 
 // ProvisionGateway warm-starts one engine per named device (each seeded

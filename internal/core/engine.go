@@ -338,7 +338,9 @@ func donorActionFor(t sim.Target, dst, donor *Engine) int {
 func (e *Engine) SnapshotQTable() ([]byte, error) { return e.Agent().Snapshot() }
 
 // RestoreQTable replaces the engine's agent with one restored from a
-// snapshot; the action-space size must match.
+// snapshot; the action-space size must match. The engine keeps its
+// configured update rule: a SARSA engine re-wraps the restored table instead
+// of silently falling back to Q-learning.
 func (e *Engine) RestoreQTable(data []byte) error {
 	ag, err := rl.Restore(data)
 	if err != nil {
@@ -351,6 +353,9 @@ func (e *Engine) RestoreQTable(data []byte) error {
 	defer e.mu.Unlock()
 	e.agent = ag
 	e.sarsa = nil
+	if e.cfg.Algorithm == AlgorithmSARSA {
+		e.sarsa = &rl.SarsaAgent{Agent: ag}
+	}
 	e.pending = nil
 	return nil
 }

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// ConfigHash fingerprints everything that must agree for two engines'
+// Q-tables to be row-compatible: the action space (every target, in index
+// order — location, engine kind, DVFS step, precision), the state
+// discretization (enabled Table I features and their bin counts), the update
+// algorithm, and the reward parameterization (tables trained against
+// different rewards encode different value scales and must not be averaged
+// together). Exploration knobs and seeds are deliberately excluded: they
+// shape how a table was filled, not what its rows mean.
+//
+// The policy plane stamps this hash into every checkpoint envelope and the
+// federation layer only merges (and only warm-starts from) checkpoints whose
+// hash matches the receiving engine.
+func (e *Engine) ConfigHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "algo=%d\n", int(e.cfg.Algorithm))
+	fmt.Fprintf(h, "reward=%g,%g,%g,%g\n",
+		e.cfg.Reward.QoSTargetS, e.cfg.Reward.AccuracyTarget, e.cfg.Reward.Alpha, e.cfg.Reward.Beta)
+	fmt.Fprintf(h, "intensity=%d\n", int(e.cfg.Intensity))
+	fmt.Fprintf(h, "partitions=%t\n", e.cfg.PartitionActions)
+	for i, t := range e.Actions.Targets() {
+		fmt.Fprintf(h, "a%d=%d,%d,%d,%d\n", i, int(t.Location), int(t.Kind), t.Step, int(t.Prec))
+	}
+	for f := Feature(0); f < Feature(NumFeatures); f++ {
+		bins := 0
+		if e.States.Enabled(f) {
+			bins = e.States.Bins(f)
+		}
+		fmt.Fprintf(h, "s%d=%d\n", int(f), bins)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}

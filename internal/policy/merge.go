@@ -1,0 +1,99 @@
+package policy
+
+import (
+	"fmt"
+
+	"autoscale/internal/rl"
+)
+
+// Merge federates compatible Q-tables into one shared fleet policy — the
+// paper's Section VI-C learning transfer generalized from one donor to a
+// whole fleet. Every input must carry the same ConfigHash and action-space
+// cardinality; Merge refuses heterogeneous groups (the Syncer forms the
+// groups).
+//
+// Row semantics: a state materialized on only one device passes through
+// unchanged; a state known to several devices is averaged per action with
+// each device's row weighted by that device's visit count for the state (a
+// device that faced a state a thousand times outvotes one that saw it twice).
+// Rows with zero recorded visits weigh as one visit so legacy tables still
+// participate. Merged visit counts are the sums, so iterated merges stay
+// properly weighted.
+//
+// The merged checkpoint is filed under FleetDevice(hash), lists its source
+// devices, keeps the first input's hyperparameters (value semantics do not
+// depend on exploration knobs), and carries generation 0 until saved.
+func Merge(cks []*Checkpoint) (*Checkpoint, error) {
+	if len(cks) == 0 {
+		return nil, fmt.Errorf("policy: merge needs at least one checkpoint")
+	}
+	hash, actions := cks[0].ConfigHash, cks[0].Actions
+	agents := make([]*rl.Agent, len(cks))
+	for i, ck := range cks {
+		if ck.ConfigHash != hash {
+			return nil, fmt.Errorf("policy: merge: %s has config hash %s, group has %s",
+				ck.Device, ck.ConfigHash, hash)
+		}
+		if ck.Actions != actions {
+			return nil, fmt.Errorf("policy: merge: %s has %d actions, group has %d",
+				ck.Device, ck.Actions, actions)
+		}
+		ag, err := ck.Agent()
+		if err != nil {
+			return nil, fmt.Errorf("policy: merge: %s: %w", ck.Device, err)
+		}
+		agents[i] = ag
+	}
+
+	type contribution struct {
+		row    []float64
+		weight float64
+		visits int
+	}
+	byState := make(map[rl.State][]contribution)
+	for _, ag := range agents {
+		visits := ag.VisitCounts()
+		for s, row := range ag.Rows() {
+			n := visits[s]
+			w := float64(n)
+			if w <= 0 {
+				w = 1
+			}
+			byState[s] = append(byState[s], contribution{row: row, weight: w, visits: n})
+		}
+	}
+
+	mergedQ := make(map[rl.State][]float64, len(byState))
+	mergedVisits := make(map[rl.State]int, len(byState))
+	for s, contribs := range byState {
+		row := make([]float64, actions)
+		totalW, totalN := 0.0, 0
+		for _, c := range contribs {
+			totalW += c.weight
+			totalN += c.visits
+		}
+		for _, c := range contribs {
+			f := c.weight / totalW
+			for i, q := range c.row {
+				row[i] += f * q
+			}
+		}
+		mergedQ[s] = row
+		mergedVisits[s] = totalN
+	}
+
+	merged, err := rl.NewAgentFromTable(agents[0].Config(), actions, mergedQ, mergedVisits)
+	if err != nil {
+		return nil, fmt.Errorf("policy: merge: %w", err)
+	}
+	snapshot, err := merged.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("policy: merge: %w", err)
+	}
+	ck, err := NewCheckpoint(FleetDevice(hash), hash, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	ck.Sources = sortedDevices(cks)
+	return ck, nil
+}

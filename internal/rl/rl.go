@@ -274,6 +274,42 @@ func (a *Agent) Visits(s State) int {
 	return a.visits[s]
 }
 
+// VisitCounts returns a copy of the per-state visit counts — the experience
+// weights the policy plane uses when federating Q-tables across a fleet.
+func (a *Agent) VisitCounts() map[State]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[State]int, len(a.visits))
+	for s, n := range a.visits {
+		out[s] = n
+	}
+	return out
+}
+
+// TotalVisits returns the total number of action selections across all
+// states — zero means the agent has never been asked for a decision, which
+// the fleet syncer treats as "new device, warm-start me".
+func (a *Agent) TotalVisits() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0
+	for _, n := range a.visits {
+		total += n
+	}
+	return total
+}
+
+// Rows returns a deep copy of the materialized Q-table.
+func (a *Agent) Rows() map[State][]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[State][]float64, len(a.q))
+	for s, row := range a.q {
+		out[s] = append([]float64(nil), row...)
+	}
+	return out
+}
+
 // MemoryBytes estimates the Q-table's resident footprint: one float64 per
 // (materialized state, action) pair plus key overhead. The paper reports
 // 0.4 MB for its full table.
@@ -302,7 +338,10 @@ func (a *Agent) Snapshot() ([]byte, error) {
 	return json.Marshal(snapshot{Config: a.cfg, Actions: a.actions, Q: a.q, Visits: a.visits})
 }
 
-// Restore creates an agent from a Snapshot payload.
+// Restore creates an agent from a Snapshot payload. Snapshots written before
+// visit counts existed restore with every materialized state credited one
+// visit, so downstream visit-weighted federation still counts the table as
+// (minimal) experience instead of discarding it.
 func Restore(data []byte) (*Agent, error) {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
@@ -318,8 +357,48 @@ func Restore(data []byte) (*Agent, error) {
 		}
 		ag.q[s] = row
 	}
-	if snap.Visits != nil {
+	switch {
+	case snap.Visits == nil:
+		// Backward compat: pre-visit-count snapshot.
+		for s := range ag.q {
+			ag.visits[s] = 1
+		}
+	default:
+		for s, n := range snap.Visits {
+			if n < 0 {
+				return nil, fmt.Errorf("rl: restore: state %q has negative visit count %d", s, n)
+			}
+		}
 		ag.visits = snap.Visits
+	}
+	return ag, nil
+}
+
+// NewAgentFromTable builds an agent directly from a Q-table and its visit
+// counts — the constructor the policy plane uses to materialize a federated
+// (merged) table as a live agent. Rows must all span the action space; nil
+// visits defaults every row to one visit.
+func NewAgentFromTable(cfg Config, actions int, q map[State][]float64, visits map[State]int) (*Agent, error) {
+	ag, err := NewAgent(cfg, actions)
+	if err != nil {
+		return nil, err
+	}
+	for s, row := range q {
+		if len(row) != actions {
+			return nil, fmt.Errorf("rl: table: state %q has %d actions, want %d", s, len(row), actions)
+		}
+		ag.q[s] = append([]float64(nil), row...)
+	}
+	for s := range ag.q {
+		n, ok := visits[s]
+		switch {
+		case !ok:
+			ag.visits[s] = 1
+		case n < 0:
+			return nil, fmt.Errorf("rl: table: state %q has negative visit count %d", s, n)
+		default:
+			ag.visits[s] = n
+		}
 	}
 	return ag, nil
 }

@@ -1,0 +1,105 @@
+package rl
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestVisitCountsAndRowsAreCopies(t *testing.T) {
+	ag := newTestAgent(t, 2)
+	ag.SelectAction("a", nil)
+	ag.SelectAction("a", nil)
+	ag.Update("a", 0, 3, "a", nil)
+
+	visits := ag.VisitCounts()
+	if visits["a"] != 2 || len(visits) != 1 {
+		t.Fatalf("VisitCounts = %v", visits)
+	}
+	if ag.TotalVisits() != 2 {
+		t.Fatalf("TotalVisits = %d, want 2", ag.TotalVisits())
+	}
+	rows := ag.Rows()
+	if len(rows) != 1 || len(rows["a"]) != 2 {
+		t.Fatalf("Rows = %v", rows)
+	}
+	// Mutating the copies must not reach the agent.
+	visits["a"] = 99
+	rows["a"][0] = -1e9
+	if ag.Visits("a") != 2 || ag.Q("a", 0) == -1e9 {
+		t.Fatal("accessor returned aliased internals")
+	}
+}
+
+// TestRestoreLegacySnapshot: snapshots written before visit counts existed
+// (no "visits" key) restore with one visit per materialized state, so
+// visit-weighted federation still counts them as minimal experience.
+func TestRestoreLegacySnapshot(t *testing.T) {
+	legacy, err := json.Marshal(map[string]any{
+		"config":  DefaultConfig(),
+		"actions": 2,
+		"q":       map[string][]float64{"s1": {1, 2}, "s2": {3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := Restore(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.Visits("s1") != 1 || ag.Visits("s2") != 1 || ag.TotalVisits() != 2 {
+		t.Fatalf("legacy restore visits: s1=%d s2=%d", ag.Visits("s1"), ag.Visits("s2"))
+	}
+	if ag.Q("s2", 1) != 4 {
+		t.Fatalf("legacy restore Q(s2,1) = %v", ag.Q("s2", 1))
+	}
+}
+
+func TestRestoreRejectsNegativeVisits(t *testing.T) {
+	data, err := json.Marshal(map[string]any{
+		"config":  DefaultConfig(),
+		"actions": 1,
+		"q":       map[string][]float64{"s": {1}},
+		"visits":  map[string]int{"s": -3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(data); err == nil {
+		t.Fatal("negative visit count restored silently")
+	}
+}
+
+func TestNewAgentFromTable(t *testing.T) {
+	cfg := DefaultConfig()
+	ag, err := NewAgentFromTable(cfg, 2,
+		map[State][]float64{"s1": {1, 2}, "s2": {3, 4}},
+		map[State]int{"s1": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.Q("s1", 1) != 2 || ag.Q("s2", 0) != 3 {
+		t.Fatal("table rows not installed")
+	}
+	// Explicit visits kept; missing visits default to one.
+	if ag.Visits("s1") != 7 || ag.Visits("s2") != 1 {
+		t.Fatalf("visits: s1=%d s2=%d", ag.Visits("s1"), ag.Visits("s2"))
+	}
+	// Rows are copied in, not aliased.
+	src := map[State][]float64{"s": {5}}
+	ag2, err := NewAgentFromTable(cfg, 1, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src["s"][0] = -1
+	if ag2.Q("s", 0) != 5 {
+		t.Fatal("constructor aliased the caller's rows")
+	}
+
+	if _, err := NewAgentFromTable(cfg, 2, map[State][]float64{"s": {1}}, nil); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := NewAgentFromTable(cfg, 1, map[State][]float64{"s": {1}},
+		map[State]int{"s": -1}); err == nil {
+		t.Fatal("negative visits accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/policy"
 	"autoscale/internal/serve/metrics"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
@@ -25,11 +26,15 @@ type Gateway struct {
 	workers []*worker
 	byName  map[string]*worker
 	rr      atomic.Uint64
+	warm    map[string]uint64 // device -> checkpoint generation warm-started from
 
 	mu       sync.RWMutex
 	closed   bool
 	inflight sync.WaitGroup // Submit calls between admission and enqueue
 	wg       sync.WaitGroup // worker goroutines
+
+	syncMu sync.Mutex
+	syncer *policy.Syncer
 }
 
 // worker is one device's serving lane: a warm engine and a bounded queue.
@@ -61,6 +66,7 @@ func New(backends []Backend, cfg Config) (*Gateway, error) {
 		cfg:    cfg,
 		met:    metrics.New(),
 		byName: make(map[string]*worker, len(backends)),
+		warm:   make(map[string]uint64),
 	}
 	for _, b := range backends {
 		if b.Engine == nil {
@@ -85,6 +91,16 @@ func New(backends []Backend, cfg Config) (*Gateway, error) {
 		}
 		g.workers = append(g.workers, w)
 		g.byName[b.Device] = w
+	}
+	// Warm-start before any worker goroutine runs, so a restarted device
+	// resumes from its latest valid checkpoint (or the fleet's merged
+	// policy) before it serves its first request.
+	if cfg.Checkpoints != nil {
+		for _, w := range g.workers {
+			if gen, ok := warmStart(w, cfg.Checkpoints); ok {
+				g.warm[w.device] = gen
+			}
+		}
 	}
 	for _, w := range g.workers {
 		g.wg.Add(1)
@@ -308,10 +324,12 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 }
 
 // Shutdown stops admission, drains every queue (queued requests still
-// execute, deadline rules still apply), waits for the workers, then flushes
-// each engine's Q-table through cfg.Snapshot. The context bounds only the
-// drain wait; on ctx expiry workers keep draining in the background but
-// snapshots are skipped.
+// execute, deadline rules still apply), waits for the workers, then persists
+// each engine's final Q-table to cfg.Checkpoints — exactly once per worker,
+// guarded by the closed flag (a second Shutdown returns ErrClosed without
+// re-flushing). The context bounds only the drain wait; on ctx expiry
+// workers keep draining in the background but the final checkpoints are
+// skipped.
 func (g *Gateway) Shutdown(ctx context.Context) error {
 	g.mu.Lock()
 	if g.closed {
@@ -320,6 +338,15 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	}
 	g.closed = true
 	g.mu.Unlock()
+
+	// The background policy sync (if running) must stop before the final
+	// flush so its passes cannot interleave with shutdown persistence.
+	g.syncMu.Lock()
+	syncer := g.syncer
+	g.syncMu.Unlock()
+	if syncer != nil {
+		syncer.Stop()
+	}
 
 	// Wait out Submits that passed the closed check, then close the queues
 	// — after this no send can race the close.
@@ -339,17 +366,13 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
 	}
 
-	if g.cfg.Snapshot == nil {
+	if g.cfg.Checkpoints == nil {
 		return nil
 	}
 	var errs []error
 	for _, w := range g.workers {
-		data, err := w.engine.SnapshotQTable()
-		if err == nil {
-			err = g.cfg.Snapshot(w.device, data)
-		}
-		if err != nil {
-			errs = append(errs, fmt.Errorf("serve: snapshot %s: %w", w.device, err))
+		if err := checkpointWorker(w, g.cfg.Checkpoints, g.cfg.PolicySync); err != nil {
+			errs = append(errs, fmt.Errorf("serve: checkpoint %s: %w", w.device, err))
 		}
 	}
 	return errors.Join(errs...)

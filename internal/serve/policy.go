@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"autoscale/internal/policy"
+)
+
+// Policy-plane glue: warm-starting workers from the checkpoint store,
+// flushing final tables at shutdown, and the periodic federation loop.
+
+// warmStart restores a worker's engine from the newest compatible
+// checkpoint: the device's own latest generation when its config hash still
+// matches the engine, otherwise the fleet's merged policy for that hash. It
+// is best-effort by design — a missing, incompatible or invalid checkpoint
+// leaves the engine on its donor-transferred (or cold) table; the store has
+// already quarantined anything corrupt.
+func warmStart(w *worker, sink policy.Sink) (uint64, bool) {
+	hash := w.engine.ConfigHash()
+	for _, device := range []string{w.device, policy.FleetDevice(hash)} {
+		ck, err := sink.Latest(device)
+		if err != nil || ck.ConfigHash != hash {
+			continue
+		}
+		if err := w.engine.RestoreQTable(ck.Snapshot); err != nil {
+			continue
+		}
+		return ck.Generation, true
+	}
+	return 0, false
+}
+
+// checkpointWorker persists one worker's current Q-table with retry/backoff.
+func checkpointWorker(w *worker, sink policy.Sink, cfg policy.SyncConfig) error {
+	data, err := w.engine.SnapshotQTable()
+	if err != nil {
+		return err
+	}
+	ck, err := policy.NewCheckpoint(w.device, w.engine.ConfigHash(), data)
+	if err != nil {
+		return err
+	}
+	_, err = policy.SaveWithRetry(sink, ck, cfg)
+	if errors.Is(err, policy.ErrStaleGeneration) {
+		// A fresher generation is already on disk; nothing to add.
+		return nil
+	}
+	return err
+}
+
+// WarmStarts reports which devices were warm-started from the checkpoint
+// store at construction, mapped to the generation they resumed from.
+func (g *Gateway) WarmStarts() map[string]uint64 {
+	out := make(map[string]uint64, len(g.warm))
+	for d, gen := range g.warm {
+		out[d] = gen
+	}
+	return out
+}
+
+// policyNodes exposes the gateway's workers to the federation syncer.
+func (g *Gateway) policyNodes() []policy.Node {
+	nodes := make([]policy.Node, 0, len(g.workers))
+	for _, w := range g.workers {
+		nodes = append(nodes, policy.Node{Device: w.device, Engine: w.engine})
+	}
+	return nodes
+}
+
+// policySyncer lazily builds the gateway's federation syncer.
+func (g *Gateway) policySyncer() (*policy.Syncer, error) {
+	if g.cfg.Checkpoints == nil {
+		return nil, errors.New("serve: no checkpoint store configured")
+	}
+	g.syncMu.Lock()
+	defer g.syncMu.Unlock()
+	if g.syncer == nil {
+		s, err := policy.NewSyncer(g.cfg.Checkpoints, g.policyNodes, g.cfg.PolicySync)
+		if err != nil {
+			return nil, fmt.Errorf("serve: policy sync: %w", err)
+		}
+		g.syncer = s
+	}
+	return g.syncer, nil
+}
+
+// SyncPolicies runs one federation pass synchronously: checkpoint every
+// worker's table, merge each compatibility group into the fleet policy, and
+// warm-start workers that have not learned anything yet. It fails on a
+// closed gateway (shutdown already persisted the final tables).
+func (g *Gateway) SyncPolicies() (policy.Report, error) {
+	g.mu.RLock()
+	closed := g.closed
+	g.mu.RUnlock()
+	if closed {
+		return policy.Report{}, ErrClosed
+	}
+	s, err := g.policySyncer()
+	if err != nil {
+		return policy.Report{}, err
+	}
+	return s.SyncOnce(), nil
+}
+
+// StartPolicySync launches the background federation loop (one SyncPolicies
+// pass per cfg.PolicySync.Interval). Shutdown stops it before the final
+// flush; it can also be stopped early via StopPolicySync.
+func (g *Gateway) StartPolicySync() error {
+	s, err := g.policySyncer()
+	if err != nil {
+		return err
+	}
+	s.Start()
+	return nil
+}
+
+// StopPolicySync halts the background federation loop (no-op when not
+// running).
+func (g *Gateway) StopPolicySync() {
+	g.syncMu.Lock()
+	s := g.syncer
+	g.syncMu.Unlock()
+	if s != nil {
+		s.Stop()
+	}
+}

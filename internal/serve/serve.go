@@ -23,6 +23,7 @@ import (
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/policy"
 	"autoscale/internal/sim"
 )
 
@@ -144,10 +145,17 @@ type Config struct {
 	// original decision, so the Q-table still learns that the remote choice
 	// missed.
 	FailoverLocal bool
-	// Snapshot, when non-nil, receives each engine's Q-table from Shutdown
-	// after the queues drain — the persistence hook that keeps online
-	// learning across restarts.
-	Snapshot func(device string, qtable []byte) error
+	// Checkpoints, when non-nil, connects the gateway to the policy plane
+	// (it replaces the old ad-hoc Snapshot flush callback). New warm-starts
+	// every worker from its device's latest valid checkpoint — falling back
+	// to the fleet's merged policy for the engine's config hash — and
+	// Shutdown persists each worker's final table exactly once after the
+	// queues drain. StartPolicySync adds the periodic checkpoint/merge loop
+	// on top.
+	Checkpoints policy.Sink
+	// PolicySync tunes the policy plane's retry/backoff and the
+	// StartPolicySync interval (zero values mean policy defaults).
+	PolicySync policy.SyncConfig
 	// Clock overrides the gateway's time source (tests; default time.Now).
 	Clock func() time.Time
 }

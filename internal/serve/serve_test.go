@@ -8,6 +8,7 @@ import (
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/policy"
 	"autoscale/internal/serve/metrics"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
@@ -343,18 +344,50 @@ func TestOutageCounting(t *testing.T) {
 	}
 }
 
-// TestShutdownDrainsAndSnapshots checks graceful shutdown: queued requests
-// still execute, Submit is rejected afterwards, and every engine's Q-table
-// reaches the snapshot sink.
-func TestShutdownDrainsAndSnapshots(t *testing.T) {
-	var mu sync.Mutex
-	snaps := map[string][]byte{}
-	g := testGateway(t, Config{QueueDepth: 256, Snapshot: func(device string, qtable []byte) error {
-		mu.Lock()
-		defer mu.Unlock()
-		snaps[device] = qtable
-		return nil
-	}})
+// countingSink wraps a policy store and counts SaveNext calls per device.
+type countingSink struct {
+	inner policy.Sink
+	mu    sync.Mutex
+	saves map[string]int
+}
+
+func newCountingSink(inner policy.Sink) *countingSink {
+	return &countingSink{inner: inner, saves: map[string]int{}}
+}
+
+func (c *countingSink) SaveNext(ck *policy.Checkpoint) (uint64, error) {
+	c.mu.Lock()
+	c.saves[ck.Device]++
+	c.mu.Unlock()
+	return c.inner.SaveNext(ck)
+}
+
+func (c *countingSink) Latest(device string) (*policy.Checkpoint, error) {
+	return c.inner.Latest(device)
+}
+
+func (c *countingSink) count(device string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saves[device]
+}
+
+func testStore(t testing.TB) *policy.Store {
+	t.Helper()
+	st, err := policy.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestShutdownDrainsAndCheckpoints checks graceful shutdown: queued requests
+// still execute (workers are mid-request when the drain begins), Submit is
+// rejected afterwards, and every worker's final Q-table reaches the
+// checkpoint store exactly once — a second Shutdown must not re-flush.
+func TestShutdownDrainsAndCheckpoints(t *testing.T) {
+	sink := newCountingSink(testStore(t))
+	g := testGateway(t, Config{QueueDepth: 256, Checkpoints: sink})
 	m := dnn.MustByName("MobileNet v1")
 	var chans []<-chan Response
 	for i := 0; i < 40; i++ {
@@ -364,6 +397,8 @@ func TestShutdownDrainsAndSnapshots(t *testing.T) {
 		}
 		chans = append(chans, ch)
 	}
+	// The workers are still chewing through the queues here, so the drain
+	// below overlaps in-flight request execution.
 	if err := g.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -373,16 +408,83 @@ func TestShutdownDrainsAndSnapshots(t *testing.T) {
 			t.Fatalf("request %d not drained: %+v", i, r)
 		}
 	}
-	for _, dev := range g.Devices() {
-		if len(snaps[dev]) == 0 {
-			t.Fatalf("no Q-table snapshot for %s", dev)
-		}
-	}
 	if _, err := g.Submit(Request{Model: m, Conditions: conds()}); err != ErrClosed {
 		t.Fatalf("submit after shutdown: %v, want ErrClosed", err)
 	}
 	if err := g.Shutdown(context.Background()); err != ErrClosed {
 		t.Fatalf("second shutdown: %v, want ErrClosed", err)
+	}
+	for _, dev := range g.Devices() {
+		if got := sink.count(dev); got != 1 {
+			t.Errorf("device %s checkpointed %d times at shutdown, want exactly 1", dev, got)
+		}
+		ck, err := sink.Latest(dev)
+		if err != nil {
+			t.Fatalf("no checkpoint for %s: %v", dev, err)
+		}
+		if ck.States == 0 || ck.Meta.TotalVisits() == 0 {
+			t.Errorf("%s checkpoint carries no learning: %+v", dev, ck.Meta)
+		}
+		if ck.Generation != 1 {
+			t.Errorf("%s checkpoint generation = %d, want 1", dev, ck.Generation)
+		}
+	}
+	if _, err := g.SyncPolicies(); err != ErrClosed {
+		t.Errorf("sync after shutdown: %v, want ErrClosed", err)
+	}
+}
+
+// TestWarmStartFromStore checks that a new gateway resumes each device from
+// its latest valid checkpoint, and that an unknown device falls back to the
+// fleet's merged policy for its config hash.
+func TestWarmStartFromStore(t *testing.T) {
+	st := testStore(t)
+	g := testGateway(t, Config{Checkpoints: st})
+	m := dnn.MustByName("MobileNet v3")
+	for i := 0; i < 30; i++ {
+		if _, err := g.Do(Request{Model: m, Conditions: conds(), Device: "Mi8Pro"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(g.WarmStarts()) != 0 {
+		t.Fatalf("fresh store produced warm-starts: %v", g.WarmStarts())
+	}
+	if _, err := g.SyncPolicies(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the same device: it must resume from its latest generation
+	// (gen 2: one sync pass + the shutdown flush).
+	e2 := testEngine(t, soc.Mi8Pro(), 7, core.DefaultConfig())
+	g2, err := New([]Backend{{Device: "Mi8Pro", Engine: e2}}, Config{Checkpoints: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Shutdown(context.Background())
+	gen, ok := g2.WarmStarts()["Mi8Pro"]
+	if !ok || gen != 2 {
+		t.Fatalf("restarted device warm-start generation = %d (ok=%v), want 2", gen, ok)
+	}
+	if e2.Agent().TotalVisits() == 0 {
+		t.Fatal("restarted engine resumed with no experience")
+	}
+
+	// A brand-new device name with the same engine config warm-starts from
+	// the merged fleet policy.
+	e3 := testEngine(t, soc.Mi8Pro(), 8, core.DefaultConfig())
+	g3, err := New([]Backend{{Device: "brand-new", Engine: e3}}, Config{Checkpoints: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g3.Shutdown(context.Background())
+	if _, ok := g3.WarmStarts()["brand-new"]; !ok {
+		t.Fatal("new device did not warm-start from the merged fleet policy")
+	}
+	if e3.Agent().TotalVisits() == 0 {
+		t.Fatal("new engine inherited no fleet experience")
 	}
 }
 

@@ -1,0 +1,103 @@
+package autoscale
+
+import (
+	"fmt"
+
+	"autoscale/internal/policy"
+)
+
+// Policy plane: durable, versioned Q-table checkpoints and federated fleet
+// policy sync (see internal/policy for full documentation). The store keeps
+// crash-safe, CRC-checked, generation-numbered snapshots per device; the
+// federation layer merges compatible tables visit-count-weighted into a
+// shared fleet policy that new or restarted devices warm-start from —
+// the paper's Section VI-C learning transfer, operationalized.
+type (
+	// PolicyStore is the crash-safe checkpoint store.
+	PolicyStore = policy.Store
+	// PolicyCheckpoint is one durable policy snapshot (metadata + Q-table).
+	PolicyCheckpoint = policy.Checkpoint
+	// PolicyMeta is the checkpoint metadata carried in the envelope.
+	PolicyMeta = policy.Meta
+	// PolicySink is the store surface the gateway and syncer depend on.
+	PolicySink = policy.Sink
+	// PolicySyncer is the background checkpoint/merge/warm-start loop.
+	PolicySyncer = policy.Syncer
+	// PolicySyncConfig tunes sync interval and save retry/backoff.
+	PolicySyncConfig = policy.SyncConfig
+	// PolicySyncReport summarizes one federation pass.
+	PolicySyncReport = policy.Report
+	// PolicyNode is one fleet member (device name + engine) under sync.
+	PolicyNode = policy.Node
+)
+
+// Policy plane sentinel errors.
+var (
+	ErrPolicyNotEnvelope  = policy.ErrNotEnvelope
+	ErrPolicyCorrupt      = policy.ErrCorrupt
+	ErrPolicyVersion      = policy.ErrVersion
+	ErrNoPolicyCheckpoint = policy.ErrNoCheckpoint
+	ErrPolicyStaleGen     = policy.ErrStaleGeneration
+)
+
+// OpenPolicyStore creates (or reopens) a checkpoint store rooted at dir,
+// keeping the last retain generations per device (<=0 uses the default).
+func OpenPolicyStore(dir string, retain int) (*PolicyStore, error) {
+	return policy.Open(dir, retain)
+}
+
+// NewPolicyCheckpoint snapshots an engine's current Q-table as a checkpoint
+// for the named device, stamped with the engine's config hash.
+func NewPolicyCheckpoint(e *Engine, device string) (*PolicyCheckpoint, error) {
+	snap, err := e.SnapshotQTable()
+	if err != nil {
+		return nil, err
+	}
+	return policy.NewCheckpoint(device, e.ConfigHash(), snap)
+}
+
+// MergePolicies federates compatible checkpoints into one shared fleet
+// policy: rows known to one device pass through, rows known to several are
+// averaged per action weighted by each device's visit count for the state.
+func MergePolicies(cks ...*PolicyCheckpoint) (*PolicyCheckpoint, error) {
+	return policy.Merge(cks)
+}
+
+// RestoreFromCheckpoint warm-starts an engine from a checkpoint, refusing
+// incompatible tables (config-hash mismatch).
+func RestoreFromCheckpoint(e *Engine, ck *PolicyCheckpoint) error {
+	if got, want := ck.ConfigHash, e.ConfigHash(); got != want {
+		return fmt.Errorf("autoscale: checkpoint config hash %s does not match engine %s", got, want)
+	}
+	return e.RestoreQTable(ck.Snapshot)
+}
+
+// NewPolicySyncer builds a federation syncer over a checkpoint sink and a
+// node source; Gateway.StartPolicySync wires one up automatically for a
+// serving fleet.
+func NewPolicySyncer(sink PolicySink, nodes func() []PolicyNode, cfg PolicySyncConfig) (*PolicySyncer, error) {
+	return policy.NewSyncer(sink, nodes, cfg)
+}
+
+// DecodePolicyCheckpoint verifies and parses checkpoint envelope bytes
+// (ErrPolicyNotEnvelope for non-envelope data, ErrPolicyCorrupt /
+// ErrPolicyVersion for damaged or unsupported files).
+func DecodePolicyCheckpoint(data []byte) (*PolicyCheckpoint, error) {
+	return policy.Decode(data)
+}
+
+// EncodePolicyCheckpoint serializes a checkpoint into envelope bytes.
+func EncodePolicyCheckpoint(ck *PolicyCheckpoint) ([]byte, error) {
+	return policy.Encode(ck)
+}
+
+// ReadPolicyCheckpoint / WritePolicyCheckpoint move standalone envelope
+// files (outside store semantics — CLI and tooling paths).
+func ReadPolicyCheckpoint(path string) (*PolicyCheckpoint, error) {
+	return policy.ReadFile(path)
+}
+
+// WritePolicyCheckpoint writes a checkpoint to a standalone envelope file.
+func WritePolicyCheckpoint(path string, ck *PolicyCheckpoint) error {
+	return policy.WriteFile(path, ck)
+}

@@ -12,8 +12,9 @@ import (
 type (
 	// Gateway serves inference requests against a fleet of engines.
 	Gateway = serve.Gateway
-	// GatewayConfig tunes queue depth, shed policy, failover and the
-	// shutdown snapshot sink.
+	// GatewayConfig tunes queue depth, shed policy, failover and the policy
+	// checkpoint store (warm-start at boot, flush at shutdown, background
+	// sync).
 	GatewayConfig = serve.Config
 	// GatewayBackend pairs a device name with its engine.
 	GatewayBackend = serve.Backend
