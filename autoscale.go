@@ -105,6 +105,9 @@ type (
 	ExperimentTable = exp.Table
 	// ExperimentOptions controls experiment fidelity.
 	ExperimentOptions = exp.Options
+	// ExperimentRun is the outcome of one experiment in a RunExperiments
+	// batch: its table (or error) plus the wall-clock it took.
+	ExperimentRun = exp.RunOutcome
 	// RLConfig holds Q-learning hyperparameters.
 	RLConfig = rl.Config
 )
@@ -221,6 +224,14 @@ func Model(name string) (*DNNModel, error) { return dnn.ByName(name) }
 // (e.g. "fig9", "tableIII"); Experiments lists the valid IDs.
 func RunExperiment(id string, opts ExperimentOptions) (*ExperimentTable, error) {
 	return exp.Run(id, opts)
+}
+
+// RunExperiments runs several experiments concurrently on the shared
+// worker pool (opts.Parallel workers; 0 means GOMAXPROCS) and returns the
+// outcomes in the order the IDs were given. Results are deterministic:
+// every Parallel setting produces identical tables.
+func RunExperiments(ids []string, opts ExperimentOptions) []ExperimentRun {
+	return exp.RunAll(ids, opts)
 }
 
 // Experiments returns the registered experiment IDs.

@@ -5,7 +5,11 @@
 //
 //	autoscale-exp -exp fig9            # one experiment at full fidelity
 //	autoscale-exp -exp all -quick      # every experiment, reduced fidelity
+//	autoscale-exp -exp all -parallel 8 # same tables, 8 workers
 //	autoscale-exp -list                # list experiment IDs
+//
+// Tables go to stdout in experiment-ID order and are byte-identical for
+// every -parallel setting; per-experiment wall-clock timings go to stderr.
 package main
 
 import (
@@ -20,13 +24,14 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment ID (e.g. fig9, tableIII) or 'all'")
-		quick = flag.Bool("quick", false, "reduced-fidelity run for smoke testing")
-		seed  = flag.Int64("seed", 42, "random seed")
-		runs  = flag.Int("runs", 0, "override measured inferences per cell (0 = default)")
-		train = flag.Int("train", 0, "override training runs per state (0 = default)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
-		csvTo = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+		expID    = flag.String("exp", "all", "experiment ID (e.g. fig9, tableIII) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced-fidelity run for smoke testing")
+		seed     = flag.Int64("seed", 42, "random seed")
+		runs     = flag.Int("runs", 0, "override measured inferences per cell (0 = default)")
+		train    = flag.Int("train", 0, "override training runs per state (0 = default)")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS); output is identical for every setting")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		csvTo    = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
 	)
 	flag.Parse()
 
@@ -47,32 +52,42 @@ func main() {
 	if *train > 0 {
 		opts.TrainRuns = *train
 	}
+	opts.Parallel = *parallel
 
 	ids := []string{*expID}
 	if *expID == "all" {
 		ids = autoscale.Experiments()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		table, err := autoscale.RunExperiment(id, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "autoscale-exp: %s: %v\n", id, err)
+	start := time.Now()
+	outcomes := autoscale.RunExperiments(ids, opts)
+	for _, oc := range outcomes {
+		if oc.Err != nil {
+			fmt.Fprintf(os.Stderr, "autoscale-exp: %s: %v\n", oc.ID, oc.Err)
 			os.Exit(1)
 		}
-		table.Fprint(os.Stdout)
+		oc.Table.Fprint(os.Stdout)
 		if *csvTo != "" {
-			path := filepath.Join(*csvTo, id+".csv")
-			f, err := os.Create(path)
-			if err != nil {
+			if err := writeCSV(oc.Table, filepath.Join(*csvTo, oc.ID+".csv")); err != nil {
 				fmt.Fprintf(os.Stderr, "autoscale-exp: %v\n", err)
 				os.Exit(1)
 			}
-			if err := table.WriteCSV(f); err != nil {
-				fmt.Fprintf(os.Stderr, "autoscale-exp: %v\n", err)
-				os.Exit(1)
-			}
-			f.Close()
 		}
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "%-16s %6.1fs\n", oc.ID, oc.Elapsed.Seconds())
 	}
+	if len(outcomes) > 1 {
+		fmt.Fprintf(os.Stderr, "%-16s %6.1fs (wall, %d experiments)\n",
+			"total", time.Since(start).Seconds(), len(outcomes))
+	}
+}
+
+func writeCSV(t *autoscale.ExperimentTable, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output into a compact
+// JSON summary so benchmark results can be archived and diffed. Repeated
+// runs of the same benchmark (-count=N) are averaged.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -count=3 . > bench.txt
+//	benchjson -in bench.txt -out BENCH_exp.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark, averaged over its repeated runs.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "-", "benchmark text input ('-' = stdin)")
+		out = flag.String("out", "-", "JSON output path ('-' = stdout)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse reads `go test -bench` output and averages the metric lines per
+// benchmark name. Lines that are not benchmark results (PASS, ok, headers)
+// are skipped.
+func parse(r io.Reader) ([]Result, error) {
+	acc := map[string]*Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so counts merge across machines.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		res := acc[name]
+		if res == nil {
+			res = &Result{Name: name}
+			acc[name] = res
+			order = append(order, name)
+		}
+		// fields: name, iterations, then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp += v
+			case "B/op":
+				res.BytesPerOp += v
+			case "allocs/op":
+				res.AllocsPerOp += v
+			}
+		}
+		res.Runs++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		res := acc[name]
+		n := float64(res.Runs)
+		res.NsPerOp /= n
+		res.BytesPerOp /= n
+		res.AllocsPerOp /= n
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+	os.Exit(1)
+}

@@ -9,7 +9,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"sort"
 	"time"
 
@@ -50,7 +49,7 @@ func main() {
 	// — compressed so the example finishes quickly: the session layer's
 	// gaps, divided by 1000, pace real submissions.
 	arrival := autoscale.Poisson{RatePerS: 20}
-	rng := rand.New(rand.NewSource(11))
+	rng := autoscale.NewExecContext(11).Stream("example.arrival")
 	const requests = 600
 	fmt.Printf("submitting %d Poisson-arriving requests...\n", requests)
 	var chans []<-chan autoscale.Response

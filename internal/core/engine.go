@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/rl"
 	"autoscale/internal/sim"
 )
@@ -118,6 +119,10 @@ type Engine struct {
 	sarsa   *rl.SarsaAgent // non-nil when cfg.Algorithm == AlgorithmSARSA
 	est     *EnergyEstimator
 	pending *pendingUpdate
+	// root and steps derive a per-step execution context for legacy
+	// RunInference calls (callers that don't pass their own context).
+	root  *exec.Context
+	steps uint64
 }
 
 // NewEngine builds an engine for a world.
@@ -142,6 +147,7 @@ func NewEngine(w *sim.World, cfg Config) (*Engine, error) {
 		States:  states,
 		cfg:     cfg,
 		est:     NewEnergyEstimator(cfg.EnergyMAPE, cfg.Seed),
+		root:    exec.NewRoot(cfg.Seed).Child("engine"),
 	}
 	if cfg.Algorithm == AlgorithmSARSA {
 		sarsa, err := rl.NewSarsaAgent(cfg.RL, actions.Len())
@@ -204,9 +210,26 @@ func (e *Engine) Predict(m *dnn.Model, c sim.Conditions) (sim.Target, error) {
 // the previous step's deferred Q update with it, per Algorithm 1), select an
 // action epsilon-greedily, execute the inference on the simulated world,
 // estimate Renergy, compute the reward and stage the update.
+//
+// It derives a per-step execution context from the engine's root, so the
+// world's noise and the Renergy estimation error are a pure function of the
+// engine seed and the step index.
 func (e *Engine) RunInference(m *dnn.Model, c sim.Conditions) (Decision, error) {
+	return e.RunInferenceCtx(nil, m, c)
+}
+
+// RunInferenceCtx is RunInference with an explicit request context: the
+// simulator's stochastic draws and the Renergy estimation error come from
+// ctx's named streams, tying them to the request's identity rather than
+// the engine's call history. A nil ctx derives one from the engine's
+// internal step counter.
+func (e *Engine) RunInferenceCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (Decision, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if ctx == nil {
+		e.steps++
+		ctx = e.root.Child("step", e.steps)
+	}
 	mask := e.Actions.Mask(m)
 	s := e.ObserveState(m, c)
 	e.seedIfUnseen(s)
@@ -234,7 +257,7 @@ func (e *Engine) RunInference(m *dnn.Model, c sim.Conditions) (Decision, error) 
 	}
 	target := e.Actions.Target(idx)
 
-	meas, err := e.Actions.Execute(m, idx, c)
+	meas, err := e.Actions.ExecuteCtx(ctx, m, idx, c)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -242,7 +265,7 @@ func (e *Engine) RunInference(m *dnn.Model, c sim.Conditions) (Decision, error) 
 	qos := e.qosFor(m)
 	rc := e.cfg.Reward
 	rc.QoSTargetS = qos
-	energyEst := e.est.Estimate(meas)
+	energyEst := e.est.EstimateCtx(ctx, meas)
 	reward := rc.Reward(energyEst, meas.LatencyS, meas.Accuracy)
 
 	if !e.agent.Frozen() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
 )
@@ -73,15 +74,22 @@ func (a *ActionSpace) partitionLocal(m *dnn.Model) sim.Target {
 	return sim.Target{Location: sim.Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
 }
 
-// Execute runs action i for model m under conditions c — the single entry
-// point the engine uses, covering both whole-model targets and partition
-// actions.
+// Execute runs action i for model m under conditions c — covering both
+// whole-model targets and partition actions. The world derives a request
+// context from its internal sequence.
 func (a *ActionSpace) Execute(m *dnn.Model, i int, c sim.Conditions) (sim.Measurement, error) {
+	return a.ExecuteCtx(nil, m, i, c)
+}
+
+// ExecuteCtx runs action i under an explicit request context — the single
+// entry point the engine uses. A nil ctx falls back to the world's internal
+// sequence.
+func (a *ActionSpace) ExecuteCtx(ctx *exec.Context, m *dnn.Model, i int, c sim.Conditions) (sim.Measurement, error) {
 	if i < 0 || i >= a.Len() {
 		return sim.Measurement{}, fmt.Errorf("core: action %d out of range", i)
 	}
 	if !a.IsPartition(i) {
-		return a.world.Execute(m, a.targets[i], c)
+		return a.world.ExecuteCtx(ctx, m, a.targets[i], c)
 	}
 	p := a.partitionAt(i)
 	cut := int(p.cutFrac * float64(len(m.Layers)))

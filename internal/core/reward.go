@@ -2,8 +2,8 @@ package core
 
 import (
 	"math"
-	"math/rand"
 
+	"autoscale/internal/exec"
 	"autoscale/internal/sim"
 )
 
@@ -74,7 +74,8 @@ type EnergyEstimator struct {
 	// sigma of the multiplicative Gaussian error. For a zero-mean
 	// Gaussian, MAPE = sigma * sqrt(2/pi), so sigma = MAPE/sqrt(2/pi).
 	sigma float64
-	rng   *rand.Rand
+	// fallback serves Estimate calls made without a request context.
+	fallback *exec.Rand
 }
 
 // PaperEnergyMAPE is the estimation error the paper reports for Renergy.
@@ -87,14 +88,34 @@ func NewEnergyEstimator(mape float64, seed int64) *EnergyEstimator {
 	if mape > 0 {
 		sigma = mape / math.Sqrt(2/math.Pi)
 	}
-	return &EnergyEstimator{sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+	return &EnergyEstimator{
+		sigma:    sigma,
+		fallback: exec.NewRoot(seed).Stream("core.energy-est"),
+	}
 }
 
-// Estimate returns Renergy for a measured outcome.
+// Estimate returns Renergy for a measured outcome, drawing the estimation
+// error from the estimator's internal stream. Not safe for concurrent use;
+// prefer EstimateCtx on concurrent paths.
 func (e *EnergyEstimator) Estimate(meas sim.Measurement) float64 {
+	return e.estimate(e.fallback, meas)
+}
+
+// EstimateCtx returns Renergy with the estimation error drawn from the
+// request context's "core.energy-est" stream, making the estimate a pure
+// function of (context identity, measurement). A nil ctx falls back to the
+// internal stream.
+func (e *EnergyEstimator) EstimateCtx(ctx *exec.Context, meas sim.Measurement) float64 {
+	if ctx == nil {
+		return e.Estimate(meas)
+	}
+	return e.estimate(ctx.Stream("core.energy-est"), meas)
+}
+
+func (e *EnergyEstimator) estimate(rng *exec.Rand, meas sim.Measurement) float64 {
 	est := meas.EnergyJ
 	if e.sigma > 0 {
-		est *= 1 + e.sigma*e.rng.NormFloat64()
+		est *= 1 + e.sigma*rng.NormFloat64()
 		if est < 0 {
 			est = 0
 		}

@@ -2,13 +2,13 @@ package exp
 
 import (
 	"bytes"
-	"math/rand"
 	"strconv"
 	"strings"
 	"testing"
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/sched"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
@@ -174,7 +174,7 @@ func TestVarianceStateConditions(t *testing.T) {
 	states := core.NewStateSpace()
 	// Every grid point must land in its intended variance bins.
 	for _, vs := range VarianceGrid() {
-		c := vs.Conditions(rand.New(rand.NewSource(1)))
+		c := vs.Conditions(exec.NewRoot(1).Stream("test"))
 		o := core.ObservationOf(dnn.MustByName("MobileNet v1"), c)
 		key := string(states.Key(o))
 		_ = key
@@ -420,6 +420,74 @@ func TestAblationSmoke(t *testing.T) {
 	// (none) + 8 features.
 	if len(tab.Rows) != 9 {
 		t.Errorf("ablation rows = %d, want 9", len(tab.Rows))
+	}
+}
+
+func TestRunCells(t *testing.T) {
+	opts := tinyOpts().withDefaults()
+	// Results come back in submission order regardless of scheduling.
+	got, err := runCells(opts, 16, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("cell %d = %d, want %d", i, v, i*i)
+		}
+	}
+	// Errors surface; Parallel=1 serializes without deadlocking.
+	opts = Options{Seed: 1, Runs: 1, TrainRuns: 1, Warmup: 1, Parallel: 1}.withDefaults()
+	_, err = runCells(opts, 4, func(i int) (int, error) {
+		if i == 2 {
+			return 0, strconv.ErrRange
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Error("cell error must propagate")
+	}
+}
+
+func TestRunAllOrderAndErrors(t *testing.T) {
+	outs := RunAll([]string{"tableI", "fig99", "tableII"}, tinyOpts())
+	if len(outs) != 3 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	if outs[0].ID != "tableI" || outs[0].Err != nil || outs[0].Table == nil {
+		t.Errorf("tableI outcome broken: %+v", outs[0])
+	}
+	if outs[1].Err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if outs[2].ID != "tableII" || outs[2].Err != nil {
+		t.Errorf("tableII outcome broken: %+v", outs[2])
+	}
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains leave-one-out engines")
+	}
+	// The acceptance bar of the parallel harness: the same experiment at
+	// Parallel=1 and Parallel=8 renders byte-identical tables.
+	micro := Options{Seed: 11, Runs: 3, TrainRuns: 2, Warmup: 2}
+	for _, id := range []string{"fig9", "fig7"} {
+		serialOpts := micro
+		serialOpts.Parallel = 1
+		serial, err := Run(id, serialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parOpts := micro
+		parOpts.Parallel = 8
+		parallel, err := Run(id, parOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s differs between Parallel=1 and Parallel=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
 	}
 }
 

@@ -5,13 +5,17 @@ import (
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/radio"
 	"autoscale/internal/sched"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
 )
 
-// Extension experiments: studies the paper sketches but does not run.
+// Extension experiments: studies the paper sketches but does not run. Like
+// the evaluation figures, each (world, policy) evaluation is a pure cell on
+// the harness pool: the cell builds its own (possibly modified) world and
+// policy from the Options.
 
 // ExtensionNPU evaluates the Section V-C extension note — adding a mobile
 // NPU and a cloud TPU to the action space — by comparing the standard
@@ -27,32 +31,39 @@ func ExtensionNPU(opts Options) (*Table, error) {
 	envs := sim.StaticEnvIDs()
 	cells := Cells(models, envs)
 
-	worlds := []struct {
-		label string
-		world *sim.World
-	}{
-		{"standard", sim.NewWorld(soc.Mi8Pro(), opts.Seed)},
-		{"NPU+TPU", npuWorld(opts.Seed)},
+	worldLabels := []string{"standard", "NPU+TPU"}
+	makeWorld := func(label string) *sim.World {
+		if label == "NPU+TPU" {
+			return npuWorld(opts.Seed)
+		}
+		return sim.NewWorld(soc.Mi8Pro(), opts.Seed)
 	}
-	for _, wc := range worlds {
-		w := wc.world
+	order := []string{"Edge (CPU FP32)", "AutoScale", "Opt"}
+	results, err := runCells(opts, len(worldLabels)*len(order), func(i int) (Result, error) {
+		w := makeWorld(worldLabels[i/len(order)])
 		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
 			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
-		base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
-		if err != nil {
-			return nil, err
+		var p sched.Policy
+		switch order[i%len(order)] {
+		case "Edge (CPU FP32)":
+			p = sched.EdgeCPU{World: w}
+		case "AutoScale":
+			p = newLOOWorld(w, opts)
+		default:
+			p = sched.Opt{World: w}
 		}
-		as, err := EvaluatePolicy(newLOOWorld(w, opts), cfg)
-		if err != nil {
-			return nil, err
-		}
-		opt, err := EvaluatePolicy(sched.Opt{World: w}, cfg)
-		if err != nil {
-			return nil, err
-		}
-		actions := core.NewActionSpace(w).Len()
-		t.AddRow(wc.label, "AutoScale", as.MeanNormPPW(base, cells), as.MeanQoSViolation(cells), actions)
-		t.AddRow(wc.label, "Opt", opt.MeanNormPPW(base, cells), opt.MeanQoSViolation(cells), actions)
+		return EvaluatePolicy(p, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, label := range worldLabels {
+		base := results[wi*len(order)]
+		as := results[wi*len(order)+1]
+		opt := results[wi*len(order)+2]
+		actions := core.NewActionSpace(makeWorld(label)).Len()
+		t.AddRow(label, "AutoScale", as.MeanNormPPW(base, cells), as.MeanQoSViolation(cells), actions)
+		t.AddRow(label, "Opt", opt.MeanNormPPW(base, cells), opt.MeanQoSViolation(cells), actions)
 	}
 	t.Notes = append(t.Notes,
 		"paper (Section V-C): \"additional actions, such as mobile NPU or cloud TPU, could be "+
@@ -96,27 +107,35 @@ func ExtensionSARSA(opts Options) (*Table, error) {
 	models := dnn.Zoo()
 	envs := sim.StaticEnvIDs()
 	cells := Cells(models, envs)
-	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
 
-	cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
-		Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
-	base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
+	algs := []core.Algorithm{core.AlgorithmQLearning, core.AlgorithmSARSA}
+	// Cell 0: baseline; cells 1..len(algs): algorithms; last: Opt.
+	results, err := runCells(opts, len(algs)+2, func(i int) (Result, error) {
+		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
+			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
+		var p sched.Policy
+		switch {
+		case i == 0:
+			p = sched.EdgeCPU{World: w}
+		case i <= len(algs):
+			loo := newLOOWorld(w, opts)
+			loo.Config.Algorithm = algs[i-1]
+			p = loo
+		default:
+			p = sched.Opt{World: w}
+		}
+		return EvaluatePolicy(p, cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, alg := range []core.Algorithm{core.AlgorithmQLearning, core.AlgorithmSARSA} {
-		loo := newLOOWorld(w, opts)
-		loo.Config.Algorithm = alg
-		res, err := EvaluatePolicy(loo, cfg)
-		if err != nil {
-			return nil, err
-		}
+	base := results[0]
+	for ai, alg := range algs {
+		res := results[ai+1]
 		t.AddRow(alg.String(), res.MeanNormPPW(base, cells), res.MeanQoSViolation(cells))
 	}
-	opt, err := EvaluatePolicy(sched.Opt{World: w}, cfg)
-	if err != nil {
-		return nil, err
-	}
+	opt := results[len(algs)+1]
 	t.AddRow("Opt", opt.MeanNormPPW(base, cells), opt.MeanQoSViolation(cells))
 	t.Notes = append(t.Notes,
 		"the paper picks Q-learning over TD alternatives for lookup-table latency (Section IV); "+
@@ -138,38 +157,43 @@ func ExtensionPartition(opts Options) (*Table, error) {
 	models := dnn.Zoo()
 	envs := sim.StaticEnvIDs()
 	cells := Cells(models, envs)
-	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
 
-	cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
-		Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
-	base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
+	// Cells: baseline, AutoScale, AutoScale+partition, NeuroSurgeon, Opt.
+	results, err := runCells(opts, 5, func(i int) (Result, error) {
+		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
+			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
+		var p sched.Policy
+		switch i {
+		case 0:
+			p = sched.EdgeCPU{World: w}
+		case 1, 2:
+			loo := newLOOWorld(w, opts)
+			loo.Config.PartitionActions = i == 2
+			p = loo
+		case 3:
+			p = &sched.NeuroSurgeon{World: w}
+		default:
+			p = sched.Opt{World: w}
+		}
+		return EvaluatePolicy(p, cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, withPartitions := range []bool{false, true} {
-		loo := newLOOWorld(w, opts)
-		loo.Config.PartitionActions = withPartitions
-		res, err := EvaluatePolicy(loo, cfg)
-		if err != nil {
-			return nil, err
-		}
-		label := "AutoScale"
+	base := results[0]
+	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+	for i, label := range []string{"AutoScale", "AutoScale+partition"} {
+		res := results[i+1]
 		actions := core.NewActionSpace(w).Len()
-		if withPartitions {
-			label = "AutoScale+partition"
+		if i == 1 {
 			actions = core.NewActionSpaceWithPartitions(w).Len()
 		}
 		t.AddRow(label, res.MeanNormPPW(base, cells), res.MeanQoSViolation(cells), actions)
 	}
-	ns, err := EvaluatePolicy(&sched.NeuroSurgeon{World: w}, cfg)
-	if err != nil {
-		return nil, err
-	}
+	ns := results[3]
 	t.AddRow("NeuroSurgeon", ns.MeanNormPPW(base, cells), ns.MeanQoSViolation(cells), "-")
-	opt, err := EvaluatePolicy(sched.Opt{World: w}, cfg)
-	if err != nil {
-		return nil, err
-	}
+	opt := results[4]
 	t.AddRow("Opt (whole-model)", opt.MeanNormPPW(base, cells), opt.MeanQoSViolation(cells), "-")
 	t.Notes = append(t.Notes,
 		"paper (footnote 4): \"model partitioning at layer granularity is complementary to and "+
@@ -193,25 +217,34 @@ func ExtensionOutage(opts Options) (*Table, error) {
 	models := dnn.Zoo()
 	envs := []string{sim.EnvS1}
 	cells := Cells(models, envs)
-	for _, outage := range []float64{0, 0.10, 0.30} {
+
+	outages := []float64{0, 0.10, 0.30}
+	order := []string{"Edge (CPU FP32)", "Cloud", "AutoScale"}
+	results, err := runCells(opts, len(outages)*len(order), func(i int) (Result, error) {
 		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
-		w.OutageProb = outage
+		w.OutageProb = outages[i/len(order)]
 		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
 			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
-		base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
-		if err != nil {
-			return nil, err
+		var p sched.Policy
+		switch order[i%len(order)] {
+		case "Edge (CPU FP32)":
+			p = sched.EdgeCPU{World: w}
+		case "Cloud":
+			p = sched.CloudAll{World: w}
+		default:
+			p = newLOOWorld(w, opts)
 		}
-		for _, p := range []sched.Policy{
-			sched.CloudAll{World: w},
-			newLOOWorld(w, opts),
-		} {
-			res, err := EvaluatePolicy(p, cfg)
-			if err != nil {
-				return nil, err
-			}
+		return EvaluatePolicy(p, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for oi, outage := range outages {
+		base := results[oi*len(order)]
+		for pi := 1; pi < len(order); pi++ {
+			res := results[oi*len(order)+pi]
 			offload := 1 - share(res, sim.Local)
-			t.AddRow(outage, p.Name(), res.MeanNormPPW(base, cells), res.MeanQoSViolation(cells), offload)
+			t.AddRow(outage, res.Policy, res.MeanNormPPW(base, cells), res.MeanQoSViolation(cells), offload)
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -236,31 +269,54 @@ func ExtensionLinks(opts Options) (*Table, error) {
 	cells := Cells(models, envs)
 	combos := []struct {
 		wanName string
-		wan     *radio.Link
 		p2pName string
-		p2p     *radio.Link
 	}{
-		{"wifi", radio.WiFi(), "wifi-direct", radio.WiFiDirect()},
-		{"lte", radio.LTE(), "wifi-direct", radio.WiFiDirect()},
-		{"5g", radio.FiveG(), "wifi-direct", radio.WiFiDirect()},
-		{"wifi", radio.WiFi(), "bluetooth", radio.Bluetooth()},
+		{"wifi", "wifi-direct"},
+		{"lte", "wifi-direct"},
+		{"5g", "wifi-direct"},
+		{"wifi", "bluetooth"},
 	}
-	for _, combo := range combos {
+	makeWorld := func(ci int) *sim.World {
 		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
-		w.WiFi = combo.wan
-		w.P2P = combo.p2p
+		switch combos[ci].wanName {
+		case "lte":
+			w.WiFi = radio.LTE()
+		case "5g":
+			w.WiFi = radio.FiveG()
+		default:
+			w.WiFi = radio.WiFi()
+		}
+		if combos[ci].p2pName == "bluetooth" {
+			w.P2P = radio.Bluetooth()
+		} else {
+			w.P2P = radio.WiFiDirect()
+		}
+		return w
+	}
+	order := []string{"Edge (CPU FP32)", "AutoScale", "Opt"}
+	results, err := runCells(opts, len(combos)*len(order), func(i int) (Result, error) {
+		w := makeWorld(i / len(order))
 		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
 			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
-		base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
-		if err != nil {
-			return nil, err
+		var p sched.Policy
+		switch order[i%len(order)] {
+		case "Edge (CPU FP32)":
+			p = sched.EdgeCPU{World: w}
+		case "AutoScale":
+			p = newLOOWorld(w, opts)
+		default:
+			p = sched.Opt{World: w}
 		}
-		for _, p := range []sched.Policy{newLOOWorld(w, opts), sched.Opt{World: w}} {
-			res, err := EvaluatePolicy(p, cfg)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(combo.wanName, combo.p2pName, p.Name(),
+		return EvaluatePolicy(p, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, combo := range combos {
+		base := results[ci*len(order)]
+		for pi := 1; pi < len(order); pi++ {
+			res := results[ci*len(order)+pi]
+			t.AddRow(combo.wanName, combo.p2pName, res.Policy,
 				res.MeanNormPPW(base, cells), res.MeanQoSViolation(cells), 1-share(res, sim.Local))
 		}
 	}
@@ -283,7 +339,6 @@ func ExtensionActions(opts Options) (*Table, error) {
 		Title:   "Extension: action-space ablation (oracle, Mi8Pro, static envs)",
 		Columns: []string{"Action space", "PPW (vs Edge CPU)", "QoS violation"},
 	}
-	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
 	models := dnn.Zoo()
 	envs := sim.StaticEnvIDs()
 	cells := Cells(models, envs)
@@ -311,17 +366,21 @@ func ExtensionActions(opts Options) (*Table, error) {
 		}},
 	}
 
-	cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs, Seed: opts.Seed + 10}
-	base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
+	// Cell 0: baseline; cells 1..len(filters): restricted oracles.
+	results, err := runCells(opts, len(filters)+1, func(i int) (Result, error) {
+		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs, Seed: opts.Seed + 10}
+		if i == 0 {
+			return EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
+		}
+		return EvaluatePolicy(&restrictedOpt{world: w, keep: filters[i-1].keep}, cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, f := range filters {
-		pol := &restrictedOpt{world: w, keep: f.keep}
-		res, err := EvaluatePolicy(pol, cfg)
-		if err != nil {
-			return nil, err
-		}
+	base := results[0]
+	for fi, f := range filters {
+		res := results[fi+1]
 		t.AddRow(f.label, res.MeanNormPPW(base, cells), res.MeanQoSViolation(cells))
 	}
 	t.Notes = append(t.Notes,
@@ -339,9 +398,14 @@ type restrictedOpt struct {
 // Name implements Policy.
 func (p *restrictedOpt) Name() string { return "Opt (restricted)" }
 
-// Run implements Policy: exhaustive expectation search over the kept subset,
-// same selection rule as sim.World.BestTarget.
+// Run implements Policy.
 func (p *restrictedOpt) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements sched.ContextPolicy: exhaustive expectation search over
+// the kept subset, same selection rule as sim.World.BestTarget.
+func (p *restrictedOpt) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	qos := sim.QoSFor(m.Task == dnn.Translation, sim.NonStreaming)
 	var (
 		best      sim.Target
@@ -373,5 +437,5 @@ func (p *restrictedOpt) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, er
 		}
 		best = fallback
 	}
-	return p.world.Execute(m, best, c)
+	return p.world.ExecuteCtx(ctx, m, best, c)
 }

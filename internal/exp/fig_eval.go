@@ -10,6 +10,13 @@ import (
 	"autoscale/internal/soc"
 )
 
+// The evaluation figures are decomposed into pure cells — one per
+// (world, policy) evaluation — so they parallelize on the harness pool.
+// Every cell builds its own sim.World (and, for AutoScale, its own engines)
+// from seeds derived of the Options, which keeps each cell's result
+// independent of scheduling; the table rows are assembled from the merged
+// results in a fixed order.
+
 // newLOO builds the standard leave-one-out AutoScale policy for a world.
 func newLOO(w *sim.World, opts Options, intensity sim.Intensity, accuracy float64) *LeaveOneOutAutoScale {
 	cfg := core.DefaultConfig()
@@ -26,24 +33,6 @@ func newLOO(w *sim.World, opts Options, intensity sim.Intensity, accuracy float6
 			Seed:         opts.Seed + 200,
 		},
 	}
-}
-
-// evalAcross runs a set of policies over a world and returns their results
-// keyed by policy name, plus the Edge (CPU FP32) baseline result.
-func evalAcross(w *sim.World, policies []sched.Policy, cfg EvalConfig) (map[string]Result, Result, error) {
-	base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
-	if err != nil {
-		return nil, Result{}, err
-	}
-	out := map[string]Result{base.Policy: base}
-	for _, p := range policies {
-		r, err := EvaluatePolicy(p, cfg)
-		if err != nil {
-			return nil, Result{}, err
-		}
-		out[p.Name()] = r
-	}
-	return out, base, nil
 }
 
 // Fig9 reproduces Fig 9: average normalized energy efficiency and QoS
@@ -70,27 +59,43 @@ func figBaselines(id string, intensity sim.Intensity, opts Options) (*Table, err
 	models := dnn.Zoo()
 	envs := sim.StaticEnvIDs()
 	cells := Cells(models, envs)
-	for i, dev := range soc.Phones() {
-		w := sim.NewWorld(dev, opts.Seed+int64(i))
-		policies := []sched.Policy{
-			&sched.EdgeBest{World: w, Intensity: intensity},
-			sched.CloudAll{World: w},
-			&sched.ConnectedEdge{World: w, Intensity: intensity},
-			&sched.MOSAIC{World: w, Intensity: intensity},
-			&sched.NeuroSurgeon{World: w, Intensity: intensity},
-			newLOO(w, opts, intensity, 0),
-			sched.Opt{World: w, Intensity: intensity},
+	order := []string{"Edge (CPU FP32)", "Edge (Best)", "Cloud", "Connected Edge",
+		"MOSAIC", "NeuroSurgeon", "AutoScale", "Opt"}
+	makePolicy := func(w *sim.World, name string) sched.Policy {
+		switch name {
+		case "Edge (CPU FP32)":
+			return sched.EdgeCPU{World: w}
+		case "Edge (Best)":
+			return &sched.EdgeBest{World: w, Intensity: intensity}
+		case "Cloud":
+			return sched.CloudAll{World: w}
+		case "Connected Edge":
+			return &sched.ConnectedEdge{World: w, Intensity: intensity}
+		case "MOSAIC":
+			return &sched.MOSAIC{World: w, Intensity: intensity}
+		case "NeuroSurgeon":
+			return &sched.NeuroSurgeon{World: w, Intensity: intensity}
+		case "AutoScale":
+			return newLOO(w, opts, intensity, 0)
+		default:
+			return sched.Opt{World: w, Intensity: intensity}
 		}
+	}
+	numDevices := len(soc.Phones())
+	results, err := runCells(opts, numDevices*len(order), func(i int) (Result, error) {
+		di, pi := i/len(order), i%len(order)
+		w := sim.NewWorld(soc.Phones()[di], opts.Seed+int64(di))
 		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
-			Intensity: intensity, Seed: opts.Seed + 10 + int64(i), WarmupRuns: opts.Warmup}
-		results, base, err := evalAcross(w, policies, cfg)
-		if err != nil {
-			return nil, err
-		}
-		order := []string{"Edge (CPU FP32)", "Edge (Best)", "Cloud", "Connected Edge",
-			"MOSAIC", "NeuroSurgeon", "AutoScale", "Opt"}
-		for _, name := range order {
-			r := results[name]
+			Intensity: intensity, Seed: opts.Seed + 10 + int64(di), WarmupRuns: opts.Warmup}
+		return EvaluatePolicy(makePolicy(w, order[pi]), cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dev := range soc.Phones() {
+		base := results[di*len(order)] // Edge (CPU FP32) normalizer
+		for pi, name := range order {
+			r := results[di*len(order)+pi]
 			t.AddRow(dev.Name, name, r.MeanNormPPW(base, cells), r.MeanQoSViolation(cells))
 		}
 	}
@@ -110,25 +115,37 @@ func Fig11(opts Options) (*Table, error) {
 		Columns: []string{"Env", "Policy", "PPW (vs Edge CPU)", "QoS violation"},
 	}
 	models := dnn.Zoo()
-	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
-	policies := []sched.Policy{
-		&sched.EdgeBest{World: w},
-		sched.CloudAll{World: w},
-		&sched.ConnectedEdge{World: w},
-		newLOO(w, opts, sim.NonStreaming, 0),
-		sched.Opt{World: w},
+	order := []string{"Edge (CPU FP32)", "Edge (Best)", "Cloud", "Connected Edge", "AutoScale", "Opt"}
+	makePolicy := func(w *sim.World, name string) sched.Policy {
+		switch name {
+		case "Edge (CPU FP32)":
+			return sched.EdgeCPU{World: w}
+		case "Edge (Best)":
+			return &sched.EdgeBest{World: w}
+		case "Cloud":
+			return sched.CloudAll{World: w}
+		case "Connected Edge":
+			return &sched.ConnectedEdge{World: w}
+		case "AutoScale":
+			return newLOO(w, opts, sim.NonStreaming, 0)
+		default:
+			return sched.Opt{World: w}
+		}
 	}
-	cfg := EvalConfig{Models: models, EnvIDs: sim.AllEnvIDs(), Runs: opts.Runs,
-		Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
-	results, base, err := evalAcross(w, policies, cfg)
+	results, err := runCells(opts, len(order), func(i int) (Result, error) {
+		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+		cfg := EvalConfig{Models: models, EnvIDs: sim.AllEnvIDs(), Runs: opts.Runs,
+			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
+		return EvaluatePolicy(makePolicy(w, order[i]), cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
-	order := []string{"Edge (CPU FP32)", "Edge (Best)", "Cloud", "Connected Edge", "AutoScale", "Opt"}
+	base := results[0]
 	for _, env := range sim.AllEnvIDs() {
 		cells := Cells(models, []string{env})
-		for _, name := range order {
-			r := results[name]
+		for pi, name := range order {
+			r := results[pi]
 			t.AddRow(env, name, r.MeanNormPPW(base, cells), r.MeanQoSViolation(cells))
 		}
 	}
@@ -148,28 +165,37 @@ func Fig12(opts Options) (*Table, error) {
 		Columns: []string{"Accuracy target", "Policy", "PPW (vs Edge CPU)", "QoS violation"},
 	}
 	models := dnn.Zoo()
-	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
 	envs := sim.StaticEnvIDs()
 	cells := Cells(models, envs)
-	for _, acc := range []float64{0, 50, 65, 70} {
+	accs := []float64{0, 50, 65, 70}
+	order := []string{"Edge (CPU FP32)", "AutoScale", "Opt"}
+	results, err := runCells(opts, len(accs)*len(order), func(i int) (Result, error) {
+		acc := accs[i/len(order)]
+		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs, Accuracy: acc,
+			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
+		var p sched.Policy
+		switch order[i%len(order)] {
+		case "Edge (CPU FP32)":
+			p = sched.EdgeCPU{World: w}
+		case "AutoScale":
+			p = newLOO(w, opts, sim.NonStreaming, acc)
+		default:
+			p = sched.Opt{World: w, Accuracy: acc}
+		}
+		return EvaluatePolicy(p, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, acc := range accs {
 		label := "none"
 		if acc > 0 {
 			label = fmt.Sprintf("%.0f%%", acc)
 		}
-		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs, Accuracy: acc,
-			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
-		base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, cfg)
-		if err != nil {
-			return nil, err
-		}
-		as, err := EvaluatePolicy(newLOO(w, opts, sim.NonStreaming, acc), cfg)
-		if err != nil {
-			return nil, err
-		}
-		opt, err := EvaluatePolicy(sched.Opt{World: w, Accuracy: acc}, cfg)
-		if err != nil {
-			return nil, err
-		}
+		base := results[ai*len(order)]
+		as := results[ai*len(order)+1]
+		opt := results[ai*len(order)+2]
 		t.AddRow(label, "AutoScale", as.MeanNormPPW(base, cells), as.MeanQoSViolation(cells))
 		t.AddRow(label, "Opt", opt.MeanNormPPW(base, cells), opt.MeanQoSViolation(cells))
 	}
@@ -181,7 +207,9 @@ func Fig12(opts Options) (*Table, error) {
 
 // Fig13 reproduces Fig 13: the execution-location decision breakdown of
 // AutoScale versus Opt per device, AutoScale's prediction accuracy, and the
-// S4/D2 drill-downs quoted in the text.
+// S4/D2 drill-downs quoted in the text. One cell per device: the scopes
+// share the device's leave-one-out engines (which keep adapting online
+// across scopes), so they stay sequential inside the cell.
 func Fig13(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	t := &Table{
@@ -190,7 +218,9 @@ func Fig13(opts Options) (*Table, error) {
 		Columns: []string{"Device", "Scope", "Policy", "local", "connected", "cloud", "Pred acc (%)"},
 	}
 	models := dnn.Zoo()
-	for i, dev := range soc.Phones() {
+	numDevices := len(soc.Phones())
+	rowsPerDevice, err := runCells(opts, numDevices, func(i int) ([][]interface{}, error) {
+		dev := soc.Phones()[i]
 		w := sim.NewWorld(dev, opts.Seed+int64(i))
 		loo := newLOO(w, opts, sim.NonStreaming, 0)
 		scopes := []struct {
@@ -201,6 +231,7 @@ func Fig13(opts Options) (*Table, error) {
 			{"S4", []string{sim.EnvS4}},
 			{"D2", []string{sim.EnvD2}},
 		}
+		var rows [][]interface{}
 		for _, sc := range scopes {
 			if dev.Name != "Mi8Pro" && sc.label != "static" {
 				continue // the paper's drill-downs are single-device
@@ -219,10 +250,19 @@ func Fig13(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(dev.Name, sc.label, "AutoScale",
-				share(asRes, sim.Local), share(asRes, sim.Connected), share(asRes, sim.Cloud), acc*100)
-			t.AddRow(dev.Name, sc.label, "Opt",
-				share(optRes, sim.Local), share(optRes, sim.Connected), share(optRes, sim.Cloud), "-")
+			rows = append(rows, []interface{}{dev.Name, sc.label, "AutoScale",
+				share(asRes, sim.Local), share(asRes, sim.Connected), share(asRes, sim.Cloud), acc * 100})
+			rows = append(rows, []interface{}{dev.Name, sc.label, "Opt",
+				share(optRes, sim.Local), share(optRes, sim.Connected), share(optRes, sim.Cloud), "-"})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range rowsPerDevice {
+		for _, row := range rows {
+			t.AddRow(row...)
 		}
 	}
 	t.Notes = append(t.Notes,

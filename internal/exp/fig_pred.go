@@ -15,7 +15,9 @@ import (
 // MAPE with and without runtime variance and the classifiers'
 // mis-classification ratios. Like the main evaluation, the predictors are
 // tested leave-one-out: each model is evaluated with predictors fitted on
-// the other nine (Section V-C).
+// the other nine (Section V-C). Each fold is one cell (its five predictors
+// fit and evaluate against a cell-private world), the full-zoo estimation
+// metrics are a second cell kind, and the Edge/Opt anchors a third.
 func Fig7(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	t := &Table{
@@ -24,13 +26,110 @@ func Fig7(opts Options) (*Table, error) {
 		Columns: []string{"Approach", "PPW (vs Edge CPU)", "QoS violation",
 			"MAPE no-var (%)", "MAPE var (%)", "Misclass (%)"},
 	}
-	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
 	models := dnn.Zoo()
 	envIDs := sim.StaticEnvIDs()
 	cells := Cells(models, envIDs)
-
-	// Aggregates across folds.
 	approaches := []string{"LR", "SVR", "SVM", "KNN", "BO"}
+
+	type mapeAcc struct{ noVarSum, varSum float64 }
+	type fig7Cell struct {
+		folds map[string]Result // fold cells: per-approach result on the held-out model
+		mapes map[string]*mapeAcc
+		misr  map[string]float64
+		base  Result
+		opt   Result
+	}
+
+	// Cells 0..len(models)-1 are the leave-one-out folds; cell len(models)
+	// fits the full-zoo predictors and measures their estimation errors;
+	// the last cell evaluates the Edge (CPU) and Opt anchors.
+	outs, err := runCells(opts, len(models)+2, func(i int) (fig7Cell, error) {
+		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+		switch {
+		case i < len(models):
+			folds, err := fig7Fold(w, models, i, envIDs, opts)
+			return fig7Cell{folds: folds}, err
+		case i == len(models):
+			out := fig7Cell{
+				mapes: map[string]*mapeAcc{"LR": {}, "SVR": {}, "BO": {}},
+				misr:  map[string]float64{"SVM": 0, "KNN": 0},
+			}
+			fullData, err := BuildDataset(w, ProfileConfig{
+				Models: models, ActionsPerState: 12, WithVariance: true, Seed: opts.Seed + 501,
+			})
+			if err != nil {
+				return out, err
+			}
+			fullLabels, err := BuildLabels(w, ProfileConfig{Models: models, Seed: opts.Seed + 502})
+			if err != nil {
+				return out, err
+			}
+			fullLR, err := NewLRPolicy(w, fullData, sim.NonStreaming)
+			if err != nil {
+				return out, err
+			}
+			fullSVR, err := NewSVRPolicy(w, fullData, sim.NonStreaming)
+			if err != nil {
+				return out, err
+			}
+			fullBO, err := NewBOPolicy(w, fullData[:len(fullData)/4], 120, opts.Seed+503, sim.NonStreaming)
+			if err != nil {
+				return out, err
+			}
+			fullSVM, err := NewSVMPolicy(w, fullLabels)
+			if err != nil {
+				return out, err
+			}
+			fullKNN, err := NewKNNPolicy(w, fullLabels, 5)
+			if err != nil {
+				return out, err
+			}
+			mapeRuns := opts.Runs
+			for _, reg := range []struct {
+				name string
+				pol  *RegressionPolicy
+			}{{"LR", fullLR}, {"SVR", fullSVR}, {"BO", fullBO}} {
+				noVar, err := RegressorMAPE(w, reg.pol.Energy, models, false, mapeRuns, opts.Seed+504)
+				if err != nil {
+					return out, err
+				}
+				withVar, err := RegressorMAPE(w, reg.pol.Energy, models, true, mapeRuns, opts.Seed+505)
+				if err != nil {
+					return out, err
+				}
+				out.mapes[reg.name].noVarSum = noVar
+				out.mapes[reg.name].varSum = withVar
+			}
+			for _, clf := range []struct {
+				name string
+				pol  *ClassifierPolicy
+			}{{"SVM", fullSVM}, {"KNN", fullKNN}} {
+				mis, err := ClassifierMisrate(w, clf.pol.Clf, models, sim.NonStreaming, mapeRuns/2+1, opts.Seed+506)
+				if err != nil {
+					return out, err
+				}
+				out.misr[clf.name] = mis
+			}
+			return out, nil
+		default:
+			evalCfg := EvalConfig{Models: models, EnvIDs: envIDs, Runs: opts.Runs, Seed: opts.Seed + 9}
+			base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, evalCfg)
+			if err != nil {
+				return fig7Cell{}, err
+			}
+			opt, err := EvaluatePolicy(sched.Opt{World: w}, evalCfg)
+			if err != nil {
+				return fig7Cell{}, err
+			}
+			return fig7Cell{base: base, opt: opt}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge the folds into per-approach aggregates (fold cell keys are
+	// disjoint: each fold contributes only its held-out model's cells).
 	agg := make(map[string]*Result, len(approaches))
 	for _, name := range approaches {
 		agg[name] = &Result{
@@ -41,58 +140,9 @@ func Fig7(opts Options) (*Table, error) {
 			Decisions:    make(map[sim.Location]int),
 		}
 	}
-	type mapeAcc struct{ noVarSum, varSum float64 }
-	mapes := map[string]*mapeAcc{"LR": {}, "SVR": {}, "BO": {}}
-	misr := map[string]float64{"SVM": 0, "KNN": 0}
-
-	for fold, held := range models {
-		var trainSet []*dnn.Model
-		for _, m := range models {
-			if m.Name != held.Name {
-				trainSet = append(trainSet, m)
-			}
-		}
-		foldSeed := opts.Seed + int64(fold)*1000
-		data, err := BuildDataset(w, ProfileConfig{
-			Models: trainSet, ActionsPerState: 12, WithVariance: true, Seed: foldSeed + 1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		labels, err := BuildLabels(w, ProfileConfig{Models: trainSet, Seed: foldSeed + 2})
-		if err != nil {
-			return nil, err
-		}
-
-		lr, err := NewLRPolicy(w, data, sim.NonStreaming)
-		if err != nil {
-			return nil, err
-		}
-		svr, err := NewSVRPolicy(w, data, sim.NonStreaming)
-		if err != nil {
-			return nil, err
-		}
-		svm, err := NewSVMPolicy(w, labels)
-		if err != nil {
-			return nil, err
-		}
-		knn, err := NewKNNPolicy(w, labels, 5)
-		if err != nil {
-			return nil, err
-		}
-		bo, err := NewBOPolicy(w, data[:len(data)/4], 120, foldSeed+3, sim.NonStreaming)
-		if err != nil {
-			return nil, err
-		}
-
-		evalCfg := EvalConfig{Models: []*dnn.Model{held}, EnvIDs: envIDs,
-			Runs: opts.Runs, Seed: foldSeed + 4}
-		for _, p := range []sched.Policy{lr, svr, svm, knn, bo} {
-			res, err := EvaluatePolicy(p, evalCfg)
-			if err != nil {
-				return nil, err
-			}
-			dst := agg[p.Name()]
+	for _, out := range outs[:len(models)] {
+		for name, res := range out.folds {
+			dst := agg[name]
 			for c, v := range res.MeanEnergyJ {
 				dst.MeanEnergyJ[c] = v
 			}
@@ -107,89 +157,83 @@ func Fig7(opts Options) (*Table, error) {
 			}
 			dst.Inferences += res.Inferences
 		}
+	}
+	metrics := outs[len(models)]
+	anchors := outs[len(models)+1]
 
-	}
-
-	// Estimation-error metrics are properties of the fitted predictors on
-	// their design space, so they are measured on models fitted to the
-	// full zoo (not leave-one-out), matching the paper's MAPE protocol.
-	fullData, err := BuildDataset(w, ProfileConfig{
-		Models: models, ActionsPerState: 12, WithVariance: true, Seed: opts.Seed + 501,
-	})
-	if err != nil {
-		return nil, err
-	}
-	fullLabels, err := BuildLabels(w, ProfileConfig{Models: models, Seed: opts.Seed + 502})
-	if err != nil {
-		return nil, err
-	}
-	fullLR, err := NewLRPolicy(w, fullData, sim.NonStreaming)
-	if err != nil {
-		return nil, err
-	}
-	fullSVR, err := NewSVRPolicy(w, fullData, sim.NonStreaming)
-	if err != nil {
-		return nil, err
-	}
-	fullBO, err := NewBOPolicy(w, fullData[:len(fullData)/4], 120, opts.Seed+503, sim.NonStreaming)
-	if err != nil {
-		return nil, err
-	}
-	fullSVM, err := NewSVMPolicy(w, fullLabels)
-	if err != nil {
-		return nil, err
-	}
-	fullKNN, err := NewKNNPolicy(w, fullLabels, 5)
-	if err != nil {
-		return nil, err
-	}
-	mapeRuns := opts.Runs
-	for name, reg := range map[string]*RegressionPolicy{"LR": fullLR, "SVR": fullSVR, "BO": fullBO} {
-		noVar, err := RegressorMAPE(w, reg.Energy, models, false, mapeRuns, opts.Seed+504)
-		if err != nil {
-			return nil, err
-		}
-		withVar, err := RegressorMAPE(w, reg.Energy, models, true, mapeRuns, opts.Seed+505)
-		if err != nil {
-			return nil, err
-		}
-		mapes[name].noVarSum = noVar
-		mapes[name].varSum = withVar
-	}
-	for name, clf := range map[string]*ClassifierPolicy{"SVM": fullSVM, "KNN": fullKNN} {
-		mis, err := ClassifierMisrate(w, clf.Clf, models, sim.NonStreaming, mapeRuns/2+1, opts.Seed+506)
-		if err != nil {
-			return nil, err
-		}
-		misr[name] = mis
-	}
-
-	evalCfg := EvalConfig{Models: models, EnvIDs: envIDs, Runs: opts.Runs, Seed: opts.Seed + 9}
-	base, err := EvaluatePolicy(sched.EdgeCPU{World: w}, evalCfg)
-	if err != nil {
-		return nil, err
-	}
-	optRes, err := EvaluatePolicy(sched.Opt{World: w}, evalCfg)
-	if err != nil {
-		return nil, err
-	}
-
-	t.AddRow("Edge (CPU)", 1.0, base.MeanQoSViolation(cells), "-", "-", "-")
+	t.AddRow("Edge (CPU)", 1.0, anchors.base.MeanQoSViolation(cells), "-", "-", "-")
 	for _, name := range approaches {
 		res := agg[name]
-		row := []interface{}{name, res.MeanNormPPW(base, cells), res.MeanQoSViolation(cells)}
-		if m, ok := mapes[name]; ok {
+		row := []interface{}{name, res.MeanNormPPW(anchors.base, cells), res.MeanQoSViolation(cells)}
+		if m, ok := metrics.mapes[name]; ok {
 			row = append(row, m.noVarSum, m.varSum, "-")
 		} else {
-			row = append(row, "-", "-", misr[name]*100)
+			row = append(row, "-", "-", metrics.misr[name]*100)
 		}
 		t.AddRow(row...)
 	}
-	t.AddRow("Opt", optRes.MeanNormPPW(base, cells), optRes.MeanQoSViolation(cells), "-", "-", "-")
+	t.AddRow("Opt", anchors.opt.MeanNormPPW(anchors.base, cells), anchors.opt.MeanQoSViolation(cells), "-", "-", "-")
 
 	t.Notes = append(t.Notes,
 		"paper MAPE (no-var/var): LR 13.6/24.6, SVR 10.8/21.1, BO 9.2/15.7; "+
 			"misclassification with variance: SVM 12.7%, KNN 14.3%; all leave a significant gap to Opt")
 	t.Notes = append(t.Notes, fmt.Sprintf("leave-one-out over %d models, %d static environments", len(models), len(envIDs)))
 	return t, nil
+}
+
+// fig7Fold fits the five prediction approaches on every model but the
+// held-out one and evaluates them on the held-out model, returning the
+// per-approach results.
+func fig7Fold(w *sim.World, models []*dnn.Model, fold int, envIDs []string, opts Options) (map[string]Result, error) {
+	held := models[fold]
+	var trainSet []*dnn.Model
+	for _, m := range models {
+		if m.Name != held.Name {
+			trainSet = append(trainSet, m)
+		}
+	}
+	foldSeed := opts.Seed + int64(fold)*1000
+	data, err := BuildDataset(w, ProfileConfig{
+		Models: trainSet, ActionsPerState: 12, WithVariance: true, Seed: foldSeed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	labels, err := BuildLabels(w, ProfileConfig{Models: trainSet, Seed: foldSeed + 2})
+	if err != nil {
+		return nil, err
+	}
+
+	lr, err := NewLRPolicy(w, data, sim.NonStreaming)
+	if err != nil {
+		return nil, err
+	}
+	svr, err := NewSVRPolicy(w, data, sim.NonStreaming)
+	if err != nil {
+		return nil, err
+	}
+	svm, err := NewSVMPolicy(w, labels)
+	if err != nil {
+		return nil, err
+	}
+	knn, err := NewKNNPolicy(w, labels, 5)
+	if err != nil {
+		return nil, err
+	}
+	bo, err := NewBOPolicy(w, data[:len(data)/4], 120, foldSeed+3, sim.NonStreaming)
+	if err != nil {
+		return nil, err
+	}
+
+	evalCfg := EvalConfig{Models: []*dnn.Model{held}, EnvIDs: envIDs,
+		Runs: opts.Runs, Seed: foldSeed + 4}
+	out := make(map[string]Result, 5)
+	for _, p := range []sched.Policy{lr, svr, svm, knn, bo} {
+		res, err := EvaluatePolicy(p, evalCfg)
+		if err != nil {
+			return nil, err
+		}
+		out[p.Name()] = res
+	}
+	return out, nil
 }

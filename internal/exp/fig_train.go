@@ -2,11 +2,11 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
 )
@@ -15,7 +15,10 @@ import (
 // how many inference runs the learning needs to converge when training from
 // scratch, how much a model transferred from the Mi8Pro accelerates
 // convergence on the other devices, and how dynamic environments slow
-// convergence relative to static ones.
+// convergence relative to static ones. The donor trains first (one serial
+// phase); the 12 (device, mode, environment) series are then independent
+// cells — each builds its own world and engines, reading the shared donor
+// table only through TransferFrom.
 func Fig14(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	t := &Table{
@@ -44,16 +47,26 @@ func Fig14(opts Options) (*Table, error) {
 		return nil, err
 	}
 
+	modes := []string{"scratch", "transfer"}
+	envKinds := []string{"static", "dynamic"}
+	numDevices := len(soc.Phones())
+	perCombo := len(modes) * len(envKinds)
+	runsPerCombo, err := runCells(opts, numDevices*perCombo, func(i int) (float64, error) {
+		di := i / perCombo
+		mode := modes[(i%perCombo)/len(envKinds)]
+		envKind := envKinds[i%len(envKinds)]
+		w := sim.NewWorld(soc.Phones()[di], opts.Seed+int64(di))
+		return convergenceRuns(w, donor, models, mode == "transfer", envKind == "dynamic", opts, int64(di))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var scratchSum, transferSum float64
 	var scratchN int
-	for i, dev := range soc.Phones() {
-		w := sim.NewWorld(dev, opts.Seed+int64(i))
-		for _, mode := range []string{"scratch", "transfer"} {
-			for _, envKind := range []string{"static", "dynamic"} {
-				runs, err := convergenceRuns(w, donor, models, mode == "transfer", envKind == "dynamic", opts, int64(i))
-				if err != nil {
-					return nil, err
-				}
+	for di, dev := range soc.Phones() {
+		for mi, mode := range modes {
+			for ei, envKind := range envKinds {
+				runs := runsPerCombo[di*perCombo+mi*len(envKinds)+ei]
 				t.AddRow(dev.Name, mode, envKind, runs)
 				if envKind == "static" {
 					if mode == "scratch" {
@@ -85,7 +98,7 @@ func Fig14(opts Options) (*Table, error) {
 // within a dynamic environment the engine still generalizes across its own
 // variance states.
 func convergenceRuns(w *sim.World, donor *core.Engine, models []*dnn.Model, transfer, dynamic bool, opts Options, salt int64) (float64, error) {
-	rng := rand.New(rand.NewSource(opts.Seed + 31*salt))
+	rng := exec.NewRoot(opts.Seed + 31*salt).Stream("exp.converge")
 	const maxRuns = 300
 	envID := sim.EnvS1
 	if dynamic {
@@ -180,7 +193,8 @@ func convergePoint(ratios []float64) int {
 
 // StateAblation reproduces the Section IV-A sensitivity study: removing any
 // one state feature degrades prediction accuracy (the paper reports a 32.1%
-// average drop).
+// average drop). The full-space measurement and the eight single-feature
+// removals are independent cells.
 func StateAblation(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	t := &Table{
@@ -188,11 +202,11 @@ func StateAblation(opts Options) (*Table, error) {
 		Title:   "State-feature ablation (prediction accuracy, Mi8Pro)",
 		Columns: []string{"Removed feature", "Prediction accuracy (%)", "Drop vs full (pp)"},
 	}
-	w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
 	models := dnn.Zoo()
 	envs := sim.StaticEnvIDs()
 
 	measure := func(disabled core.Feature, disable bool) (float64, error) {
+		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
 		cfg := core.DefaultConfig()
 		cfg.Seed = opts.Seed
 		states := core.NewStateSpace()
@@ -215,16 +229,19 @@ func StateAblation(opts Options) (*Table, error) {
 		return predictionAccuracy(w, loo, models, envs, opts)
 	}
 
-	full, err := measure(0, false)
+	accs, err := runCells(opts, core.NumFeatures+1, func(i int) (float64, error) {
+		if i == 0 {
+			return measure(0, false)
+		}
+		return measure(core.Feature(i-1), true)
+	})
 	if err != nil {
 		return nil, err
 	}
+	full := accs[0]
 	t.AddRow("(none)", full*100, 0.0)
 	for f := core.Feature(0); int(f) < core.NumFeatures; f++ {
-		acc, err := measure(f, true)
-		if err != nil {
-			return nil, err
-		}
+		acc := accs[int(f)+1]
 		t.AddRow(f.String(), acc*100, (full-acc)*100)
 	}
 	t.Notes = append(t.Notes, "paper: removing any one state degrades accuracy by 32.1% on average")

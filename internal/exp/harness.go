@@ -8,10 +8,10 @@ package exp
 
 import (
 	"fmt"
-	"math/rand"
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/interfere"
 	"autoscale/internal/sched"
 	"autoscale/internal/sim"
@@ -119,6 +119,11 @@ type OnlineLearner interface {
 }
 
 // EvaluatePolicy runs a policy over every (model, env) cell and aggregates.
+// Policies implementing sched.ContextPolicy receive a request-scoped
+// execution context derived from (cfg.Seed, model, env, run index), so their
+// stochastic draws are independent of any shared world state; the remaining
+// policies fall back to Run and stay deterministic as long as the caller
+// owns the world exclusively.
 func EvaluatePolicy(p sched.Policy, cfg EvalConfig) (Result, error) {
 	res := Result{
 		Policy:       p.Name(),
@@ -127,6 +132,8 @@ func EvaluatePolicy(p sched.Policy, cfg EvalConfig) (Result, error) {
 		QoSViolRatio: make(map[Cell]float64),
 		Decisions:    make(map[sim.Location]int),
 	}
+	root := exec.NewRoot(cfg.Seed).Child("eval")
+	cp, _ := p.(sched.ContextPolicy)
 	for _, m := range cfg.Models {
 		qos := sim.QoSFor(m.Task == dnn.Translation, cfg.Intensity)
 		for _, envID := range cfg.EnvIDs {
@@ -135,6 +142,7 @@ func EvaluatePolicy(p sched.Policy, cfg EvalConfig) (Result, error) {
 				return Result{}, err
 			}
 			cell := Cell{Model: m.Name, Env: envID}
+			cellCtx := root.Child(m.Name + "/" + envID)
 			if ol, ok := p.(OnlineLearner); ok && cfg.WarmupRuns > 0 {
 				if err := ol.Warmup(m, env.Sample, cfg.WarmupRuns); err != nil {
 					return Result{}, err
@@ -143,7 +151,13 @@ func EvaluatePolicy(p sched.Policy, cfg EvalConfig) (Result, error) {
 			var energy, latency float64
 			var viol int
 			for i := 0; i < cfg.Runs; i++ {
-				meas, err := p.Run(m, env.Sample())
+				var meas sim.Measurement
+				var err error
+				if cp != nil {
+					meas, err = cp.RunCtx(cellCtx.Child("req", uint64(i)), m, env.Sample())
+				} else {
+					meas, err = p.Run(m, env.Sample())
+				}
 				if err != nil {
 					return Result{}, fmt.Errorf("exp: %s on %s/%s: %w", p.Name(), m.Name, envID, err)
 				}
@@ -194,7 +208,7 @@ func VarianceGrid() []VarianceState {
 
 // Conditions materializes the variance state into sim conditions with a
 // little jitter so the training distribution covers each bin's interior.
-func (v VarianceState) Conditions(rng *rand.Rand) sim.Conditions {
+func (v VarianceState) Conditions(rng *exec.Rand) sim.Conditions {
 	jitter := func(x, sigma, lo, hi float64) float64 {
 		if x == 0 {
 			return 0 // keep the "none" bin exactly at zero load
@@ -235,7 +249,7 @@ type TrainConfig struct {
 // model and every runtime-variance state of the grid, RunsPerState
 // inferences with epsilon-greedy learning.
 func TrainEngine(e *core.Engine, cfg TrainConfig) error {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := exec.NewRoot(cfg.Seed).Stream("exp.train")
 	grid := VarianceGrid()
 	for _, m := range cfg.Models {
 		for _, vs := range grid {
@@ -281,7 +295,12 @@ func (p *AutoScalePolicy) Name() string {
 
 // Run implements Policy.
 func (p *AutoScalePolicy) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
-	d, err := p.Engine.RunInference(m, c)
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements sched.ContextPolicy.
+func (p *AutoScalePolicy) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	d, err := p.Engine.RunInferenceCtx(ctx, m, c)
 	if err != nil {
 		return sim.Measurement{}, err
 	}
@@ -304,11 +323,16 @@ func (*LeaveOneOutAutoScale) Name() string { return "AutoScale" }
 
 // Run implements Policy.
 func (p *LeaveOneOutAutoScale) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements sched.ContextPolicy.
+func (p *LeaveOneOutAutoScale) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	e, err := p.engineFor(m)
 	if err != nil {
 		return sim.Measurement{}, err
 	}
-	d, err := e.RunInference(m, c)
+	d, err := e.RunInferenceCtx(ctx, m, c)
 	if err != nil {
 		return sim.Measurement{}, err
 	}

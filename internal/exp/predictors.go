@@ -3,10 +3,10 @@ package exp
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/interfere"
 	"autoscale/internal/predict"
 	"autoscale/internal/sim"
@@ -42,7 +42,7 @@ func BuildDataset(w *sim.World, cfg ProfileConfig) ([]predict.Sample, error) {
 	if cfg.ActionsPerState < 1 {
 		cfg.ActionsPerState = 12
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := exec.NewRoot(cfg.Seed).Stream("exp.profile")
 	actions := core.NewActionSpace(w)
 	grid := []VarianceState{{RSSIW: -55, RSSIP: -55}}
 	if cfg.WithVariance {
@@ -86,7 +86,7 @@ func BuildDataset(w *sim.World, cfg ProfileConfig) ([]predict.Sample, error) {
 // the boundary regions, where mispredictions are costly, imperfectly
 // covered (Section III-C).
 func BuildLabels(w *sim.World, cfg ProfileConfig) ([]predict.LabeledState, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rng := exec.NewRoot(cfg.Seed).Stream("exp.labels")
 	actions := core.NewActionSpace(w)
 	samplesPerModel := 64
 	var out []predict.LabeledState
@@ -155,6 +155,11 @@ func (p *RegressionPolicy) Name() string { return p.Label }
 
 // Run implements Policy.
 func (p *RegressionPolicy) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements sched.ContextPolicy.
+func (p *RegressionPolicy) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	x := featuresOf(m, c)
 	qos := sim.QoSFor(m.Task == dnn.Translation, p.Intensity)
 	mask := p.Actions.Mask(m)
@@ -183,7 +188,7 @@ func (p *RegressionPolicy) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement,
 	if best < 0 {
 		return sim.Measurement{}, fmt.Errorf("exp: %s found no action for %s", p.Label, m.Name)
 	}
-	return p.World.Execute(m, p.Actions.Target(best), c)
+	return p.World.ExecuteCtx(ctx, m, p.Actions.Target(best), c)
 }
 
 func oneHot(i, n int) []float64 {
@@ -207,11 +212,16 @@ func (p *ClassifierPolicy) Name() string { return p.Label }
 
 // Run implements Policy.
 func (p *ClassifierPolicy) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements sched.ContextPolicy.
+func (p *ClassifierPolicy) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	idx := p.Clf.Classify(featuresOf(m, c), p.Actions.Mask(m))
 	if idx < 0 {
 		return sim.Measurement{}, fmt.Errorf("exp: classifier found no action for %s", m.Name)
 	}
-	return p.World.Execute(m, p.Actions.Target(idx), c)
+	return p.World.ExecuteCtx(ctx, m, p.Actions.Target(idx), c)
 }
 
 // NewLRPolicy trains the linear-regression approach of Section III-C.
@@ -288,7 +298,7 @@ func NewKNNPolicy(w *sim.World, labels []predict.LabeledState, k int) (*Classifi
 // latency used at runtime exactly like the regression policies.
 func NewBOPolicy(w *sim.World, seed []predict.Sample, acquisitions int, cfgSeed int64, intensity sim.Intensity) (*RegressionPolicy, error) {
 	actions := core.NewActionSpace(w)
-	rng := rand.New(rand.NewSource(cfgSeed))
+	rng := exec.NewRoot(cfgSeed).Stream("exp.bo")
 	data := append([]predict.Sample(nil), seed...)
 	models := dnn.Zoo()
 	grid := VarianceGrid()
@@ -371,7 +381,7 @@ func NewBOPolicy(w *sim.World, seed []predict.Sample, acquisitions int, cfgSeed 
 // randomly drawn feasible actions and compares with the noise-free
 // expectation, returning the mean absolute percentage error (percent).
 func RegressorMAPE(w *sim.World, reg predict.Regressor, models []*dnn.Model, withVariance bool, runs int, seed int64) (float64, error) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := exec.NewRoot(seed).Stream("exp.mape")
 	actions := core.NewActionSpace(w)
 	grid := []VarianceState{{RSSIW: -55, RSSIP: -55}}
 	if withVariance {
@@ -405,7 +415,7 @@ func RegressorMAPE(w *sim.World, reg predict.Regressor, models []*dnn.Model, wit
 // ClassifierMisrate evaluates a classifier's mis-classification ratio
 // against the Opt oracle over fresh variance-grid states.
 func ClassifierMisrate(w *sim.World, clf predict.Classifier, models []*dnn.Model, intensity sim.Intensity, runs int, seed int64) (float64, error) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := exec.NewRoot(seed).Stream("exp.misrate")
 	actions := core.NewActionSpace(w)
 	grid := VarianceGrid()
 	var mis, total int

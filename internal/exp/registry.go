@@ -58,11 +58,24 @@ func expOrder(id string) string {
 	}
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID. The experiment occupies one
+// slot of the options' worker pool while it computes and lends that slot to
+// its cells during fan-out phases, so concurrent Run calls sharing Options
+// (as in RunAll) never exceed Parallel units of running work.
 func Run(id string, opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	opts.pool.acquire()
+	defer opts.pool.release()
+	return runHeld(id, opts)
+}
+
+// runHeld executes the experiment's runner; the caller already holds one
+// pool token on the options' pool.
+func runHeld(id string, opts Options) (*Table, error) {
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
 	}
+	opts.held = true
 	return r(opts)
 }

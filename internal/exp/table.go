@@ -84,6 +84,22 @@ type Options struct {
 	TrainRuns int
 	// Warmup is the per-cell adaptation budget before measurement.
 	Warmup int
+	// Parallel bounds the number of concurrently running experiment cells
+	// (0 selects GOMAXPROCS). Results are identical for every setting:
+	// cells are pure functions of (Options, cell index).
+	Parallel int
+
+	// pool is the shared worker semaphore; withDefaults creates it lazily
+	// so that RunAll can share one pool across experiments.
+	pool *pool
+	// held records that the current goroutine owns a pool token (set by
+	// Run), letting runCells lend it to cells while the experiment waits.
+	held bool
+	// busy, when set (by RunAll), accumulates the nanoseconds this
+	// experiment's work actually occupied a pool worker: cell runtimes are
+	// added, token-lend windows subtracted. Added to the admission-to-done
+	// span it yields the experiment's own cost, net of pool contention.
+	busy *int64
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +114,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Warmup == 0 {
 		o.Warmup = 60
+	}
+	if o.pool == nil {
+		o.pool = newPool(o.Parallel)
 	}
 	return o
 }

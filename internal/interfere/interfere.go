@@ -7,7 +7,8 @@ package interfere
 
 import (
 	"math"
-	"math/rand"
+
+	"autoscale/internal/exec"
 )
 
 // Load is the resource pressure exerted by co-running applications at one
@@ -80,7 +81,7 @@ type jitterApp struct {
 	base     Load
 	cpuSigma float64
 	memSigma float64
-	rng      *rand.Rand
+	rng      *exec.Rand
 }
 
 func (j *jitterApp) Name() string { return j.name }
@@ -93,22 +94,23 @@ func (j *jitterApp) Next() Load {
 }
 
 // MusicPlayer returns the D1 co-runner: a real-world music player with a
-// small, steady decode load.
-func MusicPlayer(seed int64) App {
+// small, steady decode load. Its jitter draws come from the context's
+// "interfere.music" stream.
+func MusicPlayer(ctx *exec.Context) App {
 	return &jitterApp{
 		name:     "music-player",
 		base:     Load{CPUUtil: 0.12, MemUtil: 0.15},
 		cpuSigma: 0.03, memSigma: 0.03,
-		rng: rand.New(rand.NewSource(seed)),
+		rng: ctx.Stream("interfere.music"),
 	}
 }
 
 // browser replays a scripted interaction trace: idle reading punctuated by
 // page loads and scrolling bursts, as the paper generates with an automatic
 // input generator (Section V-B). The phase sequence is deterministic for a
-// given seed.
+// given context.
 type browser struct {
-	rng   *rand.Rand
+	rng   *exec.Rand
 	phase int // remaining samples in the current phase
 	burst bool
 }
@@ -137,9 +139,10 @@ func (b *browser) Next() Load {
 	}.Clamped()
 }
 
-// WebBrowser returns the D2 co-runner.
-func WebBrowser(seed int64) App {
-	return &browser{rng: rand.New(rand.NewSource(seed))}
+// WebBrowser returns the D2 co-runner, drawing its interaction trace from
+// the context's "interfere.browser" stream.
+func WebBrowser(ctx *exec.Context) App {
+	return &browser{rng: ctx.Stream("interfere.browser")}
 }
 
 // alternating switches between a list of apps every period samples
@@ -172,9 +175,10 @@ func Alternating(name string, period int, apps ...App) App {
 }
 
 // VaryingApps returns the D4 co-runner: the music player and the web browser
-// in alternation.
-func VaryingApps(seed int64) App {
-	return Alternating("varying-apps", 25, MusicPlayer(seed), WebBrowser(seed+1))
+// in alternation. The two constituents draw from independent named streams
+// of the same context, so they never share (or collide on) a seed.
+func VaryingApps(ctx *exec.Context) App {
+	return Alternating("varying-apps", 25, MusicPlayer(ctx), WebBrowser(ctx))
 }
 
 // Penalties converts a load into the simulator's slowdown factors.

@@ -3,6 +3,8 @@ package interfere
 import (
 	"testing"
 	"testing/quick"
+
+	"autoscale/internal/exec"
 )
 
 func TestLoadClamping(t *testing.T) {
@@ -44,7 +46,7 @@ func TestHogs(t *testing.T) {
 }
 
 func TestAppsStayInRange(t *testing.T) {
-	apps := []App{MusicPlayer(1), WebBrowser(2), VaryingApps(3)}
+	apps := []App{MusicPlayer(exec.NewRoot(1)), WebBrowser(exec.NewRoot(2)), VaryingApps(exec.NewRoot(3))}
 	for _, app := range apps {
 		for i := 0; i < 500; i++ {
 			l := app.Next()
@@ -56,7 +58,7 @@ func TestAppsStayInRange(t *testing.T) {
 }
 
 func TestMusicPlayerIsLight(t *testing.T) {
-	app := MusicPlayer(4)
+	app := MusicPlayer(exec.NewRoot(4))
 	var cpuSum float64
 	const n = 500
 	for i := 0; i < n; i++ {
@@ -68,7 +70,7 @@ func TestMusicPlayerIsLight(t *testing.T) {
 }
 
 func TestWebBrowserIsBursty(t *testing.T) {
-	app := WebBrowser(5)
+	app := WebBrowser(exec.NewRoot(5))
 	var lo, hi int
 	for i := 0; i < 500; i++ {
 		l := app.Next()
@@ -105,7 +107,7 @@ func TestAlternatingDegenerate(t *testing.T) {
 }
 
 func TestDeterministicSeeds(t *testing.T) {
-	a, b := WebBrowser(7), WebBrowser(7)
+	a, b := WebBrowser(exec.NewRoot(7)), WebBrowser(exec.NewRoot(7))
 	for i := 0; i < 50; i++ {
 		if a.Next() != b.Next() {
 			t.Fatal("same-seed browsers must agree")

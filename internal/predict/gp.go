@@ -3,7 +3,8 @@ package predict
 import (
 	"errors"
 	"math"
-	"math/rand"
+
+	"autoscale/internal/exec"
 )
 
 // GP is a Gaussian-process regressor with an RBF kernel — the surrogate
@@ -46,7 +47,7 @@ func FitGP(xs [][]float64, ys []float64, cfg GPConfig) (*GP, error) {
 		return nil, errors.New("predict: gp needs equal-length non-empty data")
 	}
 	if cfg.MaxPoints > 0 && len(xs) > cfg.MaxPoints {
-		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng := exec.NewRoot(cfg.Seed).Stream("predict.gp.subsample")
 		idx := rng.Perm(len(xs))[:cfg.MaxPoints]
 		sx := make([][]float64, cfg.MaxPoints)
 		sy := make([]float64, cfg.MaxPoints)

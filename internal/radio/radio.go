@@ -8,9 +8,9 @@
 package radio
 
 import (
+	"autoscale/internal/exec"
 	"fmt"
 	"math"
-	"math/rand"
 )
 
 // LinkKind distinguishes the two radio paths.
@@ -169,13 +169,13 @@ func (f Fixed) Next() float64 { return clampRSSI(float64(f)) }
 // physical RSSI range.
 type Gaussian struct {
 	Mean, StdDev float64
-	rng          *rand.Rand
+	rng          *exec.Rand
 }
 
-// NewGaussian creates a Gaussian RSSI process with the given parameters and
-// seed.
-func NewGaussian(mean, stddev float64, seed int64) *Gaussian {
-	return &Gaussian{Mean: mean, StdDev: stddev, rng: rand.New(rand.NewSource(seed))}
+// NewGaussian creates a Gaussian RSSI process drawing from the context's
+// "radio.rssi" stream.
+func NewGaussian(mean, stddev float64, ctx *exec.Context) *Gaussian {
+	return &Gaussian{Mean: mean, StdDev: stddev, rng: ctx.Stream("radio.rssi")}
 }
 
 // Next draws one RSSI sample.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"autoscale/internal/exec"
 )
 
 func TestLinksValidate(t *testing.T) {
@@ -118,7 +120,7 @@ func TestFixedSignal(t *testing.T) {
 }
 
 func TestGaussianSignal(t *testing.T) {
-	g := NewGaussian(-70, 8, 3)
+	g := NewGaussian(-70, 8, exec.NewRoot(3))
 	var sum float64
 	const n = 2000
 	for i := 0; i < n; i++ {
@@ -133,8 +135,8 @@ func TestGaussianSignal(t *testing.T) {
 		t.Errorf("sample mean = %v, want ~-70", mean)
 	}
 	// Determinism per seed.
-	a := NewGaussian(-70, 8, 9)
-	b := NewGaussian(-70, 8, 9)
+	a := NewGaussian(-70, 8, exec.NewRoot(9))
+	b := NewGaussian(-70, 8, exec.NewRoot(9))
 	for i := 0; i < 10; i++ {
 		if a.Next() != b.Next() {
 			t.Fatal("same seed must reproduce the sequence")

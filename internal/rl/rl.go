@@ -9,9 +9,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 	"sync"
+
+	"autoscale/internal/exec"
 )
 
 // State is a discrete state key. The core package composes it from the
@@ -71,7 +72,7 @@ type Agent struct {
 	actions int
 	q       map[State][]float64
 	visits  map[State]int
-	rng     *rand.Rand
+	rng     *exec.Rand
 	frozen  bool
 }
 
@@ -88,7 +89,7 @@ func NewAgent(cfg Config, numActions int) (*Agent, error) {
 		actions: numActions,
 		q:       make(map[State][]float64),
 		visits:  make(map[State]int),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     exec.NewRoot(cfg.Seed).Stream("rl.agent"),
 	}, nil
 }
 
@@ -155,6 +156,7 @@ func (a *Agent) SelectAction(s State, mask []bool) (int, error) {
 		return 0, errors.New("rl: no enabled action")
 	}
 	a.visits[s]++
+	a.row(s) // materialize so a visited state exists even when exploring
 	if !a.frozen && a.rng.Float64() < a.cfg.Epsilon {
 		return enabled[a.rng.Intn(len(enabled))], nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
 )
@@ -34,12 +35,17 @@ func (*NeuroSurgeon) Name() string { return "NeuroSurgeon" }
 
 // Run implements Policy.
 func (p *NeuroSurgeon) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements ContextPolicy.
+func (p *NeuroSurgeon) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	plan, err := p.plan(m)
 	if err != nil {
 		return sim.Measurement{}, err
 	}
 	if plan.cut == len(m.Layers) {
-		return p.World.Execute(m, plan.local, c)
+		return p.World.ExecuteCtx(ctx, m, plan.local, c)
 	}
 	return p.World.Partitioned(m, plan.cut, plan.local, sim.Cloud, c)
 }
@@ -140,6 +146,13 @@ func (*MOSAIC) Name() string { return "MOSAIC" }
 
 // Run implements Policy.
 func (p *MOSAIC) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements ContextPolicy. The sliced execution plan is evaluated
+// on expected values, so the context carries no draws here; implementing
+// the interface keeps the harness's request-derivation uniform.
+func (p *MOSAIC) RunCtx(_ *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	plan, err := p.plan(m)
 	if err != nil {
 		return sim.Measurement{}, err

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
 )
@@ -22,6 +23,17 @@ type Policy interface {
 	Name() string
 	// Run executes one inference of m under conditions c.
 	Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error)
+}
+
+// ContextPolicy is implemented by policies that thread a request-scoped
+// execution context down to the simulator, making every stochastic draw of
+// the request a pure function of the context identity. Harnesses should
+// prefer RunCtx when available; Run remains for callers without a context.
+type ContextPolicy interface {
+	Policy
+	// RunCtx executes one inference of m under conditions c, drawing all
+	// randomness from ctx's named streams. A nil ctx behaves like Run.
+	RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error)
 }
 
 // noVariance is the conditions offline planners assume.
@@ -38,12 +50,17 @@ func (EdgeCPU) Name() string { return "Edge (CPU FP32)" }
 
 // Run implements Policy.
 func (p EdgeCPU) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements ContextPolicy.
+func (p EdgeCPU) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	cpu := p.World.Device.Processor(soc.CPU)
 	if cpu == nil {
 		return sim.Measurement{}, fmt.Errorf("sched: device has no CPU")
 	}
 	t := sim.Target{Location: sim.Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
-	return p.World.Execute(m, t, c)
+	return p.World.ExecuteCtx(ctx, m, t, c)
 }
 
 // EdgeBest runs each model on the most energy-efficient on-device target,
@@ -63,11 +80,16 @@ func (*EdgeBest) Name() string { return "Edge (Best)" }
 
 // Run implements Policy.
 func (p *EdgeBest) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements ContextPolicy.
+func (p *EdgeBest) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	t, err := p.plan(m)
 	if err != nil {
 		return sim.Measurement{}, err
 	}
-	return p.World.Execute(m, t, c)
+	return p.World.ExecuteCtx(ctx, m, t, c)
 }
 
 func (p *EdgeBest) qos(m *dnn.Model) float64 {
@@ -130,11 +152,16 @@ func (CloudAll) Name() string { return "Cloud" }
 
 // Run implements Policy.
 func (p CloudAll) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements ContextPolicy.
+func (p CloudAll) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	t := sim.Target{Location: sim.Cloud, Kind: soc.GPU, Prec: dnn.FP32}
 	if !p.World.Feasible(m, t) {
 		t = sim.Target{Location: sim.Cloud, Kind: soc.CPU, Prec: dnn.FP32}
 	}
-	return p.World.Execute(m, t, c)
+	return p.World.ExecuteCtx(ctx, m, t, c)
 }
 
 // ConnectedEdge always offloads to the locally connected device, on its most
@@ -154,6 +181,11 @@ func (*ConnectedEdge) Name() string { return "Connected Edge" }
 
 // Run implements Policy.
 func (p *ConnectedEdge) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements ContextPolicy.
+func (p *ConnectedEdge) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	if p.plans == nil {
 		p.plans = make(map[string]sim.Target)
 	}
@@ -198,7 +230,7 @@ func (p *ConnectedEdge) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, er
 		}
 		p.plans[m.Name] = t
 	}
-	return p.World.Execute(m, t, c)
+	return p.World.ExecuteCtx(ctx, m, t, c)
 }
 
 // Opt is the oracular design: for every request it exhaustively evaluates
@@ -217,11 +249,16 @@ func (Opt) Name() string { return "Opt" }
 
 // Run implements Policy.
 func (p Opt) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
+	return p.RunCtx(nil, m, c)
+}
+
+// RunCtx implements ContextPolicy.
+func (p Opt) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 	t, _, err := p.Choose(m, c)
 	if err != nil {
 		return sim.Measurement{}, err
 	}
-	return p.World.Execute(m, t, c)
+	return p.World.ExecuteCtx(ctx, m, t, c)
 }
 
 // Choose returns the oracle's target and its expected measurement.

@@ -10,18 +10,19 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"autoscale/internal/battery"
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/sched"
 	"autoscale/internal/sim"
 )
 
 // Arrival generates the idle gap before the next inference request.
 type Arrival interface {
-	// NextGapS returns the seconds of idle time before the next request.
-	NextGapS(rng *rand.Rand) float64
+	// NextGapS returns the seconds of idle time before the next request,
+	// drawing from the session's named arrival stream.
+	NextGapS(rng *exec.Rand) float64
 }
 
 // Periodic issues requests at a fixed cadence (e.g. one per video frame).
@@ -31,7 +32,7 @@ type Periodic struct {
 }
 
 // NextGapS implements Arrival.
-func (p Periodic) NextGapS(*rand.Rand) float64 { return math.Max(0, p.PeriodS) }
+func (p Periodic) NextGapS(*exec.Rand) float64 { return math.Max(0, p.PeriodS) }
 
 // Poisson issues requests with exponentially distributed gaps — the classic
 // model of user-initiated interactions.
@@ -41,7 +42,7 @@ type Poisson struct {
 }
 
 // NextGapS implements Arrival.
-func (p Poisson) NextGapS(rng *rand.Rand) float64 {
+func (p Poisson) NextGapS(rng *exec.Rand) float64 {
 	if p.RatePerS <= 0 {
 		return math.Inf(1)
 	}
@@ -62,7 +63,7 @@ type Bursty struct {
 }
 
 // NextGapS implements Arrival.
-func (b *Bursty) NextGapS(rng *rand.Rand) float64 {
+func (b *Bursty) NextGapS(rng *exec.Rand) float64 {
 	if b.left > 0 {
 		b.left--
 		return b.WithinGapS
@@ -146,11 +147,16 @@ func Run(p sched.Policy, cfg Config, b *battery.Battery) (Stats, error) {
 	if cfg.DurationS <= 0 {
 		return Stats{}, errors.New("session: non-positive duration")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The session owns an execution context: the arrival process draws from
+	// a named stream of it, and simulated wall-clock time lives on its
+	// virtual clock.
+	ctx := exec.NewRoot(cfg.Seed).Child("session")
+	rng := ctx.Stream("session.arrival")
+	clk := ctx.Clock()
 	qos := sim.QoSFor(cfg.Model.Task == dnn.Translation, cfg.Intensity)
 
 	stats := Stats{ByLocation: make(map[sim.Location]int)}
-	var now float64
+	now := clk.Now()
 	var latencySum float64
 	drain := func(j float64) bool {
 		if b == nil {
@@ -169,7 +175,7 @@ func Run(p sched.Policy, cfg Config, b *battery.Battery) (Stats, error) {
 			now = cfg.DurationS
 			break
 		}
-		now += gap
+		now = clk.Advance(gap)
 		idle := gap * cfg.IdleW
 		stats.IdleEnergyJ += idle
 		if !drain(idle) {
@@ -179,7 +185,7 @@ func Run(p sched.Policy, cfg Config, b *battery.Battery) (Stats, error) {
 		if err != nil {
 			return Stats{}, fmt.Errorf("session: %w", err)
 		}
-		now += meas.LatencyS
+		now = clk.Advance(meas.LatencyS)
 		stats.Inferences++
 		stats.EnergyJ += meas.EnergyJ
 		latencySum += meas.LatencyS

@@ -2,11 +2,11 @@ package session
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"autoscale/internal/battery"
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/sched"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
@@ -90,7 +90,7 @@ func TestPoissonZeroRateIdles(t *testing.T) {
 
 func TestBurstyArrival(t *testing.T) {
 	b := &Bursty{BurstLen: 5, WithinGapS: 0.01, BetweenGapS: 10}
-	rng := rand.New(rand.NewSource(2))
+	rng := exec.NewRoot(2).Stream("test")
 	// First call pays the between-burst gap, then four short gaps follow.
 	first := b.NextGapS(rng)
 	short := 0

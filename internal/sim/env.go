@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"autoscale/internal/exec"
 	"autoscale/internal/interfere"
 	"autoscale/internal/radio"
 )
@@ -52,6 +53,15 @@ const (
 // using seed to derive all of its stochastic processes. Unknown IDs return
 // an error.
 func NewEnvironment(id string, seed int64) (*Environment, error) {
+	return NewEnvironmentCtx(id, exec.NewRoot(seed))
+}
+
+// NewEnvironmentCtx constructs the Table IV environment with the given ID,
+// deriving every stochastic process from a named child of ctx — each
+// environment's co-runner and RSSI streams are independent by construction,
+// even when several environments share one root seed.
+func NewEnvironmentCtx(id string, ctx *exec.Context) (*Environment, error) {
+	ectx := ctx.Child("env." + id)
 	regW := radio.Fixed(radio.RegularRSSI)
 	regP := radio.Fixed(radio.RegularRSSI)
 	switch id {
@@ -72,16 +82,16 @@ func NewEnvironment(id string, seed int64) (*Environment, error) {
 			app: interfere.None(), wlan: regW, p2p: radio.Fixed(radio.WeakRSSI)}, nil
 	case EnvD1:
 		return &Environment{ID: id, Desc: "Co-running app: music player", Dynamic: true,
-			app: interfere.MusicPlayer(seed), wlan: regW, p2p: regP}, nil
+			app: interfere.MusicPlayer(ectx), wlan: regW, p2p: regP}, nil
 	case EnvD2:
 		return &Environment{ID: id, Desc: "Co-running app: web browser", Dynamic: true,
-			app: interfere.WebBrowser(seed), wlan: regW, p2p: regP}, nil
+			app: interfere.WebBrowser(ectx), wlan: regW, p2p: regP}, nil
 	case EnvD3:
 		return &Environment{ID: id, Desc: "Random Wi-Fi signal", Dynamic: true,
-			app: interfere.None(), wlan: radio.NewGaussian(-72, 10, seed), p2p: regP}, nil
+			app: interfere.None(), wlan: radio.NewGaussian(-72, 10, ectx), p2p: regP}, nil
 	case EnvD4:
 		return &Environment{ID: id, Desc: "Varying co-running apps", Dynamic: true,
-			app: interfere.VaryingApps(seed), wlan: regW, p2p: regP}, nil
+			app: interfere.VaryingApps(ectx), wlan: regW, p2p: regP}, nil
 	}
 	return nil, fmt.Errorf("sim: unknown environment %q", id)
 }

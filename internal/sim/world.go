@@ -8,10 +8,10 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
+	"sync/atomic"
 
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
 	"autoscale/internal/interfere"
 	"autoscale/internal/perf"
 	"autoscale/internal/power"
@@ -123,8 +123,11 @@ type World struct {
 	OutageProb     float64
 	OutageTimeoutS float64
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// root is the world's execution context; legacy Execute calls derive a
+	// per-request child from it using seq, so each request's draws come
+	// from its own named stream regardless of goroutine interleaving.
+	root *exec.Context
+	seq  atomic.Uint64
 }
 
 // NewWorld builds the standard evaluation world around the given phone, with
@@ -141,7 +144,7 @@ func NewWorld(device *soc.Device, seed int64) *World {
 		TabletServiceS: 0.003,
 		NoiseFrac:      0.025,
 		OutageTimeoutS: 0.200,
-		rng:            rand.New(rand.NewSource(seed)),
+		root:           exec.NewRoot(seed).Child("world"),
 	}
 }
 
@@ -293,40 +296,59 @@ func (w *World) Expected(m *dnn.Model, t Target, c Conditions) (Measurement, err
 // latency (and correspondingly on energy), modelling run-to-run variance of
 // a real system. When OutageProb is set, offload attempts may fail and fall
 // back to local CPU execution after the outage timeout.
+//
+// Execute is the legacy sequential entry point: it derives a fresh
+// request context from the world's root using an atomic sequence number,
+// so concurrent callers are race-free, and a fixed call order reproduces
+// a fixed draw sequence. Callers that need draws to be a pure function of
+// request identity (independent of interleaving) should derive their own
+// context and call ExecuteCtx.
 func (w *World) Execute(m *dnn.Model, t Target, c Conditions) (Measurement, error) {
-	if t.Location != Local && w.OutageProb > 0 && w.randFloat() < w.OutageProb {
-		return w.executeOutage(m, t, c)
+	return w.ExecuteCtx(w.nextCtx(), m, t, c)
+}
+
+// ExecuteCtx is Execute with an explicit request context: the outage and
+// noise draws come from the context's "sim.request" stream, making the
+// measurement a pure function of (context identity, model, target,
+// conditions). A nil ctx falls back to the world's internal sequence.
+func (w *World) ExecuteCtx(ctx *exec.Context, m *dnn.Model, t Target, c Conditions) (Measurement, error) {
+	if ctx == nil {
+		ctx = w.nextCtx()
+	}
+	var st *exec.Rand // derived lazily: most worlds draw, oracles may not
+	if t.Location != Local && w.OutageProb > 0 {
+		st = ctx.Stream("sim.request")
+		if st.Float64() < w.OutageProb {
+			ctx.Emit("sim.outage", 1)
+			return w.executeOutage(m, t, c)
+		}
 	}
 	meas, err := w.Expected(m, t, c)
 	if err != nil {
 		return Measurement{}, err
 	}
 	if w.NoiseFrac > 0 {
-		f := 1 + w.NoiseFrac*w.randNorm()
+		if st == nil {
+			st = ctx.Stream("sim.request")
+		}
+		f := 1 + w.NoiseFrac*st.NormFloat64()
 		if f < 0.5 {
 			f = 0.5
 		}
+		ctx.Emit("sim.noise", f)
 		meas.LatencyS *= f
 		meas.EnergyJ *= f
 		meas.Breakdown.Compute *= f
 		meas.Breakdown.Radio *= f
 		meas.Breakdown.Idle *= f
 	}
+	ctx.Advance(meas.LatencyS)
 	return meas, nil
 }
 
-// randFloat and randNorm serialize access to the measurement-noise source so
-// a world shared by concurrent engines stays race-free.
-func (w *World) randFloat() float64 {
-	w.rngMu.Lock()
-	defer w.rngMu.Unlock()
-	return w.rng.Float64()
-}
-
-func (w *World) randNorm() float64 {
-	w.rngMu.Lock()
-	defer w.rngMu.Unlock()
-	return w.rng.NormFloat64()
+// nextCtx derives the context for one legacy Execute call.
+func (w *World) nextCtx() *exec.Context {
+	return w.root.Child("req", w.seq.Add(1))
 }
 
 // executeOutage models a failed offload: the device transmits until the
