@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race race-policy race-exp verify bench bench-all
+.PHONY: build test vet fmt race race-policy race-exp race-fault fuzz-fault verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -44,9 +44,21 @@ race-exp:
 	$(GO) test -race ./internal/sim/ ./internal/exec/
 	$(GO) test -race -short ./internal/exp/
 
-# The full gate: tier-1 (build + test) plus formatting, vet and the race
-# detector (which includes the dedicated policy-plane and exec-plane passes).
-verify: build fmt vet race race-policy race-exp
+# The fault plane: the scripted injector and the gateway's resilient offload
+# path (breakers, retries, hedging) — the storm acceptance test must hold
+# under race instrumentation.
+race-fault:
+	$(GO) test -race ./internal/fault/ ./internal/serve/ ./internal/sim/
+
+# Fuzz smoke over the fault-schedule parser: any input that parses must also
+# compile and answer injector queries without panicking.
+fuzz-fault:
+	$(GO) test -run '^$$' -fuzz FuzzScheduleParse -fuzztime 5s ./internal/fault/
+
+# The full gate: tier-1 (build + test) plus formatting, vet, the race
+# detector (which includes the dedicated policy-plane, exec-plane and
+# fault-plane passes) and the schedule-parser fuzz smoke.
+verify: build fmt vet race race-policy race-exp race-fault fuzz-fault
 
 # Archive the representative benchmarks (end-to-end Fig 9 plus gateway
 # throughput) as BENCH_exp.json: per-benchmark name, ns/op and allocs/op

@@ -32,6 +32,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS); output is identical for every setting")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		csvTo    = flag.String("csv", "", "also write each experiment as <dir>/<id>.csv")
+		faults   = flag.String("faults", "", "JSON fault schedule for the fault-injection experiments (default: built-in storm)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,14 @@ func main() {
 		opts.TrainRuns = *train
 	}
 	opts.Parallel = *parallel
+	if *faults != "" {
+		sched, err := autoscale.LoadFaultSchedule(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autoscale-exp: %v\n", err)
+			os.Exit(1)
+		}
+		opts.Faults = sched
+	}
 
 	ids := []string{*expID}
 	if *expID == "all" {

@@ -10,6 +10,7 @@
 //	autoscale-serve -devices Mi8Pro,GalaxyS10e -clients 16 -n 2000
 //	autoscale-serve -devices MotoXForce -rate 200 -deadline 50ms -shed oldest
 //	autoscale-serve -donor Mi8Pro -train 60 -devices GalaxyS10e,MotoXForce
+//	autoscale-serve -faults examples/faults/storm.json -resilient -hedge
 package main
 
 import (
@@ -29,21 +30,24 @@ import (
 
 func main() {
 	var (
-		devices  = flag.String("devices", "Mi8Pro,GalaxyS10e", "comma-separated device fleet")
-		donor    = flag.String("donor", "", "warm-start every engine from a donor trained on this device")
-		train    = flag.Int("train", 40, "donor training runs per (model, variance state); used with -donor")
-		model    = flag.String("model", "MobileNet v3", "model to serve")
-		envID    = flag.String("env", autoscale.EnvD2, "environment: S1-S5, D1-D4")
-		n        = flag.Int("n", 1000, "total requests")
-		clients  = flag.Int("clients", 16, "concurrent clients")
-		rate     = flag.Float64("rate", 0, "per-client Poisson request rate per second (0 = closed loop)")
-		queue    = flag.Int("queue", 0, "per-device queue depth (0 = gateway default)")
-		deadline = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
-		shed     = flag.String("shed", "newest", "shed policy on full queue: newest, oldest")
-		failover = flag.Bool("failover", false, "re-execute QoS misses on the local fallback target")
-		snapdir  = flag.String("snapshots", "", "policy checkpoint store directory: warm-start at boot, flush at shutdown")
-		sync     = flag.Duration("sync", 0, "background policy sync interval (0 = off; needs -snapshots)")
-		seed     = flag.Int64("seed", 1, "random seed")
+		devices   = flag.String("devices", "Mi8Pro,GalaxyS10e", "comma-separated device fleet")
+		donor     = flag.String("donor", "", "warm-start every engine from a donor trained on this device")
+		train     = flag.Int("train", 40, "donor training runs per (model, variance state); used with -donor")
+		model     = flag.String("model", "MobileNet v3", "model to serve")
+		envID     = flag.String("env", autoscale.EnvD2, "environment: S1-S5, D1-D4")
+		n         = flag.Int("n", 1000, "total requests")
+		clients   = flag.Int("clients", 16, "concurrent clients")
+		rate      = flag.Float64("rate", 0, "per-client Poisson request rate per second (0 = closed loop)")
+		queue     = flag.Int("queue", 0, "per-device queue depth (0 = gateway default)")
+		deadline  = flag.Duration("deadline", 0, "per-request deadline (0 = none)")
+		shed      = flag.String("shed", "newest", "shed policy on full queue: newest, oldest")
+		failover  = flag.Bool("failover", false, "re-execute QoS misses on the local fallback target")
+		snapdir   = flag.String("snapshots", "", "policy checkpoint store directory: warm-start at boot, flush at shutdown")
+		sync      = flag.Duration("sync", 0, "background policy sync interval (0 = off; needs -snapshots)")
+		faults    = flag.String("faults", "", "JSON fault schedule to inject (see examples/faults/)")
+		resilient = flag.Bool("resilient", false, "enable circuit breakers and deadline-budgeted offload retries")
+		hedge     = flag.Bool("hedge", false, "hedge slow offloads with a local run (needs -resilient)")
+		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
@@ -51,7 +55,8 @@ func main() {
 		devices: strings.Split(*devices, ","), donor: *donor, train: *train,
 		model: *model, envID: *envID, n: *n, clients: *clients, rate: *rate,
 		queue: *queue, deadline: *deadline, shed: *shed, failover: *failover,
-		snapdir: *snapdir, sync: *sync, seed: *seed,
+		snapdir: *snapdir, sync: *sync, faults: *faults, resilient: *resilient,
+		hedge: *hedge, seed: *seed,
 	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "autoscale-serve:", err)
 		os.Exit(1)
@@ -71,6 +76,9 @@ type config struct {
 	failover     bool
 	snapdir      string
 	sync         time.Duration
+	faults       string
+	resilient    bool
+	hedge        bool
 	seed         int64
 }
 
@@ -97,6 +105,19 @@ func run(c config, out *os.File) error {
 	} else if c.sync > 0 {
 		return fmt.Errorf("-sync needs -snapshots (the checkpoint store)")
 	}
+	if c.hedge && !c.resilient {
+		return fmt.Errorf("-hedge needs -resilient (the retry/breaker path)")
+	}
+	if c.resilient {
+		gcfg.Resilience = autoscale.ResilienceConfig{Enabled: true, Hedge: c.hedge}
+	}
+	if c.faults != "" {
+		sched, err := autoscale.LoadFaultSchedule(c.faults)
+		if err != nil {
+			return err
+		}
+		gcfg.Faults = autoscale.CompileFaultSchedule(sched, c.seed)
+	}
 
 	m, err := autoscale.Model(c.model)
 	if err != nil {
@@ -119,6 +140,16 @@ func run(c config, out *os.File) error {
 	}
 	fmt.Fprintf(out, "serving %q on %s — %d requests, %d clients, %s\n",
 		m.Name, strings.Join(gw.Devices(), "+"), c.n, c.clients, mode)
+	if gcfg.Faults != nil {
+		resil := "resilience off"
+		if c.resilient {
+			resil = "breakers+retries on"
+			if c.hedge {
+				resil += ", hedging"
+			}
+		}
+		fmt.Fprintf(out, "injecting fault schedule %q (%s)\n", gcfg.Faults.Name(), resil)
+	}
 
 	start := time.Now()
 	if err := flood(gw, m, c); err != nil {
@@ -230,6 +261,31 @@ func printSnapshot(out *os.File, s autoscale.GatewayMetrics, wall time.Duration)
 	fmt.Fprintf(out, "%-14s %8d\n", "outages", s.Outages)
 	fmt.Fprintf(out, "%-14s %8d\n", "QoS misses", s.QoSViolations)
 	fmt.Fprintf(out, "%-14s %8d\n", "queue max", s.QueueMaxDepth)
+	if s.OutageWastedJ > 0 {
+		fmt.Fprintf(out, "%-14s %8.2f J\n", "outage waste", s.OutageWastedJ)
+	}
+	if s.OffloadRetries > 0 || s.RetriesAbandoned > 0 {
+		fmt.Fprintf(out, "%-14s %8d   (%d recovered, %d abandoned)\n",
+			"offload retry", s.OffloadRetries, s.RetriesRecovered, s.RetriesAbandoned)
+	}
+	if s.Hedges > 0 {
+		fmt.Fprintf(out, "%-14s %8d   (%d won, %d lost)\n",
+			"hedges", s.Hedges, s.HedgesWon, s.HedgesLost)
+	}
+	if s.BreakerOpens > 0 {
+		fmt.Fprintf(out, "%-14s %8d   (%d half-open, %d closed, %.1fs degraded)\n",
+			"breaker trips", s.BreakerOpens, s.BreakerHalfOpens, s.BreakerCloses, s.DegradedSeconds)
+	}
+	if s.WorkerCrashes > 0 || s.CorruptDrills > 0 {
+		fmt.Fprintf(out, "%-14s %8d   (%d corrupt drills)\n", "crashes", s.WorkerCrashes, s.CorruptDrills)
+	}
+	if len(s.ByBreaker) > 0 {
+		fmt.Fprintf(out, "breakers:")
+		for _, label := range sortedStrKeys(s.ByBreaker) {
+			fmt.Fprintf(out, "  %s=%s", label, s.ByBreaker[label])
+		}
+		fmt.Fprintln(out)
+	}
 	if s.Served > 0 {
 		fmt.Fprintf(out, "\nlatency  mean %6.1f ms   p50 %s   p99 %s\n",
 			s.Latency.Mean()*1e3, quantileMS(s.Latency, 0.5), quantileMS(s.Latency, 0.99))
@@ -265,6 +321,15 @@ func quantileMS(h interface{ Quantile(float64) float64 }, q float64) string {
 }
 
 func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStrKeys(m map[string]string) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

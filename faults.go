@@ -1,0 +1,69 @@
+package autoscale
+
+import (
+	"autoscale/internal/exec"
+	"autoscale/internal/fault"
+)
+
+// Fault injection: deterministic, scripted failures for resilience testing.
+// A FaultSchedule declares what goes wrong and when — outage windows (solid
+// or Markov up/down), RSSI degradation ramps, server queueing spikes,
+// thermal throttles, worker crashes, checkpoint corruption — and compiles
+// into an immutable FaultInjector whose every stochastic choice derives from
+// an execution context, so the same schedule and seed replay the exact same
+// storm (see internal/fault for full documentation).
+type (
+	// FaultSchedule is a declarative list of fault specs, loadable from JSON.
+	FaultSchedule = fault.Schedule
+	// FaultSpec describes one fault: its kind, where it applies, and when.
+	FaultSpec = fault.Spec
+	// FaultKind names a fault class (outage, rssi_ramp, queue_spike,
+	// thermal, worker_crash, checkpoint_corrupt).
+	FaultKind = fault.Kind
+	// FaultInjector is a compiled, immutable schedule answering point-in-time
+	// queries ("is the cloud down at t=3.2s?"). Safe for concurrent use; a
+	// nil injector is inert.
+	FaultInjector = fault.Injector
+	// FaultEvent is a compiled one-shot event (crash or corruption drill)
+	// targeted at a device.
+	FaultEvent = fault.Event
+)
+
+// Fault kinds.
+const (
+	FaultOutage            = fault.KindOutage
+	FaultRSSIRamp          = fault.KindRSSIRamp
+	FaultQueueSpike        = fault.KindQueueSpike
+	FaultThermal           = fault.KindThermal
+	FaultWorkerCrash       = fault.KindWorkerCrash
+	FaultCheckpointCorrupt = fault.KindCheckpointCorrupt
+)
+
+// Fault sites and links.
+const (
+	FaultSiteCloud     = fault.SiteCloud
+	FaultSiteConnected = fault.SiteConnected
+	FaultLinkWLAN      = fault.LinkWLAN
+	FaultLinkP2P       = fault.LinkP2P
+)
+
+// ParseFaultSchedule decodes and validates a JSON fault schedule.
+func ParseFaultSchedule(data []byte) (*FaultSchedule, error) { return fault.Parse(data) }
+
+// LoadFaultSchedule reads and validates a JSON fault schedule file.
+func LoadFaultSchedule(path string) (*FaultSchedule, error) { return fault.Load(path) }
+
+// NewFaultInjector compiles a schedule into an injector whose Markov outage
+// windows are drawn from ctx's named streams. A nil schedule yields a nil —
+// inert — injector. Panics if the schedule fails validation; call
+// (*FaultSchedule).Validate first for untrusted input.
+func NewFaultInjector(s *FaultSchedule, ctx *ExecContext) *FaultInjector {
+	return fault.New(s, ctx)
+}
+
+// CompileFaultSchedule is the common one-liner: derive the canonical "faults"
+// child context from seed and compile the schedule against it, matching what
+// the experiment harness and CLIs do.
+func CompileFaultSchedule(s *FaultSchedule, seed int64) *FaultInjector {
+	return fault.New(s, exec.NewRoot(seed).Child("faults"))
+}

@@ -92,3 +92,28 @@ func (a *ActionSpace) Mask(m *dnn.Model) []bool {
 	a.masks[m.Name] = mask
 	return mask
 }
+
+// MaskWith returns the feasibility mask of model m intersected with an
+// additional allow predicate over targets — the hook circuit breakers use
+// to mask unhealthy remote sites out of the action space. The result is a
+// fresh slice (the per-model cache is never mutated). If the intersection
+// would disable every action, the unfiltered mask is returned instead:
+// degrading to a full action space beats bricking selection entirely.
+func (a *ActionSpace) MaskWith(m *dnn.Model, allow func(sim.Target) bool) []bool {
+	base := a.Mask(m)
+	if allow == nil {
+		return base
+	}
+	out := make([]bool, len(base))
+	any := false
+	for i, ok := range base {
+		if ok && allow(a.targets[i]) {
+			out[i] = true
+			any = true
+		}
+	}
+	if !any {
+		copy(out, base)
+	}
+	return out
+}

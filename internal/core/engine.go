@@ -224,14 +224,26 @@ func (e *Engine) RunInference(m *dnn.Model, c sim.Conditions) (Decision, error) 
 // the engine's call history. A nil ctx derives one from the engine's
 // internal step counter.
 func (e *Engine) RunInferenceCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (Decision, error) {
+	return e.RunInferenceFiltered(ctx, m, c, nil)
+}
+
+// RunInferenceFiltered is RunInferenceCtx with an additional allow
+// predicate over targets: actions the predicate rejects are masked out of
+// selection for this step only (falling back to the unfiltered mask if the
+// predicate would reject everything) — the entry point circuit breakers
+// use to steer requests away from unhealthy remote sites. The observed
+// Q-state uses the conditions as the world actually degrades them
+// (scripted RSSI ramps applied), so the agent learns against what
+// execution will see.
+func (e *Engine) RunInferenceFiltered(ctx *exec.Context, m *dnn.Model, c sim.Conditions, allow func(sim.Target) bool) (Decision, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if ctx == nil {
 		e.steps++
 		ctx = e.root.Child("step", e.steps)
 	}
-	mask := e.Actions.Mask(m)
-	s := e.ObserveState(m, c)
+	mask := e.Actions.MaskWith(m, allow)
+	s := e.ObserveState(m, e.World.ObservedConditions(ctx, c))
 	e.seedIfUnseen(s)
 
 	// Q-learning completes the previous step's update as soon as S' is
@@ -283,6 +295,48 @@ func (e *Engine) RunInferenceCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditio
 		QoSViolated:      meas.LatencyS > qos,
 		AccuracyMissed:   rc.AccuracyTarget > 0 && meas.Accuracy < rc.AccuracyTarget,
 	}, nil
+}
+
+// StepContext derives an auxiliary execution context from the engine's
+// root, sharing its virtual clock — the serving layer uses it for retry and
+// hedge executions so their draws key on (engine seed, purpose, ids) and
+// their simulated time lands on the same timeline the fault schedules are
+// scripted against.
+func (e *Engine) StepContext(purpose string, ids ...uint64) *exec.Context {
+	return e.root.Child(purpose, ids...)
+}
+
+// Now returns the engine's virtual time: the simulated seconds accumulated
+// by every inference executed through it (legacy and explicit-context calls
+// share the root clock). Fault schedules and the serving layer's resilience
+// logic key on this time base.
+func (e *Engine) Now() float64 { return e.root.Now() }
+
+// Reset discards the engine's in-memory learning state — fresh agent,
+// no staged update — while keeping the world, action space, estimator and
+// virtual clock. This models a worker crash: everything not checkpointed is
+// gone, but simulated time keeps flowing. Callers typically follow with a
+// warm-start from the last durable checkpoint.
+func (e *Engine) Reset() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.Algorithm == AlgorithmSARSA {
+		sarsa, err := rl.NewSarsaAgent(e.cfg.RL, e.Actions.Len())
+		if err != nil {
+			return err
+		}
+		e.sarsa = sarsa
+		e.agent = sarsa.Agent
+	} else {
+		agent, err := rl.NewAgent(e.cfg.RL, e.Actions.Len())
+		if err != nil {
+			return err
+		}
+		e.agent = agent
+		e.sarsa = nil
+	}
+	e.pending = nil
+	return nil
 }
 
 // Flush applies any staged Q update using the last observed state as S'

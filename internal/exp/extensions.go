@@ -6,6 +6,7 @@ import (
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
 	"autoscale/internal/exec"
+	"autoscale/internal/fault"
 	"autoscale/internal/radio"
 	"autoscale/internal/sched"
 	"autoscale/internal/sim"
@@ -250,6 +251,91 @@ func ExtensionOutage(opts Options) (*Table, error) {
 	t.Notes = append(t.Notes,
 		"outages are invisible to the Table I state space; AutoScale still hedges because "+
 			"failed offloads feed their timeout-plus-fallback cost into the reward")
+	return t, nil
+}
+
+// DefaultStorm is the built-in scripted fault schedule the ext-faults
+// experiment (and tests) use when no schedule file is given: a Markov
+// cloud outage burst, then a WLAN signal fade, then full recovery —
+// time-correlated failure dynamics the Bernoulli OutageProb shim cannot
+// express.
+func DefaultStorm() *fault.Schedule {
+	return &fault.Schedule{
+		Name: "default-storm",
+		Faults: []fault.Spec{
+			{Kind: fault.KindOutage, Site: fault.SiteCloud,
+				StartS: 2, EndS: 12, MeanDownS: 2, MeanUpS: 0.5},
+			{Kind: fault.KindRSSIRamp, Link: fault.LinkWLAN,
+				StartS: 12, EndS: 20, DeltaDBm: -30},
+			{Kind: fault.KindQueueSpike, Site: fault.SiteConnected,
+				StartS: 4, EndS: 8, ExtraServiceS: 0.02},
+		},
+	}
+}
+
+// ExtensionFaults evaluates the scripted fault model: the same Mi8Pro/S1
+// evaluation as ext-outage, but under the time-correlated storm schedule
+// (Markov cloud outage windows, a WLAN RSSI fade, a connected-edge queue
+// spike) instead of an i.i.d. coin flip. Blind cloud offloading eats every
+// outage window; the fault-aware Opt oracle routes around scripted
+// downtime; AutoScale adapts from realized rewards.
+func ExtensionFaults(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	sched1 := opts.Faults
+	if sched1 == nil {
+		sched1 = DefaultStorm()
+	}
+	if err := sched1.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "ext-faults",
+		Title: fmt.Sprintf("Extension: scripted fault storm %q (Mi8Pro, S1)", sched1.Name),
+		Columns: []string{"Faults", "Policy", "PPW (vs Edge CPU)",
+			"QoS violation", "Offload share"},
+	}
+	models := dnn.Zoo()
+	envs := []string{sim.EnvS1}
+	cells := Cells(models, envs)
+
+	schedules := []*fault.Schedule{nil, sched1}
+	labels := []string{"none", sched1.Name}
+	order := []string{"Edge (CPU FP32)", "Cloud", "Opt", "AutoScale"}
+	results, err := runCells(opts, len(schedules)*len(order), func(i int) (Result, error) {
+		w := sim.NewWorld(soc.Mi8Pro(), opts.Seed)
+		if s := schedules[i/len(order)]; s != nil {
+			w.Faults = fault.New(s, exec.NewRoot(opts.Seed).Child("faults"))
+		}
+		cfg := EvalConfig{Models: models, EnvIDs: envs, Runs: opts.Runs,
+			Seed: opts.Seed + 10, WarmupRuns: opts.Warmup}
+		var p sched.Policy
+		switch order[i%len(order)] {
+		case "Edge (CPU FP32)":
+			p = sched.EdgeCPU{World: w}
+		case "Cloud":
+			p = sched.CloudAll{World: w}
+		case "Opt":
+			p = sched.Opt{World: w, AvoidDown: true}
+		default:
+			p = newLOOWorld(w, opts)
+		}
+		return EvaluatePolicy(p, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si := range schedules {
+		base := results[si*len(order)]
+		for pi := 1; pi < len(order); pi++ {
+			res := results[si*len(order)+pi]
+			offload := 1 - share(res, sim.Local)
+			t.AddRow(labels[si], res.Policy, res.MeanNormPPW(base, cells),
+				res.MeanQoSViolation(cells), offload)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"fault windows are keyed on each cell's virtual clock: the same schedule and seed "+
+			"replay the exact same outage/fade timeline under any -parallel setting")
 	return t, nil
 }
 

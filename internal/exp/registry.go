@@ -28,6 +28,7 @@ var registry = map[string]Runner{
 	"fig14":         Fig14,
 	"ablation":      StateAblation,
 	"ext-actions":   ExtensionActions,
+	"ext-faults":    ExtensionFaults,
 	"ext-links":     ExtensionLinks,
 	"ext-npu":       ExtensionNPU,
 	"ext-outage":    ExtensionOutage,

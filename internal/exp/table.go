@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"autoscale/internal/fault"
 )
 
 // Table is the uniform output of every experiment: an identifier matching
@@ -88,6 +90,11 @@ type Options struct {
 	// (0 selects GOMAXPROCS). Results are identical for every setting:
 	// cells are pure functions of (Options, cell index).
 	Parallel int
+	// Faults optionally overrides the scripted fault schedule used by the
+	// fault-injection experiments (ext-faults); nil selects the built-in
+	// storm. Compiled per cell against the cell's seed, so it composes
+	// with parallel execution.
+	Faults *fault.Schedule
 
 	// pool is the shared worker semaphore; withDefaults creates it lazily
 	// so that RunAll can share one pool across experiments.

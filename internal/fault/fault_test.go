@@ -1,0 +1,272 @@
+package fault
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autoscale/internal/exec"
+)
+
+func testCtx(seed int64) *exec.Context { return exec.NewRoot(seed).Child("fault-test") }
+
+func TestParseValidSchedule(t *testing.T) {
+	data := []byte(`{
+		"name": "storm",
+		"faults": [
+			{"kind": "outage", "site": "cloud", "start_s": 10, "end_s": 20},
+			{"kind": "outage", "site": "connected", "start_s": 5, "end_s": 60,
+			 "mean_up_s": 2, "mean_down_s": 3},
+			{"kind": "rssi_ramp", "link": "wlan", "start_s": 20, "end_s": 30, "delta_dbm": -25},
+			{"kind": "queue_spike", "site": "cloud", "start_s": 1, "end_s": 4, "extra_service_s": 0.05},
+			{"kind": "thermal", "start_s": 0, "end_s": 8, "factor": 1.5},
+			{"kind": "worker_crash", "device": "phone-0", "start_s": 12},
+			{"kind": "checkpoint_corrupt", "device": "phone-0", "start_s": 11}
+		]
+	}`)
+	s, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Name != "storm" || len(s.Faults) != 7 {
+		t.Fatalf("got name=%q faults=%d", s.Name, len(s.Faults))
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"faults": [], "bogus": 1}`,
+		"unknown kind":     `{"faults": [{"kind": "meteor", "start_s": 0, "end_s": 1}]}`,
+		"empty window":     `{"faults": [{"kind": "outage", "site": "cloud", "start_s": 5, "end_s": 5}]}`,
+		"negative start":   `{"faults": [{"kind": "thermal", "start_s": -1, "end_s": 1, "factor": 2}]}`,
+		"bad site":         `{"faults": [{"kind": "outage", "site": "moon", "start_s": 0, "end_s": 1}]}`,
+		"bad link":         `{"faults": [{"kind": "rssi_ramp", "link": "lte", "start_s": 0, "end_s": 1, "delta_dbm": -5}]}`,
+		"zero delta":       `{"faults": [{"kind": "rssi_ramp", "link": "wlan", "start_s": 0, "end_s": 1}]}`,
+		"half markov":      `{"faults": [{"kind": "outage", "site": "cloud", "start_s": 0, "end_s": 9, "mean_down_s": 1}]}`,
+		"factor too small": `{"faults": [{"kind": "thermal", "start_s": 0, "end_s": 1, "factor": 1}]}`,
+		"zero spike":       `{"faults": [{"kind": "queue_spike", "site": "cloud", "start_s": 0, "end_s": 1}]}`,
+		"crash no device":  `{"faults": [{"kind": "worker_crash", "start_s": 1}]}`,
+		"trailing data":    `{"faults": []} {"faults": []}`,
+		"not json":         `faults: []`,
+	}
+	for name, data := range cases {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("%s: Parse accepted %s", name, data)
+		}
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.json")
+	body := []byte(`{"name":"x","faults":[{"kind":"outage","site":"cloud","start_s":1,"end_s":2}]}`)
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if s.Name != "x" || len(s.Faults) != 1 {
+		t.Fatalf("unexpected schedule: %+v", s)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Down(SiteCloud, 5) {
+		t.Error("nil injector reports a site down")
+	}
+	if d := inj.RSSIDeltaDBm(LinkWLAN, 5); d != 0 {
+		t.Errorf("nil injector RSSI delta = %g", d)
+	}
+	if e := inj.ExtraServiceS(SiteCloud, 5); e != 0 {
+		t.Errorf("nil injector extra service = %g", e)
+	}
+	if f := inj.ThrottleFactor(5); f != 1 {
+		t.Errorf("nil injector throttle = %g", f)
+	}
+	if ev := inj.Events("any"); ev != nil {
+		t.Errorf("nil injector events = %v", ev)
+	}
+	if inj.Active(0) {
+		t.Error("nil injector active")
+	}
+	if inj.Name() != "" {
+		t.Error("nil injector has a name")
+	}
+}
+
+func TestSolidOutageWindow(t *testing.T) {
+	s := &Schedule{Faults: []Spec{{Kind: KindOutage, Site: SiteCloud, StartS: 10, EndS: 20}}}
+	inj := New(s, testCtx(1))
+	for _, tc := range []struct {
+		t    float64
+		down bool
+	}{{9.99, false}, {10, true}, {15, true}, {19.999, true}, {20, false}, {25, false}} {
+		if got := inj.Down(SiteCloud, tc.t); got != tc.down {
+			t.Errorf("Down(cloud, %g) = %v, want %v", tc.t, got, tc.down)
+		}
+	}
+	if inj.Down(SiteConnected, 15) {
+		t.Error("outage leaked onto the connected site")
+	}
+}
+
+func TestMarkovOutageDeterministicAndBounded(t *testing.T) {
+	s := &Schedule{Faults: []Spec{{
+		Kind: KindOutage, Site: SiteCloud,
+		StartS: 0, EndS: 100, MeanUpS: 2, MeanDownS: 3,
+	}}}
+	a := New(s, testCtx(7))
+	b := New(s, testCtx(7))
+	c := New(s, testCtx(8))
+
+	var downA, downB, downC int
+	diff := false
+	for i := 0; i < 10_000; i++ {
+		ts := float64(i) * 0.01
+		da, db, dc := a.Down(SiteCloud, ts), b.Down(SiteCloud, ts), c.Down(SiteCloud, ts)
+		if da {
+			downA++
+		}
+		if db {
+			downB++
+		}
+		if dc {
+			downC++
+		}
+		if da != db {
+			t.Fatalf("same seed diverged at t=%g", ts)
+		}
+		if da != dc {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical Markov timelines")
+	}
+	// Starts down, so t=0 is inside the first down phase.
+	if !a.Down(SiteCloud, 0) {
+		t.Error("Markov outage does not start down")
+	}
+	// Expected down fraction is mean_down/(mean_down+mean_up) = 0.6; with
+	// ~20 phase alternations over 100 s allow a generous band.
+	frac := float64(downA) / 10_000
+	if frac < 0.2 || frac > 0.95 {
+		t.Errorf("down fraction %.2f implausible for means (3 down, 2 up)", frac)
+	}
+	// Nothing leaks outside the scripted window.
+	if a.Down(SiteCloud, 100) || a.Down(SiteCloud, 1e6) {
+		t.Error("Markov outage active past end_s")
+	}
+}
+
+func TestMarkovTinyMeansBounded(t *testing.T) {
+	// Pathologically small means must not hang or allocate unboundedly.
+	s := &Schedule{Faults: []Spec{{
+		Kind: KindOutage, Site: SiteCloud,
+		StartS: 0, EndS: 1e9, MeanUpS: 1e-12, MeanDownS: 1e-12,
+	}}}
+	inj := New(s, testCtx(3))
+	if got := len(inj.outages[SiteCloud]); got > maxMarkovWindows {
+		t.Fatalf("compiled %d windows, cap is %d", got, maxMarkovWindows)
+	}
+}
+
+func TestRSSIRampShape(t *testing.T) {
+	s := &Schedule{Faults: []Spec{{
+		Kind: KindRSSIRamp, Link: LinkWLAN, StartS: 10, EndS: 20, DeltaDBm: -30,
+	}}}
+	inj := New(s, testCtx(1))
+	for _, tc := range []struct{ t, want float64 }{
+		{5, 0}, {10, 0}, {15, -15}, {19.999, -29.997}, {20, 0}, {30, 0},
+	} {
+		if got := inj.RSSIDeltaDBm(LinkWLAN, tc.t); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("RSSIDeltaDBm(wlan, %g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	if d := inj.RSSIDeltaDBm(LinkP2P, 15); d != 0 {
+		t.Errorf("ramp leaked onto p2p: %g", d)
+	}
+}
+
+func TestQueueSpikeAndThermal(t *testing.T) {
+	s := &Schedule{Faults: []Spec{
+		{Kind: KindQueueSpike, Site: SiteCloud, StartS: 0, EndS: 10, ExtraServiceS: 0.05},
+		{Kind: KindQueueSpike, Site: SiteCloud, StartS: 5, EndS: 15, ExtraServiceS: 0.02},
+		{Kind: KindThermal, StartS: 2, EndS: 4, Factor: 1.5},
+		{Kind: KindThermal, StartS: 3, EndS: 5, Factor: 2},
+	}}
+	inj := New(s, testCtx(1))
+	if got := inj.ExtraServiceS(SiteCloud, 7); math.Abs(got-0.07) > 1e-12 {
+		t.Errorf("overlapping spikes sum to %g, want 0.07", got)
+	}
+	if got := inj.ExtraServiceS(SiteCloud, 12); got != 0.02 {
+		t.Errorf("tail spike = %g, want 0.02", got)
+	}
+	if got := inj.ExtraServiceS(SiteConnected, 7); got != 0 {
+		t.Errorf("spike leaked onto connected: %g", got)
+	}
+	if got := inj.ThrottleFactor(3.5); got != 3 {
+		t.Errorf("overlapping throttles multiply to %g, want 3", got)
+	}
+	if got := inj.ThrottleFactor(10); got != 1 {
+		t.Errorf("throttle outside window = %g", got)
+	}
+}
+
+func TestEventsOrderedPerDevice(t *testing.T) {
+	s := &Schedule{Faults: []Spec{
+		{Kind: KindWorkerCrash, Device: "a", StartS: 9},
+		{Kind: KindCheckpointCorrupt, Device: "a", StartS: 3},
+		{Kind: KindWorkerCrash, Device: "b", StartS: 1},
+	}}
+	inj := New(s, testCtx(1))
+	ev := inj.Events("a")
+	if len(ev) != 2 || ev[0].Kind != KindCheckpointCorrupt || ev[0].AtS != 3 ||
+		ev[1].Kind != KindWorkerCrash || ev[1].AtS != 9 {
+		t.Fatalf("device a events out of order: %+v", ev)
+	}
+	if got := len(inj.Events("b")); got != 1 {
+		t.Fatalf("device b events = %d", got)
+	}
+	if inj.Events("c") != nil {
+		t.Fatal("unknown device has events")
+	}
+}
+
+func TestActive(t *testing.T) {
+	s := &Schedule{Name: "n", Faults: []Spec{
+		{Kind: KindOutage, Site: SiteCloud, StartS: 10, EndS: 20},
+		{Kind: KindWorkerCrash, Device: "d", StartS: 30},
+	}}
+	inj := New(s, testCtx(1))
+	if !inj.Active(0) || !inj.Active(25) {
+		t.Error("injector inactive before its faults played out")
+	}
+	if inj.Active(31) {
+		t.Error("injector active after all faults played out")
+	}
+	if inj.Name() != "n" {
+		t.Errorf("Name = %q", inj.Name())
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an invalid schedule")
+		}
+	}()
+	New(&Schedule{Faults: []Spec{{Kind: "meteor"}}}, testCtx(1))
+}
+
+func TestNewNilSchedule(t *testing.T) {
+	if inj := New(nil, testCtx(1)); inj != nil {
+		t.Fatal("New(nil) built an injector")
+	}
+}

@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"sort"
+
+	"autoscale/internal/exec"
+)
+
+// window is a half-open [start, end) interval on the virtual clock.
+type window struct {
+	start, end float64
+}
+
+func (w window) contains(t float64) bool { return t >= w.start && t < w.end }
+
+// ramp is one RSSI degradation: delta grows linearly from 0 at start to
+// deltaDBm at end, then snaps back to 0 (signal recovered).
+type ramp struct {
+	window
+	deltaDBm float64
+}
+
+// spike is one remote queueing spike: extraS of added service time while
+// the window holds.
+type spike struct {
+	window
+	extraS float64
+}
+
+// throttle is one thermal event: local latency multiplied by factor.
+type throttle struct {
+	window
+	factor float64
+}
+
+// Event is a one-shot fault (worker crash, checkpoint corruption) firing at
+// AtS on the virtual clock.
+type Event struct {
+	Kind   Kind
+	Device string
+	AtS    float64
+}
+
+// Injector is a Schedule compiled against an execution context: immutable
+// fault timelines answering point-in-time queries. All methods are safe on
+// a nil receiver (reporting "no fault"), so callers need no guards, and
+// safe for concurrent use — compilation happens once in New and queries
+// never mutate.
+type Injector struct {
+	name      string
+	outages   map[string][]window // site -> down windows, sorted by start
+	ramps     map[string][]ramp   // link -> ramps, sorted by start
+	spikes    map[string][]spike  // site -> spikes, sorted by start
+	throttles []throttle
+	events    map[string][]Event // device -> one-shot events, sorted by time
+}
+
+// New compiles a schedule into an injector, drawing any Markov window
+// durations from named streams of ctx. The same (schedule, ctx identity)
+// pair always compiles to identical timelines. The schedule must already
+// validate; New panics on an invalid one so a malformed programmatic
+// schedule cannot silently inject nothing.
+func New(s *Schedule, ctx *exec.Context) *Injector {
+	if s == nil {
+		return nil
+	}
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	inj := &Injector{
+		name:    s.Name,
+		outages: map[string][]window{},
+		ramps:   map[string][]ramp{},
+		spikes:  map[string][]spike{},
+		events:  map[string][]Event{},
+	}
+	for i, sp := range s.Faults {
+		switch sp.Kind {
+		case KindOutage:
+			inj.outages[sp.Site] = append(inj.outages[sp.Site], compileOutage(sp, i, ctx)...)
+		case KindRSSIRamp:
+			inj.ramps[sp.Link] = append(inj.ramps[sp.Link], ramp{window{sp.StartS, sp.EndS}, sp.DeltaDBm})
+		case KindQueueSpike:
+			inj.spikes[sp.Site] = append(inj.spikes[sp.Site], spike{window{sp.StartS, sp.EndS}, sp.ExtraServiceS})
+		case KindThermal:
+			inj.throttles = append(inj.throttles, throttle{window{sp.StartS, sp.EndS}, sp.Factor})
+		case KindWorkerCrash, KindCheckpointCorrupt:
+			inj.events[sp.Device] = append(inj.events[sp.Device],
+				Event{Kind: sp.Kind, Device: sp.Device, AtS: sp.StartS})
+		}
+	}
+	for site := range inj.outages {
+		ws := inj.outages[site]
+		sort.Slice(ws, func(a, b int) bool { return ws[a].start < ws[b].start })
+	}
+	for dev := range inj.events {
+		es := inj.events[dev]
+		sort.Slice(es, func(a, b int) bool { return es[a].AtS < es[b].AtS })
+	}
+	return inj
+}
+
+// Name returns the compiled schedule's label ("" for a nil injector).
+func (inj *Injector) Name() string {
+	if inj == nil {
+		return ""
+	}
+	return inj.name
+}
+
+// Down reports whether the offload site is inside a scripted outage window
+// at virtual time t.
+func (inj *Injector) Down(site string, t float64) bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.outages[site] {
+		if w.contains(t) {
+			return true
+		}
+		if w.start > t { // sorted: no later window can contain t
+			break
+		}
+	}
+	return false
+}
+
+// RSSIDeltaDBm returns the scripted signal degradation (typically negative)
+// on the link at virtual time t; 0 when no ramp is active. Overlapping
+// ramps sum.
+func (inj *Injector) RSSIDeltaDBm(link string, t float64) float64 {
+	if inj == nil {
+		return 0
+	}
+	var delta float64
+	for _, r := range inj.ramps[link] {
+		if r.contains(t) {
+			delta += r.deltaDBm * (t - r.start) / (r.end - r.start)
+		}
+	}
+	return delta
+}
+
+// ExtraServiceS returns the added remote service time at the site at
+// virtual time t; overlapping spikes sum.
+func (inj *Injector) ExtraServiceS(site string, t float64) float64 {
+	if inj == nil {
+		return 0
+	}
+	var extra float64
+	for _, s := range inj.spikes[site] {
+		if s.contains(t) {
+			extra += s.extraS
+		}
+	}
+	return extra
+}
+
+// ThrottleFactor returns the local-compute latency multiplier at virtual
+// time t (>= 1; overlapping throttles multiply).
+func (inj *Injector) ThrottleFactor(t float64) float64 {
+	f := 1.0
+	if inj == nil {
+		return f
+	}
+	for _, th := range inj.throttles {
+		if th.contains(t) {
+			f *= th.factor
+		}
+	}
+	return f
+}
+
+// Events returns the device's one-shot faults (crashes, corruption drills)
+// in firing order. The returned slice is shared immutable state: read-only.
+func (inj *Injector) Events(device string) []Event {
+	if inj == nil {
+		return nil
+	}
+	return inj.events[device]
+}
+
+// Active reports whether any fault timeline could still be (or become)
+// active at or after virtual time t — used by summaries to note whether a
+// schedule has fully played out.
+func (inj *Injector) Active(t float64) bool {
+	if inj == nil {
+		return false
+	}
+	for _, ws := range inj.outages {
+		for _, w := range ws {
+			if w.end > t {
+				return true
+			}
+		}
+	}
+	for _, rs := range inj.ramps {
+		for _, r := range rs {
+			if r.end > t {
+				return true
+			}
+		}
+	}
+	for _, ss := range inj.spikes {
+		for _, s := range ss {
+			if s.end > t {
+				return true
+			}
+		}
+	}
+	for _, th := range inj.throttles {
+		if th.end > t {
+			return true
+		}
+	}
+	for _, es := range inj.events {
+		for _, e := range es {
+			if e.AtS >= t {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Parse decodes a JSON fault schedule and validates it. Unknown fields are
+// rejected so a typoed key fails loudly instead of silently disarming a
+// fault.
+func Parse(data []byte) (*Schedule, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("fault: parse schedule: %w", err)
+	}
+	// Trailing garbage after the top-level object is a malformed file, not
+	// a second schedule.
+	if dec.More() {
+		return nil, fmt.Errorf("fault: parse schedule: trailing data after schedule object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a JSON fault schedule from disk.
+func Load(path string) (*Schedule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: load schedule: %w", err)
+	}
+	return Parse(data)
+}

@@ -64,6 +64,47 @@ type Sink interface {
 
 var _ Sink = (*Store)(nil)
 
+// Corrupter is the optional drill surface a sink may implement: damage the
+// newest on-disk checkpoint in place. The fault injector's
+// checkpoint_corrupt events use it to prove, in a live gateway, that the
+// quarantine-and-fall-back machinery actually recovers.
+type Corrupter interface {
+	// CorruptLatest flips bytes inside the device's newest checkpoint file
+	// and returns the generation damaged (ErrNoCheckpoint when the device
+	// has none).
+	CorruptLatest(device string) (uint64, error)
+}
+
+var _ Corrupter = (*Store)(nil)
+
+// CorruptLatest damages the device's newest on-disk checkpoint by flipping
+// a byte in the middle of the payload — simulating silent media corruption.
+// The next Latest call will fail verification on it, quarantine it to
+// *.corrupt, and fall back to the previous generation.
+func (s *Store) CorruptLatest(device string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := s.deviceDir(device)
+	gens := generationsLocked(dir)
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("%w for device %s", ErrNoCheckpoint, device)
+	}
+	gen := gens[len(gens)-1]
+	path := filepath.Join(dir, genFile(gen))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("policy: corrupt drill: %w", err)
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("policy: corrupt drill: %s is empty", path)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, fmt.Errorf("policy: corrupt drill: %w", err)
+	}
+	return gen, nil
+}
+
 // sanitizeDevice maps a device name onto a safe directory name. Latest and
 // History match on the device name stored in the envelope, so two names that
 // sanitize to the same directory still resolve correctly.

@@ -242,6 +242,12 @@ type Opt struct {
 	QoSTarget float64
 	Accuracy  float64
 	Intensity sim.Intensity
+	// AvoidDown makes the oracle fault-aware: when the world carries a
+	// scripted fault injector and the policy runs with a context, targets
+	// whose site is inside an outage window at the request's virtual time
+	// are excluded and conditions reflect any active RSSI ramp. An oracle
+	// that plans into a known outage isn't an oracle.
+	AvoidDown bool
 }
 
 // Name implements Policy.
@@ -254,7 +260,15 @@ func (p Opt) Run(m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
 
 // RunCtx implements ContextPolicy.
 func (p Opt) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Measurement, error) {
-	t, _, err := p.Choose(m, c)
+	var (
+		t   sim.Target
+		err error
+	)
+	if p.AvoidDown && ctx != nil {
+		t, _, err = p.ChooseAt(ctx.Now(), m, c)
+	} else {
+		t, _, err = p.Choose(m, c)
+	}
 	if err != nil {
 		return sim.Measurement{}, err
 	}
@@ -263,9 +277,19 @@ func (p Opt) RunCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditions) (sim.Meas
 
 // Choose returns the oracle's target and its expected measurement.
 func (p Opt) Choose(m *dnn.Model, c sim.Conditions) (sim.Target, sim.Measurement, error) {
-	qos := p.QoSTarget
-	if qos == 0 {
-		qos = sim.QoSFor(m.Task == dnn.Translation, p.Intensity)
+	return p.World.BestTarget(m, c, p.qos(m), p.Accuracy)
+}
+
+// ChooseAt is Choose evaluated at virtual time now: scripted RSSI ramps
+// degrade the planning conditions and targets at sites inside an outage
+// window are excluded from the search.
+func (p Opt) ChooseAt(now float64, m *dnn.Model, c sim.Conditions) (sim.Target, sim.Measurement, error) {
+	return p.World.BestTargetAt(now, m, c, p.qos(m), p.Accuracy)
+}
+
+func (p Opt) qos(m *dnn.Model) float64 {
+	if p.QoSTarget > 0 {
+		return p.QoSTarget
 	}
-	return p.World.BestTarget(m, c, qos, p.Accuracy)
+	return sim.QoSFor(m.Task == dnn.Translation, p.Intensity)
 }

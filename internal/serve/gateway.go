@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,10 +12,12 @@ import (
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/fault"
 	"autoscale/internal/policy"
 	"autoscale/internal/serve/metrics"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
+	"autoscale/internal/trace"
 )
 
 // Gateway serves inference requests against a fleet of per-device engines,
@@ -38,12 +41,38 @@ type Gateway struct {
 }
 
 // worker is one device's serving lane: a warm engine and a bounded queue.
+// The resilience fields (breakers, scripted events, sequence counter) are
+// only touched by the worker's own goroutine.
 type worker struct {
 	device      string
 	engine      *core.Engine
 	queue       chan *pending
 	fallback    sim.Target
 	hasFallback bool
+
+	breakers  map[sim.Location]*breaker
+	events    []fault.Event // scripted crash/corruption drills, time-ordered
+	nextEvent int
+	seq       uint64 // per-worker request sequence (trace + retry streams)
+}
+
+// breakerFor returns the worker's breaker for a remote site (nil when the
+// resilience layer is off or the location is local).
+func (w *worker) breakerFor(loc sim.Location) *breaker {
+	if w.breakers == nil {
+		return nil
+	}
+	return w.breakers[loc]
+}
+
+// anyBreakerNotClosed reports whether the worker is in degraded mode.
+func (w *worker) anyBreakerNotClosed() bool {
+	for _, b := range w.breakers {
+		if b.state != breakerClosed {
+			return true
+		}
+	}
+	return false
 }
 
 // pending is one admitted request awaiting execution.
@@ -62,6 +91,7 @@ func New(backends []Backend, cfg Config) (*Gateway, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cfg.Resilience = cfg.Resilience.withDefaults()
 	g := &Gateway{
 		cfg:    cfg,
 		met:    metrics.New(),
@@ -88,6 +118,21 @@ func New(backends []Backend, cfg Config) (*Gateway, error) {
 		if cpu := b.Engine.World.Device.Processor(soc.CPU); cpu != nil {
 			w.fallback = sim.Target{Location: sim.Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
 			w.hasFallback = true
+		}
+		// Scripted faults: install the injector on the backend world (unless
+		// the caller already wired one) and stage this device's one-shot
+		// crash/corruption drills.
+		if cfg.Faults != nil {
+			if b.Engine.World.Faults == nil {
+				b.Engine.World.Faults = cfg.Faults
+			}
+			w.events = cfg.Faults.Events(b.Device)
+		}
+		if cfg.Resilience.Enabled {
+			w.breakers = map[sim.Location]*breaker{
+				sim.Connected: newBreaker(b.Device, sim.Connected, cfg.Resilience, g.met),
+				sim.Cloud:     newBreaker(b.Device, sim.Cloud, cfg.Resilience, g.met),
+			}
 		}
 		g.workers = append(g.workers, w)
 		g.byName[b.Device] = w
@@ -260,14 +305,21 @@ func (g *Gateway) runWorker(w *worker) {
 	}
 }
 
-// serveOne executes one admitted request: deadline fast-fail, the engine
-// step, optional failover, metrics, response.
+// serveOne executes one admitted request: scripted fault drills, deadline
+// fast-fail, the engine step (with open breakers masked out of the action
+// space), the resilient offload path (retries, hedging, breaker feedback),
+// optional failover, metrics, trace, response.
 func (g *Gateway) serveOne(w *worker, p *pending) {
 	start := g.now()
 	wait := start.Sub(p.submittedAt).Seconds()
 	g.met.ObserveWait(wait)
+	w.seq++
 
 	base := Response{Device: w.device, SubmittedAt: p.submittedAt, WaitS: wait}
+
+	// Fire any scripted crash/corruption drills whose virtual time has come
+	// before this request observes the engine.
+	g.applyFaultEvents(w)
 
 	// A request that waited past its deadline is failed fast, not executed:
 	// the client has already moved on, and running it would only burn
@@ -279,7 +331,30 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		return
 	}
 
-	d, err := w.engine.RunInference(p.req.Model, p.req.Conditions)
+	// Open breakers mask their remote sites out of the action space:
+	// graceful degradation to local execution. Half-open breakers let the
+	// policy probe the recovering site.
+	var allow func(sim.Target) bool
+	degraded := false
+	if w.breakers != nil {
+		vnow := w.engine.Now()
+		cloudOK := w.breakers[sim.Cloud].allow(vnow)
+		connOK := w.breakers[sim.Connected].allow(vnow)
+		degraded = w.anyBreakerNotClosed()
+		if !cloudOK || !connOK {
+			allow = func(t sim.Target) bool {
+				switch t.Location {
+				case sim.Cloud:
+					return cloudOK
+				case sim.Connected:
+					return connOK
+				}
+				return true
+			}
+		}
+	}
+
+	d, err := w.engine.RunInferenceFiltered(nil, p.req.Model, p.req.Conditions, allow)
 	if err != nil {
 		g.met.IncFailed()
 		base.Status, base.Err, base.DoneAt = StatusFailed, err, g.now()
@@ -293,19 +368,44 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	if outage {
 		g.met.IncOutage()
 	}
+	if wastedJ := d.Measurement.WastedJ; wastedJ > 0 {
+		g.met.AddOutageWastedJ(wastedJ)
+	}
+	if br := w.breakerFor(d.Target.Location); br != nil && d.Target.Location != sim.Local {
+		if outage {
+			br.recordFailure(w.engine.Now())
+		} else {
+			br.recordSuccess(w.engine.Now())
+		}
+	}
+
+	retries, recovered := 0, false
+	if outage && g.cfg.Resilience.Enabled && g.cfg.Resilience.MaxRetries > 0 {
+		retries, recovered = g.retryOffload(w, p, &d)
+	}
+
+	hedged, hedgeWon := false, false
+	if g.cfg.Resilience.Enabled && g.cfg.Resilience.Hedge && !outage &&
+		d.Measurement.Target.Location != sim.Local && w.hasFallback {
+		hedged, hedgeWon = g.hedge(w, p, &d)
+	}
 
 	retried := false
 	if g.cfg.FailoverLocal && d.QoSViolated && w.hasFallback &&
 		!outage && d.Measurement.Target != w.fallback {
 		// Outage results already ran the fallback; everything else that
-		// missed QoS gets one local re-execution. Deadline permitting.
-		if p.req.Deadline.IsZero() || g.now().Before(p.req.Deadline) {
+		// missed QoS gets one local re-execution — but only when the
+		// remaining deadline budget actually fits the fallback's expected
+		// latency; a retry that cannot finish in time is abandoned.
+		if g.fitsDeadline(w, p, w.fallback, 0) {
 			if meas, ferr := w.engine.World.Execute(p.req.Model, w.fallback, p.req.Conditions); ferr == nil {
 				d.Measurement = meas
 				d.QoSViolated = meas.LatencyS > d.QoSTargetS
 				retried = true
 				g.met.IncRetried()
 			}
+		} else if !p.req.Deadline.IsZero() {
+			g.met.IncRetryAbandoned()
 		}
 	}
 
@@ -318,9 +418,176 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	g.met.CountTarget(d.Measurement.Target.Location.String())
 	g.met.CountDevice(w.device)
 
+	if g.cfg.Trace != nil {
+		rec := trace.FromDecision(int(w.seq), p.req.Model.Name, d)
+		rec.Device = w.device
+		rec.Outage = outage
+		rec.Retries = retries
+		rec.Hedged = hedged
+		rec.Degraded = degraded
+		g.cfg.Trace.Append(rec)
+	}
+
 	base.Status, base.Decision, base.Retried, base.Outage, base.DoneAt =
 		StatusServed, d, retried, outage, g.now()
+	base.OffloadRetries, base.RetryRecovered = retries, recovered
+	base.Hedged, base.HedgeWon = hedged, hedgeWon
+	base.Degraded = degraded
 	p.resp <- base
+}
+
+// applyFaultEvents fires the worker's scripted one-shot drills whose
+// virtual time has arrived: checkpoint corruption (damage the newest
+// on-disk checkpoint) and worker crashes (drop the in-memory Q-table, then
+// warm-start from the latest valid checkpoint — which, after a corruption
+// drill, exercises the store's quarantine-and-fall-back path end to end).
+func (g *Gateway) applyFaultEvents(w *worker) {
+	for w.nextEvent < len(w.events) && w.events[w.nextEvent].AtS <= w.engine.Now() {
+		ev := w.events[w.nextEvent]
+		w.nextEvent++
+		switch ev.Kind {
+		case fault.KindCheckpointCorrupt:
+			if c, ok := g.cfg.Checkpoints.(policy.Corrupter); ok {
+				c.CorruptLatest(w.device)
+				g.met.IncCorruptDrill()
+			}
+		case fault.KindWorkerCrash:
+			if w.engine.Reset() == nil {
+				g.met.IncWorkerCrash()
+				if g.cfg.Checkpoints != nil {
+					warmStart(w, g.cfg.Checkpoints)
+				}
+			}
+		}
+	}
+}
+
+// fitsDeadline reports whether the remaining wall budget fits overheadS
+// plus the expected clean latency of executing the request on target t. A
+// request without a deadline always fits.
+func (g *Gateway) fitsDeadline(w *worker, p *pending, t sim.Target, overheadS float64) bool {
+	if p.req.Deadline.IsZero() {
+		return true
+	}
+	remaining := p.req.Deadline.Sub(g.now()).Seconds()
+	if remaining <= 0 {
+		return false
+	}
+	exp, err := w.engine.World.Expected(p.req.Model, t, p.req.Conditions)
+	if err != nil {
+		return false
+	}
+	return remaining >= overheadS+exp.LatencyS
+}
+
+// retryOffload re-drives a failed offload with exponential backoff and
+// deterministic jitter from the request's named RNG stream, inside the
+// request's deadline budget. Each attempt supersedes the previous answer:
+// its latency and energy are charged to the episode as waste. On recovery
+// the remote result replaces the outage fallback; on exhaustion the last
+// fallback answer stands (graceful degradation). Every attempt feeds the
+// site's circuit breaker.
+func (g *Gateway) retryOffload(w *worker, p *pending, d *core.Decision) (retries int, recovered bool) {
+	rc := g.cfg.Resilience
+	world := w.engine.World
+	br := w.breakerFor(d.Target.Location)
+	cur := d.Measurement // current best answer (outage fallback)
+	var wasteS, wasteJ float64
+
+	for attempt := 1; attempt <= rc.MaxRetries; attempt++ {
+		rctx := w.engine.StepContext("serve.retry", w.seq, uint64(attempt))
+		backoff := rc.RetryBackoffS * math.Pow(2, float64(attempt-1))
+		backoff += 0.5 * backoff * rctx.Stream("serve.retry.jitter").Float64()
+
+		// Budget: the backoff plus a clean execution must fit in the
+		// remaining deadline, or the retry is abandoned immediately
+		// instead of burning another outage timeout.
+		if !g.fitsDeadline(w, p, d.Target, backoff) {
+			g.met.IncRetryAbandoned()
+			break
+		}
+
+		rctx.Advance(backoff)
+		retries++
+		g.met.IncOffloadRetry()
+		rmeas, err := world.ExecuteCtx(rctx, p.req.Model, d.Target, p.req.Conditions)
+		if err != nil {
+			break
+		}
+		// The previous answer is superseded: its cost becomes waste.
+		wasteJ += cur.EnergyJ
+		wasteS += cur.LatencyS + backoff
+		cur = rmeas
+		if rmeas.WastedJ > 0 {
+			g.met.AddOutageWastedJ(rmeas.WastedJ)
+		}
+		if rmeas.Target.Location == sim.Local {
+			// Failed again (outage fallback ran); keep backing off.
+			if br != nil {
+				br.recordFailure(w.engine.Now())
+			}
+			continue
+		}
+		if br != nil {
+			br.recordSuccess(w.engine.Now())
+		}
+		recovered = true
+		g.met.IncRetryRecovered()
+		break
+	}
+
+	cur.LatencyS += wasteS
+	cur.EnergyJ += wasteJ
+	cur.WastedJ += wasteJ
+	d.Measurement = cur
+	d.QoSViolated = cur.LatencyS > d.QoSTargetS
+	return retries, recovered
+}
+
+// hedge races a local leg against a slow remote answer: when the measured
+// remote latency exceeds HedgeAfterS and the deadline budget fits the local
+// leg, the gateway simulates having fired the fallback at the hedge point
+// and takes whichever answer lands first, charging the loser's in-flight
+// energy as waste.
+func (g *Gateway) hedge(w *worker, p *pending, d *core.Decision) (hedged, won bool) {
+	rc := g.cfg.Resilience
+	remote := d.Measurement
+	if remote.LatencyS <= rc.HedgeAfterS {
+		return false, false
+	}
+	if !g.fitsDeadline(w, p, w.fallback, rc.HedgeAfterS) {
+		return false, false
+	}
+	hctx := w.engine.StepContext("serve.hedge", w.seq)
+	local, err := w.engine.World.ExecuteCtx(hctx, p.req.Model, w.fallback, p.req.Conditions)
+	if err != nil {
+		return false, false
+	}
+	g.met.IncHedge()
+	hedgedLat := rc.HedgeAfterS + local.LatencyS
+	if hedgedLat < remote.LatencyS {
+		// Local leg wins: the remote answer is superseded; charge the
+		// remote energy spent up to the hedged completion as waste.
+		waste := remote.EnergyJ * (hedgedLat / remote.LatencyS)
+		local.LatencyS = hedgedLat
+		local.EnergyJ += waste
+		local.WastedJ += waste
+		d.Measurement = local
+		d.QoSViolated = local.LatencyS > d.QoSTargetS
+		g.met.IncHedgeWon()
+		return true, true
+	}
+	// Remote answered first: the local leg ran (remote - hedge point) long
+	// before cancellation; charge that fraction as waste.
+	frac := (remote.LatencyS - rc.HedgeAfterS) / local.LatencyS
+	if frac > 1 {
+		frac = 1
+	}
+	waste := frac * local.EnergyJ
+	d.Measurement.EnergyJ += waste
+	d.Measurement.WastedJ += waste
+	g.met.IncHedgeLost()
+	return true, false
 }
 
 // Shutdown stops admission, drains every queue (queued requests still
@@ -364,6 +631,14 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+
+	// Workers have exited: flush any degraded episode still open so the
+	// degraded-seconds metric accounts shutdowns mid-storm.
+	for _, w := range g.workers {
+		for _, b := range w.breakers {
+			b.closeOut(w.engine.Now())
+		}
 	}
 
 	if g.cfg.Checkpoints == nil {

@@ -24,6 +24,21 @@ type Registry struct {
 	qosViolations atomic.Int64
 	outages       atomic.Int64
 
+	offloadRetries   atomic.Int64
+	retriesRecovered atomic.Int64
+	retriesAbandoned atomic.Int64
+	hedges           atomic.Int64
+	hedgesWon        atomic.Int64
+	hedgesLost       atomic.Int64
+	breakerOpens     atomic.Int64
+	breakerHalfOpens atomic.Int64
+	breakerCloses    atomic.Int64
+	workerCrashes    atomic.Int64
+	corruptDrills    atomic.Int64
+
+	degradedSeconds atomicFloat
+	outageWastedJ   atomicFloat
+
 	queueDepth atomic.Int64
 	queueMax   atomic.Int64
 
@@ -31,9 +46,10 @@ type Registry struct {
 	wait    *Histogram
 	energy  *Histogram
 
-	mu       sync.Mutex
-	byTarget map[string]int64
-	byDevice map[string]int64
+	mu        sync.Mutex
+	byTarget  map[string]int64
+	byDevice  map[string]int64
+	byBreaker map[string]string
 }
 
 // New builds a registry with the default latency/wait/energy bucket ladders:
@@ -41,11 +57,12 @@ type Registry struct {
 // lookups to radio-timeout stalls) and from 0.1 mJ to ~26 J for energy.
 func New() *Registry {
 	return &Registry{
-		latency:  NewHistogram(ExponentialBounds(1e-3, 2, 15)),
-		wait:     NewHistogram(ExponentialBounds(1e-3, 2, 15)),
-		energy:   NewHistogram(ExponentialBounds(1e-4, 2, 19)),
-		byTarget: make(map[string]int64),
-		byDevice: make(map[string]int64),
+		latency:   NewHistogram(ExponentialBounds(1e-3, 2, 15)),
+		wait:      NewHistogram(ExponentialBounds(1e-3, 2, 15)),
+		energy:    NewHistogram(ExponentialBounds(1e-4, 2, 19)),
+		byTarget:  make(map[string]int64),
+		byDevice:  make(map[string]int64),
+		byBreaker: make(map[string]string),
 	}
 }
 
@@ -73,6 +90,55 @@ func (r *Registry) IncQoSViolation() { r.qosViolations.Add(1) }
 // IncOutage counts one simulated radio outage absorbed by the sim's local
 // fallback.
 func (r *Registry) IncOutage() { r.outages.Add(1) }
+
+// IncOffloadRetry counts one deadline-budgeted re-offload after an outage.
+func (r *Registry) IncOffloadRetry() { r.offloadRetries.Add(1) }
+
+// IncRetryRecovered counts one offload retry that came back clean.
+func (r *Registry) IncRetryRecovered() { r.retriesRecovered.Add(1) }
+
+// IncRetryAbandoned counts one retry skipped because the remaining deadline
+// could not fit the backoff plus the expected execution.
+func (r *Registry) IncRetryAbandoned() { r.retriesAbandoned.Add(1) }
+
+// IncHedge counts one hedged offload launched against a slow remote.
+func (r *Registry) IncHedge() { r.hedges.Add(1) }
+
+// IncHedgeWon counts one hedge whose local leg beat the remote.
+func (r *Registry) IncHedgeWon() { r.hedgesWon.Add(1) }
+
+// IncHedgeLost counts one hedge whose remote leg answered first.
+func (r *Registry) IncHedgeLost() { r.hedgesLost.Add(1) }
+
+// IncBreakerOpen counts one circuit breaker tripping closed->open.
+func (r *Registry) IncBreakerOpen() { r.breakerOpens.Add(1) }
+
+// IncBreakerHalfOpen counts one breaker admitting a recovery probe.
+func (r *Registry) IncBreakerHalfOpen() { r.breakerHalfOpens.Add(1) }
+
+// IncBreakerClose counts one breaker closing after successful probes.
+func (r *Registry) IncBreakerClose() { r.breakerCloses.Add(1) }
+
+// IncWorkerCrash counts one scripted worker-crash drill.
+func (r *Registry) IncWorkerCrash() { r.workerCrashes.Add(1) }
+
+// IncCorruptDrill counts one scripted checkpoint-corruption drill.
+func (r *Registry) IncCorruptDrill() { r.corruptDrills.Add(1) }
+
+// AddDegradedSeconds accumulates wall time a worker spent with at least one
+// breaker open (serving degraded, remote targets masked).
+func (r *Registry) AddDegradedSeconds(s float64) { r.degradedSeconds.Add(s) }
+
+// AddOutageWastedJ accumulates energy burned on failed offload attempts.
+func (r *Registry) AddOutageWastedJ(j float64) { r.outageWastedJ.Add(j) }
+
+// SetBreakerState records a breaker's current state under its label
+// (e.g. "phone-0/cloud" -> "open").
+func (r *Registry) SetBreakerState(label, state string) {
+	r.mu.Lock()
+	r.byBreaker[label] = state
+	r.mu.Unlock()
+}
 
 // QueueEnter bumps the aggregate queue-depth gauge and its high watermark.
 func (r *Registry) QueueEnter() {
@@ -129,6 +195,21 @@ type Snapshot struct {
 	QoSViolations int64
 	Outages       int64
 
+	// Resilience counters: the retry/hedge/breaker machinery.
+	OffloadRetries   int64
+	RetriesRecovered int64
+	RetriesAbandoned int64
+	Hedges           int64
+	HedgesWon        int64
+	HedgesLost       int64
+	BreakerOpens     int64
+	BreakerHalfOpens int64
+	BreakerCloses    int64
+	WorkerCrashes    int64
+	CorruptDrills    int64
+	DegradedSeconds  float64
+	OutageWastedJ    float64
+
 	QueueDepth    int64
 	QueueMaxDepth int64
 
@@ -137,9 +218,10 @@ type Snapshot struct {
 	Energy  HistogramSnapshot
 
 	// ByTarget counts executions per execution-location label; ByDevice per
-	// gateway worker.
-	ByTarget map[string]int64
-	ByDevice map[string]int64
+	// gateway worker; ByBreaker holds each breaker's last recorded state.
+	ByTarget  map[string]int64
+	ByDevice  map[string]int64
+	ByBreaker map[string]string
 }
 
 // Accounted returns the number of requests with a terminal outcome.
@@ -156,6 +238,21 @@ func (r *Registry) Snapshot() Snapshot {
 		Retried:       r.retried.Load(),
 		QoSViolations: r.qosViolations.Load(),
 		Outages:       r.outages.Load(),
+
+		OffloadRetries:   r.offloadRetries.Load(),
+		RetriesRecovered: r.retriesRecovered.Load(),
+		RetriesAbandoned: r.retriesAbandoned.Load(),
+		Hedges:           r.hedges.Load(),
+		HedgesWon:        r.hedgesWon.Load(),
+		HedgesLost:       r.hedgesLost.Load(),
+		BreakerOpens:     r.breakerOpens.Load(),
+		BreakerHalfOpens: r.breakerHalfOpens.Load(),
+		BreakerCloses:    r.breakerCloses.Load(),
+		WorkerCrashes:    r.workerCrashes.Load(),
+		CorruptDrills:    r.corruptDrills.Load(),
+		DegradedSeconds:  r.degradedSeconds.Load(),
+		OutageWastedJ:    r.outageWastedJ.Load(),
+
 		QueueDepth:    r.queueDepth.Load(),
 		QueueMaxDepth: r.queueMax.Load(),
 		Latency:       r.latency.Snapshot(),
@@ -163,6 +260,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Energy:        r.energy.Snapshot(),
 		ByTarget:      make(map[string]int64),
 		ByDevice:      make(map[string]int64),
+		ByBreaker:     make(map[string]string),
 	}
 	r.mu.Lock()
 	for k, v := range r.byTarget {
@@ -170,6 +268,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range r.byDevice {
 		s.ByDevice[k] = v
+	}
+	for k, v := range r.byBreaker {
+		s.ByBreaker[k] = v
 	}
 	r.mu.Unlock()
 	return s

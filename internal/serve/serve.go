@@ -23,8 +23,10 @@ import (
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/fault"
 	"autoscale/internal/policy"
 	"autoscale/internal/sim"
+	"autoscale/internal/trace"
 )
 
 // Sentinel errors surfaced on rejected or failed requests.
@@ -101,6 +103,18 @@ type Response struct {
 	// Outage marks a simulated radio outage absorbed by the sim's local
 	// fallback during execution.
 	Outage bool
+	// OffloadRetries counts the deadline-budgeted offload retries this
+	// request ran after an outage; RetryRecovered marks that one of them
+	// reached the remote target cleanly.
+	OffloadRetries int
+	RetryRecovered bool
+	// Hedged marks that a local hedge leg raced the remote answer;
+	// HedgeWon marks that the hedge leg finished first.
+	Hedged   bool
+	HedgeWon bool
+	// Degraded marks that the request was served while at least one of its
+	// worker's circuit breakers was open (remote targets masked).
+	Degraded bool
 	// Err carries the rejection or execution error (nil for clean serves).
 	Err error
 	// SubmittedAt / DoneAt bracket the request's life in the gateway.
@@ -158,6 +172,18 @@ type Config struct {
 	PolicySync policy.SyncConfig
 	// Clock overrides the gateway's time source (tests; default time.Now).
 	Clock func() time.Time
+	// Resilience tunes the resilient offload path: circuit breakers over
+	// remote sites, deadline-budgeted offload retries and hedged offloads.
+	// The zero value disables it.
+	Resilience ResilienceConfig
+	// Faults, when non-nil, is the scripted fault injector: New installs it
+	// on every backend world that has none, and each worker drills the
+	// injector's crash/corruption events for its device. The injector's
+	// window faults (outages, ramps, spikes, throttles) act inside the sim.
+	Faults *fault.Injector
+	// Trace, when non-nil, receives one decision record per served request
+	// — the per-request decision log the replay tests compare.
+	Trace *trace.Writer
 }
 
 // Backend pairs a device name with its (typically warm-started) engine.

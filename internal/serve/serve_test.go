@@ -8,6 +8,8 @@ import (
 
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
+	"autoscale/internal/fault"
 	"autoscale/internal/policy"
 	"autoscale/internal/serve/metrics"
 	"autoscale/internal/sim"
@@ -543,5 +545,329 @@ func TestSubmitNilModel(t *testing.T) {
 	defer g.Shutdown(context.Background())
 	if _, err := g.Submit(Request{}); err == nil {
 		t.Fatal("nil model accepted")
+	}
+}
+
+// resilientWorker builds a single-device gateway without starting the worker
+// goroutine, so tests can drive serveOne and the retry/hedge helpers
+// directly with fully controlled decisions.
+func resilientWorker(t testing.TB, e *core.Engine, cfg Config) (*Gateway, *worker) {
+	t.Helper()
+	cfg.Resilience = cfg.Resilience.withDefaults()
+	w := &worker{device: "Mi8Pro", engine: e, queue: make(chan *pending, 16)}
+	if cpu := e.World.Device.Processor(soc.CPU); cpu != nil {
+		w.fallback = sim.Target{Location: sim.Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+		w.hasFallback = true
+	}
+	g := &Gateway{cfg: cfg, met: metrics.New(), workers: []*worker{w}, byName: map[string]*worker{w.device: w}}
+	if cfg.Faults != nil {
+		if e.World.Faults == nil {
+			e.World.Faults = cfg.Faults
+		}
+		w.events = cfg.Faults.Events(w.device)
+	}
+	if cfg.Resilience.Enabled {
+		w.breakers = map[sim.Location]*breaker{
+			sim.Connected: newBreaker(w.device, sim.Connected, cfg.Resilience, g.met),
+			sim.Cloud:     newBreaker(w.device, sim.Cloud, cfg.Resilience, g.met),
+		}
+	}
+	return g, w
+}
+
+// cloudOnly masks the action space down to cloud targets, forcing the engine
+// to offload so the resilient path is exercised deterministically.
+func cloudOnly(tg sim.Target) bool { return tg.Location == sim.Cloud }
+
+// scheduleWorld installs a compiled fault schedule on a fresh engine.
+func faultEngine(t testing.TB, seed int64, s *fault.Schedule) *core.Engine {
+	t.Helper()
+	e := testEngine(t, soc.Mi8Pro(), seed, core.DefaultConfig())
+	e.World.Faults = fault.New(s, exec.NewRoot(seed).Child("faults"))
+	return e
+}
+
+// TestRetryRecoversWhenOutageClears covers the compound path "outage during
+// retry": the first attempt lands inside a scripted outage window, the
+// retry's backoff advances the virtual clock past the window's end, and the
+// re-driven offload succeeds — superseding the fallback answer and charging
+// it as waste.
+func TestRetryRecoversWhenOutageClears(t *testing.T) {
+	e := faultEngine(t, 21, &fault.Schedule{Faults: []fault.Spec{
+		{Kind: fault.KindOutage, Site: fault.SiteCloud, StartS: 0, EndS: 0.0005},
+	}})
+	g, w := resilientWorker(t, e, Config{Resilience: ResilienceConfig{Enabled: true, MaxRetries: 2}})
+	m := dnn.MustByName("MobileNet v3")
+
+	w.seq = 1
+	d, err := e.RunInferenceFiltered(nil, m, conds(), cloudOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target.Location != sim.Cloud || d.Measurement.Target.Location != sim.Local {
+		t.Fatalf("premise broken: decision %v executed on %v, want cloud decision falling back local",
+			d.Target, d.Measurement.Target)
+	}
+	fallbackJ := d.Measurement.EnergyJ
+
+	p := &pending{req: Request{Model: m, Conditions: conds()}, resp: make(chan Response, 1)}
+	retries, recovered := g.retryOffload(w, p, &d)
+	if retries != 1 || !recovered {
+		t.Fatalf("retries=%d recovered=%v, want 1 recovered retry (clock passed the window at %v)",
+			retries, recovered, e.Now())
+	}
+	if d.Measurement.Target.Location != sim.Cloud {
+		t.Fatalf("recovered measurement ran on %v, want cloud", d.Measurement.Target)
+	}
+	if d.Measurement.WastedJ < fallbackJ {
+		t.Errorf("WastedJ = %v, must charge at least the superseded fallback's %v J",
+			d.Measurement.WastedJ, fallbackJ)
+	}
+	snap := g.Snapshot()
+	if snap.OffloadRetries != 1 || snap.RetriesRecovered != 1 {
+		t.Errorf("metrics: %d retries / %d recovered, want 1/1", snap.OffloadRetries, snap.RetriesRecovered)
+	}
+}
+
+// TestRetryExhaustsGracefully keeps the outage window solid through every
+// backoff: the retries burn out and the last local fallback answer stands.
+func TestRetryExhaustsGracefully(t *testing.T) {
+	e := faultEngine(t, 22, &fault.Schedule{Faults: []fault.Spec{
+		{Kind: fault.KindOutage, Site: fault.SiteCloud, StartS: 0, EndS: 1e6},
+	}})
+	g, w := resilientWorker(t, e, Config{Resilience: ResilienceConfig{Enabled: true, MaxRetries: 2, FailureThreshold: 100}})
+	m := dnn.MustByName("MobileNet v3")
+
+	w.seq = 1
+	d, err := e.RunInferenceFiltered(nil, m, conds(), cloudOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &pending{req: Request{Model: m, Conditions: conds()}, resp: make(chan Response, 1)}
+	retries, recovered := g.retryOffload(w, p, &d)
+	if retries != 2 || recovered {
+		t.Fatalf("retries=%d recovered=%v, want 2 exhausted retries", retries, recovered)
+	}
+	if d.Measurement.Target.Location != sim.Local {
+		t.Fatalf("degraded answer ran on %v, want the local fallback", d.Measurement.Target)
+	}
+	if d.Measurement.WastedJ <= 0 {
+		t.Error("exhausted retries must charge the superseded attempts as waste")
+	}
+	snap := g.Snapshot()
+	if snap.OffloadRetries != 2 || snap.RetriesRecovered != 0 {
+		t.Errorf("metrics: %d retries / %d recovered, want 2/0", snap.OffloadRetries, snap.RetriesRecovered)
+	}
+}
+
+// TestRetryAbandonedOnTightDeadline covers the deadline budget: a retry whose
+// backoff plus clean execution cannot finish before the request's deadline is
+// abandoned immediately, without burning another outage timeout.
+func TestRetryAbandonedOnTightDeadline(t *testing.T) {
+	e := faultEngine(t, 23, &fault.Schedule{Faults: []fault.Spec{
+		{Kind: fault.KindOutage, Site: fault.SiteCloud, StartS: 0, EndS: 1e6},
+	}})
+	now := time.Unix(5000, 0)
+	g, w := resilientWorker(t, e, Config{
+		Clock:      func() time.Time { return now },
+		Resilience: ResilienceConfig{Enabled: true, MaxRetries: 3},
+	})
+	m := dnn.MustByName("MobileNet v3")
+
+	w.seq = 1
+	d, err := e.RunInferenceFiltered(nil, m, conds(), cloudOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &pending{req: Request{Model: m, Conditions: conds(), Deadline: now.Add(time.Microsecond)},
+		resp: make(chan Response, 1)}
+	retries, recovered := g.retryOffload(w, p, &d)
+	if retries != 0 || recovered {
+		t.Fatalf("retries=%d recovered=%v, want immediate abandonment", retries, recovered)
+	}
+	snap := g.Snapshot()
+	if snap.RetriesAbandoned != 1 || snap.OffloadRetries != 0 {
+		t.Errorf("metrics: %d abandoned / %d attempted, want 1/0", snap.RetriesAbandoned, snap.OffloadRetries)
+	}
+	if d.Measurement.Target.Location != sim.Local {
+		t.Error("abandoned retry must keep the graceful local fallback answer")
+	}
+}
+
+// TestHedgeOutcomes drives the hedged-offload race both ways against a
+// recovering backend: a slow remote answer loses to the local leg, a fast
+// one wins but still pays the cancelled leg's in-flight energy.
+func TestHedgeOutcomes(t *testing.T) {
+	cloud := sim.Target{Location: sim.Cloud, Kind: soc.GPU, Prec: dnn.FP32}
+	m := dnn.MustByName("MobileNet v3")
+
+	t.Run("local leg wins", func(t *testing.T) {
+		e := testEngine(t, soc.Mi8Pro(), 24, core.DefaultConfig())
+		g, w := resilientWorker(t, e, Config{Resilience: ResilienceConfig{Enabled: true, Hedge: true, HedgeAfterS: 0.001}})
+		w.seq = 1
+		d := core.Decision{Target: cloud,
+			Measurement: sim.Measurement{Target: cloud, LatencyS: 10, EnergyJ: 1}, QoSTargetS: 0.05}
+		p := &pending{req: Request{Model: m, Conditions: conds()}, resp: make(chan Response, 1)}
+		hedged, won := g.hedge(w, p, &d)
+		if !hedged || !won {
+			t.Fatalf("hedged=%v won=%v, want the local leg to beat a 10 s remote", hedged, won)
+		}
+		if d.Measurement.Target.Location != sim.Local {
+			t.Errorf("winning measurement ran on %v, want local", d.Measurement.Target)
+		}
+		if d.Measurement.WastedJ <= 0 {
+			t.Error("the superseded remote leg's in-flight energy must be charged as waste")
+		}
+		if snap := g.Snapshot(); snap.Hedges != 1 || snap.HedgesWon != 1 {
+			t.Errorf("metrics: %+v", snap)
+		}
+	})
+
+	t.Run("remote answers first", func(t *testing.T) {
+		e := testEngine(t, soc.Mi8Pro(), 25, core.DefaultConfig())
+		g, w := resilientWorker(t, e, Config{Resilience: ResilienceConfig{Enabled: true, Hedge: true, HedgeAfterS: 0.001}})
+		w.seq = 1
+		d := core.Decision{Target: cloud,
+			Measurement: sim.Measurement{Target: cloud, LatencyS: 0.0011, EnergyJ: 0.01}, QoSTargetS: 0.05}
+		before := d.Measurement.EnergyJ
+		p := &pending{req: Request{Model: m, Conditions: conds()}, resp: make(chan Response, 1)}
+		hedged, won := g.hedge(w, p, &d)
+		if !hedged || won {
+			t.Fatalf("hedged=%v won=%v, want a lost hedge against a 1.1 ms remote", hedged, won)
+		}
+		if d.Measurement.Target != cloud {
+			t.Errorf("losing hedge replaced the remote answer: %v", d.Measurement.Target)
+		}
+		if d.Measurement.EnergyJ <= before || d.Measurement.WastedJ <= 0 {
+			t.Errorf("cancelled local leg not charged: energy %v (was %v), wasted %v",
+				d.Measurement.EnergyJ, before, d.Measurement.WastedJ)
+		}
+		if snap := g.Snapshot(); snap.Hedges != 1 || snap.HedgesLost != 1 {
+			t.Errorf("metrics: %+v", snap)
+		}
+	})
+}
+
+// TestBreakerLifecycle walks one breaker through closed -> open (masking the
+// site mid-drain) -> half-open -> closed, checking the action-space mask and
+// the metrics at each step.
+func TestBreakerLifecycle(t *testing.T) {
+	e := testEngine(t, soc.Mi8Pro(), 26, core.DefaultConfig())
+	g, w := resilientWorker(t, e, Config{Resilience: ResilienceConfig{
+		Enabled: true, FailureThreshold: 2, OpenForS: 1, HalfOpenProbes: 1}})
+	br := w.breakers[sim.Cloud]
+
+	br.recordFailure(0)
+	if br.state != breakerClosed || !br.allow(0.1) {
+		t.Fatal("one failure below threshold must not trip the breaker")
+	}
+	br.recordFailure(0.2)
+	if br.state != breakerOpen || br.allow(0.3) {
+		t.Fatal("threshold failures must trip the breaker open and mask the site")
+	}
+	if snap := g.Snapshot(); snap.BreakerOpens != 1 || snap.ByBreaker["Mi8Pro/cloud"] != "open" {
+		t.Fatalf("metrics after trip: %+v", snap.ByBreaker)
+	}
+	// Cool-off elapses: the next allow flips to half-open (probe traffic).
+	if !br.allow(1.5) || br.state != breakerHalfOpen {
+		t.Fatal("cool-off must admit half-open probes")
+	}
+	// A failed probe reopens without closing the degraded episode.
+	br.recordFailure(1.6)
+	if br.state != breakerOpen || br.degradedSince != 0.2 {
+		t.Fatalf("failed probe: state %v, degradedSince %v (want open, 0.2)", br.state, br.degradedSince)
+	}
+	if !br.allow(2.7) || br.state != breakerHalfOpen {
+		t.Fatal("second cool-off must admit probes again")
+	}
+	br.recordSuccess(3.0)
+	if br.state != breakerClosed {
+		t.Fatal("successful probe quota must close the breaker")
+	}
+	snap := g.Snapshot()
+	if snap.BreakerOpens != 2 || snap.BreakerHalfOpens != 2 || snap.BreakerCloses != 1 {
+		t.Errorf("transition counters: %d opens, %d half-opens, %d closes, want 2/2/1",
+			snap.BreakerOpens, snap.BreakerHalfOpens, snap.BreakerCloses)
+	}
+	// Degraded from the first trip (0.2) to the final close (3.0).
+	if got, want := snap.DegradedSeconds, 2.8; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("degraded seconds = %v, want %v (episode survives the reopen)", got, want)
+	}
+}
+
+// TestShutdownFlushesOpenBreakers covers Shutdown while breakers are open:
+// the unfinished degraded episode must land in the degraded-seconds metric.
+func TestShutdownFlushesOpenBreakers(t *testing.T) {
+	e := testEngine(t, soc.Mi8Pro(), 27, core.DefaultConfig())
+	e.World.OutageProb = 1
+	g, err := New([]Backend{{Device: "Mi8Pro", Engine: e}},
+		Config{Resilience: ResilienceConfig{Enabled: true, FailureThreshold: 1, OpenForS: 1e9, MaxRetries: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dnn.MustByName("MobileNet v3")
+	sawDegraded := false
+	for i := 0; i < 2000; i++ {
+		r, derr := g.Do(Request{Model: m, Conditions: conds()})
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if r.Degraded {
+			sawDegraded = true
+			if i > 1900 {
+				break
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no degraded response in 2000 requests with OutageProb=1")
+	}
+	if err := g.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Snapshot()
+	if snap.BreakerOpens == 0 {
+		t.Fatal("no breaker tripped despite every offload failing")
+	}
+	if snap.DegradedSeconds <= 0 {
+		t.Error("shutdown with open breakers must flush the degraded episode into the metric")
+	}
+}
+
+// TestScriptedDrills fires the one-shot fault events: a checkpoint-corruption
+// drill followed by a worker crash, after which the worker must keep serving
+// from a fresh (re-warm-started) agent.
+func TestScriptedDrills(t *testing.T) {
+	st := testStore(t)
+	sched := &fault.Schedule{Faults: []fault.Spec{
+		{Kind: fault.KindCheckpointCorrupt, Device: "Mi8Pro", StartS: 0},
+		{Kind: fault.KindWorkerCrash, Device: "Mi8Pro", StartS: 0},
+	}}
+	e := testEngine(t, soc.Mi8Pro(), 28, core.DefaultConfig())
+	g, err := New([]Backend{{Device: "Mi8Pro", Engine: e}}, Config{
+		Checkpoints: st,
+		Faults:      fault.New(sched, exec.NewRoot(28).Child("faults")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Shutdown(context.Background())
+	m := dnn.MustByName("MobileNet v3")
+	r, err := g.Do(Request{Model: m, Conditions: conds()})
+	if err != nil || r.Status != StatusServed {
+		t.Fatalf("serve after drills: %+v, err %v", r, err)
+	}
+	snap := g.Snapshot()
+	if snap.CorruptDrills != 1 {
+		t.Errorf("corrupt drills = %d, want 1", snap.CorruptDrills)
+	}
+	if snap.WorkerCrashes != 1 {
+		t.Errorf("worker crashes = %d, want 1", snap.WorkerCrashes)
+	}
+	// The gateway must stay healthy after the crash.
+	for i := 0; i < 20; i++ {
+		if _, err := g.Do(Request{Model: m, Conditions: conds()}); err != nil {
+			t.Fatalf("request %d after crash: %v", i, err)
+		}
 	}
 }

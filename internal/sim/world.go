@@ -12,6 +12,7 @@ import (
 
 	"autoscale/internal/dnn"
 	"autoscale/internal/exec"
+	"autoscale/internal/fault"
 	"autoscale/internal/interfere"
 	"autoscale/internal/perf"
 	"autoscale/internal/power"
@@ -86,6 +87,10 @@ type Measurement struct {
 	// TTXSeconds/TRXSeconds are the transfer times (zero when local).
 	TTXSeconds float64
 	TRXSeconds float64
+	// WastedJ is the energy burned on a failed offload attempt before the
+	// local fallback ran (zero on clean executions). It is already included
+	// in EnergyJ; the field exists so accounting can attribute it.
+	WastedJ float64
 }
 
 // PPW returns the performance-per-watt figure of merit the paper optimizes:
@@ -117,11 +122,19 @@ type World struct {
 	// OutageProb is the per-request probability that an offload attempt
 	// fails (AP handoff, server hiccup, link drop). On an outage the
 	// runtime waits out OutageTimeoutS with the radio up, then falls back
-	// to the local CPU at top frequency — failure injection for the
-	// robustness extension; zero (the default) disables it. Expected is
-	// always outage-free: the oracle plans on averages.
+	// to the local CPU at top frequency. This Bernoulli coin flip is the
+	// original robustness extension, kept as a compatibility shim; the
+	// scripted, time-correlated fault model lives in Faults. Zero (the
+	// default) disables it. Expected is always outage-free: the oracle
+	// plans on averages.
 	OutageProb     float64
 	OutageTimeoutS float64
+
+	// Faults is an optional scripted fault injector (outage windows, RSSI
+	// ramps, queue spikes, thermal throttles) evaluated against each
+	// request context's virtual clock. Nil disables scripted faults; the
+	// injector itself is immutable and safe to share across worlds.
+	Faults *fault.Injector
 
 	// root is the world's execution context; legacy Execute calls derive a
 	// per-request child from it using seq, so each request's draws come
@@ -311,26 +324,37 @@ func (w *World) Execute(m *dnn.Model, t Target, c Conditions) (Measurement, erro
 // noise draws come from the context's "sim.request" stream, making the
 // measurement a pure function of (context identity, model, target,
 // conditions). A nil ctx falls back to the world's internal sequence.
+//
+// Scripted faults (w.Faults) are evaluated at the context's virtual time:
+// RSSI ramps degrade the observed signal, outage windows force the offload
+// failure path, queue spikes stretch remote service, thermal throttles
+// stretch local compute. The scripted timeline needs no random draw, so a
+// faulted request consumes exactly the streams an unfaulted one would.
 func (w *World) ExecuteCtx(ctx *exec.Context, m *dnn.Model, t Target, c Conditions) (Measurement, error) {
 	if ctx == nil {
 		ctx = w.nextCtx()
 	}
-	var st *exec.Rand // derived lazily: most worlds draw, oracles may not
-	if t.Location != Local && w.OutageProb > 0 {
-		st = ctx.Stream("sim.request")
-		if st.Float64() < w.OutageProb {
+	now := ctx.Now()
+	c = w.conditionsAt(now, c)
+	if t.Location != Local {
+		if w.SiteDown(now, t.Location) {
 			ctx.Emit("sim.outage", 1)
-			return w.executeOutage(m, t, c)
+			return w.executeOutage(ctx, m, t, c)
+		}
+		if w.OutageProb > 0 {
+			if ctx.Stream("sim.request").Float64() < w.OutageProb {
+				ctx.Emit("sim.outage", 1)
+				return w.executeOutage(ctx, m, t, c)
+			}
 		}
 	}
 	meas, err := w.Expected(m, t, c)
 	if err != nil {
 		return Measurement{}, err
 	}
+	w.applyWindowFaults(now, &meas)
 	if w.NoiseFrac > 0 {
-		if st == nil {
-			st = ctx.Stream("sim.request")
-		}
+		st := ctx.Stream("sim.request")
 		f := 1 + w.NoiseFrac*st.NormFloat64()
 		if f < 0.5 {
 			f = 0.5
@@ -346,6 +370,72 @@ func (w *World) ExecuteCtx(ctx *exec.Context, m *dnn.Model, t Target, c Conditio
 	return meas, nil
 }
 
+// siteName maps a remote location to the fault schedule's site key.
+func siteName(loc Location) string {
+	switch loc {
+	case Cloud:
+		return fault.SiteCloud
+	case Connected:
+		return fault.SiteConnected
+	default:
+		return ""
+	}
+}
+
+// SiteDown reports whether the remote location is inside a scripted outage
+// window at virtual time now. Local is never down.
+func (w *World) SiteDown(now float64, loc Location) bool {
+	if loc == Local {
+		return false
+	}
+	return w.Faults.Down(siteName(loc), now)
+}
+
+// conditionsAt applies scripted RSSI degradation to the observed
+// conditions at virtual time now. With no injector it returns c unchanged.
+func (w *World) conditionsAt(now float64, c Conditions) Conditions {
+	if w.Faults == nil {
+		return c
+	}
+	c.RSSIWLAN += w.Faults.RSSIDeltaDBm(fault.LinkWLAN, now)
+	c.RSSIP2P += w.Faults.RSSIDeltaDBm(fault.LinkP2P, now)
+	return c
+}
+
+// ObservedConditions returns the conditions as the runtime actually sees
+// them at the context's virtual time — scripted RSSI ramps applied — so an
+// agent's state observation matches what execution will experience. A nil
+// ctx uses c as-is at time zero semantics (no faults are keyed on the
+// legacy path's clockless requests).
+func (w *World) ObservedConditions(ctx *exec.Context, c Conditions) Conditions {
+	if ctx == nil || w.Faults == nil {
+		return c
+	}
+	return w.conditionsAt(ctx.Now(), c)
+}
+
+// applyWindowFaults stretches a clean measurement for any queue-spike or
+// thermal-throttle window active at virtual time now. The added stall is
+// spent with the platform idling (remote: device waits on the radio path;
+// local: the throttled engine holds the platform awake longer).
+func (w *World) applyWindowFaults(now float64, meas *Measurement) {
+	if w.Faults == nil {
+		return
+	}
+	var stall float64
+	if meas.Target.Location != Local {
+		stall = w.Faults.ExtraServiceS(siteName(meas.Target.Location), now)
+	} else if f := w.Faults.ThrottleFactor(now); f > 1 {
+		stall = meas.LatencyS * (f - 1)
+	}
+	if stall <= 0 {
+		return
+	}
+	meas.LatencyS += stall
+	meas.Breakdown.Idle += stall * w.Device.PlatformIdleW
+	meas.EnergyJ = meas.Breakdown.Total()
+}
+
 // nextCtx derives the context for one legacy Execute call.
 func (w *World) nextCtx() *exec.Context {
 	return w.root.Child("req", w.seq.Add(1))
@@ -353,8 +443,10 @@ func (w *World) nextCtx() *exec.Context {
 
 // executeOutage models a failed offload: the device transmits until the
 // timeout with no answer, then reruns the inference on the local CPU at top
-// frequency. The returned measurement charges both phases.
-func (w *World) executeOutage(m *dnn.Model, t Target, c Conditions) (Measurement, error) {
+// frequency. The returned measurement charges both phases, attributes the
+// burned offload energy as WastedJ, emits it on the context's observation
+// hook, and advances the virtual clock past the whole episode.
+func (w *World) executeOutage(ctx *exec.Context, m *dnn.Model, t Target, c Conditions) (Measurement, error) {
 	link := w.linkTo(t.Location)
 	rssi := c.rssiFor(t.Location)
 	cpu := w.Device.Processor(soc.CPU)
@@ -374,7 +466,10 @@ func (w *World) executeOutage(m *dnn.Model, t Target, c Conditions) (Measurement
 	local.Breakdown.Radio += wasted.Radio
 	local.Breakdown.Idle += wasted.Idle
 	local.EnergyJ = local.Breakdown.Total()
+	local.WastedJ = wasted.Radio + wasted.Idle
 	local.Target = fallback
+	ctx.Emit("sim.outage.wasted_j", local.WastedJ)
+	ctx.Advance(local.LatencyS)
 	return local, nil
 }
 
@@ -384,6 +479,22 @@ func (w *World) executeOutage(m *dnn.Model, t Target, c Conditions) (Measurement
 // both constraints it relaxes to: meet accuracy and minimize latency; if
 // accuracy is unreachable it maximizes accuracy.
 func (w *World) BestTarget(m *dnn.Model, c Conditions, qosS, accTarget float64) (Target, Measurement, error) {
+	return w.bestTarget(m, c, qosS, accTarget, nil)
+}
+
+// BestTargetAt is BestTarget with fault awareness: conditions are degraded
+// by any active RSSI ramp and targets whose site is inside a scripted
+// outage window at virtual time now are excluded from the search (unless
+// everything remote is down and no local target exists, which cannot
+// happen in practice since every device has a CPU).
+func (w *World) BestTargetAt(now float64, m *dnn.Model, c Conditions, qosS, accTarget float64) (Target, Measurement, error) {
+	c = w.conditionsAt(now, c)
+	return w.bestTarget(m, c, qosS, accTarget, func(t Target) bool {
+		return w.SiteDown(now, t.Location)
+	})
+}
+
+func (w *World) bestTarget(m *dnn.Model, c Conditions, qosS, accTarget float64, skip func(Target) bool) (Target, Measurement, error) {
 	targets := w.Targets(m)
 	if len(targets) == 0 {
 		return Target{}, Measurement{}, fmt.Errorf("sim: no feasible target for %s", m.Name)
@@ -400,6 +511,9 @@ func (w *World) BestTarget(m *dnn.Model, c Conditions, qosS, accTarget float64) 
 		haveAcc     bool
 	)
 	for _, t := range targets {
+		if skip != nil && skip(t) {
+			continue
+		}
 		meas, err := w.Expected(m, t, c)
 		if err != nil {
 			return Target{}, Measurement{}, err
@@ -423,7 +537,9 @@ func (w *World) BestTarget(m *dnn.Model, c Conditions, qosS, accTarget float64) 
 		return best, bestMeas, nil
 	case haveFB:
 		return fallback, fbMeas, nil
-	default:
+	case haveAcc:
 		return accBest, accBestMeas, nil
+	default:
+		return Target{}, Measurement{}, fmt.Errorf("sim: every feasible target for %s is down", m.Name)
 	}
 }

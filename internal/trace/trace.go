@@ -38,6 +38,19 @@ type Record struct {
 	// QoSViolated / AccuracyMissed flag constraint misses.
 	QoSViolated    bool `json:"qos_violated"`
 	AccuracyMissed bool `json:"accuracy_missed,omitempty"`
+	// Device is the serving worker (gateway traces only).
+	Device string `json:"device,omitempty"`
+	// Outage / Retries / Hedged / Degraded describe the resilience path a
+	// gateway request took: a simulated offload outage, the offload retries
+	// it triggered, whether a local hedge leg raced the remote, and whether
+	// the worker was serving with a breaker open.
+	Outage   bool `json:"outage,omitempty"`
+	Retries  int  `json:"retries,omitempty"`
+	Hedged   bool `json:"hedged,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// WastedJ is the energy burned on failed or superseded offload
+	// attempts, already included in EnergyJ.
+	WastedJ float64 `json:"wasted_j,omitempty"`
 }
 
 // FromDecision flattens an engine decision into a Record.
@@ -53,6 +66,7 @@ func FromDecision(seq int, model string, d core.Decision) Record {
 		Reward:         d.Reward,
 		QoSViolated:    d.QoSViolated,
 		AccuracyMissed: d.AccuracyMissed,
+		WastedJ:        d.Measurement.WastedJ,
 	}
 }
 

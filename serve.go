@@ -30,6 +30,10 @@ type (
 	// GatewayMetrics is a point-in-time copy of the gateway's counters and
 	// histograms.
 	GatewayMetrics = metrics.Snapshot
+	// ResilienceConfig tunes the gateway's fault-handling path: per-remote
+	// circuit breakers with half-open recovery probes, deadline-budgeted
+	// retries with exponential backoff, and optional hedged offloads.
+	ResilienceConfig = serve.ResilienceConfig
 )
 
 // Request outcomes.
