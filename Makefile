@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race race-policy race-exp race-fault fuzz-fault verify bench bench-all
+.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs fuzz-fault smoke-admin verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -50,22 +50,47 @@ race-exp:
 race-fault:
 	$(GO) test -race ./internal/fault/ ./internal/serve/ ./internal/sim/
 
+# The telemetry plane: lock-free histograms, the seqlock metrics registry and
+# the admin endpoint serving scrapes concurrently with the request path.
+race-obs:
+	$(GO) test -race ./internal/obs/ ./internal/serve/... ./internal/core/ ./internal/trace/
+
 # Fuzz smoke over the fault-schedule parser: any input that parses must also
 # compile and answer injector queries without panicking.
 fuzz-fault:
 	$(GO) test -run '^$$' -fuzz FuzzScheduleParse -fuzztime 5s ./internal/fault/
 
-# The full gate: tier-1 (build + test) plus formatting, vet, the race
-# detector (which includes the dedicated policy-plane, exec-plane and
-# fault-plane passes) and the schedule-parser fuzz smoke.
-verify: build fmt vet race race-policy race-exp race-fault fuzz-fault
+# End-to-end scrape check: boot a small load with the admin endpoint up,
+# then curl /healthz and /metrics like a monitoring agent would.
+smoke-admin:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/autoscale-serve ./cmd/autoscale-serve; \
+	$$tmp/autoscale-serve -n 60 -clients 4 -admin 127.0.0.1:0 -linger 8s > $$tmp/out 2>&1 & pid=$$!; \
+	addr=; for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's#^admin listening on http://##p' $$tmp/out); \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	if [ -z "$$addr" ]; then echo "smoke-admin: no admin address"; cat $$tmp/out; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -fsS "http://$$addr/healthz" | grep '^ok' > /dev/null; \
+	curl -fsS "http://$$addr/metrics" > $$tmp/metrics; \
+	grep '^autoscale_requests_submitted_total' $$tmp/metrics > /dev/null; \
+	grep '^autoscale_rl_epsilon' $$tmp/metrics > /dev/null; \
+	grep '^autoscale_phase_seconds_bucket' $$tmp/metrics > /dev/null; \
+	wait $$pid; echo "smoke-admin: ok"
 
-# Archive the representative benchmarks (end-to-end Fig 9 plus gateway
-# throughput) as BENCH_exp.json: per-benchmark name, ns/op and allocs/op
-# averaged over three repetitions.
+# The full gate: tier-1 (build + test) plus formatting, vet, the race
+# detector (which includes the dedicated policy-plane, exec-plane, fault-plane
+# and telemetry-plane passes), the schedule-parser fuzz smoke and the admin
+# scrape smoke.
+verify: build fmt vet race race-policy race-exp race-fault race-obs fuzz-fault smoke-admin
+
+# Archive the representative benchmarks (end-to-end Fig 9, gateway
+# throughput, and the telemetry hot path) as BENCH_exp.json: per-benchmark
+# name, ns/op and allocs/op averaged over three repetitions.
 bench:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFig9|BenchmarkGatewayThroughput)$$' \
 		-benchmem -count=3 . > BENCH_exp.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkHistogramObserve' \
+		-benchmem -count=3 ./internal/obs/ >> BENCH_exp.txt
 	$(GO) run ./cmd/benchjson -in BENCH_exp.txt -out BENCH_exp.json
 	@cat BENCH_exp.json
 

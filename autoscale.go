@@ -49,6 +49,10 @@ type (
 	Engine = core.Engine
 	// EngineConfig assembles an Engine.
 	EngineConfig = core.Config
+	// EngineHealth is a read-only snapshot of an engine's learning health:
+	// epsilon, Q-table coverage, visit entropy, TD-error EMA, windowed mean
+	// reward (see Engine.Health).
+	EngineHealth = core.Health
 	// Decision records one engine step.
 	Decision = core.Decision
 	// StateSpace is the Table I state discretization.

@@ -9,18 +9,25 @@
 // verified — and the legacy raw JSON snapshot of autoscale-train. Truncated
 // or corrupt files of either format are rejected loudly, never half-loaded.
 //
+// The "health" subcommand prints the learning-health summary of a checkpoint
+// instead of the full policy: Q-table coverage of the discrete state space,
+// the normalized entropy of the visit distribution (1.0 = uniform
+// exploration, 0 = a single hot state) and the visit totals.
+//
 // Usage:
 //
 //	autoscale-qtable -device Mi8Pro -in mi8pro.qtable
 //	autoscale-qtable -device Mi8Pro -in store/Mi8Pro/gen-0000000000000003.ckpt
 //	autoscale-qtable -device Mi8Pro -train 60            # train then inspect
 //	autoscale-qtable -device Mi8Pro -in t.qtable -model "ResNet 50"
+//	autoscale-qtable health -device Mi8Pro -in t.qtable  # coverage/entropy
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,45 +35,88 @@ import (
 )
 
 func main() {
+	args := os.Args[1:]
+	health := len(args) > 0 && args[0] == "health"
+	fs := flag.NewFlagSet(os.Args[0], flag.ExitOnError)
 	var (
-		device = flag.String("device", autoscale.Mi8Pro, "device: Mi8Pro, GalaxyS10e, MotoXForce")
-		in     = flag.String("in", "", "Q-table snapshot to load (from autoscale-train)")
-		train  = flag.Int("train", 0, "train in place with this many runs per (model, variance state)")
-		model  = flag.String("model", "", "only show states reachable by this model")
-		seed   = flag.Int64("seed", 1, "random seed")
+		device = fs.String("device", autoscale.Mi8Pro, "device: Mi8Pro, GalaxyS10e, MotoXForce")
+		in     = fs.String("in", "", "Q-table snapshot to load (from autoscale-train)")
+		train  = fs.Int("train", 0, "train in place with this many runs per (model, variance state)")
+		model  = fs.String("model", "", "only show states reachable by this model")
+		seed   = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if health {
+		args = args[1:]
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
 
-	if err := run(*device, *in, *model, *train, *seed); err != nil {
+	var err error
+	if health {
+		err = runHealth(os.Stdout, *device, *in, *train, *seed)
+	} else {
+		err = run(*device, *in, *model, *train, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "autoscale-qtable:", err)
 		os.Exit(1)
 	}
 }
 
-func run(device, inPath, modelName string, train int, seed int64) error {
+// buildEngine provisions the engine under inspection: fresh plus a loaded
+// snapshot, or trained in place.
+func buildEngine(device, inPath string, train int, seed int64) (*autoscale.Engine, error) {
 	world, err := autoscale.NewWorld(device, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cfg := autoscale.DefaultEngineConfig()
 	cfg.Seed = seed
-	var engine *autoscale.Engine
 	switch {
 	case inPath != "":
-		engine, err = autoscale.NewEngine(world, cfg)
+		engine, err := autoscale.NewEngine(world, cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := loadSnapshot(engine, inPath); err != nil {
-			return err
+			return nil, err
 		}
+		return engine, nil
 	case train > 0:
-		engine, err = autoscale.NewTrainedEngine(world, cfg, train, seed)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("provide -in <snapshot> or -train <runs>")
+		return autoscale.NewTrainedEngine(world, cfg, train, seed)
+	}
+	return nil, fmt.Errorf("provide -in <snapshot> or -train <runs>")
+}
+
+// runHealth prints the learning-health view of a snapshot: how much of the
+// state space the policy has materialized and how its visits are spread.
+func runHealth(out io.Writer, device, inPath string, train int, seed int64) error {
+	engine, err := buildEngine(device, inPath, train, seed)
+	if err != nil {
+		return err
+	}
+	h := engine.Health()
+	frozen := ""
+	if h.Frozen {
+		frozen = "  (frozen)"
+	}
+	fmt.Fprintf(out, "device=%s  algorithm=%s  epsilon=%.2f%s\n", device, h.Algorithm, h.Epsilon, frozen)
+	fmt.Fprintf(out, "%-16s %d / %d states (%.2f%%)\n", "coverage", h.States, h.StateSpaceSize, 100*h.Coverage)
+	fmt.Fprintf(out, "%-16s %d total, %d in the hottest state\n", "visits", h.TotalVisits, h.MaxVisits)
+	fmt.Fprintf(out, "%-16s %.3f   (1.0 = uniform over visited states, 0 = one hot state)\n",
+		"visit entropy", h.VisitEntropy)
+	if h.Selections > 0 {
+		// Runtime-only counters: populated when the table was trained in this
+		// process, absent from a loaded checkpoint.
+		fmt.Fprintf(out, "%-16s %.1f%% of %d selections\n", "explored", 100*h.ExplorationRatio, h.Selections)
+		fmt.Fprintf(out, "%-16s %.4f over %d updates\n", "TD-error EMA", h.TDErrorEMA, h.TDSamples)
+	}
+	return nil
+}
+
+func run(device, inPath, modelName string, train int, seed int64) error {
+	engine, err := buildEngine(device, inPath, train, seed)
+	if err != nil {
+		return err
 	}
 
 	ag := engine.Agent()

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"autoscale"
@@ -74,6 +75,56 @@ func TestInspectCheckpointEnvelope(t *testing.T) {
 	}
 	if err := run(autoscale.Mi8Pro, path, "", 0, 1); err != nil {
 		t.Fatalf("checkpoint envelope rejected: %v", err)
+	}
+}
+
+// TestHealthSubcommand checks the learning-health view of a stored snapshot:
+// coverage and visit entropy are printed with sane values, and the
+// runtime-only counters (selections, TD-error) are omitted for a loaded
+// table that never selected anything in this process.
+func TestHealthSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.qtable")
+	if err := os.WriteFile(path, trainedSnapshot(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := runHealth(&sb, autoscale.Mi8Pro, path, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"algorithm=Q-learning", "coverage", "visit entropy", "visits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("health output missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "(0.00%)") {
+		t.Errorf("trained snapshot reports zero coverage:\n%s", out)
+	}
+	if strings.Contains(out, "TD-error") {
+		t.Errorf("loaded snapshot must not report runtime TD counters:\n%s", out)
+	}
+
+	// A table trained in-process does carry the runtime counters.
+	sb.Reset()
+	if err := runHealth(&sb, autoscale.Mi8Pro, "", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	if !strings.Contains(out, "TD-error EMA") || !strings.Contains(out, "explored") {
+		t.Errorf("in-process training must report TD/exploration counters:\n%s", out)
+	}
+}
+
+func TestHealthSubcommandErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := runHealth(&sb, autoscale.Mi8Pro, "", 0, 1); err == nil {
+		t.Error("health with neither -in nor -train accepted")
+	}
+	if err := runHealth(&sb, "iPhone", "", 1, 1); err == nil {
+		t.Error("health with unknown device accepted")
+	}
+	if err := runHealth(&sb, autoscale.Mi8Pro, "/does/not/exist", 0, 1); err == nil {
+		t.Error("health with missing snapshot accepted")
 	}
 }
 

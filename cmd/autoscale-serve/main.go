@@ -11,6 +11,7 @@
 //	autoscale-serve -devices MotoXForce -rate 200 -deadline 50ms -shed oldest
 //	autoscale-serve -donor Mi8Pro -train 60 -devices GalaxyS10e,MotoXForce
 //	autoscale-serve -faults examples/faults/storm.json -resilient -hedge
+//	autoscale-serve -admin :9090 -linger 30s   # scrape /metrics while it runs
 package main
 
 import (
@@ -47,6 +48,8 @@ func main() {
 		faults    = flag.String("faults", "", "JSON fault schedule to inject (see examples/faults/)")
 		resilient = flag.Bool("resilient", false, "enable circuit breakers and deadline-budgeted offload retries")
 		hedge     = flag.Bool("hedge", false, "hedge slow offloads with a local run (needs -resilient)")
+		admin     = flag.String("admin", "", "serve the observability endpoint on this address (e.g. :9090)")
+		linger    = flag.Duration("linger", 0, "keep the admin endpoint up this long after the load finishes")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -56,7 +59,7 @@ func main() {
 		model: *model, envID: *envID, n: *n, clients: *clients, rate: *rate,
 		queue: *queue, deadline: *deadline, shed: *shed, failover: *failover,
 		snapdir: *snapdir, sync: *sync, faults: *faults, resilient: *resilient,
-		hedge: *hedge, seed: *seed,
+		hedge: *hedge, admin: *admin, linger: *linger, seed: *seed,
 	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "autoscale-serve:", err)
 		os.Exit(1)
@@ -79,6 +82,8 @@ type config struct {
 	faults       string
 	resilient    bool
 	hedge        bool
+	admin        string
+	linger       time.Duration
 	seed         int64
 }
 
@@ -133,6 +138,16 @@ func run(c config, out *os.File) error {
 			return err
 		}
 	}
+	if c.admin != "" {
+		adm, err := autoscale.ServeGatewayAdmin(gw, c.admin)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "admin listening on http://%s\n", adm.Addr())
+	} else if c.linger > 0 {
+		return fmt.Errorf("-linger needs -admin (the observability endpoint)")
+	}
 
 	mode := "closed-loop"
 	if c.rate > 0 {
@@ -155,13 +170,41 @@ func run(c config, out *os.File) error {
 	if err := flood(gw, m, c); err != nil {
 		return err
 	}
+	if c.linger > 0 {
+		// Keep the gateway (and /healthz=200) up for scrapers before the
+		// shutdown flips the probe and freezes the counters.
+		fmt.Fprintf(out, "load done; lingering %s for scrapes\n", c.linger)
+		time.Sleep(c.linger)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	if err := gw.Shutdown(ctx); err != nil {
 		return err
 	}
 	printSnapshot(out, gw.Snapshot(), time.Since(start))
+	printHealth(out, gw.Health())
 	return nil
+}
+
+// printHealth summarizes each engine's learning state: how much of the state
+// space the policy has seen, how settled the Q-table is (TD-error EMA), and
+// what the recent rewards look like.
+func printHealth(out *os.File, health map[string]autoscale.EngineHealth) {
+	if len(health) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\nlearning health:\n")
+	devs := make([]string, 0, len(health))
+	for d := range health {
+		devs = append(devs, d)
+	}
+	sort.Strings(devs)
+	for _, dev := range devs {
+		h := health[dev]
+		fmt.Fprintf(out, "  %-12s eps %.2f  coverage %5.1f%% (%d/%d states)  explore %4.1f%%  tdEMA %.3f  meanR %7.2f  entropy %.2f\n",
+			dev, h.Epsilon, 100*h.Coverage, h.States, h.StateSpaceSize,
+			100*h.ExplorationRatio, h.TDErrorEMA, h.MeanReward, h.VisitEntropy)
+	}
 }
 
 func buildGateway(c config, gcfg autoscale.GatewayConfig) (*autoscale.Gateway, error) {

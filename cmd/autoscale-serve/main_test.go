@@ -1,7 +1,10 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -72,6 +75,83 @@ func TestRunWritesSnapshots(t *testing.T) {
 		if ck.Generation != 2 {
 			t.Fatalf("restarted fleet wrote gen %d for %s, want 2", ck.Generation, dev)
 		}
+	}
+}
+
+// TestRunAdminEndpoint boots a load with -admin and -linger, scrapes
+// /metrics and /healthz while the gateway lingers, and checks the exposition
+// carries the request counters and learning-health gauges.
+func TestRunAdminEndpoint(t *testing.T) {
+	c := quick(t)
+	c.n = 30
+	c.admin = "127.0.0.1:0"
+	c.linger = 3 * time.Second
+
+	f, err := os.Create(t.TempDir() + "/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	done := make(chan error, 1)
+	go func() { done <- run(c, f) }()
+
+	// The address is printed before the load starts; poll the output file.
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); addr == "" && time.Now().Before(deadline); {
+		b, _ := os.ReadFile(f.Name())
+		for _, ln := range strings.Split(string(b), "\n") {
+			if rest, ok := strings.CutPrefix(ln, "admin listening on http://"); ok {
+				addr = rest
+			}
+		}
+		if addr == "" {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("admin address never printed; run: %v", <-done)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d during linger", code)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"autoscale_requests_submitted_total",
+		"autoscale_request_latency_seconds_bucket",
+		`autoscale_rl_epsilon{device="Mi8Pro"}`,
+		`autoscale_rl_coverage{device="GalaxyS10e"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	out, _ := os.ReadFile(f.Name())
+	if !strings.Contains(string(out), "learning health:") {
+		t.Error("final report lacks the learning-health summary")
+	}
+}
+
+func TestRunLingerNeedsAdmin(t *testing.T) {
+	c := quick(t)
+	c.linger = time.Second
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("-linger without -admin accepted")
 	}
 }
 

@@ -123,6 +123,11 @@ type Engine struct {
 	// RunInference calls (callers that don't pass their own context).
 	root  *exec.Context
 	steps uint64
+	// rewards is a ring of the last rewardWindow step rewards feeding the
+	// Health gauge (see health.go).
+	rewards   []float64
+	rewardIdx int
+	rewardN   int
 }
 
 // NewEngine builds an engine for a world.
@@ -279,6 +284,7 @@ func (e *Engine) RunInferenceFiltered(ctx *exec.Context, m *dnn.Model, c sim.Con
 	rc.QoSTargetS = qos
 	energyEst := e.est.EstimateCtx(ctx, meas)
 	reward := rc.Reward(energyEst, meas.LatencyS, meas.Accuracy)
+	e.noteRewardLocked(reward)
 
 	if !e.agent.Frozen() {
 		e.pending = &pendingUpdate{state: s, action: idx, reward: reward}
@@ -336,6 +342,8 @@ func (e *Engine) Reset() error {
 		e.sarsa = nil
 	}
 	e.pending = nil
+	e.rewards = nil
+	e.rewardIdx, e.rewardN = 0, 0
 	return nil
 }
 

@@ -1,0 +1,43 @@
+package obs
+
+import "math"
+
+// Entropy returns the normalized Shannon entropy of a visit-count
+// distribution, in [0, 1]: 1 when every visited state is visited equally,
+// approaching 0 when the visits concentrate on one state. Zero and negative
+// counts are ignored; fewer than two visited states yield 0.
+//
+// It is the learning-health gauge for experience balance: a converging
+// agent under stochastic load keeps a high entropy (it still sees the whole
+// state space), while a stuck or starved agent's entropy collapses.
+func Entropy(counts []int) float64 {
+	visited, total := 0, 0
+	for _, c := range counts {
+		if c > 0 {
+			visited++
+			total += c
+		}
+	}
+	if visited < 2 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := float64(c) / float64(total)
+			h -= p * math.Log(p)
+		}
+	}
+	return h / math.Log(float64(visited))
+}
+
+// MaxCount returns the largest count (0 for an empty slice).
+func MaxCount(counts []int) int {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// BucketScheme defines a log-linear bucket ladder: Octaves power-of-two
+// ranges above Min, each split into Sub linear buckets. Bucket edges are
+// exact (Min scaled by powers of two), so the relative quantile error is
+// bounded by 1/Sub across the whole range — the same layout HDR histograms
+// use, picked here because the bucket index is a pair of float tricks
+// (Frexp plus a multiply) instead of a log call on the hot path.
+//
+// Two extra buckets catch the tails: index 0 holds values below (or at) Min,
+// the last index holds values above Max().
+type BucketScheme struct {
+	// Min is the lower edge of the first log-linear bucket. Must be > 0.
+	Min float64 `json:"min"`
+	// Octaves is how many power-of-two ranges the ladder spans above Min.
+	Octaves int `json:"octaves"`
+	// Sub is the number of linear buckets per octave.
+	Sub int `json:"sub"`
+}
+
+// DefaultScheme spans 1e-4 to ~104 (2^20 octaves) with 8 linear buckets per
+// octave — 100 µs to 100 s when observing seconds, 0.1 mJ to 100 J when
+// observing joules — with ≤ 12.5% relative quantile error.
+func DefaultScheme() BucketScheme { return BucketScheme{Min: 1e-4, Octaves: 20, Sub: 8} }
+
+// valid reports whether the scheme is well-formed.
+func (b BucketScheme) valid() bool {
+	return b.Min > 0 && !math.IsInf(b.Min, 0) && b.Octaves >= 1 && b.Sub >= 1
+}
+
+// Max returns the upper edge of the last log-linear bucket.
+func (b BucketScheme) Max() float64 { return math.Ldexp(b.Min, b.Octaves) }
+
+// NumBuckets returns the total bucket count including the two tail buckets.
+func (b BucketScheme) NumBuckets() int { return b.Octaves*b.Sub + 2 }
+
+// Index maps a value to its bucket. Buckets are lower-inclusive: bucket i
+// covers [UpperBound(i-1), UpperBound(i)).
+func (b BucketScheme) Index(v float64) int {
+	if !(v > b.Min) { // NaN also lands in the underflow bucket
+		return 0
+	}
+	n := b.Octaves * b.Sub
+	if v >= b.Max() {
+		return n + 1
+	}
+	// v/Min in (1, 2^Octaves): Frexp gives f in [0.5,1) with v/Min = f*2^e,
+	// so the octave is e-1 and 2f in [1,2) is the position within it.
+	f, e := math.Frexp(v / b.Min)
+	o := e - 1
+	if o < 0 { // v barely above Min with rounding
+		return 1
+	}
+	s := int((2*f - 1) * float64(b.Sub))
+	if s >= b.Sub {
+		s = b.Sub - 1
+	}
+	idx := 1 + o*b.Sub + s
+	if idx > n {
+		idx = n
+	}
+	return idx
+}
+
+// UpperBound returns the exclusive upper edge of bucket i. The underflow
+// bucket's bound is Min; the overflow bucket's is +Inf.
+func (b BucketScheme) UpperBound(i int) float64 {
+	n := b.Octaves * b.Sub
+	switch {
+	case i <= 0:
+		return b.Min
+	case i > n:
+		return math.Inf(1)
+	}
+	o := (i - 1) / b.Sub
+	s := (i - 1) % b.Sub
+	return math.Ldexp(b.Min*(1+(float64(s)+1)/float64(b.Sub)), o)
+}
+
+// Histogram is a fixed-scheme log-linear histogram safe for concurrent
+// Observe: every field is an atomic, so the hot path never takes a lock.
+// A concurrent Snapshot may be mid-observation torn by a few counts; callers
+// that need a consistent cut (the metrics registry) serialize observation
+// against snapshotting themselves.
+type Histogram struct {
+	scheme  BucketScheme
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the scheme. It panics on a malformed
+// scheme — bucket layout is a compile-time decision, not runtime input.
+func NewHistogram(scheme BucketScheme) *Histogram {
+	if !scheme.valid() {
+		panic(fmt.Sprintf("obs: invalid bucket scheme %+v", scheme))
+	}
+	h := &Histogram{
+		scheme: scheme,
+		counts: make([]atomic.Int64, scheme.NumBuckets()),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Scheme returns the bucket layout.
+func (h *Histogram) Scheme() BucketScheme { return h.scheme }
+
+// Observe records one value. NaN observations are dropped. The total count
+// is bumped last, so a reader that sees count > 0 also sees the min/max set.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[h.scheme.Index(v)].Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+	h.count.Add(1)
+}
+
+// Snapshot copies the histogram. See the Histogram doc for the consistency
+// contract under concurrent Observe.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Scheme: h.scheme,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time histogram copy. Snapshots with the
+// same scheme merge losslessly, so per-shard histograms can be aggregated
+// into fleet views.
+type HistogramSnapshot struct {
+	Scheme BucketScheme `json:"scheme"`
+	// Counts has one entry per bucket (NumBuckets, including both tails).
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	// Min and Max are the observed extremes (both zero when Count is 0).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) as the upper bound of the bucket
+// holding it, capped at the observed maximum — so the estimate never
+// exceeds any value actually seen, and overflow-bucket quantiles degrade to
+// the exact max instead of +Inf. Empty snapshots report 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return math.Min(s.Scheme.UpperBound(i), s.Max)
+		}
+	}
+	return s.Max
+}
+
+// Merge returns the union of two snapshots. The schemes must match; counts
+// add bucket-wise, so merging is associative and commutative up to
+// floating-point addition order in Sum.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if s.Scheme != o.Scheme {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merging mismatched schemes %+v vs %+v", s.Scheme, o.Scheme)
+	}
+	if len(s.Counts) != len(o.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf("obs: merging %d buckets with %d", len(s.Counts), len(o.Counts))
+	}
+	out := HistogramSnapshot{
+		Scheme: s.Scheme,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	switch {
+	case s.Count == 0:
+		out.Min, out.Max = o.Min, o.Max
+	case o.Count == 0:
+		out.Min, out.Max = s.Min, s.Max
+	default:
+		out.Min, out.Max = math.Min(s.Min, o.Min), math.Max(s.Max, o.Max)
+	}
+	return out, nil
+}
+
+// atomicAddFloat accumulates v into a float64 stored as bits.
+func atomicAddFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// atomicMinFloat lowers the stored float to v if v is smaller.
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// atomicMaxFloat raises the stored float to v if v is larger.
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

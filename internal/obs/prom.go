@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format served
+// on /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Prom accumulates metrics in the Prometheus text exposition format
+// (version 0.0.4). Callers add series in the order they should appear —
+// the writer emits each metric's # HELP/# TYPE header once, on first use of
+// the name — and the output is deterministic for a fixed call sequence, so
+// scrape bodies can be compared byte-for-byte in tests.
+//
+// Labels are passed as alternating key/value strings; an odd trailing key
+// is a programming error and panics.
+type Prom struct {
+	buf    bytes.Buffer
+	headed map[string]bool
+}
+
+// header emits # HELP/# TYPE for a metric name once.
+func (p *Prom) header(name, help, typ string) {
+	if p.headed == nil {
+		p.headed = make(map[string]bool)
+	}
+	if p.headed[name] {
+		return
+	}
+	p.headed[name] = true
+	fmt.Fprintf(&p.buf, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter appends one counter sample.
+func (p *Prom) Counter(name, help string, v float64, labels ...string) {
+	p.header(name, help, "counter")
+	p.sample(name, "", labels, v)
+}
+
+// Gauge appends one gauge sample.
+func (p *Prom) Gauge(name, help string, v float64, labels ...string) {
+	p.header(name, help, "gauge")
+	p.sample(name, "", labels, v)
+}
+
+// Histogram appends one histogram series: cumulative _bucket samples with
+// le edges (empty buckets are skipped — the cumulative value is unchanged,
+// and Prometheus accepts any le subset), the +Inf bucket, _sum and _count.
+func (p *Prom) Histogram(name, help string, s HistogramSnapshot, labels ...string) {
+	p.header(name, help, "histogram")
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		le := formatFloat(s.Scheme.UpperBound(i))
+		p.sample(name+"_bucket", le, labels, float64(cum))
+	}
+	p.sample(name+"_bucket", "+Inf", labels, float64(s.Count))
+	p.sample(name+"_sum", "", labels, s.Sum)
+	p.sample(name+"_count", "", labels, float64(s.Count))
+}
+
+// sample writes one line: name{labels,le="..."} value.
+func (p *Prom) sample(name, le string, labels []string, v float64) {
+	if len(labels)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	p.buf.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		p.buf.WriteByte('{')
+		for i := 0; i < len(labels); i += 2 {
+			if i > 0 {
+				p.buf.WriteByte(',')
+			}
+			fmt.Fprintf(&p.buf, `%s="%s"`, labels[i], escapeLabel(labels[i+1]))
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				p.buf.WriteByte(',')
+			}
+			fmt.Fprintf(&p.buf, `le="%s"`, le)
+		}
+		p.buf.WriteByte('}')
+	}
+	p.buf.WriteByte(' ')
+	p.buf.WriteString(formatFloat(v))
+	p.buf.WriteByte('\n')
+}
+
+// Bytes returns the accumulated exposition body.
+func (p *Prom) Bytes() []byte { return p.buf.Bytes() }
+
+// WriteTo writes the accumulated body to w.
+func (p *Prom) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(p.buf.Bytes())
+	return int64(n), err
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, +Inf spelled "+Inf".
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromCountersGaugesAndEscaping(t *testing.T) {
+	var p Prom
+	p.Counter("reqs_total", "Requests.", 3, "device", "jetson-tx2")
+	p.Counter("reqs_total", "Requests.", 5, "device", `weird"dev\x`)
+	p.Gauge("queue_depth", "Depth.", 7)
+
+	got := string(p.Bytes())
+	want := strings.Join([]string{
+		"# HELP reqs_total Requests.",
+		"# TYPE reqs_total counter",
+		`reqs_total{device="jetson-tx2"} 3`,
+		`reqs_total{device="weird\"dev\\x"} 5`,
+		"# HELP queue_depth Depth.",
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestPromHistogramCumulative(t *testing.T) {
+	h := NewHistogram(BucketScheme{Min: 0.001, Octaves: 4, Sub: 2})
+	for _, v := range []float64{0.0005, 0.0012, 0.0013, 0.006, 100} {
+		h.Observe(v)
+	}
+	var p Prom
+	p.Histogram("latency_seconds", "Latency.", h.Snapshot(), "device", "d0")
+	lines := strings.Split(strings.TrimSuffix(string(p.Bytes()), "\n"), "\n")
+
+	if lines[0] != "# HELP latency_seconds Latency." || lines[1] != "# TYPE latency_seconds histogram" {
+		t.Fatalf("bad header: %q", lines[:2])
+	}
+	// Buckets must be cumulative and non-decreasing, ending at +Inf == count.
+	var prev float64
+	var infSeen bool
+	for _, ln := range lines[2:] {
+		if !strings.HasPrefix(ln, "latency_seconds_bucket{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(ln[strings.LastIndexByte(ln, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Fatalf("cumulative counts decreased at %q", ln)
+		}
+		prev = v
+		if strings.Contains(ln, `le="+Inf"`) {
+			infSeen = true
+			if v != 5 {
+				t.Fatalf("+Inf bucket = %v, want 5", v)
+			}
+		}
+		if !strings.Contains(ln, `device="d0"`) {
+			t.Fatalf("label missing on %q", ln)
+		}
+	}
+	if !infSeen {
+		t.Fatal("+Inf bucket missing")
+	}
+	last2 := lines[len(lines)-2:]
+	if !strings.HasPrefix(last2[0], `latency_seconds_sum{device="d0"} `) {
+		t.Fatalf("sum line = %q", last2[0])
+	}
+	if last2[1] != `latency_seconds_count{device="d0"} 5` {
+		t.Fatalf("count line = %q", last2[1])
+	}
+	// A second series of the same name must not repeat the header.
+	before := bytes.Count(p.Bytes(), []byte("# TYPE latency_seconds histogram"))
+	p.Histogram("latency_seconds", "Latency.", h.Snapshot(), "device", "d1")
+	after := bytes.Count(p.Bytes(), []byte("# TYPE latency_seconds histogram"))
+	if before != 1 || after != 1 {
+		t.Fatalf("header emitted %d then %d times", before, after)
+	}
+}
+
+func TestPromDeterministic(t *testing.T) {
+	build := func() []byte {
+		var p Prom
+		p.Gauge("g", "G.", math.Pi)
+		p.Counter("c", "C.", 42, "a", "b")
+		return p.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical call sequences produced different bodies")
+	}
+}
+
+func TestPromWriteTo(t *testing.T) {
+	var p Prom
+	p.Gauge("g", "G.", 1)
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil || n != int64(buf.Len()) || buf.Len() == 0 {
+		t.Fatalf("WriteTo = (%d, %v), buf %d bytes", n, err, buf.Len())
+	}
+}
+
+func TestPromOddLabelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd label list accepted")
+		}
+	}()
+	var p Prom
+	p.Gauge("g", "G.", 1, "dangling-key")
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// fakeClock is a settable clock for span tests.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) now() float64 { return c.t }
+
+func TestStopwatchBracketsAndSums(t *testing.T) {
+	clk := &fakeClock{}
+	w := NewStopwatch(clk.now)
+
+	stop := w.Start(PhaseExecute)
+	clk.t = 0.25
+	stop()
+
+	stop = w.Start(PhaseRetry)
+	clk.t = 0.40
+	stop()
+	stop = w.Start(PhaseRetry)
+	clk.t = 0.55
+	stop()
+
+	w.Add(PhaseFailover, 0.1)
+
+	spans := w.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[0] != (Span{Phase: PhaseExecute, StartS: 0, EndS: 0.25}) {
+		t.Fatalf("execute span = %+v", spans[0])
+	}
+	if spans[3].Phase != PhaseFailover || math.Abs(spans[3].DurS()-0.1) > 1e-12 || spans[3].EndS != 0.55 {
+		t.Fatalf("failover span = %+v", spans[3])
+	}
+
+	durs := w.Durations()
+	want := map[string]float64{PhaseExecute: 0.25, PhaseRetry: 0.30, PhaseFailover: 0.1}
+	if len(durs) != len(want) {
+		t.Fatalf("durations = %v, want %v", durs, want)
+	}
+	for p, d := range want {
+		if math.Abs(durs[p]-d) > 1e-12 {
+			t.Fatalf("phase %s = %v, want %v", p, durs[p], d)
+		}
+	}
+	if got := SumDurations(durs); math.Abs(got-0.65) > 1e-12 {
+		t.Fatalf("SumDurations = %v", got)
+	}
+	if got := SumDurations(durs, PhaseExecute, PhaseRetry); math.Abs(got-0.55) > 1e-12 {
+		t.Fatalf("SumDurations(execute,retry) = %v", got)
+	}
+}
+
+func TestStopwatchDropsZeroPhases(t *testing.T) {
+	clk := &fakeClock{}
+	w := NewStopwatch(clk.now)
+	// A zero-width span (clock did not advance) must not leak into the map.
+	w.Start(PhaseHedge)()
+	if durs := w.Durations(); durs != nil {
+		t.Fatalf("zero-width span leaked: %v", durs)
+	}
+	// And an empty stopwatch reports nil so trace records omit the field.
+	if durs := NewStopwatch(clk.now).Durations(); durs != nil {
+		t.Fatalf("empty stopwatch reported %v", durs)
+	}
+}
+
+func TestPhasesCanonicalOrder(t *testing.T) {
+	got := Phases()
+	want := []string{PhaseQueue, PhaseDecide, PhaseExecute, PhaseRetry, PhaseHedge, PhaseFailover}
+	if len(got) != len(want) {
+		t.Fatalf("Phases() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Phases()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := Entropy(nil); e != 0 {
+		t.Fatalf("Entropy(nil) = %v", e)
+	}
+	if e := Entropy([]int{5}); e != 0 {
+		t.Fatalf("single state entropy = %v", e)
+	}
+	if e := Entropy([]int{3, 3, 3, 0, -1}); math.Abs(e-1) > 1e-12 {
+		t.Fatalf("uniform entropy = %v, want 1", e)
+	}
+	skew := Entropy([]int{1000, 1, 1})
+	if skew <= 0 || skew >= 0.5 {
+		t.Fatalf("skewed entropy = %v, want small positive", skew)
+	}
+	if m := MaxCount([]int{2, 9, 4}); m != 9 {
+		t.Fatalf("MaxCount = %d", m)
+	}
+	if m := MaxCount(nil); m != 0 {
+		t.Fatalf("MaxCount(nil) = %d", m)
+	}
+}

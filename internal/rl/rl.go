@@ -74,7 +74,21 @@ type Agent struct {
 	visits  map[State]int
 	rng     *exec.Rand
 	frozen  bool
+
+	// Learning-health counters, sampled read-only by the telemetry plane.
+	// They are deliberately excluded from Snapshot: they describe this
+	// process's learning dynamics, not the policy, so checkpoint envelopes
+	// stay byte-compatible.
+	tdEMA      float64 // EMA of |TD error|, alpha 1/16
+	tdSamples  int64
+	selections int64 // SelectAction calls that returned an action
+	explores   int64 // of those, how many took the epsilon branch
 }
+
+// tdAlpha is the smoothing factor of the TD-error EMA: 1/16 averages over
+// roughly the last 16 updates — long enough to smooth per-request reward
+// noise, short enough to show convergence stalls within a scrape interval.
+const tdAlpha = 1.0 / 16
 
 // NewAgent creates an agent over a fixed-size action space.
 func NewAgent(cfg Config, numActions int) (*Agent, error) {
@@ -123,6 +137,14 @@ func (a *Agent) SetEpsilon(eps float64) error {
 	return nil
 }
 
+// Epsilon returns the current exploration probability (which SetEpsilon may
+// change at runtime).
+func (a *Agent) Epsilon() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg.Epsilon
+}
+
 // Frozen reports whether the agent is in exploitation-only mode.
 func (a *Agent) Frozen() bool {
 	a.mu.Lock()
@@ -156,8 +178,10 @@ func (a *Agent) SelectAction(s State, mask []bool) (int, error) {
 		return 0, errors.New("rl: no enabled action")
 	}
 	a.visits[s]++
+	a.selections++
 	a.row(s) // materialize so a visited state exists even when exploring
 	if !a.frozen && a.rng.Float64() < a.cfg.Epsilon {
+		a.explores++
 		return enabled[a.rng.Intn(len(enabled))], nil
 	}
 	return a.argmaxLocked(s, enabled), nil
@@ -222,8 +246,50 @@ func (a *Agent) Update(s State, action int, reward float64, next State, nextMask
 		}
 	}
 	r := a.row(s)
-	r[action] += a.cfg.LearningRate * (reward + a.cfg.Discount*nextBest - r[action])
+	delta := reward + a.cfg.Discount*nextBest - r[action]
+	a.noteTDLocked(delta)
+	r[action] += a.cfg.LearningRate * delta
 	return nil
+}
+
+// noteTDLocked folds one TD error into the health EMA. Caller holds the lock.
+func (a *Agent) noteTDLocked(delta float64) {
+	if delta < 0 {
+		delta = -delta
+	}
+	if a.tdSamples == 0 {
+		a.tdEMA = delta
+	} else {
+		a.tdEMA += tdAlpha * (delta - a.tdEMA)
+	}
+	a.tdSamples++
+}
+
+// TDErrorEMA returns the exponential moving average of the absolute TD error
+// and how many updates fed it. A shrinking EMA is the paper's convergence
+// signal ("the error rate is gradually decreasing", Section VI-A) made
+// observable at runtime; zero samples means the agent has never learned.
+func (a *Agent) TDErrorEMA() (ema float64, samples int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tdEMA, a.tdSamples
+}
+
+// ExplorationStats returns how many SelectAction calls took the epsilon
+// (exploration) branch out of the total. The ratio should track epsilon for
+// a healthy unfrozen agent and fall to zero once frozen.
+func (a *Agent) ExplorationStats() (explores, selections int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.explores, a.selections
+}
+
+// NumStates returns how many Q rows are materialized — the numerator of the
+// state-space coverage gauge.
+func (a *Agent) NumStates() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.q)
 }
 
 // HasState reports whether state s has a materialized Q row.

@@ -46,7 +46,9 @@ func (a *SarsaAgent) UpdateSarsa(s State, action int, reward float64, next State
 	}
 	nextQ := a.row(next)[nextAction]
 	r := a.row(s)
-	r[action] += a.cfg.LearningRate * (reward + a.cfg.Discount*nextQ - r[action])
+	delta := reward + a.cfg.Discount*nextQ - r[action]
+	a.noteTDLocked(delta)
+	r[action] += a.cfg.LearningRate * delta
 	return nil
 }
 

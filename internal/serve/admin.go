@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"autoscale/internal/core"
+	"autoscale/internal/obs"
+	"autoscale/internal/serve/metrics"
+)
+
+// Admin is the gateway's opt-in observability endpoint: a small HTTP server
+// exposing the metrics registry as Prometheus text (/metrics), the full
+// snapshot plus per-device learning health as JSON (/snapshot.json), a
+// liveness probe (/healthz), breaker states (/breakers) and the standard
+// net/http/pprof handlers (/debug/pprof/). Everything it serves is read-side
+// observation — handlers never draw random numbers, advance virtual clocks,
+// or mutate the gateway — so scraping a deterministic run cannot perturb it.
+type Admin struct {
+	g   *Gateway
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin binds the admin server on addr (e.g. ":9090" or "127.0.0.1:0")
+// and serves it on a background goroutine until Close.
+func ServeAdmin(g *Gateway, addr string) (*Admin, error) {
+	if g == nil {
+		return nil, fmt.Errorf("serve: admin needs a gateway")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: admin listen %s: %w", addr, err)
+	}
+	a := &Admin{g: g, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/snapshot.json", a.handleSnapshot)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/breakers", a.handleBreakers)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go a.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return a, nil
+}
+
+// Addr returns the bound address (resolving ":0" to the chosen port).
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin server immediately.
+func (a *Admin) Close() error { return a.srv.Close() }
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body := PromText(a.g.Snapshot(), a.g.Health())
+	w.Header().Set("Content-Type", obs.PromContentType)
+	w.Write(body) //nolint:errcheck
+}
+
+// adminSnapshot is the /snapshot.json document.
+type adminSnapshot struct {
+	Metrics metrics.Snapshot       `json:"metrics"`
+	Health  map[string]core.Health `json:"health"`
+}
+
+func (a *Admin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(adminSnapshot{Metrics: a.g.Snapshot(), Health: a.g.Health()}) //nolint:errcheck
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if a.g.Closed() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n")) //nolint:errcheck
+}
+
+func (a *Admin) handleBreakers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(a.g.Snapshot().ByBreaker) //nolint:errcheck
+}
+
+// breakerStateValue encodes a breaker state for the gauge: closed is healthy
+// (0), half-open probing (1), open tripped (2).
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	}
+	return 0
+}
+
+// PromText renders a metrics snapshot and per-device learning health as one
+// Prometheus text-exposition body. The output is deterministic for a given
+// input: map-keyed series are emitted in sorted key order, phase histograms
+// in the obs package's canonical phase order.
+func PromText(s metrics.Snapshot, health map[string]core.Health) []byte {
+	var p obs.Prom
+
+	// Request flow.
+	p.Counter("autoscale_requests_submitted_total", "Requests entering admission control.", float64(s.Submitted))
+	p.Counter("autoscale_requests_total", "Requests by terminal outcome.", float64(s.Served), "outcome", "served")
+	p.Counter("autoscale_requests_total", "Requests by terminal outcome.", float64(s.Shed), "outcome", "shed")
+	p.Counter("autoscale_requests_total", "Requests by terminal outcome.", float64(s.Expired), "outcome", "expired")
+	p.Counter("autoscale_requests_total", "Requests by terminal outcome.", float64(s.Failed), "outcome", "failed")
+	p.Counter("autoscale_qos_violations_total", "Served requests over their latency target.", float64(s.QoSViolations))
+	p.Gauge("autoscale_queue_depth", "Aggregate queued requests right now.", float64(s.QueueDepth))
+	p.Gauge("autoscale_queue_depth_max", "High watermark of the aggregate queue depth.", float64(s.QueueMaxDepth))
+
+	// Resilience machinery.
+	p.Counter("autoscale_outages_total", "Simulated radio outages absorbed by the local fallback.", float64(s.Outages))
+	p.Counter("autoscale_failover_retries_total", "QoS-missed requests re-executed on the local fallback.", float64(s.Retried))
+	p.Counter("autoscale_offload_retries_total", "Deadline-budgeted offload retries launched.", float64(s.OffloadRetries))
+	p.Counter("autoscale_offload_retries_recovered_total", "Offload retries that reached the remote cleanly.", float64(s.RetriesRecovered))
+	p.Counter("autoscale_offload_retries_abandoned_total", "Retries skipped for an unaffordable deadline budget.", float64(s.RetriesAbandoned))
+	p.Counter("autoscale_hedges_total", "Hedged offloads launched against slow remotes.", float64(s.Hedges))
+	p.Counter("autoscale_hedges_won_total", "Hedges whose local leg answered first.", float64(s.HedgesWon))
+	p.Counter("autoscale_hedges_lost_total", "Hedges whose remote leg answered first.", float64(s.HedgesLost))
+	p.Counter("autoscale_breaker_transitions_total", "Circuit-breaker transitions by destination state.", float64(s.BreakerOpens), "to", "open")
+	p.Counter("autoscale_breaker_transitions_total", "Circuit-breaker transitions by destination state.", float64(s.BreakerHalfOpens), "to", "half-open")
+	p.Counter("autoscale_breaker_transitions_total", "Circuit-breaker transitions by destination state.", float64(s.BreakerCloses), "to", "closed")
+	p.Counter("autoscale_worker_crashes_total", "Scripted worker-crash drills fired.", float64(s.WorkerCrashes))
+	p.Counter("autoscale_checkpoint_corruptions_total", "Scripted checkpoint-corruption drills fired.", float64(s.CorruptDrills))
+	p.Counter("autoscale_degraded_seconds_total", "Seconds served with at least one breaker open.", s.DegradedSeconds)
+	p.Counter("autoscale_wasted_joules_total", "Energy burned on failed or superseded offload attempts.", s.OutageWastedJ)
+
+	for _, label := range sortedKeys(s.ByBreaker) {
+		p.Gauge("autoscale_breaker_state", "Breaker state: 0 closed, 1 half-open, 2 open.",
+			breakerStateValue(s.ByBreaker[label]), "breaker", label)
+	}
+	for _, loc := range sortedKeys(s.ByTarget) {
+		p.Counter("autoscale_executions_total", "Executions by location.", float64(s.ByTarget[loc]), "location", loc)
+	}
+	for _, dev := range sortedKeys(s.ByDevice) {
+		p.Counter("autoscale_device_requests_total", "Executions by serving device.", float64(s.ByDevice[dev]), "device", dev)
+	}
+
+	// Distributions.
+	p.Histogram("autoscale_request_latency_seconds", "End-to-end execution latency.", s.Latency)
+	p.Histogram("autoscale_queue_wait_seconds", "Admission-to-pickup queue wait.", s.Wait)
+	p.Histogram("autoscale_request_energy_joules", "Mobile-side energy per request.", s.Energy)
+	for _, phase := range obs.Phases() {
+		hs, ok := s.Phases[phase]
+		if !ok {
+			continue
+		}
+		p.Histogram("autoscale_phase_seconds", "Per-phase request time decomposition.", hs, "phase", phase)
+	}
+
+	// Learning health, one gauge set per device.
+	for _, dev := range sortedKeys(health) {
+		h := health[dev]
+		frozen := 0.0
+		if h.Frozen {
+			frozen = 1
+		}
+		p.Gauge("autoscale_rl_epsilon", "Exploration probability.", h.Epsilon, "device", dev)
+		p.Gauge("autoscale_rl_frozen", "1 when the agent is exploitation-only.", frozen, "device", dev)
+		p.Gauge("autoscale_rl_states", "Materialized Q-table rows.", float64(h.States), "device", dev)
+		p.Gauge("autoscale_rl_state_space_size", "Full discrete state-space size.", float64(h.StateSpaceSize), "device", dev)
+		p.Gauge("autoscale_rl_coverage", "Fraction of the state space materialized.", h.Coverage, "device", dev)
+		p.Gauge("autoscale_rl_visits", "Total action selections.", float64(h.TotalVisits), "device", dev)
+		p.Gauge("autoscale_rl_visit_entropy", "Normalized entropy of state-visit counts.", h.VisitEntropy, "device", dev)
+		p.Gauge("autoscale_rl_exploration_ratio", "Fraction of selections that explored.", h.ExplorationRatio, "device", dev)
+		p.Gauge("autoscale_rl_td_error_ema", "Moving average of |TD error|.", h.TDErrorEMA, "device", dev)
+		p.Gauge("autoscale_rl_mean_reward", "Mean reward over the recent window.", h.MeanReward, "device", dev)
+		p.Gauge("autoscale_rl_virtual_seconds", "Engine virtual-clock reading.", h.VirtualS, "device", dev)
+	}
+
+	return p.Bytes()
+}
+
+// sortedKeys returns a map's keys in sorted order for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"autoscale/internal/core"
 	"autoscale/internal/dnn"
 	"autoscale/internal/fault"
+	"autoscale/internal/obs"
 	"autoscale/internal/policy"
 	"autoscale/internal/serve/metrics"
 	"autoscale/internal/sim"
@@ -170,6 +171,23 @@ func (g *Gateway) Metrics() *metrics.Registry { return g.met }
 // Snapshot copies the current metrics.
 func (g *Gateway) Snapshot() metrics.Snapshot { return g.met.Snapshot() }
 
+// Health samples each device engine's learning-health gauges (read-only;
+// see core.Health). Keys are device names.
+func (g *Gateway) Health() map[string]core.Health {
+	out := make(map[string]core.Health, len(g.workers))
+	for _, w := range g.workers {
+		out[w.device] = w.engine.Health()
+	}
+	return out
+}
+
+// Closed reports whether Shutdown has begun.
+func (g *Gateway) Closed() bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.closed
+}
+
 func (g *Gateway) now() time.Time {
 	if g.cfg.Clock != nil {
 		return g.cfg.Clock()
@@ -309,10 +327,18 @@ func (g *Gateway) runWorker(w *worker) {
 // fast-fail, the engine step (with open breakers masked out of the action
 // space), the resilient offload path (retries, hedging, breaker feedback),
 // optional failover, metrics, trace, response.
+//
+// Phase accounting: the execution legs (execute, retry, hedge, failover) are
+// stamped on the worker engine's virtual clock, so they are a pure function
+// of the deterministic execution and flow into the trace; the queue and
+// decide phases are wall-clock (scheduling reality, not simulation) and feed
+// the registry's phase histograms only.
 func (g *Gateway) serveOne(w *worker, p *pending) {
 	start := g.now()
 	wait := start.Sub(p.submittedAt).Seconds()
 	g.met.ObserveWait(wait)
+	g.met.ObservePhase(obs.PhaseQueue, wait)
+	sw := obs.NewStopwatch(w.engine.Now)
 	w.seq++
 
 	base := Response{Device: w.device, SubmittedAt: p.submittedAt, WaitS: wait}
@@ -354,7 +380,15 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		}
 	}
 
+	// The engine call advances the virtual clock by exactly the executed
+	// inference (execute phase); its wall duration is the scheduling
+	// overhead — observe, Q-lookup, bookkeeping — the paper reports as the
+	// decision cost (the simulated inference itself costs no wall time).
+	decideStart := time.Now()
+	stopExec := sw.Start(obs.PhaseExecute)
 	d, err := w.engine.RunInferenceFiltered(nil, p.req.Model, p.req.Conditions, allow)
+	stopExec()
+	g.met.ObservePhase(obs.PhaseDecide, time.Since(decideStart).Seconds())
 	if err != nil {
 		g.met.IncFailed()
 		base.Status, base.Err, base.DoneAt = StatusFailed, err, g.now()
@@ -381,13 +415,17 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 
 	retries, recovered := 0, false
 	if outage && g.cfg.Resilience.Enabled && g.cfg.Resilience.MaxRetries > 0 {
+		stopRetry := sw.Start(obs.PhaseRetry)
 		retries, recovered = g.retryOffload(w, p, &d)
+		stopRetry()
 	}
 
 	hedged, hedgeWon := false, false
 	if g.cfg.Resilience.Enabled && g.cfg.Resilience.Hedge && !outage &&
 		d.Measurement.Target.Location != sim.Local && w.hasFallback {
+		stopHedge := sw.Start(obs.PhaseHedge)
 		hedged, hedgeWon = g.hedge(w, p, &d)
+		stopHedge()
 	}
 
 	retried := false
@@ -399,6 +437,9 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		// latency; a retry that cannot finish in time is abandoned.
 		if g.fitsDeadline(w, p, w.fallback, 0) {
 			if meas, ferr := w.engine.World.Execute(p.req.Model, w.fallback, p.req.Conditions); ferr == nil {
+				// The failover runs on the world's own clock, not the
+				// engine's, so its leg is added by measured duration.
+				sw.Add(obs.PhaseFailover, meas.LatencyS)
 				d.Measurement = meas
 				d.QoSViolated = meas.LatencyS > d.QoSTargetS
 				retried = true
@@ -417,6 +458,10 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	g.met.ObserveEnergy(d.Measurement.EnergyJ)
 	g.met.CountTarget(d.Measurement.Target.Location.String())
 	g.met.CountDevice(w.device)
+	phases := sw.Durations()
+	for phase, durS := range phases {
+		g.met.ObservePhase(phase, durS)
+	}
 
 	if g.cfg.Trace != nil {
 		rec := trace.FromDecision(int(w.seq), p.req.Model.Name, d)
@@ -425,6 +470,7 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		rec.Retries = retries
 		rec.Hedged = hedged
 		rec.Degraded = degraded
+		rec.Phases = phases
 		g.cfg.Trace.Append(rec)
 	}
 
@@ -591,12 +637,13 @@ func (g *Gateway) hedge(w *worker, p *pending, d *core.Decision) (hedged, won bo
 }
 
 // Shutdown stops admission, drains every queue (queued requests still
-// execute, deadline rules still apply), waits for the workers, then persists
-// each engine's final Q-table to cfg.Checkpoints — exactly once per worker,
-// guarded by the closed flag (a second Shutdown returns ErrClosed without
-// re-flushing). The context bounds only the drain wait; on ctx expiry
-// workers keep draining in the background but the final checkpoints are
-// skipped.
+// execute, deadline rules still apply), waits for the workers, flushes the
+// audit trace (surfacing any write error — a dropped tail is a shutdown
+// failure), then persists each engine's final Q-table to cfg.Checkpoints —
+// exactly once per worker, guarded by the closed flag (a second Shutdown
+// returns ErrClosed without re-flushing). The context bounds only the drain
+// wait; on ctx expiry workers keep draining in the background but the trace
+// flush and final checkpoints are skipped.
 func (g *Gateway) Shutdown(ctx context.Context) error {
 	g.mu.Lock()
 	if g.closed {
@@ -641,13 +688,20 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		}
 	}
 
-	if g.cfg.Checkpoints == nil {
-		return nil
-	}
 	var errs []error
-	for _, w := range g.workers {
-		if err := checkpointWorker(w, g.cfg.Checkpoints, g.cfg.PolicySync); err != nil {
-			errs = append(errs, fmt.Errorf("serve: checkpoint %s: %w", w.device, err))
+	// Flush the audit trail and surface any write failure: a trace whose
+	// buffered tail was silently dropped would replay short, so a failed
+	// final flush is a shutdown error, not a shrug.
+	if g.cfg.Trace != nil {
+		if err := g.cfg.Trace.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("serve: trace flush: %w", err))
+		}
+	}
+	if g.cfg.Checkpoints != nil {
+		for _, w := range g.workers {
+			if err := checkpointWorker(w, g.cfg.Checkpoints, g.cfg.PolicySync); err != nil {
+				errs = append(errs, fmt.Errorf("serve: checkpoint %s: %w", w.device, err))
+			}
 		}
 	}
 	return errors.Join(errs...)

@@ -1,20 +1,41 @@
 // Package metrics is the serving gateway's runtime instrumentation: a
-// registry of lock-free counters and histograms every worker updates on the
-// hot path, plus a consistent-enough Snapshot for tests, the CLI and
-// operators. Counters are atomic so the gateway never serializes requests on
-// bookkeeping; the only mutex guards the low-cardinality per-target and
-// per-device maps.
+// registry of lock-cheap counters and log-linear histograms (internal/obs)
+// every worker updates on the hot path, plus a torn-read-free Snapshot for
+// the admin endpoint, tests, the CLI and operators.
+//
+// Consistency: every mutator holds the registry's snapshot lock in read
+// (shared) mode — one uncontended atomic on the hot path — while Snapshot
+// takes it exclusively, so a snapshot is a single consistent cut: no
+// mutation is in flight while it copies, and cross-field invariants
+// (Accounted <= Submitted, bucket sums matching counts) hold in every
+// snapshot, not just at quiescence.
 package metrics
 
 import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"autoscale/internal/obs"
 )
+
+// Scheme returns the bucket ladder shared by the registry's histograms:
+// log-linear from 1e-4 to ~104 with 8 sub-buckets per octave (≤ 12.5%
+// relative quantile error). One ladder for seconds and joules keeps every
+// snapshot mergeable with every other.
+func Scheme() obs.BucketScheme { return obs.DefaultScheme() }
+
+// HistogramSnapshot aliases the obs snapshot so existing callers keep their
+// vocabulary.
+type HistogramSnapshot = obs.HistogramSnapshot
 
 // Registry accumulates gateway counters. The zero value is not usable; call
 // New.
 type Registry struct {
+	// snapMu is the snapshot seqlock: mutators hold it shared, Snapshot
+	// holds it exclusively. See the package comment.
+	snapMu sync.RWMutex
+
 	submitted     atomic.Int64
 	served        atomic.Int64
 	shed          atomic.Int64
@@ -42,9 +63,12 @@ type Registry struct {
 	queueDepth atomic.Int64
 	queueMax   atomic.Int64
 
-	latency *Histogram
-	wait    *Histogram
-	energy  *Histogram
+	latency *obs.Histogram
+	wait    *obs.Histogram
+	energy  *obs.Histogram
+	// phases maps phase name -> histogram. Built complete at New and never
+	// mutated after, so reads need no lock.
+	phases map[string]*obs.Histogram
 
 	mu        sync.Mutex
 	byTarget  map[string]int64
@@ -52,139 +76,167 @@ type Registry struct {
 	byBreaker map[string]string
 }
 
-// New builds a registry with the default latency/wait/energy bucket ladders:
-// exponential from 1 ms to ~16 s for the two time axes (sub-millisecond
-// lookups to radio-timeout stalls) and from 0.1 mJ to ~26 J for energy.
+// New builds a registry over the shared Scheme ladder, with one phase
+// histogram per canonical request phase.
 func New() *Registry {
-	return &Registry{
-		latency:   NewHistogram(ExponentialBounds(1e-3, 2, 15)),
-		wait:      NewHistogram(ExponentialBounds(1e-3, 2, 15)),
-		energy:    NewHistogram(ExponentialBounds(1e-4, 2, 19)),
+	r := &Registry{
+		latency:   obs.NewHistogram(Scheme()),
+		wait:      obs.NewHistogram(Scheme()),
+		energy:    obs.NewHistogram(Scheme()),
+		phases:    make(map[string]*obs.Histogram),
 		byTarget:  make(map[string]int64),
 		byDevice:  make(map[string]int64),
 		byBreaker: make(map[string]string),
 	}
+	for _, p := range obs.Phases() {
+		r.phases[p] = obs.NewHistogram(Scheme())
+	}
+	return r
+}
+
+// shared brackets one mutation in the snapshot seqlock's read side.
+func (r *Registry) shared(fn func()) {
+	r.snapMu.RLock()
+	fn()
+	r.snapMu.RUnlock()
 }
 
 // IncSubmitted counts one request entering admission control.
-func (r *Registry) IncSubmitted() { r.submitted.Add(1) }
+func (r *Registry) IncSubmitted() { r.shared(func() { r.submitted.Add(1) }) }
 
 // IncServed counts one executed request.
-func (r *Registry) IncServed() { r.served.Add(1) }
+func (r *Registry) IncServed() { r.shared(func() { r.served.Add(1) }) }
 
 // IncShed counts one request rejected by admission control (full queue).
-func (r *Registry) IncShed() { r.shed.Add(1) }
+func (r *Registry) IncShed() { r.shared(func() { r.shed.Add(1) }) }
 
 // IncExpired counts one request failed fast on a passed deadline.
-func (r *Registry) IncExpired() { r.expired.Add(1) }
+func (r *Registry) IncExpired() { r.shared(func() { r.expired.Add(1) }) }
 
 // IncFailed counts one request whose execution returned an error.
-func (r *Registry) IncFailed() { r.failed.Add(1) }
+func (r *Registry) IncFailed() { r.shared(func() { r.failed.Add(1) }) }
 
 // IncRetried counts one failover re-execution on the local fallback target.
-func (r *Registry) IncRetried() { r.retried.Add(1) }
+func (r *Registry) IncRetried() { r.shared(func() { r.retried.Add(1) }) }
 
 // IncQoSViolation counts one served request over its latency target.
-func (r *Registry) IncQoSViolation() { r.qosViolations.Add(1) }
+func (r *Registry) IncQoSViolation() { r.shared(func() { r.qosViolations.Add(1) }) }
 
 // IncOutage counts one simulated radio outage absorbed by the sim's local
 // fallback.
-func (r *Registry) IncOutage() { r.outages.Add(1) }
+func (r *Registry) IncOutage() { r.shared(func() { r.outages.Add(1) }) }
 
 // IncOffloadRetry counts one deadline-budgeted re-offload after an outage.
-func (r *Registry) IncOffloadRetry() { r.offloadRetries.Add(1) }
+func (r *Registry) IncOffloadRetry() { r.shared(func() { r.offloadRetries.Add(1) }) }
 
 // IncRetryRecovered counts one offload retry that came back clean.
-func (r *Registry) IncRetryRecovered() { r.retriesRecovered.Add(1) }
+func (r *Registry) IncRetryRecovered() { r.shared(func() { r.retriesRecovered.Add(1) }) }
 
 // IncRetryAbandoned counts one retry skipped because the remaining deadline
 // could not fit the backoff plus the expected execution.
-func (r *Registry) IncRetryAbandoned() { r.retriesAbandoned.Add(1) }
+func (r *Registry) IncRetryAbandoned() { r.shared(func() { r.retriesAbandoned.Add(1) }) }
 
 // IncHedge counts one hedged offload launched against a slow remote.
-func (r *Registry) IncHedge() { r.hedges.Add(1) }
+func (r *Registry) IncHedge() { r.shared(func() { r.hedges.Add(1) }) }
 
 // IncHedgeWon counts one hedge whose local leg beat the remote.
-func (r *Registry) IncHedgeWon() { r.hedgesWon.Add(1) }
+func (r *Registry) IncHedgeWon() { r.shared(func() { r.hedgesWon.Add(1) }) }
 
 // IncHedgeLost counts one hedge whose remote leg answered first.
-func (r *Registry) IncHedgeLost() { r.hedgesLost.Add(1) }
+func (r *Registry) IncHedgeLost() { r.shared(func() { r.hedgesLost.Add(1) }) }
 
 // IncBreakerOpen counts one circuit breaker tripping closed->open.
-func (r *Registry) IncBreakerOpen() { r.breakerOpens.Add(1) }
+func (r *Registry) IncBreakerOpen() { r.shared(func() { r.breakerOpens.Add(1) }) }
 
 // IncBreakerHalfOpen counts one breaker admitting a recovery probe.
-func (r *Registry) IncBreakerHalfOpen() { r.breakerHalfOpens.Add(1) }
+func (r *Registry) IncBreakerHalfOpen() { r.shared(func() { r.breakerHalfOpens.Add(1) }) }
 
 // IncBreakerClose counts one breaker closing after successful probes.
-func (r *Registry) IncBreakerClose() { r.breakerCloses.Add(1) }
+func (r *Registry) IncBreakerClose() { r.shared(func() { r.breakerCloses.Add(1) }) }
 
 // IncWorkerCrash counts one scripted worker-crash drill.
-func (r *Registry) IncWorkerCrash() { r.workerCrashes.Add(1) }
+func (r *Registry) IncWorkerCrash() { r.shared(func() { r.workerCrashes.Add(1) }) }
 
 // IncCorruptDrill counts one scripted checkpoint-corruption drill.
-func (r *Registry) IncCorruptDrill() { r.corruptDrills.Add(1) }
+func (r *Registry) IncCorruptDrill() { r.shared(func() { r.corruptDrills.Add(1) }) }
 
 // AddDegradedSeconds accumulates wall time a worker spent with at least one
 // breaker open (serving degraded, remote targets masked).
-func (r *Registry) AddDegradedSeconds(s float64) { r.degradedSeconds.Add(s) }
+func (r *Registry) AddDegradedSeconds(s float64) { r.shared(func() { r.degradedSeconds.Add(s) }) }
 
 // AddOutageWastedJ accumulates energy burned on failed offload attempts.
-func (r *Registry) AddOutageWastedJ(j float64) { r.outageWastedJ.Add(j) }
+func (r *Registry) AddOutageWastedJ(j float64) { r.shared(func() { r.outageWastedJ.Add(j) }) }
 
 // SetBreakerState records a breaker's current state under its label
 // (e.g. "phone-0/cloud" -> "open").
 func (r *Registry) SetBreakerState(label, state string) {
-	r.mu.Lock()
-	r.byBreaker[label] = state
-	r.mu.Unlock()
+	r.shared(func() {
+		r.mu.Lock()
+		r.byBreaker[label] = state
+		r.mu.Unlock()
+	})
 }
 
 // QueueEnter bumps the aggregate queue-depth gauge and its high watermark.
 func (r *Registry) QueueEnter() {
-	d := r.queueDepth.Add(1)
-	for {
-		max := r.queueMax.Load()
-		if d <= max || r.queueMax.CompareAndSwap(max, d) {
-			return
+	r.shared(func() {
+		d := r.queueDepth.Add(1)
+		for {
+			max := r.queueMax.Load()
+			if d <= max || r.queueMax.CompareAndSwap(max, d) {
+				return
+			}
 		}
-	}
+	})
 }
 
 // QueueExit drops the aggregate queue-depth gauge.
-func (r *Registry) QueueExit() { r.queueDepth.Add(-1) }
+func (r *Registry) QueueExit() { r.shared(func() { r.queueDepth.Add(-1) }) }
 
 // QueueDepth returns the current aggregate queue depth.
 func (r *Registry) QueueDepth() int64 { return r.queueDepth.Load() }
 
 // ObserveLatency records one end-to-end execution latency (seconds).
-func (r *Registry) ObserveLatency(s float64) { r.latency.Observe(s) }
+func (r *Registry) ObserveLatency(s float64) { r.shared(func() { r.latency.Observe(s) }) }
 
 // ObserveWait records one queue wait (seconds).
-func (r *Registry) ObserveWait(s float64) { r.wait.Observe(s) }
+func (r *Registry) ObserveWait(s float64) { r.shared(func() { r.wait.Observe(s) }) }
 
 // ObserveEnergy records one mobile-side energy cost (joules).
-func (r *Registry) ObserveEnergy(j float64) { r.energy.Observe(j) }
+func (r *Registry) ObserveEnergy(j float64) { r.shared(func() { r.energy.Observe(j) }) }
+
+// ObservePhase records one phase duration (seconds) into that phase's
+// histogram. Unknown phases are dropped — the phase set is the obs package's
+// canonical list, fixed at New.
+func (r *Registry) ObservePhase(phase string, s float64) {
+	h, ok := r.phases[phase]
+	if !ok {
+		return
+	}
+	r.shared(func() { h.Observe(s) })
+}
 
 // CountTarget counts one execution against a target label (the coarse
 // location — local/connected/cloud — keeps the map small).
 func (r *Registry) CountTarget(label string) {
-	r.mu.Lock()
-	r.byTarget[label]++
-	r.mu.Unlock()
+	r.shared(func() {
+		r.mu.Lock()
+		r.byTarget[label]++
+		r.mu.Unlock()
+	})
 }
 
 // CountDevice counts one execution against a gateway worker.
 func (r *Registry) CountDevice(device string) {
-	r.mu.Lock()
-	r.byDevice[device]++
-	r.mu.Unlock()
+	r.shared(func() {
+		r.mu.Lock()
+		r.byDevice[device]++
+		r.mu.Unlock()
+	})
 }
 
-// Snapshot is a point-in-time copy of the registry. Individual fields are
-// read atomically; the snapshot as a whole is not a single atomic cut, so
-// cross-field invariants (Accounted == Submitted) only hold once the gateway
-// is quiescent.
+// Snapshot is a point-in-time copy of the registry, taken as one consistent
+// cut (see the package comment).
 type Snapshot struct {
 	Submitted     int64
 	Served        int64
@@ -216,6 +268,9 @@ type Snapshot struct {
 	Latency HistogramSnapshot
 	Wait    HistogramSnapshot
 	Energy  HistogramSnapshot
+	// Phases holds one histogram per request phase that recorded at least
+	// one observation (obs.Phases names the full set).
+	Phases map[string]HistogramSnapshot
 
 	// ByTarget counts executions per execution-location label; ByDevice per
 	// gateway worker; ByBreaker holds each breaker's last recorded state.
@@ -227,8 +282,11 @@ type Snapshot struct {
 // Accounted returns the number of requests with a terminal outcome.
 func (s Snapshot) Accounted() int64 { return s.Served + s.Shed + s.Expired + s.Failed }
 
-// Snapshot copies the registry.
+// Snapshot copies the registry as one consistent cut: it excludes every
+// mutator for the duration of the copy.
 func (r *Registry) Snapshot() Snapshot {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
 	s := Snapshot{
 		Submitted:     r.submitted.Load(),
 		Served:        r.served.Load(),
@@ -258,10 +316,18 @@ func (r *Registry) Snapshot() Snapshot {
 		Latency:       r.latency.Snapshot(),
 		Wait:          r.wait.Snapshot(),
 		Energy:        r.energy.Snapshot(),
+		Phases:        make(map[string]HistogramSnapshot),
 		ByTarget:      make(map[string]int64),
 		ByDevice:      make(map[string]int64),
 		ByBreaker:     make(map[string]string),
 	}
+	for p, h := range r.phases {
+		if hs := h.Snapshot(); hs.Count > 0 {
+			s.Phases[p] = hs
+		}
+	}
+	// No mutator is in flight (they all hold snapMu shared), so locking mu
+	// here is belt-and-braces for the map copies.
 	r.mu.Lock()
 	for k, v := range r.byTarget {
 		s.ByTarget[k] = v
@@ -274,101 +340,6 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Unlock()
 	return s
-}
-
-// Histogram is a fixed-bucket histogram safe for concurrent Observe. Bucket
-// i counts observations <= Bounds[i]; the final (implicit) bucket counts the
-// overflow.
-type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64
-	sum    atomicFloat
-	count  atomic.Int64
-}
-
-// NewHistogram builds a histogram over sorted ascending upper bounds.
-func NewHistogram(bounds []float64) *Histogram {
-	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
-	}
-}
-
-// ExponentialBounds returns n upper bounds start, start*factor, ...
-func ExponentialBounds(start, factor float64, n int) []float64 {
-	out := make([]float64, n)
-	v := start
-	for i := range out {
-		out[i] = v
-		v *= factor
-	}
-	return out
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.sum.Add(v)
-	h.count.Add(1)
-}
-
-// HistogramSnapshot is a point-in-time histogram copy.
-type HistogramSnapshot struct {
-	// Bounds are the bucket upper bounds; Counts has one extra overflow
-	// bucket.
-	Bounds []float64
-	Counts []int64
-	Count  int64
-	Sum    float64
-}
-
-// Snapshot copies the histogram.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Bounds: append([]float64(nil), h.bounds...),
-		Counts: make([]int64, len(h.counts)),
-		Count:  h.count.Load(),
-		Sum:    h.sum.Load(),
-	}
-	for i := range h.counts {
-		s.Counts[i] = h.counts[i].Load()
-	}
-	return s
-}
-
-// Mean returns the average observation (0 when empty).
-func (s HistogramSnapshot) Mean() float64 {
-	if s.Count == 0 {
-		return 0
-	}
-	return s.Sum / float64(s.Count)
-}
-
-// Quantile estimates the q-quantile (0..1) as the upper bound of the bucket
-// holding it; overflow observations report +Inf.
-func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(s.Count)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for i, c := range s.Counts {
-		cum += c
-		if cum >= rank {
-			if i < len(s.Bounds) {
-				return s.Bounds[i]
-			}
-			return math.Inf(1)
-		}
-	}
-	return math.Inf(1)
 }
 
 // atomicFloat is a float64 accumulated with compare-and-swap.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"autoscale/internal/obs"
 )
 
 func TestCountersAndSnapshot(t *testing.T) {
@@ -55,48 +57,91 @@ func TestQueueGauge(t *testing.T) {
 	}
 }
 
-func TestHistogram(t *testing.T) {
-	h := NewHistogram([]float64{1, 10, 100})
-	for _, v := range []float64{0.5, 1, 5, 50, 500} {
-		h.Observe(v)
+func TestRegistryHistograms(t *testing.T) {
+	r := New()
+	r.ObserveLatency(0.010)
+	r.ObserveLatency(0.020)
+	r.ObserveWait(0.001)
+	r.ObserveEnergy(0.5)
+	s := r.Snapshot()
+	if s.Latency.Count != 2 || s.Wait.Count != 1 || s.Energy.Count != 1 {
+		t.Fatalf("histogram counts: %d %d %d", s.Latency.Count, s.Wait.Count, s.Energy.Count)
 	}
-	s := h.Snapshot()
-	if s.Count != 5 {
-		t.Fatalf("count = %d", s.Count)
+	if got := s.Latency.Mean(); math.Abs(got-0.015) > 1e-12 {
+		t.Fatalf("latency mean = %v", got)
 	}
-	want := []int64{2, 1, 1, 1} // <=1, <=10, <=100, overflow
-	for i, w := range want {
-		if s.Counts[i] != w {
-			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+	if s.Latency.Scheme != Scheme() {
+		t.Fatalf("latency scheme = %+v", s.Latency.Scheme)
+	}
+	// All registry histograms share one scheme so they can merge.
+	if _, err := s.Latency.Merge(s.Wait); err != nil {
+		t.Fatalf("merge across axes: %v", err)
+	}
+	// Quantiles are within one sub-bucket of the observation and capped at
+	// the observed max.
+	p99 := s.Latency.Quantile(0.99)
+	if p99 < 0.020 || p99 > 0.020*(1+1.0/float64(Scheme().Sub)) {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+func TestObservePhase(t *testing.T) {
+	r := New()
+	r.ObservePhase(obs.PhaseExecute, 0.010)
+	r.ObservePhase(obs.PhaseExecute, 0.030)
+	r.ObservePhase(obs.PhaseRetry, 0.005)
+	r.ObservePhase("no-such-phase", 1.0) // dropped, not panicking
+	s := r.Snapshot()
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases = %v", s.Phases)
+	}
+	ex := s.Phases[obs.PhaseExecute]
+	if ex.Count != 2 || math.Abs(ex.Sum-0.040) > 1e-12 {
+		t.Fatalf("execute phase: %+v", ex)
+	}
+	if s.Phases[obs.PhaseRetry].Count != 1 {
+		t.Fatalf("retry phase: %+v", s.Phases[obs.PhaseRetry])
+	}
+	if _, ok := s.Phases["no-such-phase"]; ok {
+		t.Fatal("unknown phase recorded")
+	}
+	// Phases that never observed stay out of the snapshot.
+	if _, ok := s.Phases[obs.PhaseHedge]; ok {
+		t.Fatal("empty phase present in snapshot")
+	}
+}
+
+// TestSnapshotIsConsistentCut pins the torn-read fix: writers bump submitted
+// then served inside one shared-lock section, so no snapshot may ever
+// observe served > submitted.
+func TestSnapshotIsConsistentCut(t *testing.T) {
+	r := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20000; i++ {
+			r.shared(func() {
+				r.submitted.Add(1)
+				r.served.Add(1)
+			})
 		}
-	}
-	if got := s.Mean(); math.Abs(got-111.3) > 1e-9 {
-		t.Fatalf("mean = %v", got)
-	}
-	if q := s.Quantile(0.5); q != 10 {
-		t.Fatalf("p50 = %v", q)
-	}
-	if q := s.Quantile(0.99); !math.IsInf(q, 1) {
-		t.Fatalf("p99 = %v, want +Inf (overflow bucket)", q)
-	}
-	if q := s.Quantile(0.2); q != 1 {
-		t.Fatalf("p20 = %v", q)
-	}
-}
-
-func TestHistogramEmpty(t *testing.T) {
-	s := NewHistogram(ExponentialBounds(1e-3, 2, 4)).Snapshot()
-	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
-		t.Fatalf("empty histogram: mean %v p50 %v", s.Mean(), s.Quantile(0.5))
-	}
-}
-
-func TestExponentialBounds(t *testing.T) {
-	b := ExponentialBounds(1, 2, 4)
-	want := []float64{1, 2, 4, 8}
-	for i := range want {
-		if b[i] != want[i] {
-			t.Fatalf("bounds = %v", b)
+	}()
+	for {
+		s := r.Snapshot()
+		if s.Served > s.Submitted {
+			t.Fatalf("torn snapshot: served %d > submitted %d", s.Served, s.Submitted)
+		}
+		if s.Submitted != s.Served {
+			t.Fatalf("mid-mutation snapshot: submitted %d served %d", s.Submitted, s.Served)
+		}
+		select {
+		case <-done:
+			s := r.Snapshot()
+			if s.Submitted != 20000 || s.Served != 20000 {
+				t.Fatalf("lost counts: %+v", s)
+			}
+			return
+		default:
 		}
 	}
 }
@@ -118,6 +163,7 @@ func TestConcurrentUpdates(t *testing.T) {
 				r.ObserveLatency(0.01)
 				r.ObserveEnergy(0.5)
 				r.ObserveWait(0.001)
+				r.ObservePhase(obs.PhaseExecute, 0.01)
 				r.CountTarget("local")
 				r.CountDevice("dev")
 				r.QueueExit()
@@ -135,6 +181,9 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 	if got := s.Latency.Sum; math.Abs(got-workers*each*0.01) > 1e-6 {
 		t.Fatalf("latency sum = %v", got)
+	}
+	if s.Phases[obs.PhaseExecute].Count != workers*each {
+		t.Fatalf("lost phase observations: %d", s.Phases[obs.PhaseExecute].Count)
 	}
 	if s.QueueDepth != 0 {
 		t.Fatalf("queue depth = %d", s.QueueDepth)

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"autoscale/internal/core"
+	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
+	"autoscale/internal/fault"
+	"autoscale/internal/obs"
+	"autoscale/internal/soc"
+	"autoscale/internal/trace"
+)
+
+// TestPhaseSumInvariant pins the phase-span accounting contract: for every
+// served request without hedging or local failover, the virtual-clock legs in
+// the trace (execute + retry) reconstruct the recorded end-to-end latency
+// exactly, and the wall-clock legs (queue, decide) never leak into the trace
+// — they would break byte-identical replay.
+func TestPhaseSumInvariant(t *testing.T) {
+	const seed = 47
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.RL.Epsilon = 0.5 // keep offloads flowing into the outage window
+
+	e := testEngine(t, soc.Mi8Pro(), seed, cfg)
+	e.World.Faults = fault.New(&fault.Schedule{Faults: []fault.Spec{
+		{Kind: fault.KindOutage, Site: fault.SiteCloud, StartS: 0.1, EndS: 2.0},
+		{Kind: fault.KindOutage, Site: fault.SiteConnected, StartS: 0.1, EndS: 2.0},
+	}}, exec.NewRoot(seed).Child("faults"))
+
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	g, err := New([]Backend{{Device: "Mi8Pro", Engine: e}}, Config{
+		Trace: tw,
+		// Retries on, hedge and failover off: every served request must then
+		// decompose exactly into execute + retry on the virtual clock.
+		Resilience: ResilienceConfig{Enabled: true, MaxRetries: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dnn.MustByName("MobileNet v3")
+	for i := 0; i < 400; i++ {
+		if _, err := g.Do(Request{Model: m, Conditions: conds()}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if err := g.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 400 {
+		t.Fatalf("trace has %d records", len(recs))
+	}
+
+	withRetry := 0
+	for i, rec := range recs {
+		p := rec.Phases
+		if p == nil {
+			t.Fatalf("record %d has no phases", i)
+		}
+		for _, wallOnly := range []string{obs.PhaseQueue, obs.PhaseDecide} {
+			if _, ok := p[wallOnly]; ok {
+				t.Fatalf("record %d leaked wall-clock phase %q into the trace", i, wallOnly)
+			}
+		}
+		if _, ok := p[obs.PhaseHedge]; ok {
+			t.Fatalf("record %d has a hedge leg with hedging disabled", i)
+		}
+		if _, ok := p[obs.PhaseFailover]; ok {
+			t.Fatalf("record %d has a failover leg with failover disabled", i)
+		}
+		if p[obs.PhaseExecute] <= 0 {
+			t.Fatalf("record %d: execute leg %v", i, p[obs.PhaseExecute])
+		}
+		if p[obs.PhaseRetry] > 0 {
+			withRetry++
+			if rec.Retries == 0 {
+				t.Fatalf("record %d has a retry leg but zero retries", i)
+			}
+		}
+		sum := p[obs.PhaseExecute] + p[obs.PhaseRetry]
+		if math.Abs(sum-rec.LatencyS) > 1e-9 {
+			t.Fatalf("record %d: phases sum to %.12f but latency is %.12f (phases %v)",
+				i, sum, rec.LatencyS, p)
+		}
+	}
+	if withRetry == 0 {
+		t.Fatal("storm produced no retry legs; the invariant was tested vacuously")
+	}
+
+	// The registry sees every phase, including the wall-clock-only ones.
+	snap := g.Snapshot()
+	for _, phase := range []string{obs.PhaseQueue, obs.PhaseDecide, obs.PhaseExecute} {
+		hs, ok := snap.Phases[phase]
+		if !ok || hs.Count != 400 {
+			t.Fatalf("registry phase %q: ok=%v count=%d, want 400", phase, ok, hs.Count)
+		}
+	}
+	if hs, ok := snap.Phases[obs.PhaseRetry]; !ok || hs.Count != int64(withRetry) {
+		t.Fatalf("registry retry phase: ok=%v count=%d, want %d", ok, hs.Count, withRetry)
+	}
+}
+
+// TestShutdownSurfacesTraceError pins satellite (b): a trace writer whose
+// sink failed must fail Gateway.Shutdown instead of silently dropping the
+// audit trail.
+func TestShutdownSurfacesTraceError(t *testing.T) {
+	sink := &failingSink{err: errors.New("disk full")}
+	tw := trace.NewWriter(sink)
+	g := testGateway(t, Config{Trace: tw})
+	m := dnn.MustByName("MobileNet v3")
+	// Enough records to overflow the bufio buffer so the sink failure is hit
+	// during serving; the sticky error must still surface at Shutdown.
+	for i := 0; i < 500; i++ {
+		if _, err := g.Do(Request{Model: m, Conditions: conds()}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	err := g.Shutdown(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Shutdown = %v, want the trace sink failure", err)
+	}
+}
+
+// failingSink fails every write.
+type failingSink struct{ err error }
+
+func (s *failingSink) Write(p []byte) (int, error) { return 0, s.err }

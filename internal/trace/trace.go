@@ -51,6 +51,11 @@ type Record struct {
 	// WastedJ is the energy burned on failed or superseded offload
 	// attempts, already included in EnergyJ.
 	WastedJ float64 `json:"wasted_j,omitempty"`
+	// Phases decomposes the request's execution into per-phase seconds
+	// (obs.Phases names the keys). Only deterministic virtual-clock legs are
+	// recorded — wall-clock waits stay out so replayed traces stay
+	// byte-identical. Absent for records without phase instrumentation.
+	Phases map[string]float64 `json:"phases,omitempty"`
 }
 
 // FromDecision flattens an engine decision into a Record.
@@ -73,25 +78,36 @@ func FromDecision(seq int, model string, d core.Decision) Record {
 // Writer appends records as JSON Lines. It is safe for concurrent use: a
 // gateway's workers all log through one audit trail, so Append serializes
 // internally and records never interleave mid-line.
+//
+// Write errors are sticky: once the underlying writer fails, every later
+// Append, Flush and Close reports the first failure, so a trace whose tail
+// was dropped can never pass for complete — the gateway surfaces the error
+// at Shutdown instead of silently losing the audit tail.
 type Writer struct {
 	mu  sync.Mutex
+	dst io.Writer
 	w   *bufio.Writer
 	enc *json.Encoder
 	n   int
+	err error
 }
 
 // NewWriter wraps an io.Writer.
 func NewWriter(w io.Writer) *Writer {
 	bw := bufio.NewWriter(w)
-	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+	return &Writer{dst: w, w: bw, enc: json.NewEncoder(bw)}
 }
 
 // Append writes one record.
 func (t *Writer) Append(r Record) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
 	if err := t.enc.Encode(r); err != nil {
-		return fmt.Errorf("trace: append: %w", err)
+		t.err = fmt.Errorf("trace: append: %w", err)
+		return t.err
 	}
 	t.n++
 	return nil
@@ -104,11 +120,49 @@ func (t *Writer) Count() int {
 	return t.n
 }
 
-// Flush drains the buffer to the underlying writer.
+// Err returns the sticky write error, if any.
+func (t *Writer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Flush drains the buffer to the underlying writer. It reports the first
+// error the writer ever hit, so a final Flush is a completeness check for
+// the whole trace, not just the buffered tail.
 func (t *Writer) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.w.Flush()
+	return t.flushLocked()
+}
+
+func (t *Writer) flushLocked() error {
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.w.Flush(); err != nil {
+		t.err = fmt.Errorf("trace: flush: %w", err)
+	}
+	return t.err
+}
+
+// Close flushes and, when the underlying writer is an io.Closer, closes it.
+// Like Flush it surfaces the sticky error; a failed close also sticks, and
+// repeated Closes report the same result.
+func (t *Writer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	flushErr := t.flushLocked()
+	if c, ok := t.dst.(io.Closer); ok {
+		t.dst = nil // close once
+		if err := c.Close(); err != nil && t.err == nil {
+			t.err = fmt.Errorf("trace: close: %w", err)
+		}
+	}
+	if flushErr != nil {
+		return flushErr
+	}
+	return t.err
 }
 
 // ReadAll decodes a JSON Lines trace.

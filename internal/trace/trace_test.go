@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -17,7 +18,8 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	w := NewWriter(&buf)
 	recs := []Record{
 		{Seq: 0, Model: "MobileNet v1", State: "0|0|0|0|0|0|1|1", Target: "local/DSP@0/INT8",
-			Location: "local", LatencyS: 0.008, EnergyJ: 0.024, Reward: -19},
+			Location: "local", LatencyS: 0.008, EnergyJ: 0.024, Reward: -19,
+			Phases: map[string]float64{"execute": 0.008}},
 		{Seq: 1, Model: "MobileBERT", Target: "cloud/GPU/FP32", Location: "cloud",
 			LatencyS: 0.031, EnergyJ: 0.076, Reward: -60, QoSViolated: true},
 	}
@@ -36,7 +38,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 || got[0] != recs[0] || got[1] != recs[1] {
+	if !reflect.DeepEqual(got, recs) {
 		t.Errorf("round trip mismatch: %+v", got)
 	}
 }

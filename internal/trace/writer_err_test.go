@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfterWriter accepts n bytes, then fails every write. closeErr, when
+// set, is returned by Close.
+type failAfterWriter struct {
+	n        int
+	written  int
+	failErr  error
+	closeErr error
+	closed   int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, w.failErr
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func (w *failAfterWriter) Close() error {
+	w.closed++
+	return w.closeErr
+}
+
+func TestWriterStickyFlushError(t *testing.T) {
+	sink := &failAfterWriter{n: 0, failErr: errors.New("disk full")}
+	w := NewWriter(sink)
+	// The record fits the bufio buffer, so Append succeeds...
+	if err := w.Append(Record{Seq: 1, Model: "m"}); err != nil {
+		t.Fatalf("buffered append failed early: %v", err)
+	}
+	// ...and the failure surfaces at Flush, where Shutdown checks it.
+	err := w.Flush()
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Flush = %v, want the underlying write error", err)
+	}
+	// The error is sticky: later appends and flushes refuse with the same
+	// failure instead of pretending the trace is intact.
+	if err2 := w.Append(Record{Seq: 2}); !errors.Is(err2, err) && err2.Error() != err.Error() {
+		t.Fatalf("Append after failure = %v, want sticky %v", err2, err)
+	}
+	if err2 := w.Flush(); err2.Error() != err.Error() {
+		t.Fatalf("re-Flush = %v, want sticky %v", err2, err)
+	}
+	if w.Err() == nil {
+		t.Fatal("Err() lost the sticky error")
+	}
+	// Close still reports the failure too.
+	if err2 := w.Close(); err2 == nil || !strings.Contains(err2.Error(), "disk full") {
+		t.Fatalf("Close = %v, want flush failure", err2)
+	}
+}
+
+func TestWriterCloseClosesOnceAndSurfacesCloseError(t *testing.T) {
+	sink := &failAfterWriter{n: 1 << 20, closeErr: errors.New("fsync lost")}
+	w := NewWriter(sink)
+	if err := w.Append(Record{Seq: 1, Model: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Close()
+	if err == nil || !strings.Contains(err.Error(), "fsync lost") {
+		t.Fatalf("Close = %v, want the close error", err)
+	}
+	if sink.closed != 1 {
+		t.Fatalf("underlying writer closed %d times", sink.closed)
+	}
+	// A second Close must not close the sink again but keeps reporting.
+	if err2 := w.Close(); err2 == nil {
+		t.Fatal("second Close forgot the error")
+	}
+	if sink.closed != 1 {
+		t.Fatalf("second Close re-closed the sink (%d)", sink.closed)
+	}
+	if sink.written == 0 {
+		t.Fatal("Close did not flush the buffered record")
+	}
+}
+
+func TestWriterCloseWithoutCloserJustFlushes(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if err := w.Append(Record{Seq: 1, Model: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close over a plain writer = %v", err)
+	}
+	if !strings.Contains(sb.String(), `"model":"m"`) {
+		t.Fatalf("record not flushed: %q", sb.String())
+	}
+}

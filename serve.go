@@ -30,6 +30,10 @@ type (
 	// GatewayMetrics is a point-in-time copy of the gateway's counters and
 	// histograms.
 	GatewayMetrics = metrics.Snapshot
+	// GatewayAdmin is the gateway's opt-in observability HTTP server:
+	// /metrics (Prometheus text), /snapshot.json, /healthz, /breakers and
+	// net/http/pprof.
+	GatewayAdmin = serve.Admin
 	// ResilienceConfig tunes the gateway's fault-handling path: per-remote
 	// circuit breakers with half-open recovery probes, deadline-budgeted
 	// retries with exponential backoff, and optional hedged offloads.
@@ -62,4 +66,16 @@ var (
 // Fleet.ProvisionGateway warm-starts a whole fleet in one call.
 func NewGateway(backends []GatewayBackend, cfg GatewayConfig) (*Gateway, error) {
 	return serve.New(backends, cfg)
+}
+
+// ServeGatewayAdmin binds the gateway's admin/observability endpoint on addr
+// (e.g. ":9090") and serves it in the background until Close.
+func ServeGatewayAdmin(g *Gateway, addr string) (*GatewayAdmin, error) {
+	return serve.ServeAdmin(g, addr)
+}
+
+// GatewayPromText renders a metrics snapshot and per-device learning health
+// in the Prometheus text exposition format.
+func GatewayPromText(s GatewayMetrics, health map[string]EngineHealth) []byte {
+	return serve.PromText(s, health)
 }
