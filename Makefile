@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs fuzz-fault smoke-admin verify bench bench-all
+.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router fuzz-fault smoke-admin verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,13 @@ race-fault:
 race-obs:
 	$(GO) test -race ./internal/obs/ ./internal/serve/... ./internal/core/ ./internal/trace/
 
+# The routing tier: cross-shard admission, DRR fairness and shard lifecycle
+# run concurrently with pipe goroutines and the dispatcher — the shard-kill
+# storm and the concurrent-kill accounting test must hold under race
+# instrumentation, together with the serving layer they drive.
+race-router:
+	$(GO) test -race ./internal/router/ ./internal/serve/...
+
 # Fuzz smoke over the fault-schedule parser: any input that parses must also
 # compile and answer injector queries without panicking.
 fuzz-fault:
@@ -81,16 +88,19 @@ smoke-admin:
 # detector (which includes the dedicated policy-plane, exec-plane, fault-plane
 # and telemetry-plane passes), the schedule-parser fuzz smoke and the admin
 # scrape smoke.
-verify: build fmt vet race race-policy race-exp race-fault race-obs fuzz-fault smoke-admin
+verify: build fmt vet race race-policy race-exp race-fault race-obs race-router fuzz-fault smoke-admin
 
-# Archive the representative benchmarks (end-to-end Fig 9, gateway
-# throughput, and the telemetry hot path) as BENCH_exp.json: per-benchmark
-# name, ns/op and allocs/op averaged over three repetitions.
+# Archive the representative benchmarks (end-to-end Fig 9, gateway and
+# routing-tier throughput, the telemetry hot path, and the router dispatch
+# path) as BENCH_exp.json: per-benchmark name, ns/op and allocs/op averaged
+# over three repetitions.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkFig9|BenchmarkGatewayThroughput)$$' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkFig9|BenchmarkGatewayThroughput|BenchmarkRouterThroughput)$$' \
 		-benchmem -count=3 . > BENCH_exp.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkHistogramObserve' \
 		-benchmem -count=3 ./internal/obs/ >> BENCH_exp.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkRouterDispatch$$' \
+		-benchmem -count=3 ./internal/router/ >> BENCH_exp.txt
 	$(GO) run ./cmd/benchjson -in BENCH_exp.txt -out BENCH_exp.json
 	@cat BENCH_exp.json
 

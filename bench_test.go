@@ -439,6 +439,82 @@ func BenchmarkGatewaySubmit(b *testing.B) {
 	}
 }
 
+// --- Routing-tier benches ---------------------------------------------------
+
+// benchRouter builds a four-shard router, one lightly warmed lane per shard,
+// with three weighted tenants — the multi-shard counterpart of benchGateway.
+func benchRouter(b *testing.B) *Router {
+	b.Helper()
+	m := dnn.MustByName("MobileNet v3")
+	c := sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55}
+	hardware := []*soc.Device{soc.Mi8Pro(), soc.GalaxyS10e(), soc.Mi8Pro(), soc.GalaxyS10e()}
+	shards := make([]RouterShard, 0, len(hardware))
+	for i, dev := range hardware {
+		e, err := core.NewEngine(sim.NewWorld(dev, int64(i+1)), core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			if _, err := e.RunInference(m, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		name := "shard-" + strconv.Itoa(i)
+		gw, err := NewGateway([]GatewayBackend{{Device: dev.Name + "-" + strconv.Itoa(i), Engine: e}},
+			GatewayConfig{Name: name, QueueDepth: 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+		shards = append(shards, RouterShard{Name: name, Gateway: gw})
+	}
+	rt, err := NewRouter(shards, RouterConfig{
+		Tenants:      []RouterTenant{{Name: "gold", Weight: 4}, {Name: "silver", Weight: 2}, {Name: "best", Weight: 1}},
+		GlobalBudget: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// BenchmarkRouterThroughput measures closed-loop requests/sec through the
+// full routing tier — tenant admission, DRR, least-loaded shard dispatch and
+// the pipe hop — over four gateway shards; the delta against
+// BenchmarkGatewayThroughput at the same client count is the routing tier's
+// per-request overhead.
+func BenchmarkRouterThroughput(b *testing.B) {
+	tenants := []string{"gold", "silver", "best"}
+	for _, clients := range []int{4, 16} {
+		b.Run("shards=4/clients="+strconv.Itoa(clients), func(b *testing.B) {
+			rt := benchRouter(b)
+			m := dnn.MustByName("MobileNet v3")
+			c := sim.Conditions{RSSIWLAN: -55, RSSIP2P: -55}
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for cl := 0; cl < clients; cl++ {
+				wg.Add(1)
+				go func(cl int) {
+					defer wg.Done()
+					for i := 0; remaining.Add(-1) >= 0; i++ {
+						req := Request{Model: m, Conditions: c, Tenant: tenants[(cl+i)%len(tenants)]}
+						if _, err := rt.Do(req); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if err := rt.Shutdown(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // --- Extension experiment benches ------------------------------------------
 
 func BenchmarkExtNPU(b *testing.B)       { runExperiment(b, "ext-npu") }

@@ -12,6 +12,7 @@
 //	autoscale-serve -donor Mi8Pro -train 60 -devices GalaxyS10e,MotoXForce
 //	autoscale-serve -faults examples/faults/storm.json -resilient -hedge
 //	autoscale-serve -admin :9090 -linger 30s   # scrape /metrics while it runs
+//	autoscale-serve -shards 4 -replicas 4 -tenants gold:4,silver:2,best:1
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -50,6 +52,9 @@ func main() {
 		hedge     = flag.Bool("hedge", false, "hedge slow offloads with a local run (needs -resilient)")
 		admin     = flag.String("admin", "", "serve the observability endpoint on this address (e.g. :9090)")
 		linger    = flag.Duration("linger", 0, "keep the admin endpoint up this long after the load finishes")
+		shards    = flag.Int("shards", 1, "gateway shards behind the routing tier (1 = single gateway, no router)")
+		replicas  = flag.Int("replicas", 1, "serving lanes per device (lane names device-0, device-1, ...)")
+		tenants   = flag.String("tenants", "", "weighted fairness classes, e.g. gold:4,silver:2,best:1 (implies the routing tier)")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -59,7 +64,8 @@ func main() {
 		model: *model, envID: *envID, n: *n, clients: *clients, rate: *rate,
 		queue: *queue, deadline: *deadline, shed: *shed, failover: *failover,
 		snapdir: *snapdir, sync: *sync, faults: *faults, resilient: *resilient,
-		hedge: *hedge, admin: *admin, linger: *linger, seed: *seed,
+		hedge: *hedge, admin: *admin, linger: *linger, shards: *shards,
+		replicas: *replicas, tenants: *tenants, seed: *seed,
 	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "autoscale-serve:", err)
 		os.Exit(1)
@@ -84,7 +90,22 @@ type config struct {
 	hedge        bool
 	admin        string
 	linger       time.Duration
+	shards       int
+	replicas     int
+	tenants      string
 	seed         int64
+}
+
+// server is the front door the load generator drives: a single gateway or
+// the sharded routing tier.
+type server interface {
+	Submit(autoscale.Request) (<-chan autoscale.Response, error)
+	Do(autoscale.Request) (autoscale.Response, error)
+	Devices() []string
+	Snapshot() autoscale.GatewayMetrics
+	Health() map[string]autoscale.EngineHealth
+	StartPolicySync() error
+	Shutdown(context.Context) error
 }
 
 func run(c config, out *os.File) error {
@@ -129,17 +150,50 @@ func run(c config, out *os.File) error {
 		return err
 	}
 
-	gw, err := buildGateway(c, gcfg)
+	tenantCfg, tenantNames, err := parseTenants(c.tenants)
 	if err != nil {
 		return err
 	}
+	// Zero means the single-gateway defaults (tests build config directly).
+	if c.shards == 0 {
+		c.shards = 1
+	}
+	if c.replicas == 0 {
+		c.replicas = 1
+	}
+	if c.shards < 1 {
+		return fmt.Errorf("need at least one shard, got %d", c.shards)
+	}
+	if c.replicas < 1 {
+		return fmt.Errorf("need at least one replica, got %d", c.replicas)
+	}
+
+	var srv server
+	var rt *autoscale.Router
+	if c.shards > 1 || len(tenantCfg) > 0 {
+		rt, err = buildRouter(c, gcfg, tenantCfg)
+		if err != nil {
+			return err
+		}
+		srv = rt
+	} else {
+		srv, err = buildGateway(c, gcfg)
+		if err != nil {
+			return err
+		}
+	}
 	if c.sync > 0 {
-		if err := gw.StartPolicySync(); err != nil {
+		if err := srv.StartPolicySync(); err != nil {
 			return err
 		}
 	}
 	if c.admin != "" {
-		adm, err := autoscale.ServeGatewayAdmin(gw, c.admin)
+		var adm *autoscale.GatewayAdmin
+		if rt != nil {
+			adm, err = autoscale.ServeRouterAdmin(rt, c.admin)
+		} else {
+			adm, err = autoscale.ServeGatewayAdmin(srv.(*autoscale.Gateway), c.admin)
+		}
 		if err != nil {
 			return err
 		}
@@ -153,8 +207,15 @@ func run(c config, out *os.File) error {
 	if c.rate > 0 {
 		mode = fmt.Sprintf("Poisson %.0f req/s per client", c.rate)
 	}
-	fmt.Fprintf(out, "serving %q on %s — %d requests, %d clients, %s\n",
-		m.Name, strings.Join(gw.Devices(), "+"), c.n, c.clients, mode)
+	front := ""
+	if rt != nil {
+		front = fmt.Sprintf(" over %d shards", c.shards)
+		if len(tenantNames) > 0 {
+			front += fmt.Sprintf(", tenants %s", strings.Join(tenantNames, "/"))
+		}
+	}
+	fmt.Fprintf(out, "serving %q on %s%s — %d requests, %d clients, %s\n",
+		m.Name, strings.Join(srv.Devices(), "+"), front, c.n, c.clients, mode)
 	if gcfg.Faults != nil {
 		resil := "resilience off"
 		if c.resilient {
@@ -167,23 +228,52 @@ func run(c config, out *os.File) error {
 	}
 
 	start := time.Now()
-	if err := flood(gw, m, c); err != nil {
+	if err := flood(srv, m, c, tenantNames); err != nil {
 		return err
 	}
 	if c.linger > 0 {
-		// Keep the gateway (and /healthz=200) up for scrapers before the
+		// Keep the server (and /healthz=200) up for scrapers before the
 		// shutdown flips the probe and freezes the counters.
 		fmt.Fprintf(out, "load done; lingering %s for scrapes\n", c.linger)
 		time.Sleep(c.linger)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	if err := gw.Shutdown(ctx); err != nil {
+	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
-	printSnapshot(out, gw.Snapshot(), time.Since(start))
-	printHealth(out, gw.Health())
+	printSnapshot(out, srv.Snapshot(), time.Since(start))
+	if rt != nil {
+		printRouter(out, rt)
+	}
+	printHealth(out, srv.Health())
 	return nil
+}
+
+// parseTenants decodes "gold:4,silver:2,best:1" (weight defaults to 1).
+func parseTenants(s string) ([]autoscale.RouterTenant, []string, error) {
+	if s == "" {
+		return nil, nil, nil
+	}
+	var cfg []autoscale.RouterTenant
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		name, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 {
+				return nil, nil, fmt.Errorf("bad tenant weight in %q (want name:weight, weight >= 1)", part)
+			}
+			weight = w
+		}
+		if name == "" {
+			return nil, nil, fmt.Errorf("empty tenant name in %q", s)
+		}
+		cfg = append(cfg, autoscale.RouterTenant{Name: name, Weight: weight})
+		names = append(names, name)
+	}
+	return cfg, names, nil
 }
 
 // printHealth summarizes each engine's learning state: how much of the state
@@ -232,9 +322,84 @@ func buildGateway(c config, gcfg autoscale.GatewayConfig) (*autoscale.Gateway, e
 	return autoscale.NewGateway(backends, gcfg)
 }
 
-// flood drives the gateway from c.clients goroutines, each with its own
-// environment stream, and waits for every response.
-func flood(gw *autoscale.Gateway, m *autoscale.DNNModel, c config) error {
+// laneSpecs expands the device list by -replicas: each device D becomes
+// lanes D-0..D-(r-1) backed by D's hardware ("D-0=D" specs). With one
+// replica the plain names pass through.
+func laneSpecs(devices []string, replicas int) (specs, lanes []string, hw map[string]string) {
+	hw = make(map[string]string)
+	for _, device := range devices {
+		if replicas == 1 {
+			specs = append(specs, device)
+			lanes = append(lanes, device)
+			hw[device] = device
+			continue
+		}
+		for r := 0; r < replicas; r++ {
+			lane := fmt.Sprintf("%s-%d", device, r)
+			specs = append(specs, lane+"="+device)
+			lanes = append(lanes, lane)
+			hw[lane] = device
+		}
+	}
+	return specs, lanes, hw
+}
+
+// buildRouter stands up the sharded routing tier: donor-warm-started lanes
+// via Fleet.ProvisionRouter, or cold lanes round-robined over the shards.
+func buildRouter(c config, gcfg autoscale.GatewayConfig, tenants []autoscale.RouterTenant) (*autoscale.Router, error) {
+	ecfg := autoscale.DefaultEngineConfig()
+	specs, lanes, hw := laneSpecs(c.devices, c.replicas)
+	rcfg := autoscale.RouterConfig{Tenants: tenants, Shed: gcfg.Shed}
+	if c.donor != "" {
+		fleet, err := autoscale.NewFleet(c.donor, ecfg, c.train, c.seed)
+		if err != nil {
+			return nil, err
+		}
+		return fleet.ProvisionRouter(specs, c.shards, ecfg, gcfg, rcfg, c.seed)
+	}
+
+	// Cold engines, round-robin placement: a load test without a donor just
+	// needs the lanes spread, not the full placement machinery.
+	if len(lanes) < c.shards {
+		return nil, fmt.Errorf("%d lanes cannot populate %d shards (raise -replicas)", len(lanes), c.shards)
+	}
+	seeds := make(map[string]int64, len(lanes))
+	coldEngine := func(lane string) (*autoscale.Engine, error) {
+		world, err := autoscale.NewWorld(hw[lane], seeds[lane])
+		if err != nil {
+			return nil, err
+		}
+		return autoscale.NewEngine(world, ecfg)
+	}
+	backends := make([][]autoscale.GatewayBackend, c.shards)
+	for i, lane := range lanes {
+		seeds[lane] = c.seed + int64(i)
+		engine, err := coldEngine(lane)
+		if err != nil {
+			return nil, err
+		}
+		backends[i%c.shards] = append(backends[i%c.shards], autoscale.GatewayBackend{Device: lane, Engine: engine})
+	}
+	shards := make([]autoscale.RouterShard, 0, c.shards)
+	for i, bs := range backends {
+		shardCfg := gcfg
+		shardCfg.Name = fmt.Sprintf("shard-%d", i)
+		gw, err := autoscale.NewGateway(bs, shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, autoscale.RouterShard{Name: shardCfg.Name, Gateway: gw})
+	}
+	rcfg.EngineFactory = coldEngine
+	rcfg.Checkpoints = gcfg.Checkpoints
+	rcfg.Faults = gcfg.Faults
+	return autoscale.NewRouter(shards, rcfg)
+}
+
+// flood drives the server from c.clients goroutines, each with its own
+// environment stream, and waits for every response. With fairness classes
+// configured, each client cycles its requests through the tenant names.
+func flood(srv server, m *autoscale.DNNModel, c config, tenantNames []string) error {
 	per := c.n / c.clients
 	extra := c.n % c.clients
 	errs := make(chan error, c.clients)
@@ -259,12 +424,15 @@ func flood(gw *autoscale.Gateway, m *autoscale.DNNModel, c config) error {
 					time.Sleep(time.Duration(rng.ExpFloat64() / c.rate * float64(time.Second)))
 				}
 				req := autoscale.Request{Model: m, Conditions: env.Sample()}
+				if len(tenantNames) > 0 {
+					req.Tenant = tenantNames[(cl+i)%len(tenantNames)]
+				}
 				if c.deadline > 0 {
 					req.Deadline = time.Now().Add(c.deadline)
 				}
 				if c.rate > 0 {
 					// Open loop: fire and collect later.
-					ch, err := gw.Submit(req)
+					ch, err := srv.Submit(req)
 					if err != nil {
 						errs <- err
 						return
@@ -272,7 +440,7 @@ func flood(gw *autoscale.Gateway, m *autoscale.DNNModel, c config) error {
 					pending = append(pending, ch)
 					continue
 				}
-				if _, err := gw.Do(req); err != nil &&
+				if _, err := srv.Do(req); err != nil &&
 					err != autoscale.ErrQueueFull && err != autoscale.ErrDeadlineExpired {
 					errs <- err
 					return
@@ -291,6 +459,25 @@ func flood(gw *autoscale.Gateway, m *autoscale.DNNModel, c config) error {
 		}
 	}
 	return nil
+}
+
+// printRouter summarizes the routing tier: its own counters, per-shard
+// lifecycle rows and the tenant fairness queues.
+func printRouter(out *os.File, rt *autoscale.Router) {
+	rm := rt.RouterMetrics()
+	fmt.Fprintf(out, "\nrouter: dispatched %d  shed %d  failed %d  failovers %d  rehomed %d  kills %d  drains %d\n",
+		rm.Dispatched, rm.Shed, rm.Failed, rm.Failovers, rm.RehomedDevices, rm.ShardKills, rm.ShardDrains)
+	for _, s := range rt.ShardStatuses() {
+		fmt.Fprintf(out, "  %-10s %-9s served %6d  shed %4d  failed %4d  lanes %s\n",
+			s.Name, s.State, s.Served, s.Shed, s.Failed, strings.Join(s.Devices, ","))
+	}
+	for _, t := range rt.TenantQueues() {
+		if t.Admitted == 0 && t.Shed == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  tenant %-8s weight %d  admitted %6d  shed %4d\n",
+			t.Tenant, t.Weight, t.Admitted, t.Shed)
+	}
 }
 
 func printSnapshot(out *os.File, s autoscale.GatewayMetrics, wall time.Duration) {

@@ -3,9 +3,12 @@ package autoscale
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"autoscale/internal/policy"
+	"autoscale/internal/router"
 	"autoscale/internal/serve"
 )
 
@@ -128,4 +131,139 @@ func (f *Fleet) ProvisionGateway(devices []string, cfg EngineConfig, gcfg Gatewa
 		backends = append(backends, GatewayBackend{Device: device, Engine: engine})
 	}
 	return serve.New(backends, gcfg)
+}
+
+// ProvisionRouter stands up the cluster-scale routing tier in one call:
+// device lanes are placed over `shards` gateway shards ("shard-0" ... ) by
+// the router's consistent-hash/bounded-load placement (rebalanced so every
+// shard starts with at least one lane), each lane gets a donor-warm-started
+// engine (seeded seed, seed+1, ... in input order), each shard gets a copy
+// of gcfg with its Name stamped, and the router is wired with an engine
+// factory that rebuilds any lane's engine — same seed — when a dead shard's
+// lanes re-home onto survivors. The router inherits gcfg's checkpoint store
+// and fault injector when rcfg leaves them unset, so the cross-shard
+// learning plane and shard-crash drills ride the same plumbing the gateways
+// already use.
+//
+// Each devices entry is either a hardware name ("Mi8Pro") or a
+// "lane=hardware" spec ("Mi8Pro-1=Mi8Pro"), so one physical device model can
+// back many serving lanes — how a load test scales a two-model catalog to a
+// four-shard fleet.
+func (f *Fleet) ProvisionRouter(devices []string, shards int, cfg EngineConfig, gcfg GatewayConfig, rcfg RouterConfig, seed int64) (*Router, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("autoscale: router needs at least one shard")
+	}
+	if len(devices) < shards {
+		return nil, fmt.Errorf("autoscale: %d devices cannot populate %d shards", len(devices), shards)
+	}
+	lanes := make([]string, 0, len(devices))
+	hw := make(map[string]string, len(devices))
+	seeds := make(map[string]int64, len(devices))
+	for i, spec := range devices {
+		lane, model := spec, spec
+		if eq := strings.IndexByte(spec, '='); eq >= 0 {
+			lane, model = spec[:eq], spec[eq+1:]
+		}
+		if lane == "" || model == "" {
+			return nil, fmt.Errorf("autoscale: bad device spec %q (want name or lane=hardware)", spec)
+		}
+		if _, dup := seeds[lane]; dup {
+			return nil, fmt.Errorf("autoscale: duplicate device lane %q", lane)
+		}
+		lanes = append(lanes, lane)
+		hw[lane] = model
+		seeds[lane] = seed + int64(i)
+	}
+	shardNames := make([]string, shards)
+	for i := range shardNames {
+		shardNames[i] = fmt.Sprintf("shard-%d", i)
+	}
+
+	homes := router.PlaceDevices(lanes, shardNames, rcfg.VNodes, rcfg.LoadFactor)
+	rebalanceEmptyShards(homes, shardNames)
+
+	byShard := make(map[string][]string, shards)
+	for lane, shard := range homes {
+		byShard[shard] = append(byShard[shard], lane)
+	}
+	gateways := make([]RouterShard, 0, shards)
+	for _, name := range shardNames {
+		devs := byShard[name]
+		sort.Strings(devs)
+		backends := make([]GatewayBackend, 0, len(devs))
+		for _, lane := range devs {
+			engine, err := f.Provision(hw[lane], cfg, seeds[lane])
+			if err != nil {
+				return nil, err
+			}
+			backends = append(backends, GatewayBackend{Device: lane, Engine: engine})
+		}
+		shardCfg := gcfg
+		shardCfg.Name = name
+		gw, err := serve.New(backends, shardCfg)
+		if err != nil {
+			return nil, fmt.Errorf("autoscale: shard %s: %w", name, err)
+		}
+		gateways = append(gateways, RouterShard{Name: name, Gateway: gw})
+	}
+
+	if rcfg.EngineFactory == nil {
+		rcfg.EngineFactory = func(lane string) (*Engine, error) {
+			s, ok := seeds[lane]
+			if !ok {
+				return nil, fmt.Errorf("autoscale: unknown device %q", lane)
+			}
+			return f.Provision(hw[lane], cfg, s)
+		}
+	}
+	if rcfg.Checkpoints == nil {
+		rcfg.Checkpoints = gcfg.Checkpoints
+	}
+	if rcfg.Faults == nil {
+		rcfg.Faults = gcfg.Faults
+	}
+	return router.New(gateways, rcfg)
+}
+
+// rebalanceEmptyShards patches a placement so no shard starts empty: each
+// empty shard (in name order) steals one device from the currently
+// most-loaded shard (deterministic tiebreaks), preserving the placement's
+// purity as a function of the name sets.
+func rebalanceEmptyShards(homes map[string]string, shardNames []string) {
+	counts := make(map[string]int, len(shardNames))
+	for _, s := range shardNames {
+		counts[s] = 0
+	}
+	for _, s := range homes {
+		counts[s]++
+	}
+	sortedNames := append([]string(nil), shardNames...)
+	sort.Strings(sortedNames)
+	for _, empty := range sortedNames {
+		if counts[empty] > 0 {
+			continue
+		}
+		donor := ""
+		for _, s := range sortedNames {
+			if donor == "" || counts[s] > counts[donor] {
+				donor = s
+			}
+		}
+		if donor == "" || counts[donor] < 2 {
+			continue
+		}
+		// Steal the last (sorted) device homed on the donor.
+		victim := ""
+		for dev, s := range homes {
+			if s == donor && dev > victim {
+				victim = dev
+			}
+		}
+		if victim == "" {
+			continue
+		}
+		homes[victim] = empty
+		counts[donor]--
+		counts[empty]++
+	}
 }

@@ -54,6 +54,11 @@ const (
 	// checkpoint at StartS — the drill that proves the policy store's
 	// quarantine-and-fall-back machinery works when it matters.
 	KindCheckpointCorrupt Kind = "checkpoint_corrupt"
+	// KindShardCrash kills a named gateway shard at StartS on that shard's
+	// virtual clock: the routing tier must mask the shard, fail its queued
+	// requests over to survivors, and re-home its devices from their latest
+	// checkpoints.
+	KindShardCrash Kind = "shard_crash"
 )
 
 // Offload sites and radio links a spec can target. Sites mirror
@@ -76,6 +81,8 @@ type Spec struct {
 	Link string `json:"link,omitempty"`
 	// Device targets worker crashes and checkpoint corruption drills.
 	Device string `json:"device,omitempty"`
+	// Shard targets shard crashes (the routing tier's gateway shards).
+	Shard string `json:"shard,omitempty"`
 	// StartS/EndS bound window faults; event faults (worker_crash,
 	// checkpoint_corrupt) fire once at StartS and ignore EndS.
 	StartS float64 `json:"start_s"`
@@ -105,7 +112,7 @@ type Schedule struct {
 
 // event reports whether a kind fires once instead of holding for a window.
 func (k Kind) event() bool {
-	return k == KindWorkerCrash || k == KindCheckpointCorrupt
+	return k == KindWorkerCrash || k == KindCheckpointCorrupt || k == KindShardCrash
 }
 
 // validSite reports whether s names an offload site.
@@ -166,6 +173,10 @@ func (sp Spec) validate() error {
 	case KindWorkerCrash, KindCheckpointCorrupt:
 		if sp.Device == "" {
 			return fmt.Errorf("%s needs a device name", sp.Kind)
+		}
+	case KindShardCrash:
+		if sp.Shard == "" {
+			return fmt.Errorf("shard_crash needs a shard name")
 		}
 	default:
 		return fmt.Errorf("unknown fault kind %q", sp.Kind)

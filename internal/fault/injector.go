@@ -33,11 +33,12 @@ type throttle struct {
 	factor float64
 }
 
-// Event is a one-shot fault (worker crash, checkpoint corruption) firing at
-// AtS on the virtual clock.
+// Event is a one-shot fault (worker crash, checkpoint corruption, shard
+// crash) firing at AtS on the virtual clock.
 type Event struct {
 	Kind   Kind
 	Device string
+	Shard  string
 	AtS    float64
 }
 
@@ -53,6 +54,7 @@ type Injector struct {
 	spikes    map[string][]spike  // site -> spikes, sorted by start
 	throttles []throttle
 	events    map[string][]Event // device -> one-shot events, sorted by time
+	shardEvs  map[string][]Event // shard -> one-shot events, sorted by time
 }
 
 // New compiles a schedule into an injector, drawing any Markov window
@@ -68,11 +70,12 @@ func New(s *Schedule, ctx *exec.Context) *Injector {
 		panic(err)
 	}
 	inj := &Injector{
-		name:    s.Name,
-		outages: map[string][]window{},
-		ramps:   map[string][]ramp{},
-		spikes:  map[string][]spike{},
-		events:  map[string][]Event{},
+		name:     s.Name,
+		outages:  map[string][]window{},
+		ramps:    map[string][]ramp{},
+		spikes:   map[string][]spike{},
+		events:   map[string][]Event{},
+		shardEvs: map[string][]Event{},
 	}
 	for i, sp := range s.Faults {
 		switch sp.Kind {
@@ -87,6 +90,9 @@ func New(s *Schedule, ctx *exec.Context) *Injector {
 		case KindWorkerCrash, KindCheckpointCorrupt:
 			inj.events[sp.Device] = append(inj.events[sp.Device],
 				Event{Kind: sp.Kind, Device: sp.Device, AtS: sp.StartS})
+		case KindShardCrash:
+			inj.shardEvs[sp.Shard] = append(inj.shardEvs[sp.Shard],
+				Event{Kind: sp.Kind, Shard: sp.Shard, AtS: sp.StartS})
 		}
 	}
 	for site := range inj.outages {
@@ -95,6 +101,10 @@ func New(s *Schedule, ctx *exec.Context) *Injector {
 	}
 	for dev := range inj.events {
 		es := inj.events[dev]
+		sort.Slice(es, func(a, b int) bool { return es[a].AtS < es[b].AtS })
+	}
+	for sh := range inj.shardEvs {
+		es := inj.shardEvs[sh]
 		sort.Slice(es, func(a, b int) bool { return es[a].AtS < es[b].AtS })
 	}
 	return inj
@@ -180,6 +190,15 @@ func (inj *Injector) Events(device string) []Event {
 	return inj.events[device]
 }
 
+// ShardEvents returns the shard's one-shot faults (shard crashes) in firing
+// order. The returned slice is shared immutable state: read-only.
+func (inj *Injector) ShardEvents(shard string) []Event {
+	if inj == nil {
+		return nil
+	}
+	return inj.shardEvs[shard]
+}
+
 // Active reports whether any fault timeline could still be (or become)
 // active at or after virtual time t — used by summaries to note whether a
 // schedule has fully played out.
@@ -214,6 +233,13 @@ func (inj *Injector) Active(t float64) bool {
 		}
 	}
 	for _, es := range inj.events {
+		for _, e := range es {
+			if e.AtS >= t {
+				return true
+			}
+		}
+	}
+	for _, es := range inj.shardEvs {
 		for _, e := range es {
 			if e.AtS >= t {
 				return true

@@ -1,0 +1,52 @@
+package router
+
+import "sync/atomic"
+
+// routerMetrics are the routing tier's own counters — everything the shards
+// cannot see because it happens above them: cross-shard admission, fairness
+// shedding, failover re-dispatch, and shard lifecycle. The per-request
+// serving metrics stay in each shard's registry and are merged on snapshot.
+type routerMetrics struct {
+	submitted   atomic.Uint64
+	dispatched  atomic.Uint64
+	shed        atomic.Uint64
+	failed      atomic.Uint64
+	failovers   atomic.Uint64
+	rehomed     atomic.Uint64
+	shardKills  atomic.Uint64
+	shardDrains atomic.Uint64
+}
+
+// RouterSnapshot is a point-in-time copy of the routing tier's counters.
+type RouterSnapshot struct {
+	// Submitted counts requests entering cross-shard admission.
+	Submitted uint64 `json:"submitted"`
+	// Dispatched counts requests handed to a shard gateway.
+	Dispatched uint64 `json:"dispatched"`
+	// Shed counts requests sacrificed at tenant-queue admission.
+	Shed uint64 `json:"shed"`
+	// Failed counts requests the router itself terminated (unknown tenant or
+	// device, no healthy shard, failover budget exhausted).
+	Failed uint64 `json:"failed"`
+	// Failovers counts re-dispatches of requests bounced by a dead or
+	// draining shard.
+	Failovers uint64 `json:"failovers"`
+	// RehomedDevices counts device lanes moved to a surviving shard.
+	RehomedDevices uint64 `json:"rehomed_devices"`
+	// ShardKills / ShardDrains count lifecycle transitions.
+	ShardKills  uint64 `json:"shard_kills"`
+	ShardDrains uint64 `json:"shard_drains"`
+}
+
+func (m *routerMetrics) snapshot() RouterSnapshot {
+	return RouterSnapshot{
+		Submitted:      m.submitted.Load(),
+		Dispatched:     m.dispatched.Load(),
+		Shed:           m.shed.Load(),
+		Failed:         m.failed.Load(),
+		Failovers:      m.failovers.Load(),
+		RehomedDevices: m.rehomed.Load(),
+		ShardKills:     m.shardKills.Load(),
+		ShardDrains:    m.shardDrains.Load(),
+	}
+}

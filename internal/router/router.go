@@ -1,0 +1,946 @@
+// Package router is the cluster-scale routing tier over gateway shards: one
+// front door for a fleet too large for a single serve.Gateway. It owns what
+// no single shard can decide — device-to-shard placement (consistent-hash
+// ring with bounded-load overflow), cross-shard admission with a global
+// in-flight budget, per-tenant weighted fairness (deficit round-robin over
+// tenant queues), and shard lifecycle: crash drills on the virtual clock,
+// graceful draining, and re-homing a lost shard's device lanes onto
+// survivors with checkpoint warm-start. Within a shard, the gateway's own
+// admission, deadline and resilience machinery applies unchanged; the router
+// deliberately adds no second opinion on any per-request decision a shard
+// already makes.
+//
+// Like the serving layer under it, the router is deterministic where it can
+// be: placement is a pure function of device and shard names, DRR order is a
+// pure function of the admission sequence, and crash drills fire on shard
+// virtual time — so a fixed-seed storm replays byte-identical traces even
+// across a mid-run shard kill.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autoscale/internal/core"
+	"autoscale/internal/fault"
+	"autoscale/internal/obs"
+	"autoscale/internal/policy"
+	"autoscale/internal/serve"
+	"autoscale/internal/serve/metrics"
+)
+
+// Sentinel errors for router-terminated requests.
+var (
+	// ErrUnknownTenant marks a request naming a fairness class the router
+	// was not configured with.
+	ErrUnknownTenant = errors.New("router: unknown tenant")
+	// ErrNoHealthyShard marks a request with no live shard left to serve it.
+	ErrNoHealthyShard = errors.New("router: no healthy shard")
+)
+
+// DefaultTenant is the catch-all fairness class requests with an empty
+// Tenant are billed to. The router always provisions it (weight 1) unless
+// the configuration defines it explicitly.
+const DefaultTenant = "default"
+
+// Tenant is one weighted fairness class: under saturating load, tenants are
+// served in proportion to their weights (deficit round-robin, unit cost per
+// request). Weights below 1 are raised to 1.
+type Tenant struct {
+	Name   string
+	Weight int
+}
+
+// ShardGateway names one gateway shard for the router.
+type ShardGateway struct {
+	Name    string
+	Gateway *serve.Gateway
+}
+
+// Config tunes a Router.
+type Config struct {
+	// Tenants are the fairness classes. The DefaultTenant (weight 1) is
+	// appended when absent so unclassified traffic is always admissible.
+	Tenants []Tenant
+	// GlobalBudget bounds in-flight requests across all shards (default 64):
+	// cross-shard backpressure on top of each shard's own queue admission.
+	GlobalBudget int
+	// TenantQueueDepth bounds each tenant's router queue (default 256).
+	TenantQueueDepth int
+	// Shed selects the admission victim on a full tenant queue, mirroring
+	// the gateway's policy vocabulary: ShedNewest rejects the arrival,
+	// ShedOldest evicts the head of the tenant's queue.
+	Shed serve.ShedPolicy
+	// VNodes is the consistent-hash ring's virtual-node count per shard
+	// (default 64).
+	VNodes int
+	// LoadFactor is the bounded-load placement ceiling: no shard owns more
+	// than ceil(LoadFactor * devices / aliveShards) device lanes (default
+	// 1.25). Values below 1 clamp to a perfectly even split.
+	LoadFactor float64
+	// MaxFailovers caps per-request re-dispatches after a shard bounce
+	// (default 2). A request over the cap fails with the bounce error.
+	MaxFailovers int
+	// EngineFactory builds a fresh engine for a device being re-homed onto a
+	// surviving shard (the dead shard's engine is gone with its process).
+	// The new lane still warm-starts from the device's latest checkpoint via
+	// the shard gateway's policy plane. Without a factory, a dead shard's
+	// devices are lost and pinned requests to them fail.
+	EngineFactory func(device string) (*core.Engine, error)
+	// Checkpoints, when non-nil, is the cross-shard learning plane: the
+	// router's policy syncer federates every shard's workers against it, so
+	// experience merges fleet-wide rather than per shard.
+	Checkpoints policy.Sink
+	// PolicySync tunes the cross-shard syncer.
+	PolicySync policy.SyncConfig
+	// Faults, when non-nil, scripts shard-crash drills: each shard_crash
+	// spec kills its shard once the shard's virtual clock reaches the
+	// event's time, exactly like the gateway's worker-level drills.
+	Faults *fault.Injector
+	// Clock overrides the router's time source (tests; default time.Now).
+	Clock func() time.Time
+}
+
+func (c Config) globalBudget() int {
+	if c.GlobalBudget <= 0 {
+		return 64
+	}
+	return c.GlobalBudget
+}
+
+func (c Config) tenantQueueDepth() int {
+	if c.TenantQueueDepth <= 0 {
+		return 256
+	}
+	return c.TenantQueueDepth
+}
+
+func (c Config) maxFailovers() int {
+	if c.MaxFailovers <= 0 {
+		return 2
+	}
+	return c.MaxFailovers
+}
+
+func (c Config) loadFactor() float64 {
+	if c.LoadFactor <= 0 {
+		return 1.25
+	}
+	return c.LoadFactor
+}
+
+// PlaceDevices computes the initial device-to-shard assignment the router
+// and Fleet.ProvisionRouter share: consistent-hash placement with
+// bounded-load overflow, a pure function of the name sets. Zero vnodes and
+// factor select the defaults.
+func PlaceDevices(devices, shards []string, vnodes int, factor float64) map[string]string {
+	if factor <= 0 {
+		factor = Config{}.loadFactor()
+	}
+	return placeDevices(devices, shards, nil, vnodes, factor)
+}
+
+// shardState is the lifecycle of one shard.
+type shardState int
+
+const (
+	shardHealthy shardState = iota
+	shardDraining
+	shardDrained
+	shardDead
+)
+
+func (s shardState) String() string {
+	switch s {
+	case shardHealthy:
+		return "healthy"
+	case shardDraining:
+		return "draining"
+	case shardDrained:
+		return "drained"
+	case shardDead:
+		return "dead"
+	}
+	return fmt.Sprintf("shardState(%d)", int(s))
+}
+
+// shard is one gateway plus its lifecycle and drill state.
+type shard struct {
+	name     string
+	gw       *serve.Gateway
+	state    shardState
+	inflight atomic.Int64 // router-dispatched requests inside this shard
+
+	events    []fault.Event // scripted shard_crash drills, time-ordered
+	nextEvent int
+}
+
+// rreq is one request in the routing tier.
+type rreq struct {
+	req         serve.Request
+	resp        chan serve.Response
+	submittedAt time.Time
+	attempts    int // failover re-dispatches consumed
+}
+
+// Router fronts a fleet of gateway shards. It is safe for concurrent use.
+type Router struct {
+	cfg          Config
+	budget       int
+	tenantDepth  int
+	maxFailovers int
+
+	// mu guards shard lifecycle state and the device-home map; the lock
+	// order is mu before any gateway's internal lock.
+	mu     sync.RWMutex
+	shards map[string]*shard
+	order  []string          // sorted shard names
+	homes  map[string]string // device -> shard name, always a live shard
+
+	// qmu guards the DRR scheduler and tenant queues.
+	qmu sync.Mutex
+	drr *drr
+
+	inflight atomic.Int64 // global in-flight dispatches
+	rr       atomic.Uint64
+	met      routerMetrics
+	closed   atomic.Bool
+
+	wake   chan struct{}
+	stopc  chan struct{}
+	dispWG sync.WaitGroup // dispatcher goroutine
+	pipeWG sync.WaitGroup // per-dispatch pipe goroutines
+
+	syncMu sync.Mutex
+	syncer *policy.Syncer
+}
+
+// New builds a router over the given shards and starts its dispatcher.
+// Shards need distinct non-empty names, non-nil gateways, and disjoint
+// device sets (a device lane lives on exactly one shard).
+func New(shards []ShardGateway, cfg Config) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("router: no shards")
+	}
+	if cfg.Shed != serve.ShedNewest && cfg.Shed != serve.ShedOldest {
+		return nil, fmt.Errorf("router: unknown shed policy %d", cfg.Shed)
+	}
+	tenants := append([]Tenant(nil), cfg.Tenants...)
+	hasDefault := false
+	for _, t := range tenants {
+		if t.Name == "" {
+			return nil, errors.New("router: tenant with empty name")
+		}
+		if t.Name == DefaultTenant {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		tenants = append(tenants, Tenant{Name: DefaultTenant, Weight: 1})
+	}
+
+	rt := &Router{
+		cfg:          cfg,
+		budget:       cfg.globalBudget(),
+		tenantDepth:  cfg.tenantQueueDepth(),
+		maxFailovers: cfg.maxFailovers(),
+		shards:       make(map[string]*shard, len(shards)),
+		homes:        make(map[string]string),
+		drr:          newDRR(tenants),
+		wake:         make(chan struct{}, 1),
+		stopc:        make(chan struct{}),
+	}
+	for _, sg := range shards {
+		if sg.Name == "" {
+			return nil, errors.New("router: shard with empty name")
+		}
+		if sg.Gateway == nil {
+			return nil, fmt.Errorf("router: shard %q has nil gateway", sg.Name)
+		}
+		if _, dup := rt.shards[sg.Name]; dup {
+			return nil, fmt.Errorf("router: duplicate shard %q", sg.Name)
+		}
+		sh := &shard{name: sg.Name, gw: sg.Gateway}
+		if cfg.Faults != nil {
+			sh.events = cfg.Faults.ShardEvents(sg.Name)
+		}
+		rt.shards[sg.Name] = sh
+		rt.order = append(rt.order, sg.Name)
+		for _, dev := range sg.Gateway.Devices() {
+			if prev, dup := rt.homes[dev]; dup {
+				return nil, fmt.Errorf("router: device %q on shards %q and %q", dev, prev, sg.Name)
+			}
+			rt.homes[dev] = sg.Name
+		}
+	}
+	sort.Strings(rt.order)
+
+	rt.dispWG.Add(1)
+	go rt.run()
+	return rt, nil
+}
+
+func (rt *Router) now() time.Time {
+	if rt.cfg.Clock != nil {
+		return rt.cfg.Clock()
+	}
+	return time.Now()
+}
+
+// wakeUp nudges the dispatcher (non-blocking; coalesces).
+func (rt *Router) wakeUp() {
+	select {
+	case rt.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Submit runs cross-shard admission on one request: tenant classification,
+// per-tenant queue bounds with the configured shed policy, then the DRR
+// scheduler. The returned channel (buffered, delivered to exactly once)
+// carries the terminal Response. The error return is reserved for misuse
+// (nil model) and a closed router.
+func (rt *Router) Submit(req serve.Request) (<-chan serve.Response, error) {
+	if req.Model == nil {
+		return nil, errors.New("router: request needs a model")
+	}
+	if rt.closed.Load() {
+		return nil, serve.ErrClosed
+	}
+	rt.met.submitted.Add(1)
+	now := rt.now()
+	r := &rreq{req: req, resp: make(chan serve.Response, 1), submittedAt: now}
+
+	name := req.Tenant
+	if name == "" {
+		name = DefaultTenant
+	}
+	// The normalized tenant flows through to the shard so traces and the
+	// fairness accounting agree on the class.
+	r.req.Tenant = name
+
+	rt.qmu.Lock()
+	tq := rt.drr.queue(name)
+	if tq == nil {
+		rt.qmu.Unlock()
+		rt.met.failed.Add(1)
+		r.resp <- serve.Response{
+			Status: serve.StatusFailed, Err: fmt.Errorf("%w: %q", ErrUnknownTenant, name),
+			SubmittedAt: now, DoneAt: now,
+		}
+		return r.resp, nil
+	}
+	if tq.size() >= rt.tenantDepth {
+		if rt.cfg.Shed == serve.ShedOldest && tq.size() > 0 {
+			old := tq.popOldest()
+			rt.drr.queued--
+			tq.shed++
+			rt.met.shed.Add(1)
+			old.resp <- rt.shedResponse(old)
+		} else {
+			tq.shed++
+			rt.met.shed.Add(1)
+			rt.qmu.Unlock()
+			r.resp <- rt.shedResponse(r)
+			return r.resp, nil
+		}
+	}
+	tq.admitted++
+	rt.drr.push(tq, r)
+	rt.qmu.Unlock()
+	rt.wakeUp()
+	return r.resp, nil
+}
+
+func (rt *Router) shedResponse(r *rreq) serve.Response {
+	return serve.Response{
+		Status: serve.StatusShed, Err: serve.ErrQueueFull,
+		SubmittedAt: r.submittedAt, DoneAt: rt.now(),
+	}
+}
+
+// Do submits one request and waits for its response — the synchronous
+// convenience mirroring Gateway.Do.
+func (rt *Router) Do(req serve.Request) (serve.Response, error) {
+	ch, err := rt.Submit(req)
+	if err != nil {
+		return serve.Response{}, err
+	}
+	r := <-ch
+	if r.Status != serve.StatusServed {
+		return r, r.Err
+	}
+	return r, nil
+}
+
+// run is the dispatcher loop: a single goroutine that owns the
+// queue-to-shard handoff, so DRR order is exactly dispatch order.
+func (rt *Router) run() {
+	defer rt.dispWG.Done()
+	for {
+		select {
+		case <-rt.stopc:
+			return
+		case <-rt.wake:
+		}
+		rt.pump()
+	}
+}
+
+// pump drains the scheduler until the global budget is saturated or the
+// queues are empty. Completions wake the dispatcher again.
+func (rt *Router) pump() {
+	for {
+		rt.fireDrills()
+		if rt.inflight.Load() >= int64(rt.budget) {
+			return
+		}
+		rt.qmu.Lock()
+		r := rt.drr.pick()
+		rt.qmu.Unlock()
+		if r == nil {
+			return
+		}
+		rt.dispatchOne(r)
+	}
+}
+
+// fireDrills kills any healthy shard whose next scripted shard_crash event
+// has come due on the shard's virtual clock. Checked on every dispatch, so
+// under deterministic (sequential) driving the kill lands at the same
+// request index every run.
+func (rt *Router) fireDrills() {
+	if rt.cfg.Faults == nil {
+		return
+	}
+	for {
+		victim := ""
+		rt.mu.RLock()
+		for _, name := range rt.order {
+			sh := rt.shards[name]
+			if sh.state != shardHealthy || sh.nextEvent >= len(sh.events) {
+				continue
+			}
+			if ev := sh.events[sh.nextEvent]; ev.Kind == fault.KindShardCrash && sh.gw.VirtualNow() >= ev.AtS {
+				victim = name
+				break
+			}
+		}
+		rt.mu.RUnlock()
+		if victim == "" {
+			return
+		}
+		rt.mu.Lock()
+		sh := rt.shards[victim]
+		fire := sh.state == shardHealthy && sh.nextEvent < len(sh.events)
+		if fire {
+			sh.nextEvent++
+		}
+		rt.mu.Unlock()
+		if fire {
+			rt.KillShard(victim) //nolint:errcheck // racing lifecycle is benign
+		}
+	}
+}
+
+// dispatchOne routes a picked request to its shard and hands the wait to a
+// pipe goroutine. Pinned requests go to the device's home shard; unpinned
+// requests go to the least-loaded healthy shard (fewest router-dispatched
+// requests in flight, shard-name tiebreak).
+func (rt *Router) dispatchOne(r *rreq) {
+	rt.mu.RLock()
+	var sh *shard
+	var err error
+	if r.req.Device != "" {
+		home, ok := rt.homes[r.req.Device]
+		if !ok {
+			err = fmt.Errorf("%w: %q", serve.ErrUnknownDevice, r.req.Device)
+		} else if s := rt.shards[home]; s.state == shardHealthy {
+			sh = s
+		} else {
+			err = fmt.Errorf("%w: device %q homed on %s shard %q", ErrNoHealthyShard, r.req.Device, s.state, home)
+		}
+	} else {
+		// Least-loaded healthy shard; a rotating start breaks ties so an
+		// underloaded fleet still spreads across shards.
+		offset := int(rt.rr.Add(1))
+		for i := 0; i < len(rt.order); i++ {
+			s := rt.shards[rt.order[(offset+i)%len(rt.order)]]
+			if s.state != shardHealthy {
+				continue
+			}
+			if sh == nil || s.inflight.Load() < sh.inflight.Load() {
+				sh = s
+			}
+		}
+		if sh == nil {
+			err = ErrNoHealthyShard
+		}
+	}
+	rt.mu.RUnlock()
+	if sh == nil {
+		rt.fail(r, err)
+		return
+	}
+	sh.inflight.Add(1)
+	rt.inflight.Add(1)
+	rt.met.dispatched.Add(1)
+	rt.pipeWG.Add(1)
+	go rt.pipe(r, sh)
+}
+
+// fail terminates one request at the router.
+func (rt *Router) fail(r *rreq, err error) {
+	rt.met.failed.Add(1)
+	r.resp <- serve.Response{
+		Status: serve.StatusFailed, Err: err,
+		SubmittedAt: r.submittedAt, DoneAt: rt.now(),
+	}
+}
+
+// pipe submits one dispatched request to its shard and relays the terminal
+// response — unless the shard bounced it (killed or draining), in which case
+// the request re-enters the scheduler for failover, up to MaxFailovers. The
+// requeue happens before the in-flight gauge drops so Shutdown's quiet check
+// (queues empty AND nothing in flight) can never miss a failover in motion.
+func (rt *Router) pipe(r *rreq, sh *shard) {
+	defer rt.pipeWG.Done()
+	var resp serve.Response
+	bounced := false
+	ch, err := sh.gw.Submit(r.req)
+	if err != nil {
+		// Admission refused: the shard closed between routing and submit.
+		bounced = errors.Is(err, serve.ErrClosed)
+		resp = serve.Response{
+			Status: serve.StatusFailed, Err: err,
+			SubmittedAt: r.submittedAt, DoneAt: rt.now(),
+		}
+	} else {
+		resp = <-ch
+		bounced = resp.Status == serve.StatusFailed && errors.Is(resp.Err, serve.ErrShardDown)
+	}
+
+	if bounced && r.attempts < rt.maxFailovers {
+		r.attempts++
+		rt.met.failovers.Add(1)
+		rt.qmu.Lock()
+		tq := rt.drr.queue(r.req.Tenant)
+		if tq != nil {
+			rt.drr.push(tq, r)
+		}
+		rt.qmu.Unlock()
+		sh.inflight.Add(-1)
+		rt.inflight.Add(-1)
+		if tq == nil {
+			rt.fail(r, resp.Err)
+		}
+		rt.wakeUp()
+		return
+	}
+
+	sh.inflight.Add(-1)
+	rt.inflight.Add(-1)
+	if bounced {
+		rt.met.failed.Add(1)
+	}
+	r.resp <- resp
+	rt.wakeUp()
+}
+
+// KillShard crashes one healthy shard: its device lanes re-home onto
+// survivors (fresh engines from the factory, warm-started from their latest
+// checkpoints by the target gateway), the shard's queued requests bounce
+// with ErrShardDown and fail over, and — crash semantics — nothing the shard
+// had not already checkpointed survives.
+func (rt *Router) KillShard(name string) error {
+	sh, moved, err := rt.takeDown(name, shardDead)
+	if err != nil {
+		return err
+	}
+	killErr := sh.gw.Kill()
+	rt.met.shardKills.Add(1)
+	rt.met.rehomed.Add(uint64(moved))
+	rt.wakeUp()
+	return killErr
+}
+
+// DrainShard gracefully retires one healthy shard: a synchronous federation
+// pass first (so checkpoints are fresh), then its device lanes re-home onto
+// survivors, then the gateway drains its queues and flushes checkpoints and
+// trace. Unlike KillShard, queued requests on the draining shard still
+// execute.
+func (rt *Router) DrainShard(ctx context.Context, name string) error {
+	if rt.cfg.Checkpoints != nil {
+		if _, err := rt.SyncPolicies(); err != nil {
+			return fmt.Errorf("router: drain %s: pre-drain sync: %w", name, err)
+		}
+	}
+	sh, moved, err := rt.takeDown(name, shardDraining)
+	if err != nil {
+		return err
+	}
+	rt.met.shardDrains.Add(1)
+	rt.met.rehomed.Add(uint64(moved))
+	shutErr := sh.gw.Shutdown(ctx)
+	rt.mu.Lock()
+	sh.state = shardDrained
+	rt.mu.Unlock()
+	rt.wakeUp()
+	return shutErr
+}
+
+// takeDown transitions one healthy shard to the given state and re-homes its
+// devices, all under the lifecycle lock.
+func (rt *Router) takeDown(name string, to shardState) (*shard, int, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sh, ok := rt.shards[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("router: unknown shard %q", name)
+	}
+	if sh.state != shardHealthy {
+		return nil, 0, fmt.Errorf("router: shard %q is %s", name, sh.state)
+	}
+	sh.state = to
+	return sh, rt.rehomeLocked(sh), nil
+}
+
+// rehomeLocked moves every device homed on sh to a surviving healthy shard:
+// consistent-hash placement over the survivor set with bounded-load
+// overflow, a fresh engine from the factory, and the target gateway's
+// checkpoint warm-start. Devices the factory cannot rebuild (or with no
+// survivor to land on) are dropped from the home map; pinned requests to
+// them fail fast. Returns the number of lanes moved. Caller holds rt.mu.
+func (rt *Router) rehomeLocked(sh *shard) int {
+	var orphans []string
+	for dev, home := range rt.homes {
+		if home == sh.name {
+			orphans = append(orphans, dev)
+		}
+	}
+	sort.Strings(orphans)
+	if len(orphans) == 0 {
+		return 0
+	}
+
+	var alive []string
+	counts := make(map[string]int)
+	for _, name := range rt.order {
+		if rt.shards[name].state == shardHealthy {
+			alive = append(alive, name)
+			counts[name] = 0
+		}
+	}
+	for dev, home := range rt.homes {
+		if _, ok := counts[home]; ok && dev != "" {
+			counts[home]++
+		}
+	}
+	if len(alive) == 0 || rt.cfg.EngineFactory == nil {
+		for _, dev := range orphans {
+			delete(rt.homes, dev)
+		}
+		return 0
+	}
+
+	placed := placeDevices(orphans, alive, counts, rt.cfg.VNodes, rt.cfg.loadFactor())
+	moved := 0
+	for _, dev := range orphans {
+		target := placed[dev]
+		engine, err := rt.cfg.EngineFactory(dev)
+		if err != nil {
+			delete(rt.homes, dev)
+			continue
+		}
+		if err := rt.shards[target].gw.AddBackend(serve.Backend{Device: dev, Engine: engine}); err != nil {
+			delete(rt.homes, dev)
+			continue
+		}
+		rt.homes[dev] = target
+		moved++
+	}
+	return moved
+}
+
+// Devices returns the routable device names in sorted order.
+func (rt *Router) Devices() []string {
+	rt.mu.RLock()
+	out := make([]string, 0, len(rt.homes))
+	for dev := range rt.homes {
+		out = append(out, dev)
+	}
+	rt.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Home returns the shard currently serving a device ("" when unknown).
+func (rt *Router) Home(device string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.homes[device]
+}
+
+// Closed reports whether Shutdown has begun.
+func (rt *Router) Closed() bool { return rt.closed.Load() }
+
+// RouterMetrics copies the routing tier's own counters.
+func (rt *Router) RouterMetrics() RouterSnapshot { return rt.met.snapshot() }
+
+// Snapshot merges every shard's metrics registry into one fleet-wide view
+// (dead shards included — their counters froze at the kill but their served
+// history still counts).
+func (rt *Router) Snapshot() metrics.Snapshot {
+	rt.mu.RLock()
+	snaps := make([]metrics.Snapshot, 0, len(rt.order))
+	for _, name := range rt.order {
+		snaps = append(snaps, rt.shards[name].gw.Snapshot())
+	}
+	rt.mu.RUnlock()
+	return metrics.Merge(snaps...)
+}
+
+// Health unions per-device learning health across live shards, filtered to
+// each device's current home so a re-homed device reports from the lane that
+// actually serves it.
+func (rt *Router) Health() map[string]core.Health {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[string]core.Health, len(rt.homes))
+	for _, name := range rt.order {
+		sh := rt.shards[name]
+		if sh.state != shardHealthy && sh.state != shardDraining {
+			continue
+		}
+		for dev, h := range sh.gw.Health() {
+			if rt.homes[dev] == name {
+				out[dev] = h
+			}
+		}
+	}
+	return out
+}
+
+// ShardStatuses reports each shard's lifecycle row for the admin /shards
+// document, in shard-name order.
+func (rt *Router) ShardStatuses() []serve.ShardStatus {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]serve.ShardStatus, 0, len(rt.order))
+	for _, name := range rt.order {
+		sh := rt.shards[name]
+		var devices []string
+		for dev, home := range rt.homes {
+			if home == name {
+				devices = append(devices, dev)
+			}
+		}
+		sort.Strings(devices)
+		snap := sh.gw.Snapshot()
+		out = append(out, serve.ShardStatus{
+			Name:       name,
+			State:      sh.state.String(),
+			Devices:    devices,
+			QueueDepth: snap.QueueDepth,
+			Served:     snap.Served,
+			Shed:       snap.Shed,
+			Failed:     snap.Failed,
+			VirtualS:   sh.gw.VirtualNow(),
+		})
+	}
+	return out
+}
+
+// TenantQueues reports each tenant's fairness-queue row, in tenant-name
+// order.
+func (rt *Router) TenantQueues() []serve.TenantQueueStatus {
+	rt.qmu.Lock()
+	defer rt.qmu.Unlock()
+	out := make([]serve.TenantQueueStatus, 0, len(rt.drr.order))
+	for _, tq := range rt.drr.order {
+		out = append(out, serve.TenantQueueStatus{
+			Tenant:   tq.name,
+			Weight:   tq.weight,
+			Queued:   tq.size(),
+			Admitted: tq.admitted,
+			Shed:     tq.shed,
+		})
+	}
+	return out
+}
+
+// PromText renders the merged shard metrics plus the router's own series —
+// the admin endpoint's /metrics body for a sharded deployment.
+func (rt *Router) PromText() []byte {
+	body := serve.PromText(rt.Snapshot(), rt.Health())
+	var p obs.Prom
+	rs := rt.met.snapshot()
+	p.Counter("autoscale_router_submitted_total", "Requests entering cross-shard admission.", float64(rs.Submitted))
+	p.Counter("autoscale_router_dispatched_total", "Requests dispatched to a shard.", float64(rs.Dispatched))
+	p.Counter("autoscale_router_shed_total", "Requests shed at tenant-queue admission.", float64(rs.Shed))
+	p.Counter("autoscale_router_failed_total", "Requests terminated by the router.", float64(rs.Failed))
+	p.Counter("autoscale_router_failovers_total", "Re-dispatches after a shard bounce.", float64(rs.Failovers))
+	p.Counter("autoscale_router_rehomed_devices_total", "Device lanes moved to a surviving shard.", float64(rs.RehomedDevices))
+	p.Counter("autoscale_router_shard_kills_total", "Shards crashed (drills or KillShard).", float64(rs.ShardKills))
+	p.Counter("autoscale_router_shard_drains_total", "Shards gracefully drained.", float64(rs.ShardDrains))
+	p.Gauge("autoscale_router_inflight", "Router-dispatched requests in flight.", float64(rt.inflight.Load()))
+	alive := 0
+	for _, s := range rt.ShardStatuses() {
+		if s.State == "healthy" {
+			alive++
+		}
+		p.Gauge("autoscale_router_shard_state", "Shard lifecycle: 0 healthy, 1 draining, 2 drained, 3 dead.",
+			shardStateValue(s.State), "shard", s.Name)
+		p.Gauge("autoscale_router_shard_devices", "Device lanes homed on the shard.",
+			float64(len(s.Devices)), "shard", s.Name)
+	}
+	p.Gauge("autoscale_router_shards_alive", "Healthy shards.", float64(alive))
+	for _, t := range rt.TenantQueues() {
+		p.Gauge("autoscale_router_tenant_weight", "Configured DRR weight.", float64(t.Weight), "tenant", t.Tenant)
+		p.Gauge("autoscale_router_tenant_queued", "Requests waiting in the tenant queue.", float64(t.Queued), "tenant", t.Tenant)
+		p.Counter("autoscale_router_tenant_admitted_total", "Requests admitted per tenant.", float64(t.Admitted), "tenant", t.Tenant)
+		p.Counter("autoscale_router_tenant_shed_total", "Requests shed per tenant.", float64(t.Shed), "tenant", t.Tenant)
+	}
+	return append(body, p.Bytes()...)
+}
+
+func shardStateValue(state string) float64 {
+	switch state {
+	case "draining":
+		return 1
+	case "drained":
+		return 2
+	case "dead":
+		return 3
+	}
+	return 0
+}
+
+// policyNodes exposes the union of live shards' workers — filtered to each
+// device's current home — as one federation node set.
+func (rt *Router) policyNodes() []policy.Node {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	var nodes []policy.Node
+	for _, name := range rt.order {
+		sh := rt.shards[name]
+		if sh.state != shardHealthy && sh.state != shardDraining {
+			continue
+		}
+		for _, n := range sh.gw.PolicyNodes() {
+			if rt.homes[n.Device] == name {
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	return nodes
+}
+
+// policySyncer lazily builds the cross-shard federation syncer.
+func (rt *Router) policySyncer() (*policy.Syncer, error) {
+	if rt.cfg.Checkpoints == nil {
+		return nil, errors.New("router: no checkpoint store configured")
+	}
+	rt.syncMu.Lock()
+	defer rt.syncMu.Unlock()
+	if rt.syncer == nil {
+		s, err := policy.NewSyncer(rt.cfg.Checkpoints, rt.policyNodes, rt.cfg.PolicySync)
+		if err != nil {
+			return nil, fmt.Errorf("router: policy sync: %w", err)
+		}
+		rt.syncer = s
+	}
+	return rt.syncer, nil
+}
+
+// SyncPolicies runs one cross-shard federation pass synchronously:
+// checkpoint every live worker fleet-wide, merge compatibility groups, and
+// warm-start blank engines — the cluster's learning plane in one call.
+func (rt *Router) SyncPolicies() (policy.Report, error) {
+	if rt.closed.Load() {
+		return policy.Report{}, serve.ErrClosed
+	}
+	s, err := rt.policySyncer()
+	if err != nil {
+		return policy.Report{}, err
+	}
+	return s.SyncOnce(), nil
+}
+
+// StartPolicySync launches the background cross-shard federation loop.
+func (rt *Router) StartPolicySync() error {
+	s, err := rt.policySyncer()
+	if err != nil {
+		return err
+	}
+	s.Start()
+	return nil
+}
+
+// StopPolicySync halts the background federation loop (no-op when not
+// running).
+func (rt *Router) StopPolicySync() {
+	rt.syncMu.Lock()
+	s := rt.syncer
+	rt.syncMu.Unlock()
+	if s != nil {
+		s.Stop()
+	}
+}
+
+// Shutdown stops admission, lets the dispatcher drain the tenant queues
+// (queued requests still route and execute; shard admission and deadline
+// rules still apply), waits for every in-flight pipe, stops the dispatcher
+// and the federation loop, then gracefully shuts down every still-healthy
+// shard — which drains shard queues and persists final checkpoints. The
+// context bounds the whole drain.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	if !rt.closed.CompareAndSwap(false, true) {
+		return serve.ErrClosed
+	}
+
+	// Quiet means: tenant queues empty and nothing in flight. Pipes requeue
+	// failovers before dropping the in-flight gauge, so this check cannot
+	// miss work in motion.
+	for {
+		rt.qmu.Lock()
+		queued := rt.drr.queued
+		rt.qmu.Unlock()
+		if queued == 0 && rt.inflight.Load() == 0 {
+			break
+		}
+		rt.wakeUp()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("router: drain interrupted: %w", ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	rt.pipeWG.Wait()
+	close(rt.stopc)
+	rt.dispWG.Wait()
+	rt.StopPolicySync()
+
+	rt.mu.Lock()
+	var toClose []*shard
+	for _, name := range rt.order {
+		if sh := rt.shards[name]; sh.state == shardHealthy {
+			sh.state = shardDrained
+			toClose = append(toClose, sh)
+		}
+	}
+	rt.mu.Unlock()
+
+	var errs []error
+	for _, sh := range toClose {
+		if err := sh.gw.Shutdown(ctx); err != nil && !errors.Is(err, serve.ErrClosed) {
+			errs = append(errs, fmt.Errorf("router: shard %s: %w", sh.name, err))
+		}
+	}
+	return errors.Join(errs...)
+}

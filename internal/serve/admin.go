@@ -14,35 +14,105 @@ import (
 	"autoscale/internal/serve/metrics"
 )
 
-// Admin is the gateway's opt-in observability endpoint: a small HTTP server
-// exposing the metrics registry as Prometheus text (/metrics), the full
-// snapshot plus per-device learning health as JSON (/snapshot.json), a
-// liveness probe (/healthz), breaker states (/breakers) and the standard
+// Source is what the admin endpoint observes: anything that can produce a
+// metrics snapshot, per-device learning health, and a liveness bit. A single
+// Gateway satisfies it directly; the routing tier satisfies it by merging its
+// shards, which is why the admin server no longer assumes one registry.
+type Source interface {
+	Snapshot() metrics.Snapshot
+	Health() map[string]core.Health
+	Closed() bool
+}
+
+// ShardStatus is one shard's row in the /shards document.
+type ShardStatus struct {
+	// Name is the shard label (Config.Name).
+	Name string `json:"name"`
+	// State is the lifecycle state: "healthy", "draining" or "dead".
+	State string `json:"state"`
+	// Devices are the device lanes currently homed on the shard, sorted.
+	Devices []string `json:"devices"`
+	// QueueDepth is the shard's aggregate queued-request gauge.
+	QueueDepth int64 `json:"queue_depth"`
+	// Served / Shed / Failed are the shard's terminal-outcome counters.
+	Served int64 `json:"served"`
+	Shed   int64 `json:"shed"`
+	Failed int64 `json:"failed"`
+	// VirtualS is the shard's virtual clock (max over its engines).
+	VirtualS float64 `json:"virtual_s"`
+}
+
+// TenantQueueStatus is one tenant's row in the /shards document: the
+// routing-tier fairness queue for that tenant.
+type TenantQueueStatus struct {
+	// Tenant is the fairness class name.
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's configured DRR weight.
+	Weight int `json:"weight"`
+	// Queued is the number of requests waiting in the tenant's queue.
+	Queued int `json:"queued"`
+	// Admitted / Shed count the tenant's requests past admission and
+	// sacrificed at admission.
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+}
+
+// ShardSource is the optional Source extension that lights up the /shards
+// handler: per-shard lifecycle plus per-tenant fairness queues. The routing
+// tier implements it; a standalone gateway does not, and /shards answers 404.
+type ShardSource interface {
+	ShardStatuses() []ShardStatus
+	TenantQueues() []TenantQueueStatus
+}
+
+// PromSource is the optional Source extension that overrides the default
+// Prometheus rendering — the routing tier appends its own router series
+// after the merged gateway body.
+type PromSource interface {
+	PromText() []byte
+}
+
+// Admin is the serving layer's opt-in observability endpoint: a small HTTP
+// server exposing the source's metrics as Prometheus text (/metrics), the
+// full snapshot plus per-device learning health as JSON (/snapshot.json), a
+// liveness probe (/healthz), breaker states (/breakers), per-shard routing
+// state when the source is a routing tier (/shards) and the standard
 // net/http/pprof handlers (/debug/pprof/). Everything it serves is read-side
 // observation — handlers never draw random numbers, advance virtual clocks,
-// or mutate the gateway — so scraping a deterministic run cannot perturb it.
+// or mutate the source — so scraping a deterministic run cannot perturb it.
 type Admin struct {
-	g   *Gateway
+	src Source
 	ln  net.Listener
 	srv *http.Server
 }
 
-// ServeAdmin binds the admin server on addr (e.g. ":9090" or "127.0.0.1:0")
-// and serves it on a background goroutine until Close.
+// ServeAdmin binds the admin server for one gateway — the pre-routing-tier
+// entry point, kept for callers that serve a single shard.
 func ServeAdmin(g *Gateway, addr string) (*Admin, error) {
 	if g == nil {
 		return nil, fmt.Errorf("serve: admin needs a gateway")
+	}
+	return ServeAdminSource(g, addr)
+}
+
+// ServeAdminSource binds the admin server on addr (e.g. ":9090" or
+// "127.0.0.1:0") for any Source and serves it on a background goroutine until
+// Close.
+func ServeAdminSource(src Source, addr string) (*Admin, error) {
+	if src == nil {
+		return nil, fmt.Errorf("serve: admin needs a source")
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: admin listen %s: %w", addr, err)
 	}
-	a := &Admin{g: g, ln: ln}
+	a := &Admin{src: src, ln: ln}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/snapshot.json", a.handleSnapshot)
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	mux.HandleFunc("/breakers", a.handleBreakers)
+	mux.HandleFunc("/shards", a.handleShards)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -60,7 +130,12 @@ func (a *Admin) Addr() string { return a.ln.Addr().String() }
 func (a *Admin) Close() error { return a.srv.Close() }
 
 func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	body := PromText(a.g.Snapshot(), a.g.Health())
+	var body []byte
+	if ps, ok := a.src.(PromSource); ok {
+		body = ps.PromText()
+	} else {
+		body = PromText(a.src.Snapshot(), a.src.Health())
+	}
 	w.Header().Set("Content-Type", obs.PromContentType)
 	w.Write(body) //nolint:errcheck
 }
@@ -75,11 +150,11 @@ func (a *Admin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(adminSnapshot{Metrics: a.g.Snapshot(), Health: a.g.Health()}) //nolint:errcheck
+	enc.Encode(adminSnapshot{Metrics: a.src.Snapshot(), Health: a.src.Health()}) //nolint:errcheck
 }
 
 func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if a.g.Closed() {
+	if a.src.Closed() {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
@@ -90,7 +165,26 @@ func (a *Admin) handleBreakers(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(a.g.Snapshot().ByBreaker) //nolint:errcheck
+	enc.Encode(a.src.Snapshot().ByBreaker) //nolint:errcheck
+}
+
+// shardsDoc is the /shards document: the routing tier's lifecycle and
+// fairness view.
+type shardsDoc struct {
+	Shards  []ShardStatus       `json:"shards"`
+	Tenants []TenantQueueStatus `json:"tenants"`
+}
+
+func (a *Admin) handleShards(w http.ResponseWriter, r *http.Request) {
+	ss, ok := a.src.(ShardSource)
+	if !ok {
+		http.Error(w, "not a sharded source", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(shardsDoc{Shards: ss.ShardStatuses(), Tenants: ss.TenantQueues()}) //nolint:errcheck
 }
 
 // breakerStateValue encodes a breaker state for the gauge: closed is healthy

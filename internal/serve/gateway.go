@@ -25,17 +25,21 @@ import (
 // one worker goroutine per device. It is safe for concurrent use by any
 // number of clients.
 type Gateway struct {
-	cfg     Config
-	met     *metrics.Registry
-	workers []*worker
-	byName  map[string]*worker
-	rr      atomic.Uint64
-	warm    map[string]uint64 // device -> checkpoint generation warm-started from
+	cfg Config
+	met *metrics.Registry
+	rr  atomic.Uint64
 
+	// mu guards closed and the worker set: AddBackend grows workers/byName
+	// at runtime (the routing tier re-homes devices onto live shards), so
+	// every reader snapshots under the read lock.
 	mu       sync.RWMutex
 	closed   bool
-	inflight sync.WaitGroup // Submit calls between admission and enqueue
-	wg       sync.WaitGroup // worker goroutines
+	workers  []*worker
+	byName   map[string]*worker
+	warm     map[string]uint64 // device -> checkpoint generation warm-started from
+	killed   atomic.Bool       // crash semantics: workers reject instead of serve
+	inflight sync.WaitGroup    // Submit calls between admission and enqueue
+	wg       sync.WaitGroup    // worker goroutines
 
 	syncMu sync.Mutex
 	syncer *policy.Syncer
@@ -100,40 +104,9 @@ func New(backends []Backend, cfg Config) (*Gateway, error) {
 		warm:   make(map[string]uint64),
 	}
 	for _, b := range backends {
-		if b.Engine == nil {
-			return nil, fmt.Errorf("serve: backend %q has nil engine", b.Device)
-		}
-		if b.Device == "" {
-			return nil, errors.New("serve: backend with empty device name")
-		}
-		if _, dup := g.byName[b.Device]; dup {
-			return nil, fmt.Errorf("serve: duplicate backend %q", b.Device)
-		}
-		w := &worker{
-			device: b.Device,
-			engine: b.Engine,
-			queue:  make(chan *pending, cfg.queueDepth()),
-		}
-		// The failover target mirrors the sim's outage fallback: local CPU
-		// at top frequency, FP32.
-		if cpu := b.Engine.World.Device.Processor(soc.CPU); cpu != nil {
-			w.fallback = sim.Target{Location: sim.Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
-			w.hasFallback = true
-		}
-		// Scripted faults: install the injector on the backend world (unless
-		// the caller already wired one) and stage this device's one-shot
-		// crash/corruption drills.
-		if cfg.Faults != nil {
-			if b.Engine.World.Faults == nil {
-				b.Engine.World.Faults = cfg.Faults
-			}
-			w.events = cfg.Faults.Events(b.Device)
-		}
-		if cfg.Resilience.Enabled {
-			w.breakers = map[sim.Location]*breaker{
-				sim.Connected: newBreaker(b.Device, sim.Connected, cfg.Resilience, g.met),
-				sim.Cloud:     newBreaker(b.Device, sim.Cloud, cfg.Resilience, g.met),
-			}
+		w, err := g.newWorker(b)
+		if err != nil {
+			return nil, err
 		}
 		g.workers = append(g.workers, w)
 		g.byName[b.Device] = w
@@ -155,12 +128,84 @@ func New(backends []Backend, cfg Config) (*Gateway, error) {
 	return g, nil
 }
 
+// newWorker validates one backend and builds its serving lane (queue,
+// fallback target, fault drills, breakers). Callers hold g.mu or run before
+// any worker goroutine exists.
+func (g *Gateway) newWorker(b Backend) (*worker, error) {
+	if b.Engine == nil {
+		return nil, fmt.Errorf("serve: backend %q has nil engine", b.Device)
+	}
+	if b.Device == "" {
+		return nil, errors.New("serve: backend with empty device name")
+	}
+	if _, dup := g.byName[b.Device]; dup {
+		return nil, fmt.Errorf("serve: duplicate backend %q", b.Device)
+	}
+	w := &worker{
+		device: b.Device,
+		engine: b.Engine,
+		queue:  make(chan *pending, g.cfg.queueDepth()),
+	}
+	// The failover target mirrors the sim's outage fallback: local CPU
+	// at top frequency, FP32.
+	if cpu := b.Engine.World.Device.Processor(soc.CPU); cpu != nil {
+		w.fallback = sim.Target{Location: sim.Local, Kind: soc.CPU, Step: cpu.Steps - 1, Prec: dnn.FP32}
+		w.hasFallback = true
+	}
+	// Scripted faults: install the injector on the backend world (unless
+	// the caller already wired one) and stage this device's one-shot
+	// crash/corruption drills.
+	if g.cfg.Faults != nil {
+		if b.Engine.World.Faults == nil {
+			b.Engine.World.Faults = g.cfg.Faults
+		}
+		w.events = g.cfg.Faults.Events(b.Device)
+	}
+	if g.cfg.Resilience.Enabled {
+		w.breakers = map[sim.Location]*breaker{
+			sim.Connected: newBreaker(b.Device, sim.Connected, g.cfg.Resilience, g.met),
+			sim.Cloud:     newBreaker(b.Device, sim.Cloud, g.cfg.Resilience, g.met),
+		}
+	}
+	return w, nil
+}
+
+// AddBackend grows the gateway with one more device lane at runtime — the
+// routing tier re-homes a dead shard's devices onto survivors through this.
+// The new worker warm-starts from the device's latest valid checkpoint (or
+// the fleet's merged policy) exactly like a boot-time backend, then starts
+// serving immediately. It fails on a closed gateway and on duplicate or
+// invalid backends.
+func (g *Gateway) AddBackend(b Backend) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	w, err := g.newWorker(b)
+	if err != nil {
+		return err
+	}
+	if g.cfg.Checkpoints != nil {
+		if gen, ok := warmStart(w, g.cfg.Checkpoints); ok {
+			g.warm[w.device] = gen
+		}
+	}
+	g.workers = append(g.workers, w)
+	g.byName[w.device] = w
+	g.wg.Add(1)
+	go g.runWorker(w)
+	return nil
+}
+
 // Devices returns the served device names in sorted order.
 func (g *Gateway) Devices() []string {
+	g.mu.RLock()
 	out := make([]string, 0, len(g.workers))
 	for _, w := range g.workers {
 		out = append(out, w.device)
 	}
+	g.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -174,11 +219,33 @@ func (g *Gateway) Snapshot() metrics.Snapshot { return g.met.Snapshot() }
 // Health samples each device engine's learning-health gauges (read-only;
 // see core.Health). Keys are device names.
 func (g *Gateway) Health() map[string]core.Health {
-	out := make(map[string]core.Health, len(g.workers))
-	for _, w := range g.workers {
+	ws := g.snapshotWorkers()
+	out := make(map[string]core.Health, len(ws))
+	for _, w := range ws {
 		out[w.device] = w.engine.Health()
 	}
 	return out
+}
+
+// snapshotWorkers copies the current worker set under the read lock.
+func (g *Gateway) snapshotWorkers() []*worker {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]*worker(nil), g.workers...)
+}
+
+// VirtualNow returns the shard's virtual time: the maximum of its workers'
+// engine clocks. The routing tier schedules shard-lifecycle drills (crash
+// events) against this reading, so lifecycle is as deterministic as the
+// execution it rides on.
+func (g *Gateway) VirtualNow() float64 {
+	var now float64
+	for _, w := range g.snapshotWorkers() {
+		if t := w.engine.Now(); t > now {
+			now = t
+		}
+	}
+	return now
 }
 
 // Closed reports whether Shutdown has begun.
@@ -279,12 +346,20 @@ func (g *Gateway) reject(p *pending, device string) {
 }
 
 // pick routes a request: a named device directly, otherwise the least-loaded
-// queue with a rotating tiebreak.
+// queue with a rotating tiebreak. It reads the worker set under the lock so
+// concurrent AddBackend calls cannot tear the slice under it.
 func (g *Gateway) pick(device string) (*worker, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if device != "" {
 		w, ok := g.byName[device]
 		if !ok {
-			return nil, fmt.Errorf("%w: %q (serving %v)", ErrUnknownDevice, device, g.Devices())
+			names := make([]string, 0, len(g.workers))
+			for _, w := range g.workers {
+				names = append(names, w.device)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("%w: %q (serving %v)", ErrUnknownDevice, device, names)
 		}
 		return w, nil
 	}
@@ -314,11 +389,22 @@ func (g *Gateway) Do(req Request) (Response, error) {
 	return r, nil
 }
 
-// runWorker drains one device queue until Shutdown closes it.
+// runWorker drains one device queue until Shutdown closes it. On a killed
+// gateway (crash semantics) queued requests are rejected instead of served:
+// a crashed shard's queue does not survive, but every stranded request still
+// gets a terminal failover-able response rather than silence.
 func (g *Gateway) runWorker(w *worker) {
 	defer g.wg.Done()
 	for p := range w.queue {
 		g.met.QueueExit()
+		if g.killed.Load() {
+			g.met.IncFailed()
+			p.resp <- Response{
+				Status: StatusFailed, Device: w.device, Err: ErrShardDown,
+				SubmittedAt: p.submittedAt, DoneAt: g.now(),
+			}
+			continue
+		}
 		g.serveOne(w, p)
 	}
 }
@@ -466,6 +552,8 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	if g.cfg.Trace != nil {
 		rec := trace.FromDecision(int(w.seq), p.req.Model.Name, d)
 		rec.Device = w.device
+		rec.Shard = g.cfg.Name
+		rec.Tenant = p.req.Tenant
 		rec.Outage = outage
 		rec.Retries = retries
 		rec.Hedged = hedged
@@ -663,9 +751,11 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	}
 
 	// Wait out Submits that passed the closed check, then close the queues
-	// — after this no send can race the close.
+	// — after this no send can race the close. The worker set is frozen once
+	// closed is set (AddBackend refuses), so the snapshot is complete.
+	workers := g.snapshotWorkers()
 	g.inflight.Wait()
-	for _, w := range g.workers {
+	for _, w := range workers {
 		close(w.queue)
 	}
 
@@ -682,7 +772,7 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 
 	// Workers have exited: flush any degraded episode still open so the
 	// degraded-seconds metric accounts shutdowns mid-storm.
-	for _, w := range g.workers {
+	for _, w := range workers {
 		for _, b := range w.breakers {
 			b.closeOut(w.engine.Now())
 		}
@@ -698,11 +788,45 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		}
 	}
 	if g.cfg.Checkpoints != nil {
-		for _, w := range g.workers {
+		for _, w := range workers {
 			if err := checkpointWorker(w, g.cfg.Checkpoints, g.cfg.PolicySync); err != nil {
 				errs = append(errs, fmt.Errorf("serve: checkpoint %s: %w", w.device, err))
 			}
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Kill stops the gateway with crash semantics: admission closes, every
+// queued request is rejected with ErrShardDown instead of executing, and —
+// unlike Shutdown — nothing is flushed: no trace flush, no final Q-table
+// checkpoints. The routing tier uses it to simulate a shard process dying
+// mid-traffic; whatever the last federation pass persisted is all the
+// learning the shard leaves behind, which is exactly what re-homed devices
+// warm-start from. A second Kill (or a Kill after Shutdown) returns
+// ErrClosed.
+func (g *Gateway) Kill() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	g.closed = true
+	g.killed.Store(true)
+	g.mu.Unlock()
+
+	g.syncMu.Lock()
+	syncer := g.syncer
+	g.syncMu.Unlock()
+	if syncer != nil {
+		syncer.Stop()
+	}
+
+	workers := g.snapshotWorkers()
+	g.inflight.Wait()
+	for _, w := range workers {
+		close(w.queue)
+	}
+	g.wg.Wait()
+	return nil
 }

@@ -342,6 +342,82 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Merge folds any number of snapshots into one fleet-wide view — the
+// routing tier's merged registry across gateway shards. Counters and gauges
+// sum; histograms merge bucket-wise (every registry shares the Scheme
+// ladder, so merging cannot fail across gateways; a foreign-scheme snapshot
+// keeps the first operand's histogram). QueueMaxDepth sums the per-shard
+// watermarks, which upper-bounds the (unknowable) aggregate watermark.
+// Label maps union with summed counts; breaker labels are device-scoped and
+// devices are unique across shards, so states never collide.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Phases:    make(map[string]HistogramSnapshot),
+		ByTarget:  make(map[string]int64),
+		ByDevice:  make(map[string]int64),
+		ByBreaker: make(map[string]string),
+	}
+	for i, s := range snaps {
+		out.Submitted += s.Submitted
+		out.Served += s.Served
+		out.Shed += s.Shed
+		out.Expired += s.Expired
+		out.Failed += s.Failed
+		out.Retried += s.Retried
+		out.QoSViolations += s.QoSViolations
+		out.Outages += s.Outages
+		out.OffloadRetries += s.OffloadRetries
+		out.RetriesRecovered += s.RetriesRecovered
+		out.RetriesAbandoned += s.RetriesAbandoned
+		out.Hedges += s.Hedges
+		out.HedgesWon += s.HedgesWon
+		out.HedgesLost += s.HedgesLost
+		out.BreakerOpens += s.BreakerOpens
+		out.BreakerHalfOpens += s.BreakerHalfOpens
+		out.BreakerCloses += s.BreakerCloses
+		out.WorkerCrashes += s.WorkerCrashes
+		out.CorruptDrills += s.CorruptDrills
+		out.DegradedSeconds += s.DegradedSeconds
+		out.OutageWastedJ += s.OutageWastedJ
+		out.QueueDepth += s.QueueDepth
+		out.QueueMaxDepth += s.QueueMaxDepth
+		if i == 0 {
+			out.Latency, out.Wait, out.Energy = s.Latency, s.Wait, s.Energy
+		} else {
+			out.Latency = mergeHist(out.Latency, s.Latency)
+			out.Wait = mergeHist(out.Wait, s.Wait)
+			out.Energy = mergeHist(out.Energy, s.Energy)
+		}
+		for p, h := range s.Phases {
+			if have, ok := out.Phases[p]; ok {
+				out.Phases[p] = mergeHist(have, h)
+			} else {
+				out.Phases[p] = h
+			}
+		}
+		for k, v := range s.ByTarget {
+			out.ByTarget[k] += v
+		}
+		for k, v := range s.ByDevice {
+			out.ByDevice[k] += v
+		}
+		for k, v := range s.ByBreaker {
+			out.ByBreaker[k] = v
+		}
+	}
+	return out
+}
+
+// mergeHist merges b into a, keeping a on a scheme mismatch (cannot happen
+// between registries built by New, which share one ladder).
+func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	m, err := a.Merge(b)
+	if err != nil {
+		return a
+	}
+	return m
+}
+
 // atomicFloat is a float64 accumulated with compare-and-swap.
 type atomicFloat struct{ bits atomic.Uint64 }
 

@@ -50,8 +50,11 @@ func checkpointWorker(w *worker, sink policy.Sink, cfg policy.SyncConfig) error 
 }
 
 // WarmStarts reports which devices were warm-started from the checkpoint
-// store at construction, mapped to the generation they resumed from.
+// store — at construction or when AddBackend re-homed them here — mapped to
+// the generation they resumed from.
 func (g *Gateway) WarmStarts() map[string]uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	out := make(map[string]uint64, len(g.warm))
 	for d, gen := range g.warm {
 		out[d] = gen
@@ -59,10 +62,13 @@ func (g *Gateway) WarmStarts() map[string]uint64 {
 	return out
 }
 
-// policyNodes exposes the gateway's workers to the federation syncer.
-func (g *Gateway) policyNodes() []policy.Node {
-	nodes := make([]policy.Node, 0, len(g.workers))
-	for _, w := range g.workers {
+// PolicyNodes exposes the gateway's workers to a federation syncer. The
+// routing tier aggregates every shard's nodes into one cross-shard learning
+// plane, so experience merges fleet-wide, not just within a shard.
+func (g *Gateway) PolicyNodes() []policy.Node {
+	ws := g.snapshotWorkers()
+	nodes := make([]policy.Node, 0, len(ws))
+	for _, w := range ws {
 		nodes = append(nodes, policy.Node{Device: w.device, Engine: w.engine})
 	}
 	return nodes
@@ -76,7 +82,7 @@ func (g *Gateway) policySyncer() (*policy.Syncer, error) {
 	g.syncMu.Lock()
 	defer g.syncMu.Unlock()
 	if g.syncer == nil {
-		s, err := policy.NewSyncer(g.cfg.Checkpoints, g.policyNodes, g.cfg.PolicySync)
+		s, err := policy.NewSyncer(g.cfg.Checkpoints, g.PolicyNodes, g.cfg.PolicySync)
 		if err != nil {
 			return nil, fmt.Errorf("serve: policy sync: %w", err)
 		}

@@ -41,6 +41,10 @@ var (
 	// ErrUnknownDevice marks a request routed to a device the gateway does
 	// not serve.
 	ErrUnknownDevice = errors.New("serve: unknown device")
+	// ErrShardDown marks a request stranded in a killed gateway's queues: a
+	// crashed shard rejects its queued work instead of executing it, so the
+	// routing tier can fail the request over to a surviving shard.
+	ErrShardDown = errors.New("serve: shard down")
 )
 
 // Status is the terminal outcome of a request.
@@ -86,6 +90,10 @@ type Request struct {
 	// Device pins the request to a named worker; empty routes to the
 	// least-loaded queue.
 	Device string
+	// Tenant is the fairness class the request is billed to. The gateway
+	// itself only records it (metrics, trace attribution); the routing tier
+	// uses it for weighted admission across shards.
+	Tenant string
 }
 
 // Response is the terminal outcome delivered on the request's channel.
@@ -148,6 +156,10 @@ func (p ShedPolicy) String() string {
 
 // Config tunes a Gateway.
 type Config struct {
+	// Name labels the gateway in multi-shard deployments: traces record it
+	// as the serving shard, and the routing tier's admin endpoint keys
+	// per-shard documents by it. Empty is fine for a standalone gateway.
+	Name string
 	// QueueDepth bounds each worker's queue (default 64).
 	QueueDepth int
 	// Shed selects the admission-control victim on a full queue.

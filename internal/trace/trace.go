@@ -19,8 +19,18 @@ import (
 	"autoscale/internal/sim"
 )
 
+// SchemaV is the current record schema version. Version 2 added the Shard
+// and Tenant attribution fields for the cluster-scale routing tier. Records
+// without a "v" field are version 1; every version-1 record is a valid
+// version-2 record with empty shard/tenant, so old traces keep parsing and
+// summarizing unchanged.
+const SchemaV = 2
+
 // Record is one scheduled inference, flattened for the log.
 type Record struct {
+	// V is the record schema version (see SchemaV). Zero means version 1 —
+	// a record written before the field existed.
+	V int `json:"v,omitempty"`
 	// Seq is the request sequence number within the trace.
 	Seq int `json:"seq"`
 	// Model is the network name.
@@ -40,6 +50,12 @@ type Record struct {
 	AccuracyMissed bool `json:"accuracy_missed,omitempty"`
 	// Device is the serving worker (gateway traces only).
 	Device string `json:"device,omitempty"`
+	// Shard is the gateway shard that served the request (routing-tier
+	// traces only), so per-request phase decomposition attributes latency to
+	// the shard that produced it. Tenant is the fairness class the request
+	// was admitted under. Both are schema v2 fields.
+	Shard  string `json:"shard,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 	// Outage / Retries / Hedged / Degraded describe the resilience path a
 	// gateway request took: a simulated offload outage, the offload retries
 	// it triggered, whether a local hedge leg raced the remote, and whether
@@ -61,6 +77,7 @@ type Record struct {
 // FromDecision flattens an engine decision into a Record.
 func FromDecision(seq int, model string, d core.Decision) Record {
 	return Record{
+		V:              SchemaV,
 		Seq:            seq,
 		Model:          model,
 		State:          string(d.State),

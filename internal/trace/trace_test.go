@@ -218,3 +218,52 @@ func TestRecordingPolicy(t *testing.T) {
 		t.Error("summary model count wrong")
 	}
 }
+
+// TestSchemaV1Compat pins the schema-versioning contract: records written
+// before the v2 shard/tenant fields existed (no "v" key) must keep parsing
+// and summarizing unchanged, while v2 records round-trip their attribution.
+func TestSchemaV1Compat(t *testing.T) {
+	v1 := `{"seq":0,"model":"MobileNet v1","state":"0|0|0|0|0|0|1|1","target":"local/CPU@0/FP32","location":"local","latency_s":0.02,"energy_j":0.05,"reward":-40,"qos_violated":false}
+{"seq":1,"model":"MobileNet v1","state":"0|0|0|0|0|0|1|1","target":"cloud/GPU/FP32","location":"cloud","latency_s":0.09,"energy_j":0.02,"reward":-20,"qos_violated":true,"device":"Mi8Pro"}
+`
+	recs, err := ReadAll(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 trace no longer parses: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("v1 trace yields %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.V != 0 {
+			t.Errorf("record %d: v1 record reports schema %d", i, r.V)
+		}
+		if r.Shard != "" || r.Tenant != "" {
+			t.Errorf("record %d: v1 record grew attribution %q/%q", i, r.Shard, r.Tenant)
+		}
+	}
+	sum := Summarize(recs)
+	if sum.Records != 2 || sum.ViolationRatio != 0.5 {
+		t.Errorf("v1 summary drifted: %+v", sum)
+	}
+
+	// v2 records carry shard/tenant through a write-read cycle, and the
+	// version stamp survives.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := Record{V: SchemaV, Seq: 0, Model: "MobileNet v1", Target: "local/CPU@0/FP32",
+		Location: "local", LatencyS: 0.01, EnergyJ: 0.02, Reward: -10,
+		Device: "lane-0", Shard: "shard-1", Tenant: "gold"}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].V != SchemaV || got[0].Shard != "shard-1" || got[0].Tenant != "gold" {
+		t.Fatalf("v2 attribution lost in round trip: %+v", got)
+	}
+}
