@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router fuzz-fault smoke-admin verify bench bench-all
+.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router race-plan fuzz-fault smoke-admin smoke-plan verify bench bench-all
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,13 @@ race-obs:
 race-router:
 	$(GO) test -race ./internal/router/ ./internal/serve/...
 
+# The capacity-planning plane: the planner's actuation loop touches the
+# router's setters, the gateways' active-lane masks and the admin endpoint
+# concurrently with the request path — the surge acceptance drill must hold
+# under race instrumentation.
+race-plan:
+	$(GO) test -race ./internal/plan/ ./internal/router/ ./internal/serve/
+
 # Fuzz smoke over the fault-schedule parser: any input that parses must also
 # compile and answer injector queries without panicking.
 fuzz-fault:
@@ -84,15 +91,34 @@ smoke-admin:
 	grep '^autoscale_phase_seconds_bucket' $$tmp/metrics > /dev/null; \
 	wait $$pid; echo "smoke-admin: ok"
 
+# End-to-end planner scrape check: boot a planned load, then curl /plan and
+# the autoscale_plan_* series like a capacity dashboard would.
+smoke-plan:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/autoscale-serve ./cmd/autoscale-serve; \
+	$$tmp/autoscale-serve -n 200 -clients 2 -replicas 2 -shards 2 -plan \
+		-admin 127.0.0.1:0 -linger 8s > $$tmp/out 2>&1 & pid=$$!; \
+	addr=; for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's#^admin listening on http://##p' $$tmp/out); \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	if [ -z "$$addr" ]; then echo "smoke-plan: no admin address"; cat $$tmp/out; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -fsS "http://$$addr/plan" > $$tmp/plan; \
+	grep '"generation"' $$tmp/plan > /dev/null; \
+	grep '"classes"' $$tmp/plan > /dev/null; \
+	curl -fsS "http://$$addr/metrics" > $$tmp/metrics; \
+	grep '^autoscale_plan_active_lanes' $$tmp/metrics > /dev/null; \
+	grep '^autoscale_plan_class_attained' $$tmp/metrics > /dev/null; \
+	wait $$pid; echo "smoke-plan: ok"
+
 # The full gate: tier-1 (build + test) plus formatting, vet, the race
-# detector (which includes the dedicated policy-plane, exec-plane, fault-plane
-# and telemetry-plane passes), the schedule-parser fuzz smoke and the admin
-# scrape smoke.
-verify: build fmt vet race race-policy race-exp race-fault race-obs race-router fuzz-fault smoke-admin
+# detector (which includes the dedicated policy-plane, exec-plane, fault-plane,
+# telemetry-plane and planning-plane passes), the schedule-parser fuzz smoke
+# and the admin and planner scrape smokes.
+verify: build fmt vet race race-policy race-exp race-fault race-obs race-router race-plan fuzz-fault smoke-admin smoke-plan
 
 # Archive the representative benchmarks (end-to-end Fig 9, gateway and
-# routing-tier throughput, the telemetry hot path, and the router dispatch
-# path) as BENCH_exp.json: per-benchmark name, ns/op and allocs/op averaged
+# routing-tier throughput, the telemetry hot path, the router dispatch path
+# and the planner recompute) as BENCH_exp.json: per-benchmark name, ns/op and allocs/op averaged
 # over three repetitions.
 bench:
 	$(GO) test -run '^$$' -bench '^(BenchmarkFig9|BenchmarkGatewayThroughput|BenchmarkRouterThroughput)$$' \
@@ -101,6 +127,8 @@ bench:
 		-benchmem -count=3 ./internal/obs/ >> BENCH_exp.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkRouterDispatch$$' \
 		-benchmem -count=3 ./internal/router/ >> BENCH_exp.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkPlannerRecompute$$' \
+		-benchmem -count=3 ./internal/plan/ >> BENCH_exp.txt
 	$(GO) run ./cmd/benchjson -in BENCH_exp.txt -out BENCH_exp.json
 	@cat BENCH_exp.json
 

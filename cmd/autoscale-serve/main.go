@@ -13,6 +13,7 @@
 //	autoscale-serve -faults examples/faults/storm.json -resilient -hedge
 //	autoscale-serve -admin :9090 -linger 30s   # scrape /metrics while it runs
 //	autoscale-serve -shards 4 -replicas 4 -tenants gold:4,silver:2,best:1
+//	autoscale-serve -shards 2 -replicas 4 -plan -slo-classes "gold:250ms:4,best:1s:1:100ms"
 package main
 
 import (
@@ -55,6 +56,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "gateway shards behind the routing tier (1 = single gateway, no router)")
 		replicas  = flag.Int("replicas", 1, "serving lanes per device (lane names device-0, device-1, ...)")
 		tenants   = flag.String("tenants", "", "weighted fairness classes, e.g. gold:4,silver:2,best:1 (implies the routing tier)")
+		plan      = flag.Bool("plan", false, "run the model-driven capacity planner over the routing tier")
+		sloSpec   = flag.String("slo-classes", "", `SLO classes for -plan, "name:target[:weight[:maxqueue]],..." (default gold/silver/best)`)
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -65,7 +68,8 @@ func main() {
 		queue: *queue, deadline: *deadline, shed: *shed, failover: *failover,
 		snapdir: *snapdir, sync: *sync, faults: *faults, resilient: *resilient,
 		hedge: *hedge, admin: *admin, linger: *linger, shards: *shards,
-		replicas: *replicas, tenants: *tenants, seed: *seed,
+		replicas: *replicas, tenants: *tenants, plan: *plan, sloClasses: *sloSpec,
+		seed: *seed,
 	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "autoscale-serve:", err)
 		os.Exit(1)
@@ -93,6 +97,8 @@ type config struct {
 	shards       int
 	replicas     int
 	tenants      string
+	plan         bool
+	sloClasses   string
 	seed         int64
 }
 
@@ -154,6 +160,25 @@ func run(c config, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	var classes []autoscale.SLOClass
+	if c.sloClasses != "" && !c.plan {
+		return fmt.Errorf("-slo-classes needs -plan (the capacity planner)")
+	}
+	if c.plan {
+		if c.tenants != "" {
+			return fmt.Errorf("-plan derives its tenants from -slo-classes; drop -tenants")
+		}
+		classes = autoscale.DefaultSLOClasses()
+		if c.sloClasses != "" {
+			if classes, err = autoscale.ParseSLOClasses(c.sloClasses); err != nil {
+				return err
+			}
+		}
+		tenantCfg = autoscale.SLOTenants(classes)
+		for _, cl := range classes {
+			tenantNames = append(tenantNames, cl.Name)
+		}
+	}
 	// Zero means the single-gateway defaults (tests build config directly).
 	if c.shards == 0 {
 		c.shards = 1
@@ -170,6 +195,7 @@ func run(c config, out *os.File) error {
 
 	var srv server
 	var rt *autoscale.Router
+	var pl *autoscale.Planner
 	if c.shards > 1 || len(tenantCfg) > 0 {
 		rt, err = buildRouter(c, gcfg, tenantCfg)
 		if err != nil {
@@ -182,6 +208,12 @@ func run(c config, out *os.File) error {
 			return err
 		}
 	}
+	if c.plan {
+		pl, err = autoscale.NewPlanner(rt, autoscale.PlannerConfig{Classes: classes, Faults: gcfg.Faults})
+		if err != nil {
+			return err
+		}
+	}
 	if c.sync > 0 {
 		if err := srv.StartPolicySync(); err != nil {
 			return err
@@ -189,7 +221,9 @@ func run(c config, out *os.File) error {
 	}
 	if c.admin != "" {
 		var adm *autoscale.GatewayAdmin
-		if rt != nil {
+		if pl != nil {
+			adm, err = autoscale.ServePlannerAdmin(pl, c.admin)
+		} else if rt != nil {
 			adm, err = autoscale.ServeRouterAdmin(rt, c.admin)
 		} else {
 			adm, err = autoscale.ServeGatewayAdmin(srv.(*autoscale.Gateway), c.admin)
@@ -213,6 +247,9 @@ func run(c config, out *os.File) error {
 		if len(tenantNames) > 0 {
 			front += fmt.Sprintf(", tenants %s", strings.Join(tenantNames, "/"))
 		}
+		if pl != nil {
+			front += ", planned capacity"
+		}
 	}
 	fmt.Fprintf(out, "serving %q on %s%s — %d requests, %d clients, %s\n",
 		m.Name, strings.Join(srv.Devices(), "+"), front, c.n, c.clients, mode)
@@ -228,7 +265,7 @@ func run(c config, out *os.File) error {
 	}
 
 	start := time.Now()
-	if err := flood(srv, m, c, tenantNames); err != nil {
+	if err := flood(srv, m, c, tenantNames, pl, gcfg.Faults); err != nil {
 		return err
 	}
 	if c.linger > 0 {
@@ -245,6 +282,9 @@ func run(c config, out *os.File) error {
 	printSnapshot(out, srv.Snapshot(), time.Since(start))
 	if rt != nil {
 		printRouter(out, rt)
+	}
+	if pl != nil {
+		printPlan(out, pl)
 	}
 	printHealth(out, srv.Health())
 	return nil
@@ -398,8 +438,12 @@ func buildRouter(c config, gcfg autoscale.GatewayConfig, tenants []autoscale.Rou
 
 // flood drives the server from c.clients goroutines, each with its own
 // environment stream, and waits for every response. With fairness classes
-// configured, each client cycles its requests through the tenant names.
-func flood(srv server, m *autoscale.DNNModel, c config, tenantNames []string) error {
+// configured, each client cycles its requests through the tenant names. With
+// the planner on, each client also stamps requests with a virtual arrival
+// clock — exponential gaps at the -rate (or 100 req/s per client by
+// default), compressed by any scheduled load surge — and drives the
+// planner's tick from it, so capacity decisions replay under a fixed seed.
+func flood(srv server, m *autoscale.DNNModel, c config, tenantNames []string, pl *autoscale.Planner, inj *autoscale.FaultInjector) error {
 	per := c.n / c.clients
 	extra := c.n % c.clients
 	errs := make(chan error, c.clients)
@@ -419,11 +463,23 @@ func flood(srv server, m *autoscale.DNNModel, c config, tenantNames []string) er
 			}
 			rng := rand.New(rand.NewSource(c.seed + int64(cl)))
 			pending := make([]<-chan autoscale.Response, 0, count)
+			// Virtual arrival rate per client: -rate when set, else 100
+			// req/s total split across the clients.
+			vrate := c.rate
+			if vrate <= 0 {
+				vrate = 100 / float64(c.clients)
+			}
+			arrival := 0.0
 			for i := 0; i < count; i++ {
 				if c.rate > 0 {
 					time.Sleep(time.Duration(rng.ExpFloat64() / c.rate * float64(time.Second)))
 				}
 				req := autoscale.Request{Model: m, Conditions: env.Sample()}
+				if pl != nil {
+					arrival += rng.ExpFloat64() / (vrate * inj.SurgeFactor(arrival))
+					req.ArrivalS = arrival
+					pl.MaybeTick(arrival)
+				}
 				if len(tenantNames) > 0 {
 					req.Tenant = tenantNames[(cl+i)%len(tenantNames)]
 				}
@@ -477,6 +533,36 @@ func printRouter(out *os.File, rt *autoscale.Router) {
 		}
 		fmt.Fprintf(out, "  tenant %-8s weight %d  admitted %6d  shed %4d\n",
 			t.Tenant, t.Weight, t.Admitted, t.Shed)
+	}
+}
+
+// printPlan summarizes the capacity planner: the last applied decision and
+// each SLO class's attainment — target p95 against the achieved p95 virtual
+// response time.
+func printPlan(out *os.File, pl *autoscale.Planner) {
+	st := pl.Status()
+	d := st.Decision
+	fmt.Fprintf(out, "\nplan: generation %d  lanes %d/%d  budget %d  est %.1f req/s x surge %.1f  service %.1fms\n",
+		d.Generation, d.ActiveLanes, d.TotalLanes, d.Budget, d.TotalRateHz, d.SurgeFactor, d.ServiceS*1e3)
+	if d.Generation > 0 && !d.Held {
+		wait := "unstable"
+		if d.PredictedWaitS >= 0 {
+			wait = fmt.Sprintf("%.1fms", d.PredictedWaitS*1e3)
+		}
+		fmt.Fprintf(out, "  model: predicted wait %s  occupancy %.2f predicted / %.2f measured  (calibration error %.0f%%)\n",
+			wait, d.PredictedOccupancy, d.MeasuredOccupancy, 100*d.CalibrationError)
+	}
+	for _, cs := range st.Classes {
+		verdict := "MISSED"
+		if cs.Attained {
+			verdict = "ok"
+		}
+		achieved := "(unmeasured)"
+		if cs.AchievedP95S > 0 {
+			achieved = fmt.Sprintf("%.1fms", cs.AchievedP95S*1e3)
+		}
+		fmt.Fprintf(out, "  slo %-8s target p95 %6.0fms  achieved %-12s %-6s  admitted %6d  shed %4d\n",
+			cs.Name, cs.TargetP95S*1e3, achieved, verdict, cs.Admitted, cs.Shed)
 	}
 }
 

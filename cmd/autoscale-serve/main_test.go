@@ -147,6 +147,69 @@ func TestRunAdminEndpoint(t *testing.T) {
 	}
 }
 
+// TestRunPlanned drives the planner path end to end: SLO classes become the
+// fairness tenants, the final report carries the plan decision and per-class
+// attainment lines, and the same seed reproduces the same plan summary.
+func TestRunPlanned(t *testing.T) {
+	c := quick(t)
+	c.plan = true
+	c.replicas = 2
+	c.shards = 2
+	c.n = 200
+	// One client keeps the drive fully sequential, so the plan decision
+	// sequence is a pure function of the seed and the summaries must match
+	// byte for byte across runs.
+	c.clients = 1
+	planReport := func() string {
+		f, err := os.Create(t.TempDir() + "/out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := run(c, f); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := os.ReadFile(f.Name())
+		out := string(b)
+		if i := strings.Index(out, "\nplan:"); i >= 0 {
+			return out[i:]
+		}
+		return ""
+	}
+	report := planReport()
+	if report == "" {
+		t.Fatal("planned run printed no plan summary")
+	}
+	for _, want := range []string{"plan: generation", "slo gold", "slo silver", "slo best", "target p95"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("plan summary missing %q:\n%s", want, report)
+		}
+	}
+	if again := planReport(); again != report {
+		t.Errorf("same seed produced different plan summaries:\n%s\nvs\n%s", report, again)
+	}
+}
+
+func TestRunPlannedRejectsBadFlags(t *testing.T) {
+	c := quick(t)
+	c.sloClasses = "gold:250ms"
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("-slo-classes without -plan accepted")
+	}
+	c = quick(t)
+	c.plan = true
+	c.tenants = "gold:4"
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("-plan with -tenants accepted")
+	}
+	c = quick(t)
+	c.plan = true
+	c.sloClasses = "gold:not-a-duration"
+	if err := run(c, os.Stdout); err == nil {
+		t.Error("bad -slo-classes spec accepted")
+	}
+}
+
 func TestRunLingerNeedsAdmin(t *testing.T) {
 	c := quick(t)
 	c.linger = time.Second

@@ -1,6 +1,7 @@
 package autoscale
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -223,6 +224,43 @@ func (f *Fleet) ProvisionRouter(devices []string, shards int, cfg EngineConfig, 
 		rcfg.Faults = gcfg.Faults
 	}
 	return router.New(gateways, rcfg)
+}
+
+// ProvisionPlanner stands up a planned fleet in one call: ProvisionRouter
+// builds the sharded tier (with the planner's SLO classes merged into the
+// fairness tenants, so class names route without extra configuration), then
+// a capacity planner is wired over it. The planner inherits the router's
+// fault injector when pcfg leaves it unset, so scheduled load surges inform
+// its lookahead. Drive it by calling Planner.MaybeTick with each request's
+// virtual arrival time.
+func (f *Fleet) ProvisionPlanner(devices []string, shards int, cfg EngineConfig, gcfg GatewayConfig, rcfg RouterConfig, pcfg PlannerConfig, seed int64) (*Planner, error) {
+	classes := pcfg.Classes
+	if len(classes) == 0 {
+		classes = DefaultSLOClasses()
+		pcfg.Classes = classes
+	}
+	have := make(map[string]bool, len(rcfg.Tenants))
+	for _, t := range rcfg.Tenants {
+		have[t.Name] = true
+	}
+	for _, t := range SLOTenants(classes) {
+		if !have[t.Name] {
+			rcfg.Tenants = append(rcfg.Tenants, t)
+		}
+	}
+	rt, err := f.ProvisionRouter(devices, shards, cfg, gcfg, rcfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	if pcfg.Faults == nil {
+		pcfg.Faults = rcfg.Faults
+	}
+	p, err := NewPlanner(rt, pcfg)
+	if err != nil {
+		rt.Shutdown(context.Background())
+		return nil, fmt.Errorf("autoscale: planner: %w", err)
+	}
+	return p, nil
 }
 
 // rebalanceEmptyShards patches a placement so no shard starts empty: each

@@ -318,6 +318,18 @@ func (e *Engine) StepContext(purpose string, ids ...uint64) *exec.Context {
 // logic key on this time base.
 func (e *Engine) Now() float64 { return e.root.Now() }
 
+// AdvanceTo fast-forwards the engine's virtual clock to t if it lags behind
+// (idle time: the engine accumulated less busy time than has elapsed on the
+// caller's arrival clock). Never moves the clock backwards. The serving
+// layer uses it so an arrival-stamped request on an idle lane starts at its
+// arrival time, making Now() a true virtual wall clock rather than a pure
+// busy-time accumulator.
+func (e *Engine) AdvanceTo(t float64) {
+	if d := t - e.root.Now(); d > 0 {
+		e.root.Advance(d)
+	}
+}
+
 // Reset discards the engine's in-memory learning state — fresh agent,
 // no staged update — while keeping the world, action space, estimator and
 // virtual clock. This models a worker crash: everything not checkpointed is

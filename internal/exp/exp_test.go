@@ -98,8 +98,8 @@ func TestFig3Shape(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 24 {
-		t.Errorf("registry has %d experiments, want 24", len(ids))
+	if len(ids) != 25 {
+		t.Errorf("registry has %d experiments, want 25", len(ids))
 	}
 	// Tables come first, figures in numeric order.
 	if !strings.HasPrefix(ids[0], "table") {
@@ -324,6 +324,29 @@ func TestFig14Smoke(t *testing.T) {
 	}
 	if len(tab.Rows) != 12 {
 		t.Errorf("fig14 rows = %d, want 12", len(tab.Rows))
+	}
+}
+
+// TestExtensionPlanSmoke drives the capacity-planning drill: six rows
+// (static/planned x gold/silver/best), with the planned fleet attaining
+// every SLO target and the static fleet missing gold's.
+func TestExtensionPlanSmoke(t *testing.T) {
+	tab, err := Run("ext-plan", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("ext-plan rows = %d, want 6:\n%v", len(tab.Rows), tab.Rows)
+	}
+	attained := map[string]string{}
+	for _, row := range tab.Rows {
+		attained[row[0]+"/"+row[1]] = row[4]
+	}
+	if attained["planned/gold"] != "true" {
+		t.Errorf("planned gold not attained: %v", tab.Rows)
+	}
+	if attained["static/gold"] != "false" {
+		t.Errorf("static gold unexpectedly attained: %v", tab.Rows)
 	}
 }
 

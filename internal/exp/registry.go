@@ -33,6 +33,7 @@ var registry = map[string]Runner{
 	"ext-npu":       ExtensionNPU,
 	"ext-outage":    ExtensionOutage,
 	"ext-partition": ExtensionPartition,
+	"ext-plan":      ExtensionPlan,
 	"ext-sarsa":     ExtensionSARSA,
 }
 

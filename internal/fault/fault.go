@@ -59,6 +59,12 @@ const (
 	// requests over to survivors, and re-home its devices from their latest
 	// checkpoints.
 	KindShardCrash Kind = "shard_crash"
+	// KindLoadSurge multiplies the offered arrival rate by Factor for a
+	// window. Unlike the other kinds it does not perturb execution: load
+	// generators scale their inter-arrival draws by SurgeFactor, and the
+	// capacity planner reads PeakSurge to scale worker pools ahead of the
+	// wave.
+	KindLoadSurge Kind = "load_surge"
 )
 
 // Offload sites and radio links a spec can target. Sites mirror
@@ -97,7 +103,8 @@ type Spec struct {
 	DeltaDBm float64 `json:"delta_dbm,omitempty"`
 	// ExtraServiceS is the added remote service time of a queue spike.
 	ExtraServiceS float64 `json:"extra_service_s,omitempty"`
-	// Factor is the thermal throttle's local latency multiplier (> 1).
+	// Factor is the thermal throttle's local latency multiplier, or the
+	// load surge's arrival-rate multiplier (> 1 for both).
 	Factor float64 `json:"factor,omitempty"`
 }
 
@@ -169,6 +176,10 @@ func (sp Spec) validate() error {
 	case KindThermal:
 		if sp.Factor <= 1 {
 			return fmt.Errorf("thermal needs factor > 1, got %g", sp.Factor)
+		}
+	case KindLoadSurge:
+		if sp.Factor <= 1 {
+			return fmt.Errorf("load_surge needs factor > 1, got %g", sp.Factor)
 		}
 	case KindWorkerCrash, KindCheckpointCorrupt:
 		if sp.Device == "" {

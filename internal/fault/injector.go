@@ -33,6 +33,12 @@ type throttle struct {
 	factor float64
 }
 
+// surge is one load wave: offered arrival rate multiplied by factor.
+type surge struct {
+	window
+	factor float64
+}
+
 // Event is a one-shot fault (worker crash, checkpoint corruption, shard
 // crash) firing at AtS on the virtual clock.
 type Event struct {
@@ -53,6 +59,7 @@ type Injector struct {
 	ramps     map[string][]ramp   // link -> ramps, sorted by start
 	spikes    map[string][]spike  // site -> spikes, sorted by start
 	throttles []throttle
+	surges    []surge
 	events    map[string][]Event // device -> one-shot events, sorted by time
 	shardEvs  map[string][]Event // shard -> one-shot events, sorted by time
 }
@@ -87,6 +94,8 @@ func New(s *Schedule, ctx *exec.Context) *Injector {
 			inj.spikes[sp.Site] = append(inj.spikes[sp.Site], spike{window{sp.StartS, sp.EndS}, sp.ExtraServiceS})
 		case KindThermal:
 			inj.throttles = append(inj.throttles, throttle{window{sp.StartS, sp.EndS}, sp.Factor})
+		case KindLoadSurge:
+			inj.surges = append(inj.surges, surge{window{sp.StartS, sp.EndS}, sp.Factor})
 		case KindWorkerCrash, KindCheckpointCorrupt:
 			inj.events[sp.Device] = append(inj.events[sp.Device],
 				Event{Kind: sp.Kind, Device: sp.Device, AtS: sp.StartS})
@@ -181,6 +190,41 @@ func (inj *Injector) ThrottleFactor(t float64) float64 {
 	return f
 }
 
+// SurgeFactor returns the offered arrival-rate multiplier at virtual time t
+// (>= 1; overlapping surges multiply). Load generators divide their
+// inter-arrival draws by this factor.
+func (inj *Injector) SurgeFactor(t float64) float64 {
+	f := 1.0
+	if inj == nil {
+		return f
+	}
+	for _, s := range inj.surges {
+		if s.contains(t) {
+			f *= s.factor
+		}
+	}
+	return f
+}
+
+// PeakSurge returns the largest surge factor anywhere in [from, to) — the
+// capacity planner's lookahead query, letting it scale pools before a
+// scripted wave lands rather than reacting after. Overlapping surges
+// multiply, evaluated at every window boundary inside the horizon.
+func (inj *Injector) PeakSurge(from, to float64) float64 {
+	peak := inj.SurgeFactor(from)
+	if inj == nil || to <= from {
+		return peak
+	}
+	for _, s := range inj.surges {
+		if s.start >= from && s.start < to {
+			if f := inj.SurgeFactor(s.start); f > peak {
+				peak = f
+			}
+		}
+	}
+	return peak
+}
+
 // Events returns the device's one-shot faults (crashes, corruption drills)
 // in firing order. The returned slice is shared immutable state: read-only.
 func (inj *Injector) Events(device string) []Event {
@@ -229,6 +273,11 @@ func (inj *Injector) Active(t float64) bool {
 	}
 	for _, th := range inj.throttles {
 		if th.end > t {
+			return true
+		}
+	}
+	for _, s := range inj.surges {
+		if s.end > t {
 			return true
 		}
 	}

@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLoadSurgeValidation(t *testing.T) {
+	good := &Schedule{Faults: []Spec{
+		{Kind: KindLoadSurge, StartS: 1, EndS: 3, Factor: 4},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid surge rejected: %v", err)
+	}
+	bad := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Kind: KindLoadSurge, StartS: 1, EndS: 3, Factor: 1}, "factor > 1"},
+		{Spec{Kind: KindLoadSurge, StartS: 1, EndS: 3, Factor: 0}, "factor > 1"},
+		{Spec{Kind: KindLoadSurge, StartS: 3, EndS: 3, Factor: 4}, "is empty"},
+		{Spec{Kind: KindLoadSurge, StartS: -1, EndS: 3, Factor: 4}, "negative time"},
+	}
+	for _, tc := range bad {
+		s := &Schedule{Faults: []Spec{tc.spec}}
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %+v: err %v, want mention of %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+func TestSurgeFactorWindows(t *testing.T) {
+	inj := New(&Schedule{Faults: []Spec{
+		{Kind: KindLoadSurge, StartS: 2, EndS: 6, Factor: 3},
+		{Kind: KindLoadSurge, StartS: 4, EndS: 8, Factor: 2},
+	}}, testCtx(1))
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 1},  // before any surge
+		{2, 3},  // window start is inclusive
+		{3, 3},  // first surge only
+		{5, 6},  // overlap multiplies
+		{6, 2},  // first window end is exclusive
+		{7, 2},  // second surge only
+		{8, 1},  // second window end is exclusive
+		{10, 1}, // after everything
+	}
+	for _, tc := range cases {
+		if got := inj.SurgeFactor(tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("SurgeFactor(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	// A nil injector and a surge-free schedule both mean factor 1.
+	var none *Injector
+	if got := none.SurgeFactor(5); got != 1 {
+		t.Errorf("nil injector SurgeFactor = %g, want 1", got)
+	}
+	quiet := New(&Schedule{}, testCtx(2))
+	if got := quiet.SurgeFactor(5); got != 1 {
+		t.Errorf("quiet schedule SurgeFactor = %g, want 1", got)
+	}
+}
+
+func TestPeakSurgeLookahead(t *testing.T) {
+	inj := New(&Schedule{Faults: []Spec{
+		{Kind: KindLoadSurge, StartS: 2, EndS: 6, Factor: 3},
+		{Kind: KindLoadSurge, StartS: 4, EndS: 8, Factor: 2},
+	}}, testCtx(1))
+	cases := []struct {
+		from, to, want float64
+		why            string
+	}{
+		{0, 1, 1, "horizon entirely before the surges"},
+		{0, 3, 3, "first surge starts inside the horizon"},
+		{0, 10, 6, "overlap boundary inside the horizon"},
+		{3, 5, 6, "second surge start compounds the active first"},
+		{5, 5, 6, "empty horizon degrades to SurgeFactor(from)"},
+		{7, 9, 2, "already inside the tail surge"},
+		{9, 20, 1, "quiet after all windows"},
+		{0, 2, 1, "surge start at to is outside the half-open horizon"},
+	}
+	for _, tc := range cases {
+		if got := inj.PeakSurge(tc.from, tc.to); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PeakSurge(%g, %g) = %g, want %g (%s)", tc.from, tc.to, got, tc.want, tc.why)
+		}
+	}
+	var none *Injector
+	if got := none.PeakSurge(0, 10); got != 1 {
+		t.Errorf("nil injector PeakSurge = %g, want 1", got)
+	}
+}

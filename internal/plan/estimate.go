@@ -1,0 +1,72 @@
+package plan
+
+// Counter-delta estimators: the planner never sees individual requests, only
+// monotonic counters sampled at tick boundaries on the virtual arrival
+// clock. Each estimator turns (time, counter) pairs into an EWMA-smoothed
+// rate or mean, seeding from the first complete window so a cold planner
+// does not ramp from zero.
+
+// rateEstimator smooths d(count)/d(t) across observations.
+type rateEstimator struct {
+	alpha  float64
+	rate   float64
+	last   uint64
+	lastT  float64
+	primed bool
+}
+
+// observe folds in a counter sample at virtual time t and returns the
+// updated rate estimate. Zero-length or backwards windows and counter
+// resets leave the estimate unchanged.
+func (e *rateEstimator) observe(t float64, count uint64) float64 {
+	if !e.primed {
+		e.last, e.lastT, e.primed = count, t, true
+		return e.rate
+	}
+	dt := t - e.lastT
+	if dt <= 0 || count < e.last {
+		return e.rate
+	}
+	inst := float64(count-e.last) / dt
+	if e.rate == 0 {
+		e.rate = inst
+	} else {
+		e.rate += e.alpha * (inst - e.rate)
+	}
+	e.last, e.lastT = count, t
+	return e.rate
+}
+
+// meanEstimator smooths d(sum)/d(count) — e.g. mean service seconds from a
+// latency histogram's running (count, sum).
+type meanEstimator struct {
+	alpha   float64
+	mean    float64
+	lastN   int64
+	lastSum float64
+	primed  bool
+}
+
+// observe folds in a (count, sum) sample and returns the updated mean.
+// Windows with no new observations leave the estimate unchanged.
+func (e *meanEstimator) observe(count int64, sum float64) float64 {
+	if !e.primed {
+		e.lastN, e.lastSum, e.primed = count, sum, true
+		return e.mean
+	}
+	dn := count - e.lastN
+	if dn <= 0 {
+		return e.mean
+	}
+	inst := (sum - e.lastSum) / float64(dn)
+	if inst < 0 {
+		inst = 0
+	}
+	if e.mean == 0 {
+		e.mean = inst
+	} else {
+		e.mean += e.alpha * (inst - e.mean)
+	}
+	e.lastN, e.lastSum = count, sum
+	return e.mean
+}

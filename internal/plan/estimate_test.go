@@ -1,0 +1,45 @@
+package plan
+
+import "testing"
+
+func TestRateEstimator(t *testing.T) {
+	e := &rateEstimator{alpha: 0.5}
+	// First sample primes without producing a rate.
+	if got := e.observe(0, 0); got != 0 {
+		t.Fatalf("priming observe = %g, want 0", got)
+	}
+	// First complete window seeds the EWMA directly.
+	if got := e.observe(1, 10); got != 10 {
+		t.Fatalf("seed window rate = %g, want 10", got)
+	}
+	// Subsequent windows smooth: 10 + 0.5*(20-10) = 15.
+	if got := e.observe(2, 30); got != 15 {
+		t.Fatalf("smoothed rate = %g, want 15", got)
+	}
+	// Zero-length windows and counter regressions leave the estimate alone.
+	if got := e.observe(2, 40); got != 15 {
+		t.Fatalf("zero-dt observe moved the rate to %g", got)
+	}
+	if got := e.observe(3, 5); got != 15 {
+		t.Fatalf("counter-reset observe moved the rate to %g", got)
+	}
+}
+
+func TestMeanEstimator(t *testing.T) {
+	e := &meanEstimator{alpha: 0.5}
+	if got := e.observe(0, 0); got != 0 {
+		t.Fatalf("priming observe = %g, want 0", got)
+	}
+	// 10 observations summing 5s -> 0.5s mean, seeded directly.
+	if got := e.observe(10, 5); got != 0.5 {
+		t.Fatalf("seed mean = %g, want 0.5", got)
+	}
+	// Next window mean 1.0 -> 0.5 + 0.5*(1.0-0.5) = 0.75.
+	if got := e.observe(20, 15); got != 0.75 {
+		t.Fatalf("smoothed mean = %g, want 0.75", got)
+	}
+	// No new observations: unchanged.
+	if got := e.observe(20, 15); got != 0.75 {
+		t.Fatalf("empty-window observe moved the mean to %g", got)
+	}
+}

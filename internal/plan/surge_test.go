@@ -1,0 +1,255 @@
+package plan
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"autoscale/internal/core"
+	"autoscale/internal/dnn"
+	"autoscale/internal/exec"
+	"autoscale/internal/fault"
+	"autoscale/internal/router"
+	"autoscale/internal/serve"
+	"autoscale/internal/sim"
+	"autoscale/internal/soc"
+	"autoscale/internal/trace"
+)
+
+// The surge acceptance drill: gold/silver/best-effort traffic at a steady
+// base rate, then a fault-scheduled 12x arrival surge. A planned fleet must
+// (a) scale active lanes to capacity *before* the surge lands (lookahead,
+// not reaction), (b) shed strictly in best -> silver order while gold never
+// sheds, (c) keep gold's p95 virtual response inside its SLO target while a
+// statically-provisioned fleet (same four lanes, no planner) misses it, and
+// (d) replay byte-identically under a fixed seed.
+
+// surgeClasses are the drill's SLO tiers. Targets are generous relative to
+// the admission gates (0.1s best < 0.5s silver < 2.0s gold) because gates,
+// not targets, decide shed order.
+func surgeClasses() []Class {
+	return []Class{
+		{Name: "gold", TargetP95S: 1.0, Weight: 4, MaxQueueS: 2.0},
+		{Name: "silver", TargetP95S: 1.2, Weight: 2, MaxQueueS: 0.5},
+		{Name: "best", TargetP95S: 1.5, Weight: 1, MaxQueueS: 0.1},
+	}
+}
+
+const (
+	surgeStartS  = 4.0
+	surgeEndS    = 6.0
+	surgeFactor  = 12.0
+	surgeRunEndS = 8.0
+	baseLoad     = 0.75 // Erlangs offered to a single lane between surges
+)
+
+func surgeSchedule() *fault.Schedule {
+	return &fault.Schedule{Name: "surge-drill", Faults: []fault.Spec{
+		{Kind: fault.KindLoadSurge, StartS: surgeStartS, EndS: surgeEndS, Factor: surgeFactor},
+	}}
+}
+
+type surgeRun struct {
+	trace     []byte
+	decisions []byte // JSON of every applied decision, for replay compare
+	statuses  []serve.Status
+	arrivals  []float64
+	tenants   []string
+	goldP95   float64
+	// firstShed maps tenant -> request index of its first shed (-1 none).
+	firstShed map[string]int
+	sheds     map[string]int
+	// fourLanesAtS is the virtual time of the first decision that applied
+	// all four lanes (-1 if never).
+	fourLanesAtS float64
+}
+
+// probeServiceS measures the mean simulated service time on a throwaway
+// gateway, so the drill's offered load scales with the hardware model
+// without advancing any drill lane's clock.
+func probeServiceS(t testing.TB, seed int64) float64 {
+	t.Helper()
+	eng, err := core.NewEngine(sim.NewWorld(soc.Mi8Pro(), seed+100), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := serve.New([]serve.Backend{{Device: "probe", Engine: eng}}, serve.Config{Name: "probe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Shutdown(context.Background())
+	for i := 0; i < 30; i++ {
+		if _, err := gw.Do(serve.Request{Model: dnn.MustByName("MobileNet v3"), Conditions: conds()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := gw.Snapshot()
+	if s.Latency.Count == 0 || s.Latency.Sum <= 0 {
+		t.Fatal("probe gateway measured no service time")
+	}
+	return s.Latency.Sum / float64(s.Latency.Count)
+}
+
+// runSurge drives one full drill pass and returns its record. planned picks
+// between the planner-driven and the static configuration; everything else
+// — lanes, seeds, offered traffic — is identical.
+func runSurge(t testing.TB, seed int64, planned bool) surgeRun {
+	t.Helper()
+	m := probeServiceS(t, seed)
+	inj := fault.New(surgeSchedule(), exec.NewRoot(seed).Child("faults"))
+
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	backends := make([]serve.Backend, 0, 4)
+	for i := 0; i < 4; i++ {
+		eng, err := core.NewEngine(sim.NewWorld(soc.Mi8Pro(), seed+int64(i)), core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, serve.Backend{Device: "lane-" + string(rune('a'+i)), Engine: eng})
+	}
+	gw, err := serve.New(backends, serve.Config{Name: "shard-a", Trace: tw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := router.New([]router.ShardGateway{{Name: "shard-a", Gateway: gw}}, router.Config{
+		Tenants: Tenants(surgeClasses()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var p *Planner
+	if planned {
+		rt.SetActiveLanes(1)
+		p, err = New(rt, Config{
+			Classes:         surgeClasses(),
+			IntervalS:       0.5,
+			SurgeLookaheadS: 1.5,
+			MaxStepFactor:   2,
+			Faults:          inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res := surgeRun{
+		firstShed:    map[string]int{"gold": -1, "silver": -1, "best": -1},
+		sheds:        map[string]int{},
+		fourLanesAtS: -1,
+	}
+	model := dnn.MustByName("MobileNet v3")
+	tenants := []string{"gold", "silver", "best"}
+	baseGap := m / baseLoad
+	arrival := 0.0
+	var decisions []Decision
+	for i := 0; arrival < surgeRunEndS; i++ {
+		arrival += baseGap / inj.SurgeFactor(arrival)
+		if p != nil {
+			if d, ticked := p.MaybeTick(arrival); ticked {
+				decisions = append(decisions, d)
+				if res.fourLanesAtS < 0 && d.ActiveLanes == 4 {
+					res.fourLanesAtS = d.AtS
+				}
+			}
+		}
+		tenant := tenants[i%len(tenants)]
+		r, _ := rt.Do(serve.Request{
+			Model: model, Conditions: conds(), Tenant: tenant, ArrivalS: arrival,
+		})
+		res.statuses = append(res.statuses, r.Status)
+		res.arrivals = append(res.arrivals, arrival)
+		res.tenants = append(res.tenants, tenant)
+		if r.Status == serve.StatusShed {
+			res.sheds[tenant]++
+			if res.firstShed[tenant] < 0 {
+				res.firstShed[tenant] = i
+			}
+		}
+	}
+
+	if h, ok := rt.Snapshot().ByTenant["gold"]; ok && h.Count > 0 {
+		res.goldP95 = h.Quantile(0.95)
+	}
+	if err := rt.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res.trace = append([]byte(nil), buf.Bytes()...)
+	if res.decisions, err = json.Marshal(decisions); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSurgeAcceptance(t *testing.T) {
+	const seed = 1887
+	goldTarget := surgeClasses()[0].TargetP95S
+
+	plannedRun := runSurge(t, seed, true)
+	staticRun := runSurge(t, seed, false)
+
+	// SLO attainment: the planned fleet holds gold inside its target, the
+	// static fleet — same four lanes, no planner — misses it.
+	if plannedRun.goldP95 <= 0 {
+		t.Fatal("planned run measured no gold responses")
+	}
+	if plannedRun.goldP95 > goldTarget {
+		t.Errorf("planned gold p95 = %.3fs, want <= target %.2fs", plannedRun.goldP95, goldTarget)
+	}
+	if staticRun.goldP95 <= goldTarget {
+		t.Errorf("static gold p95 = %.3fs already meets %.2fs: the surge is too gentle to discriminate",
+			staticRun.goldP95, goldTarget)
+	}
+
+	// Strict class-ordered shedding under the surge: best-effort first,
+	// then silver, gold never.
+	if plannedRun.sheds["gold"] != 0 {
+		t.Errorf("planned run shed %d gold requests, want 0", plannedRun.sheds["gold"])
+	}
+	if plannedRun.sheds["best"] == 0 || plannedRun.sheds["silver"] == 0 {
+		t.Fatalf("surge shed best=%d silver=%d, want both > 0", plannedRun.sheds["best"], plannedRun.sheds["silver"])
+	}
+	if plannedRun.firstShed["best"] >= plannedRun.firstShed["silver"] {
+		t.Errorf("first best shed at index %d, first silver at %d: want best strictly first",
+			plannedRun.firstShed["best"], plannedRun.firstShed["silver"])
+	}
+
+	// Proactive scaling: all four lanes were active before the surge began
+	// — and therefore before the first shed.
+	if plannedRun.fourLanesAtS < 0 || plannedRun.fourLanesAtS >= surgeStartS {
+		t.Errorf("four lanes applied at t=%.2fs, want before the surge at %.1fs",
+			plannedRun.fourLanesAtS, surgeStartS)
+	}
+	if first := plannedRun.firstShed["best"]; first >= 0 && plannedRun.arrivals[first] <= plannedRun.fourLanesAtS {
+		t.Errorf("first shed (t=%.2fs) before scale-up completed (t=%.2fs): planner reacted, not planned",
+			plannedRun.arrivals[first], plannedRun.fourLanesAtS)
+	}
+
+	// The static fleet sheds nothing — it has no admission gates — which is
+	// exactly why its gold p95 blows through the target.
+	for tenant, n := range staticRun.sheds {
+		if n != 0 {
+			t.Errorf("static run shed %d %s requests, want 0", n, tenant)
+		}
+	}
+
+	// Fixed-seed replay is byte-identical: traces, decisions, outcomes.
+	replay := runSurge(t, seed, true)
+	if !bytes.Equal(plannedRun.trace, replay.trace) {
+		t.Errorf("replay trace diverged: %d vs %d bytes", len(plannedRun.trace), len(replay.trace))
+	}
+	if !bytes.Equal(plannedRun.decisions, replay.decisions) {
+		t.Errorf("replay plan decisions diverged:\n%s\nvs\n%s", plannedRun.decisions, replay.decisions)
+	}
+	if len(plannedRun.statuses) != len(replay.statuses) {
+		t.Fatalf("replay request count %d vs %d", len(replay.statuses), len(plannedRun.statuses))
+	}
+	for i := range plannedRun.statuses {
+		if plannedRun.statuses[i] != replay.statuses[i] {
+			t.Fatalf("replay outcome diverged at request %d: %v vs %v",
+				i, replay.statuses[i], plannedRun.statuses[i])
+		}
+	}
+}

@@ -15,6 +15,15 @@ type tenantQueue struct {
 	weight  int
 	deficit int
 
+	// depth, when positive, overrides the router's default per-tenant queue
+	// bound — the capacity planner's admission-depth actuator.
+	depth int
+	// maxVWaitS, when positive, is the tenant's admission gate: an
+	// arrival-stamped request is shed when the estimated backlog exceeds it.
+	// Ordering the bounds by class (tightest for best-effort, loosest for
+	// gold) makes overload shed strictly lowest class first.
+	maxVWaitS float64
+
 	// FIFO as a head-indexed slice: pops advance head, a fully drained queue
 	// resets to reuse its backing array, so steady-state traffic stops
 	// allocating once the array has grown to the working set.
@@ -43,6 +52,20 @@ func (tq *tenantQueue) pop() *rreq {
 
 // popOldest evicts the head request (the ShedOldest victim).
 func (tq *tenantQueue) popOldest() *rreq { return tq.pop() }
+
+// popNewest evicts the tail request (the ShedNewest victim when a planner
+// shrinks the queue under load: the youngest arrivals lose their slots, the
+// oldest keep their place in line).
+func (tq *tenantQueue) popNewest() *rreq {
+	r := tq.q[len(tq.q)-1]
+	tq.q[len(tq.q)-1] = nil
+	tq.q = tq.q[:len(tq.q)-1]
+	if tq.head == len(tq.q) {
+		tq.q = tq.q[:0]
+		tq.head = 0
+	}
+	return r
+}
 
 // drr multiplexes tenant queues with deficit round-robin.
 type drr struct {

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -191,9 +192,13 @@ type rreq struct {
 // Router fronts a fleet of gateway shards. It is safe for concurrent use.
 type Router struct {
 	cfg          Config
-	budget       int
-	tenantDepth  int
+	budget       atomic.Int64 // global in-flight budget; the planner retunes it live
+	tenantDepth  int          // default per-tenant queue bound (tenantQueue.depth overrides)
 	maxFailovers int
+
+	// gated is true while any tenant has a positive admission-wait bound, so
+	// ungated deployments never pay the backlog estimate on Submit.
+	gated atomic.Bool
 
 	// mu guards shard lifecycle state and the device-home map; the lock
 	// order is mu before any gateway's internal lock.
@@ -246,7 +251,6 @@ func New(shards []ShardGateway, cfg Config) (*Router, error) {
 
 	rt := &Router{
 		cfg:          cfg,
-		budget:       cfg.globalBudget(),
 		tenantDepth:  cfg.tenantQueueDepth(),
 		maxFailovers: cfg.maxFailovers(),
 		shards:       make(map[string]*shard, len(shards)),
@@ -255,6 +259,7 @@ func New(shards []ShardGateway, cfg Config) (*Router, error) {
 		wake:         make(chan struct{}, 1),
 		stopc:        make(chan struct{}),
 	}
+	rt.budget.Store(int64(cfg.globalBudget()))
 	for _, sg := range shards {
 		if sg.Name == "" {
 			return nil, errors.New("router: shard with empty name")
@@ -324,6 +329,14 @@ func (rt *Router) Submit(req serve.Request) (<-chan serve.Response, error) {
 	// fairness accounting agree on the class.
 	r.req.Tenant = name
 
+	// The backlog estimate reads shard state under rt.mu, so it is computed
+	// before qmu (the lock order never nests qmu inside mu or vice versa).
+	// Negative means "no gate applies to this request".
+	backlog := -1.0
+	if rt.gated.Load() && req.ArrivalS > 0 {
+		backlog = rt.MinBacklogS(req.ArrivalS)
+	}
+
 	rt.qmu.Lock()
 	tq := rt.drr.queue(name)
 	if tq == nil {
@@ -335,7 +348,17 @@ func (rt *Router) Submit(req serve.Request) (<-chan serve.Response, error) {
 		}
 		return r.resp, nil
 	}
-	if tq.size() >= rt.tenantDepth {
+	// Per-class admission gate: shed while the estimated backlog exceeds the
+	// tenant's virtual-wait bound. Bounds ordered by class make overload
+	// degrade strictly best-effort -> silver -> gold.
+	if tq.maxVWaitS > 0 && backlog > tq.maxVWaitS {
+		tq.shed++
+		rt.met.shed.Add(1)
+		rt.qmu.Unlock()
+		r.resp <- rt.shedResponse(r)
+		return r.resp, nil
+	}
+	if tq.size() >= rt.queueDepthLocked(tq) {
 		if rt.cfg.Shed == serve.ShedOldest && tq.size() > 0 {
 			old := tq.popOldest()
 			rt.drr.queued--
@@ -355,6 +378,15 @@ func (rt *Router) Submit(req serve.Request) (<-chan serve.Response, error) {
 	rt.qmu.Unlock()
 	rt.wakeUp()
 	return r.resp, nil
+}
+
+// queueDepthLocked returns a tenant queue's effective bound: its own depth
+// when a planner set one, the router default otherwise. Caller holds qmu.
+func (rt *Router) queueDepthLocked(tq *tenantQueue) int {
+	if tq.depth > 0 {
+		return tq.depth
+	}
+	return rt.tenantDepth
 }
 
 func (rt *Router) shedResponse(r *rreq) serve.Response {
@@ -397,7 +429,7 @@ func (rt *Router) run() {
 func (rt *Router) pump() {
 	for {
 		rt.fireDrills()
-		if rt.inflight.Load() >= int64(rt.budget) {
+		if rt.inflight.Load() >= rt.budget.Load() {
 			return
 		}
 		rt.qmu.Lock()
@@ -764,14 +796,230 @@ func (rt *Router) TenantQueues() []serve.TenantQueueStatus {
 	out := make([]serve.TenantQueueStatus, 0, len(rt.drr.order))
 	for _, tq := range rt.drr.order {
 		out = append(out, serve.TenantQueueStatus{
-			Tenant:   tq.name,
-			Weight:   tq.weight,
-			Queued:   tq.size(),
-			Admitted: tq.admitted,
-			Shed:     tq.shed,
+			Tenant:    tq.name,
+			Weight:    tq.weight,
+			Queued:    tq.size(),
+			Admitted:  tq.admitted,
+			Shed:      tq.shed,
+			Depth:     rt.queueDepthLocked(tq),
+			MaxVWaitS: tq.maxVWaitS,
 		})
 	}
 	return out
+}
+
+// --- planner actuators -----------------------------------------------------
+//
+// The capacity planner's narrow setters. Each is clamped, takes effect at
+// the next admission or dispatch decision (never mid-request), and is safe
+// to call while traffic flows.
+
+// Inflight returns the router-dispatched requests currently in flight — the
+// gauge the reconfiguration invariants are asserted against.
+func (rt *Router) Inflight() int64 { return rt.inflight.Load() }
+
+// GlobalBudget returns the current cross-shard in-flight budget.
+func (rt *Router) GlobalBudget() int { return int(rt.budget.Load()) }
+
+// SetGlobalBudget retunes the cross-shard in-flight budget (clamped to >= 1)
+// and returns the applied value. Shrinking below the current in-flight count
+// sheds nothing: dispatch simply pauses until completions drain under the
+// new bound, so no admitted request is stranded or double-terminated.
+func (rt *Router) SetGlobalBudget(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	rt.budget.Store(int64(n))
+	rt.wakeUp()
+	return n
+}
+
+// SetTenantWeight retunes one tenant's DRR weight (clamped to >= 1). Stale
+// deficit above the new weight is forfeited so an old generous weight cannot
+// linger as burst credit.
+func (rt *Router) SetTenantWeight(tenant string, weight int) error {
+	if weight < 1 {
+		weight = 1
+	}
+	rt.qmu.Lock()
+	defer rt.qmu.Unlock()
+	tq := rt.drr.queue(tenant)
+	if tq == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	tq.weight = weight
+	if tq.deficit > weight {
+		tq.deficit = weight
+	}
+	return nil
+}
+
+// SetTenantQueueDepth retunes one tenant's queue bound (clamped to >= 1).
+// Shrinking below the current occupancy evicts the excess immediately under
+// the router's shed policy (oldest-first for ShedOldest, newest-first
+// otherwise); every evicted request gets a terminal shed response and is
+// counted exactly once. Returns the number evicted.
+func (rt *Router) SetTenantQueueDepth(tenant string, depth int) (int, error) {
+	if depth < 1 {
+		depth = 1
+	}
+	rt.qmu.Lock()
+	tq := rt.drr.queue(tenant)
+	if tq == nil {
+		rt.qmu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	tq.depth = depth
+	var evicted []*rreq
+	for tq.size() > depth {
+		var victim *rreq
+		if rt.cfg.Shed == serve.ShedOldest {
+			victim = tq.popOldest()
+		} else {
+			victim = tq.popNewest()
+		}
+		rt.drr.queued--
+		tq.shed++
+		rt.met.shed.Add(1)
+		evicted = append(evicted, victim)
+	}
+	rt.qmu.Unlock()
+	for _, v := range evicted {
+		v.resp <- rt.shedResponse(v)
+	}
+	return len(evicted), nil
+}
+
+// SetAdmissionWait retunes one tenant's admission gate: arrival-stamped
+// requests are shed while the estimated backlog (MinBacklogS) exceeds
+// maxVWaitS. Zero (or negative) removes the gate.
+func (rt *Router) SetAdmissionWait(tenant string, maxVWaitS float64) error {
+	if maxVWaitS < 0 {
+		maxVWaitS = 0
+	}
+	rt.qmu.Lock()
+	defer rt.qmu.Unlock()
+	tq := rt.drr.queue(tenant)
+	if tq == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	tq.maxVWaitS = maxVWaitS
+	gated := false
+	for _, q := range rt.drr.order {
+		if q.maxVWaitS > 0 {
+			gated = true
+			break
+		}
+	}
+	rt.gated.Store(gated)
+	return nil
+}
+
+// MinBacklogS estimates how long a request stamped with the given virtual
+// arrival would wait before any lane could start it: the minimum active-lane
+// clock across healthy shards minus the arrival, floored at zero.
+func (rt *Router) MinBacklogS(arrivalS float64) float64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	min := math.Inf(1)
+	for _, name := range rt.order {
+		sh := rt.shards[name]
+		if sh.state != shardHealthy {
+			continue
+		}
+		if c := sh.gw.MinLaneClock(); c < min {
+			min = c
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	if b := min - arrivalS; b > 0 {
+		return b
+	}
+	return 0
+}
+
+// TotalLanes sums worker lanes across healthy shards (active or not) — the
+// planner's scale-out ceiling.
+func (rt *Router) TotalLanes() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	total := 0
+	for _, name := range rt.order {
+		if sh := rt.shards[name]; sh.state == shardHealthy {
+			total += sh.gw.LaneCount()
+		}
+	}
+	return total
+}
+
+// ActiveLanes sums the active worker-pool sizes across healthy shards.
+func (rt *Router) ActiveLanes() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	total := 0
+	for _, name := range rt.order {
+		if sh := rt.shards[name]; sh.state == shardHealthy {
+			total += sh.gw.ActiveLanes()
+		}
+	}
+	return total
+}
+
+// SetActiveLanes distributes a total active-lane count over the healthy
+// shards — at least one lane per shard, round-robin in shard-name order for
+// the rest, clamped to each shard's lane count — and returns the applied
+// total. This is the planner's worker-pool actuator: deactivated lanes
+// drain what they hold and then idle, so shrinking never preempts a request.
+func (rt *Router) SetActiveLanes(total int) int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	type target struct {
+		sh    *shard
+		lanes int // capacity
+		want  int
+	}
+	var ts []target
+	capacity := 0
+	for _, name := range rt.order {
+		if sh := rt.shards[name]; sh.state == shardHealthy {
+			n := sh.gw.LaneCount()
+			ts = append(ts, target{sh: sh, lanes: n, want: 0})
+			capacity += n
+		}
+	}
+	if len(ts) == 0 {
+		return 0
+	}
+	if total < len(ts) {
+		total = len(ts)
+	}
+	if total > capacity {
+		total = capacity
+	}
+	remaining := total
+	for remaining > 0 {
+		progressed := false
+		for i := range ts {
+			if remaining == 0 {
+				break
+			}
+			if ts[i].want < ts[i].lanes {
+				ts[i].want++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	applied := 0
+	for _, t := range ts {
+		applied += t.sh.gw.SetActiveLanes(t.want)
+	}
+	return applied
 }
 
 // PromText renders the merged shard metrics plus the router's own series —

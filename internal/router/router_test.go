@@ -237,9 +237,8 @@ func pausedRouter(cfg Config) *Router {
 	if !hasDefault {
 		tenants = append(tenants, Tenant{Name: DefaultTenant, Weight: 1})
 	}
-	return &Router{
+	rt := &Router{
 		cfg:          cfg,
-		budget:       cfg.globalBudget(),
 		tenantDepth:  cfg.tenantQueueDepth(),
 		maxFailovers: cfg.maxFailovers(),
 		shards:       map[string]*shard{},
@@ -248,6 +247,8 @@ func pausedRouter(cfg Config) *Router {
 		wake:         make(chan struct{}, 1),
 		stopc:        make(chan struct{}),
 	}
+	rt.budget.Store(int64(cfg.globalBudget()))
+	return rt
 }
 
 func TestSubmitShedNewest(t *testing.T) {

@@ -55,6 +55,12 @@ type TenantQueueStatus struct {
 	// sacrificed at admission.
 	Admitted uint64 `json:"admitted"`
 	Shed     uint64 `json:"shed"`
+	// Depth is the queue's effective bound (the router default until a
+	// planner overrides it per tenant).
+	Depth int `json:"depth,omitempty"`
+	// MaxVWaitS, when positive, is the admission gate: arrival-stamped
+	// requests are shed while the estimated backlog exceeds it.
+	MaxVWaitS float64 `json:"max_vwait_s,omitempty"`
 }
 
 // ShardSource is the optional Source extension that lights up the /shards
@@ -70,6 +76,14 @@ type ShardSource interface {
 // after the merged gateway body.
 type PromSource interface {
 	PromText() []byte
+}
+
+// PlanSource is the optional Source extension that lights up the /plan
+// handler: the capacity planner's current decision and per-class SLO
+// attainment, already rendered to JSON. Bytes rather than a struct keep the
+// serving layer free of a dependency on the planning layer above it.
+type PlanSource interface {
+	PlanJSON() ([]byte, error)
 }
 
 // Admin is the serving layer's opt-in observability endpoint: a small HTTP
@@ -113,6 +127,7 @@ func ServeAdminSource(src Source, addr string) (*Admin, error) {
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	mux.HandleFunc("/breakers", a.handleBreakers)
 	mux.HandleFunc("/shards", a.handleShards)
+	mux.HandleFunc("/plan", a.handlePlan)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -187,6 +202,21 @@ func (a *Admin) handleShards(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(shardsDoc{Shards: ss.ShardStatuses(), Tenants: ss.TenantQueues()}) //nolint:errcheck
 }
 
+func (a *Admin) handlePlan(w http.ResponseWriter, r *http.Request) {
+	ps, ok := a.src.(PlanSource)
+	if !ok {
+		http.Error(w, "not a planned source", http.StatusNotFound)
+		return
+	}
+	b, err := ps.PlanJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b) //nolint:errcheck
+}
+
 // breakerStateValue encodes a breaker state for the gauge: closed is healthy
 // (0), half-open probing (1), open tripped (2).
 func breakerStateValue(state string) float64 {
@@ -248,6 +278,13 @@ func PromText(s metrics.Snapshot, health map[string]core.Health) []byte {
 	p.Histogram("autoscale_request_latency_seconds", "End-to-end execution latency.", s.Latency)
 	p.Histogram("autoscale_queue_wait_seconds", "Admission-to-pickup queue wait.", s.Wait)
 	p.Histogram("autoscale_request_energy_joules", "Mobile-side energy per request.", s.Energy)
+	if s.VWait.Count > 0 {
+		p.Histogram("autoscale_virtual_wait_seconds", "Virtual queue wait (lane clock minus arrival stamp).", s.VWait)
+	}
+	for _, tenant := range sortedKeys(s.ByTenant) {
+		p.Histogram("autoscale_tenant_response_seconds", "Virtual response time (vwait plus execution latency) per tenant.",
+			s.ByTenant[tenant], "tenant", tenant)
+	}
 	for _, phase := range obs.Phases() {
 		hs, ok := s.Phases[phase]
 		if !ok {

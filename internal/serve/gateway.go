@@ -29,6 +29,12 @@ type Gateway struct {
 	met *metrics.Registry
 	rr  atomic.Uint64
 
+	// activeLanes bounds how many worker lanes (in registration order)
+	// unpinned requests route to; 0 or >= len(workers) means all. The
+	// capacity planner's worker-pool actuator: deactivated lanes drain what
+	// they hold and then idle, pinned requests still reach them.
+	activeLanes atomic.Int64
+
 	// mu guards closed and the worker set: AddBackend grows workers/byName
 	// at runtime (the routing tier re-homes devices onto live shards), so
 	// every reader snapshots under the read lock.
@@ -363,15 +369,81 @@ func (g *Gateway) pick(device string) (*worker, error) {
 		}
 		return w, nil
 	}
+	lanes := g.activeWorkersLocked()
 	offset := int(g.rr.Add(1))
-	best := g.workers[offset%len(g.workers)]
-	for i := 1; i < len(g.workers); i++ {
-		w := g.workers[(offset+i)%len(g.workers)]
+	best := lanes[offset%len(lanes)]
+	for i := 1; i < len(lanes); i++ {
+		w := lanes[(offset+i)%len(lanes)]
 		if len(w.queue) < len(best.queue) {
 			best = w
 		}
 	}
 	return best, nil
+}
+
+// activeWorkersLocked returns the lanes unpinned routing may use: the first
+// ActiveLanes workers in registration order. Caller holds g.mu.
+func (g *Gateway) activeWorkersLocked() []*worker {
+	n := int(g.activeLanes.Load())
+	if n <= 0 || n >= len(g.workers) {
+		return g.workers
+	}
+	return g.workers[:n]
+}
+
+// SetActiveLanes resizes the worker pool unpinned requests route over to the
+// first n lanes in registration order, clamped to [1, lane count]; n <= 0
+// restores the full pool. Deactivated lanes finish what they already queued
+// (never mid-request preemption) and pinned requests still reach them.
+// Returns the effective active-lane count.
+func (g *Gateway) SetActiveLanes(n int) int {
+	g.mu.RLock()
+	total := len(g.workers)
+	g.mu.RUnlock()
+	if n <= 0 || n > total {
+		n = total
+	}
+	g.activeLanes.Store(int64(n))
+	return n
+}
+
+// ActiveLanes returns the current unpinned-routing pool size.
+func (g *Gateway) ActiveLanes() int {
+	g.mu.RLock()
+	total := len(g.workers)
+	g.mu.RUnlock()
+	n := int(g.activeLanes.Load())
+	if n <= 0 || n > total {
+		return total
+	}
+	return n
+}
+
+// LaneCount returns the total number of worker lanes (active or not).
+func (g *Gateway) LaneCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.workers)
+}
+
+// MinLaneClock returns the smallest virtual clock among active lanes — the
+// earliest moment a new unpinned request could start executing. Against an
+// arrival stamp this estimates the backlog the routing tier's per-class
+// admission gates compare to their wait bounds.
+func (g *Gateway) MinLaneClock() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	lanes := g.activeWorkersLocked()
+	min := math.Inf(1)
+	for _, w := range lanes {
+		if t := w.engine.Now(); t < min {
+			min = t
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
 }
 
 // Do submits one request and waits for its response — the synchronous
@@ -427,7 +499,24 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	sw := obs.NewStopwatch(w.engine.Now)
 	w.seq++
 
-	base := Response{Device: w.device, SubmittedAt: p.submittedAt, WaitS: wait}
+	// Virtual wait: how far the serving lane's clock has run past the
+	// request's virtual arrival — exact FCFS queueing delay on the engines'
+	// deterministic time scale, and the observable the capacity planner's
+	// M/M/c model is calibrated against.
+	vwait := 0.0
+	if p.req.ArrivalS > 0 {
+		if lag := w.engine.Now() - p.req.ArrivalS; lag > 0 {
+			vwait = lag
+		} else {
+			// The lane sat idle since its last request: fast-forward its
+			// clock to the arrival, so service starts when the request
+			// exists rather than at the lane's accumulated busy time.
+			w.engine.AdvanceTo(p.req.ArrivalS)
+		}
+		g.met.ObserveVWait(vwait)
+	}
+
+	base := Response{Device: w.device, SubmittedAt: p.submittedAt, WaitS: wait, VWaitS: vwait}
 
 	// Fire any scripted crash/corruption drills whose virtual time has come
 	// before this request observes the engine.
@@ -542,6 +631,9 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	g.met.IncServed()
 	g.met.ObserveLatency(d.Measurement.LatencyS)
 	g.met.ObserveEnergy(d.Measurement.EnergyJ)
+	if p.req.Tenant != "" {
+		g.met.ObserveTenantResponse(p.req.Tenant, vwait+d.Measurement.LatencyS)
+	}
 	g.met.CountTarget(d.Measurement.Target.Location.String())
 	g.met.CountDevice(w.device)
 	phases := sw.Durations()
@@ -558,6 +650,7 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		rec.Retries = retries
 		rec.Hedged = hedged
 		rec.Degraded = degraded
+		rec.VWaitS = vwait
 		rec.Phases = phases
 		g.cfg.Trace.Append(rec)
 	}

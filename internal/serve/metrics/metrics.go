@@ -66,6 +66,7 @@ type Registry struct {
 	latency *obs.Histogram
 	wait    *obs.Histogram
 	energy  *obs.Histogram
+	vwait   *obs.Histogram
 	// phases maps phase name -> histogram. Built complete at New and never
 	// mutated after, so reads need no lock.
 	phases map[string]*obs.Histogram
@@ -74,6 +75,9 @@ type Registry struct {
 	byTarget  map[string]int64
 	byDevice  map[string]int64
 	byBreaker map[string]string
+	// byTenant maps tenant -> virtual response-time histogram (vwait plus
+	// execution latency), built lazily on first observation per tenant.
+	byTenant map[string]*obs.Histogram
 }
 
 // New builds a registry over the shared Scheme ladder, with one phase
@@ -83,10 +87,12 @@ func New() *Registry {
 		latency:   obs.NewHistogram(Scheme()),
 		wait:      obs.NewHistogram(Scheme()),
 		energy:    obs.NewHistogram(Scheme()),
+		vwait:     obs.NewHistogram(Scheme()),
 		phases:    make(map[string]*obs.Histogram),
 		byTarget:  make(map[string]int64),
 		byDevice:  make(map[string]int64),
 		byBreaker: make(map[string]string),
+		byTenant:  make(map[string]*obs.Histogram),
 	}
 	for _, p := range obs.Phases() {
 		r.phases[p] = obs.NewHistogram(Scheme())
@@ -205,6 +211,29 @@ func (r *Registry) ObserveWait(s float64) { r.shared(func() { r.wait.Observe(s) 
 // ObserveEnergy records one mobile-side energy cost (joules).
 func (r *Registry) ObserveEnergy(j float64) { r.shared(func() { r.energy.Observe(j) }) }
 
+// ObserveVWait records one virtual queue wait (seconds on the lane clock)
+// for an arrival-stamped request.
+func (r *Registry) ObserveVWait(s float64) { r.shared(func() { r.vwait.Observe(s) }) }
+
+// ObserveTenantResponse records one virtual response time (vwait plus
+// execution latency, seconds) against the request's tenant — the per-class
+// series SLO attainment is judged on. No-op for an empty tenant.
+func (r *Registry) ObserveTenantResponse(tenant string, s float64) {
+	if tenant == "" {
+		return
+	}
+	r.shared(func() {
+		r.mu.Lock()
+		h, ok := r.byTenant[tenant]
+		if !ok {
+			h = obs.NewHistogram(Scheme())
+			r.byTenant[tenant] = h
+		}
+		r.mu.Unlock()
+		h.Observe(s)
+	})
+}
+
 // ObservePhase records one phase duration (seconds) into that phase's
 // histogram. Unknown phases are dropped — the phase set is the obs package's
 // canonical list, fixed at New.
@@ -268,6 +297,9 @@ type Snapshot struct {
 	Latency HistogramSnapshot
 	Wait    HistogramSnapshot
 	Energy  HistogramSnapshot
+	// VWait is the virtual queue-wait histogram (arrival-stamped requests
+	// only; see serve.Request.ArrivalS).
+	VWait HistogramSnapshot
 	// Phases holds one histogram per request phase that recorded at least
 	// one observation (obs.Phases names the full set).
 	Phases map[string]HistogramSnapshot
@@ -277,6 +309,9 @@ type Snapshot struct {
 	ByTarget  map[string]int64
 	ByDevice  map[string]int64
 	ByBreaker map[string]string
+	// ByTenant holds one virtual response-time histogram per tenant that
+	// served at least one request.
+	ByTenant map[string]HistogramSnapshot
 }
 
 // Accounted returns the number of requests with a terminal outcome.
@@ -316,10 +351,12 @@ func (r *Registry) Snapshot() Snapshot {
 		Latency:       r.latency.Snapshot(),
 		Wait:          r.wait.Snapshot(),
 		Energy:        r.energy.Snapshot(),
+		VWait:         r.vwait.Snapshot(),
 		Phases:        make(map[string]HistogramSnapshot),
 		ByTarget:      make(map[string]int64),
 		ByDevice:      make(map[string]int64),
 		ByBreaker:     make(map[string]string),
+		ByTenant:      make(map[string]HistogramSnapshot),
 	}
 	for p, h := range r.phases {
 		if hs := h.Snapshot(); hs.Count > 0 {
@@ -338,6 +375,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.byBreaker {
 		s.ByBreaker[k] = v
 	}
+	for t, h := range r.byTenant {
+		s.ByTenant[t] = h.Snapshot()
+	}
 	r.mu.Unlock()
 	return s
 }
@@ -346,18 +386,21 @@ func (r *Registry) Snapshot() Snapshot {
 // routing tier's merged registry across gateway shards. Counters and gauges
 // sum; histograms merge bucket-wise (every registry shares the Scheme
 // ladder, so merging cannot fail across gateways; a foreign-scheme snapshot
-// keeps the first operand's histogram). QueueMaxDepth sums the per-shard
-// watermarks, which upper-bounds the (unknowable) aggregate watermark.
-// Label maps union with summed counts; breaker labels are device-scoped and
-// devices are unique across shards, so states never collide.
+// keeps the accumulated histogram). Merging a zero-valued or empty snapshot
+// is an identity operation in any operand position, and same-scheme merges
+// are commutative. QueueMaxDepth sums the per-shard watermarks, which
+// upper-bounds the (unknowable) aggregate watermark. Label maps union with
+// summed counts; breaker labels are device-scoped and devices are unique
+// across shards, so states never collide.
 func Merge(snaps ...Snapshot) Snapshot {
 	out := Snapshot{
 		Phases:    make(map[string]HistogramSnapshot),
 		ByTarget:  make(map[string]int64),
 		ByDevice:  make(map[string]int64),
 		ByBreaker: make(map[string]string),
+		ByTenant:  make(map[string]HistogramSnapshot),
 	}
-	for i, s := range snaps {
+	for _, s := range snaps {
 		out.Submitted += s.Submitted
 		out.Served += s.Served
 		out.Shed += s.Shed
@@ -381,13 +424,10 @@ func Merge(snaps ...Snapshot) Snapshot {
 		out.OutageWastedJ += s.OutageWastedJ
 		out.QueueDepth += s.QueueDepth
 		out.QueueMaxDepth += s.QueueMaxDepth
-		if i == 0 {
-			out.Latency, out.Wait, out.Energy = s.Latency, s.Wait, s.Energy
-		} else {
-			out.Latency = mergeHist(out.Latency, s.Latency)
-			out.Wait = mergeHist(out.Wait, s.Wait)
-			out.Energy = mergeHist(out.Energy, s.Energy)
-		}
+		out.Latency = mergeHist(out.Latency, s.Latency)
+		out.Wait = mergeHist(out.Wait, s.Wait)
+		out.Energy = mergeHist(out.Energy, s.Energy)
+		out.VWait = mergeHist(out.VWait, s.VWait)
 		for p, h := range s.Phases {
 			if have, ok := out.Phases[p]; ok {
 				out.Phases[p] = mergeHist(have, h)
@@ -404,13 +444,30 @@ func Merge(snaps ...Snapshot) Snapshot {
 		for k, v := range s.ByBreaker {
 			out.ByBreaker[k] = v
 		}
+		for t, h := range s.ByTenant {
+			if have, ok := out.ByTenant[t]; ok {
+				out.ByTenant[t] = mergeHist(have, h)
+			} else {
+				out.ByTenant[t] = h
+			}
+		}
 	}
 	return out
 }
 
-// mergeHist merges b into a, keeping a on a scheme mismatch (cannot happen
-// between registries built by New, which share one ladder).
+// mergeHist merges two histogram snapshots. An empty operand — a zero-valued
+// snapshot (no scheme, no buckets) or one with no observations — is the
+// merge identity on either side, so Merge(zero, s) == Merge(s, zero) == s;
+// before this rule a zero first operand's empty scheme poisoned every later
+// merge. On a genuine scheme mismatch the accumulated side wins (cannot
+// happen between registries built by New, which share one ladder).
 func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
+	if b.Count == 0 && len(b.Counts) == 0 {
+		return a
+	}
+	if a.Count == 0 && len(a.Counts) == 0 {
+		return b
+	}
 	m, err := a.Merge(b)
 	if err != nil {
 		return a

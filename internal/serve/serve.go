@@ -94,6 +94,14 @@ type Request struct {
 	// itself only records it (metrics, trace attribution); the routing tier
 	// uses it for weighted admission across shards.
 	Tenant string
+	// ArrivalS, when positive, is the request's virtual arrival stamp on the
+	// engines' clock scale (seconds of accumulated service time). Load
+	// generators that stamp it get deterministic queueing semantics: the
+	// gateway records vwait = max(0, lane clock - ArrivalS), the routing
+	// tier's admission gates compare the estimated backlog against per-class
+	// wait bounds, and the capacity planner ticks on it. Zero disables
+	// virtual-wait accounting.
+	ArrivalS float64
 }
 
 // Response is the terminal outcome delivered on the request's channel.
@@ -130,6 +138,10 @@ type Response struct {
 	DoneAt      time.Time
 	// WaitS is the queue wait in gateway wall-clock seconds.
 	WaitS float64
+	// VWaitS is the virtual queue wait — the serving lane's clock minus the
+	// request's ArrivalS at execution start, floored at zero. Always zero
+	// for unstamped requests and for requests terminated before execution.
+	VWaitS float64
 }
 
 // ShedPolicy selects which request a full queue sacrifices.

@@ -20,11 +20,12 @@ import (
 )
 
 // SchemaV is the current record schema version. Version 2 added the Shard
-// and Tenant attribution fields for the cluster-scale routing tier. Records
-// without a "v" field are version 1; every version-1 record is a valid
-// version-2 record with empty shard/tenant, so old traces keep parsing and
-// summarizing unchanged.
-const SchemaV = 2
+// and Tenant attribution fields for the cluster-scale routing tier; version
+// 3 added VWaitS, the virtual queue wait of arrival-stamped requests.
+// Records without a "v" field are version 1; every earlier-version record is
+// a valid current-version record with the new fields zero, so old traces
+// keep parsing and summarizing unchanged.
+const SchemaV = 3
 
 // Record is one scheduled inference, flattened for the log.
 type Record struct {
@@ -67,6 +68,10 @@ type Record struct {
 	// WastedJ is the energy burned on failed or superseded offload
 	// attempts, already included in EnergyJ.
 	WastedJ float64 `json:"wasted_j,omitempty"`
+	// VWaitS is the request's virtual queue wait (lane clock minus arrival
+	// stamp at execution start) — deterministic, so it stays in the
+	// byte-identical replay surface. Zero for unstamped requests. Schema v3.
+	VWaitS float64 `json:"vwait_s,omitempty"`
 	// Phases decomposes the request's execution into per-phase seconds
 	// (obs.Phases names the keys). Only deterministic virtual-clock legs are
 	// recorded — wall-clock waits stay out so replayed traces stay
