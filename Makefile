@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router race-plan fuzz-fault smoke-admin smoke-plan verify bench bench-all
+.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router race-plan race-hot alloc-guard fuzz-fault smoke-admin smoke-plan verify bench bench-all bench-diff profile
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,19 @@ race-router:
 race-plan:
 	$(GO) test -race ./internal/plan/ ./internal/router/ ./internal/serve/
 
+# The hot decide path: the dense RCU Q-table, the engine's lock-free agent
+# pointer and the gateway's batched telemetry run lock-free readers against
+# single-writer updates — the torn-read hunt and the serving suite must hold
+# under race instrumentation.
+race-hot:
+	$(GO) test -race ./internal/rl/ ./internal/core/ ./internal/serve/
+
+# Allocs-per-op regression guard: the frozen decide fast path (observe,
+# dense state index, RCU argmax) must stay at zero allocations. Runs
+# un-instrumented (the race detector's shadow memory allocates).
+alloc-guard:
+	$(GO) test -run '^TestDecideZeroAlloc$$' .
+
 # Fuzz smoke over the fault-schedule parser: any input that parses must also
 # compile and answer injector queries without panicking.
 fuzz-fault:
@@ -114,14 +127,14 @@ smoke-plan:
 # detector (which includes the dedicated policy-plane, exec-plane, fault-plane,
 # telemetry-plane and planning-plane passes), the schedule-parser fuzz smoke
 # and the admin and planner scrape smokes.
-verify: build fmt vet race race-policy race-exp race-fault race-obs race-router race-plan fuzz-fault smoke-admin smoke-plan
+verify: build fmt vet race race-policy race-exp race-fault race-obs race-router race-plan race-hot alloc-guard fuzz-fault smoke-admin smoke-plan
 
 # Archive the representative benchmarks (end-to-end Fig 9, gateway and
 # routing-tier throughput, the telemetry hot path, the router dispatch path
 # and the planner recompute) as BENCH_exp.json: per-benchmark name, ns/op and allocs/op averaged
 # over three repetitions.
 bench:
-	$(GO) test -run '^$$' -bench '^(BenchmarkFig9|BenchmarkGatewayThroughput|BenchmarkRouterThroughput)$$' \
+	$(GO) test -run '^$$' -bench '^(BenchmarkFig9|BenchmarkDecide|BenchmarkGatewayThroughput|BenchmarkRouterThroughput)$$' \
 		-benchmem -count=3 . > BENCH_exp.txt
 	$(GO) test -run '^$$' -bench '^BenchmarkHistogramObserve' \
 		-benchmem -count=3 ./internal/obs/ >> BENCH_exp.txt
@@ -134,3 +147,20 @@ bench:
 
 bench-all:
 	$(GO) test -bench=. -benchmem
+
+# Benchstat-style old-vs-new comparison of the archived benchmark snapshot.
+# The previous snapshot defaults to the last committed BENCH_exp.json; run
+# `make bench` first to refresh the current one.
+bench-diff:
+	@if [ ! -f BENCH_exp.prev.json ]; then \
+		git show HEAD:BENCH_exp.json > BENCH_exp.prev.json 2>/dev/null || \
+		{ echo "bench-diff: no BENCH_exp.prev.json and no committed BENCH_exp.json"; exit 1; }; \
+	fi
+	$(GO) run ./cmd/benchdiff -old BENCH_exp.prev.json -new BENCH_exp.json
+
+# CPU and heap profiles of the serving hot path, from the closed-loop
+# gateway bench. Inspect with `go tool pprof cpu.pprof` / `mem.pprof`.
+profile:
+	$(GO) test -run '^$$' -bench '^BenchmarkGatewayThroughput/clients=1$$' -benchtime=3s \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "profiles written: cpu.pprof mem.pprof (go tool pprof <file>)"

@@ -107,8 +107,9 @@ func BenchmarkAblationStates(b *testing.B) { runExperiment(b, "ablation") }
 
 // --- Section VI-C overhead micro-benchmarks -------------------------------
 
-// trainedBenchEngine builds a lightly trained engine for overhead benches.
-func trainedBenchEngine(b *testing.B) (*core.Engine, *dnn.Model, sim.Conditions) {
+// trainedBenchEngine builds a lightly trained engine for overhead benches
+// (and the zero-alloc regression guard, hence testing.TB).
+func trainedBenchEngine(b testing.TB) (*core.Engine, *dnn.Model, sim.Conditions) {
 	b.Helper()
 	w := sim.NewWorld(soc.Mi8Pro(), 1)
 	e, err := core.NewEngine(w, core.DefaultConfig())
@@ -382,9 +383,10 @@ func benchGateway(b *testing.B) *Gateway {
 // BenchmarkGatewayThroughput measures closed-loop requests/sec through the
 // serving gateway at increasing client concurrency — the perf baseline for
 // the serving layer (each client has at most one request in flight, so
-// ns/op is the per-request gateway overhead plus the engine step).
+// ns/op is the per-request gateway overhead plus the engine step). The
+// aggregate decision rate is reported as decisions/sec.
 func BenchmarkGatewayThroughput(b *testing.B) {
-	for _, clients := range []int{1, 4, 16} {
+	for _, clients := range []int{1, 4, 8, 16} {
 		b.Run("clients="+strconv.Itoa(clients), func(b *testing.B) {
 			gw := benchGateway(b)
 			m := dnn.MustByName("MobileNet v3")
@@ -407,11 +409,27 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 			}
 			wg.Wait()
 			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/sec")
 			if err := gw.Shutdown(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		})
 	}
+}
+
+// BenchmarkDecide measures the frozen decide fast path alone — observe,
+// dense state index, lock-free RCU Q-row argmax — the path the allocs-per-op
+// regression guard (make verify) holds at zero.
+func BenchmarkDecide(b *testing.B) {
+	e, m, c := trainedBenchEngine(b)
+	e.Agent().Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Predict(m, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/sec")
 }
 
 // BenchmarkGatewaySubmit measures the admission-control path alone —

@@ -1,0 +1,110 @@
+// Command benchdiff compares two BENCH_exp.json snapshots (cmd/benchjson
+// output) and prints a benchstat-style old-vs-new table: ns/op, B/op and
+// allocs/op per benchmark with percentage deltas. Benchmarks present in
+// only one snapshot are listed with a dash on the missing side.
+//
+// Usage:
+//
+//	git show HEAD:BENCH_exp.json > BENCH_exp.prev.json
+//	make bench
+//	benchdiff -old BENCH_exp.prev.json -new BENCH_exp.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors cmd/benchjson's Result.
+type result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]result, len(rs))
+	for _, r := range rs {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// cell renders one old/new/delta triple. A negative delta is an
+// improvement for every metric benchdiff prints.
+func cell(oldV, newV float64, haveOld, haveNew bool) string {
+	switch {
+	case !haveOld && !haveNew:
+		return ""
+	case !haveOld:
+		return fmt.Sprintf("       -  -> %10.2f", newV)
+	case !haveNew:
+		return fmt.Sprintf("%10.2f ->        -", oldV)
+	}
+	s := fmt.Sprintf("%10.2f -> %10.2f", oldV, newV)
+	if oldV != 0 {
+		s += fmt.Sprintf("  %+7.2f%%", (newV-oldV)/oldV*100)
+	}
+	return s
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "BENCH_exp.prev.json", "previous snapshot")
+		newPath = flag.String("new", "BENCH_exp.json", "current snapshot")
+	)
+	flag.Parse()
+
+	oldRes, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRes, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make(map[string]bool)
+	for n := range oldRes {
+		names[n] = true
+	}
+	for n := range newRes {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		o, haveOld := oldRes[name]
+		n, haveNew := newRes[name]
+		fmt.Println(name)
+		fmt.Printf("  ns/op:     %s\n", cell(o.NsPerOp, n.NsPerOp, haveOld, haveNew))
+		if o.BytesPerOp != 0 || n.BytesPerOp != 0 {
+			fmt.Printf("  B/op:      %s\n", cell(o.BytesPerOp, n.BytesPerOp, haveOld, haveNew))
+		}
+		if o.AllocsPerOp != 0 || n.AllocsPerOp != 0 {
+			fmt.Printf("  allocs/op: %s\n", cell(o.AllocsPerOp, n.AllocsPerOp, haveOld, haveNew))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

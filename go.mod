@@ -1,3 +1,3 @@
 module autoscale
 
-go 1.22
+go 1.23.0

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"autoscale/internal/dnn"
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
@@ -11,10 +14,16 @@ import (
 // DVFS step and supported precision — the DVFS- and quantization-augmented
 // actions — plus the connected-edge and cloud engines. For the Mi8Pro world
 // this yields the paper's ~66 actions.
+//
+// The per-model mask cache is copy-on-write: lookups load an immutable map
+// through an atomic pointer (lock-free, so engines can read masks outside
+// their own mutex), inserts copy-and-republish under masksMu. The model set
+// is tiny and fixed after warmup, so copies are rare.
 type ActionSpace struct {
 	targets    []sim.Target
 	world      *sim.World
-	masks      map[string][]bool
+	masks      atomic.Pointer[map[string][]bool]
+	masksMu    sync.Mutex
 	partitions []partitionSpec
 }
 
@@ -43,7 +52,10 @@ func NewActionSpace(w *sim.World) *ActionSpace {
 			targets = append(targets, sim.Target{Location: loc, Kind: p.Kind, Prec: prec})
 		}
 	}
-	return &ActionSpace{targets: targets, world: w, masks: make(map[string][]bool)}
+	a := &ActionSpace{targets: targets, world: w}
+	empty := make(map[string][]bool)
+	a.masks.Store(&empty)
+	return a
 }
 
 // NewActionSpaceWithPartitions enumerates the standard action space plus the
@@ -76,9 +88,9 @@ func (a *ActionSpace) Index(t sim.Target) int {
 // Mask returns the feasibility mask of model m: actions whose engine cannot
 // execute the model (recurrent layers on mobile co-processors, unsupported
 // precisions) are disabled. Masks are cached per model name and must not be
-// mutated by callers.
+// mutated by callers. Cache hits are lock-free.
 func (a *ActionSpace) Mask(m *dnn.Model) []bool {
-	if cached, ok := a.masks[m.Name]; ok {
+	if cached, ok := (*a.masks.Load())[m.Name]; ok {
 		return cached
 	}
 	mask := make([]bool, len(a.targets))
@@ -89,7 +101,18 @@ func (a *ActionSpace) Mask(m *dnn.Model) []bool {
 		}
 		mask[i] = a.world.Feasible(m, t)
 	}
-	a.masks[m.Name] = mask
+	a.masksMu.Lock()
+	defer a.masksMu.Unlock()
+	old := *a.masks.Load()
+	if cached, ok := old[m.Name]; ok {
+		return cached // lost the insert race; keep the published slice
+	}
+	next := make(map[string][]bool, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[m.Name] = mask
+	a.masks.Store(&next)
 	return mask
 }
 
@@ -100,13 +123,31 @@ func (a *ActionSpace) Mask(m *dnn.Model) []bool {
 // would disable every action, the unfiltered mask is returned instead:
 // degrading to a full action space beats bricking selection entirely.
 func (a *ActionSpace) MaskWith(m *dnn.Model, allow func(sim.Target) bool) []bool {
+	return a.maskWith(m, allow, make([]bool, len(a.targets)))
+}
+
+// MaskWithBuf is MaskWith writing into a caller-owned scratch buffer (grown
+// through *buf as needed) so steady-state filtered masks allocate nothing.
+// The returned slice aliases *buf when allow is non-nil and must be consumed
+// before the next call with the same buffer.
+func (a *ActionSpace) MaskWithBuf(m *dnn.Model, allow func(sim.Target) bool, buf *[]bool) []bool {
+	if allow == nil {
+		return a.Mask(m)
+	}
+	if cap(*buf) < len(a.targets) {
+		*buf = make([]bool, len(a.targets))
+	}
+	return a.maskWith(m, allow, (*buf)[:len(a.targets)])
+}
+
+func (a *ActionSpace) maskWith(m *dnn.Model, allow func(sim.Target) bool, out []bool) []bool {
 	base := a.Mask(m)
 	if allow == nil {
 		return base
 	}
-	out := make([]bool, len(base))
 	any := false
 	for i, ok := range base {
+		out[i] = false
 		if ok && allow(a.targets[i]) {
 			out[i] = true
 			any = true

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"autoscale/internal/dnn"
 	"autoscale/internal/exec"
@@ -87,11 +88,12 @@ type Decision struct {
 }
 
 // pendingUpdate holds the (S, A, R) of the previous step; Algorithm 1
-// completes the Q update once the next state S' is observed.
+// completes the Q update once the next state S' is observed. The state is
+// kept as its dense index — no key formatting on the decide path.
 type pendingUpdate struct {
-	state  rl.State
-	action int
-	reward float64
+	stateIdx int32
+	action   int
+	reward   float64
 }
 
 // Engine is the AutoScale execution-scaling engine of Fig 8. It is safe for
@@ -113,16 +115,29 @@ type Engine struct {
 	Actions *ActionSpace
 	States  *StateSpace
 
-	mu      sync.Mutex
-	cfg     Config
-	agent   *rl.Agent
-	sarsa   *rl.SarsaAgent // non-nil when cfg.Algorithm == AlgorithmSARSA
-	est     *EnergyEstimator
-	pending *pendingUpdate
+	// agent is published through an atomic pointer so pure-read paths
+	// (Predict on a materialized state, Agent, Health) never take mu; the
+	// swaps (NewEngine, Reset, RestoreQTable) serialize on mu.
+	agent atomic.Pointer[rl.Agent]
+
+	mu         sync.Mutex
+	cfg        Config
+	sarsa      *rl.SarsaAgent // non-nil when cfg.Algorithm == AlgorithmSARSA
+	est        *EnergyEstimator
+	pending    pendingUpdate
+	hasPending bool
+	// maskBuf is the step's scratch feasibility mask: the filtered mask is
+	// consumed within the step (selection + the deferred update completed
+	// at the next step's head both use the mask computed then), so one
+	// buffer per engine, guarded by mu, makes MaskWith allocation-free.
+	maskBuf []bool
 	// root and steps derive a per-step execution context for legacy
-	// RunInference calls (callers that don't pass their own context).
-	root  *exec.Context
-	steps uint64
+	// RunInference calls (callers that don't pass their own context);
+	// stepCtx is the reused scratch those steps are keyed into (guarded by
+	// mu, never retained past the step).
+	root    *exec.Context
+	steps   uint64
+	stepCtx exec.Context
 	// rewards is a ring of the last rewardWindow step rewards feeding the
 	// Health gauge (see health.go).
 	rewards   []float64
@@ -154,31 +169,29 @@ func NewEngine(w *sim.World, cfg Config) (*Engine, error) {
 		est:     NewEnergyEstimator(cfg.EnergyMAPE, cfg.Seed),
 		root:    exec.NewRoot(cfg.Seed).Child("engine"),
 	}
+	// The agent interns states on the engine's own grid, so the whole
+	// decide path runs on dense indices.
 	if cfg.Algorithm == AlgorithmSARSA {
-		sarsa, err := rl.NewSarsaAgent(cfg.RL, actions.Len())
+		sarsa, err := rl.NewSarsaAgentInterned(cfg.RL, actions.Len(), states)
 		if err != nil {
 			return nil, err
 		}
 		e.sarsa = sarsa
-		e.agent = sarsa.Agent
+		e.agent.Store(sarsa.Agent)
 	} else {
-		agent, err := rl.NewAgent(cfg.RL, actions.Len())
+		agent, err := rl.NewAgentInterned(cfg.RL, actions.Len(), states)
 		if err != nil {
 			return nil, err
 		}
-		e.agent = agent
+		e.agent.Store(agent)
 	}
 	return e, nil
 }
 
 // Agent exposes the underlying Q-learning agent (for persistence, transfer
-// and inspection). The agent is itself safe for concurrent use; the lock
-// here only guards the field against a concurrent RestoreQTable swap.
-func (e *Engine) Agent() *rl.Agent {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.agent
-}
+// and inspection). The agent is itself safe for concurrent use; the field is
+// an atomic pointer, so this never blocks on a step in flight.
+func (e *Engine) Agent() *rl.Agent { return e.agent.Load() }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -199,12 +212,26 @@ func (e *Engine) ObserveState(m *dnn.Model, c sim.Conditions) rl.State {
 // Predict returns the engine's current greedy choice for a request without
 // executing or learning — the trained-table exploitation path whose lookup
 // overhead Section VI-C reports.
+//
+// For a state the agent has already materialized this is the zero-alloc,
+// lock-free Decide fast path: dense index arithmetic, cached feasibility
+// mask, one atomic table read. Never-seen states fall to the writer path,
+// which seeds the row from the nearest trained neighbour exactly as before.
 func (e *Engine) Predict(m *dnn.Model, c sim.Conditions) (sim.Target, error) {
+	sIdx := e.States.Index(ObservationOf(m, c))
+	ag := e.agent.Load()
+	if ag.HasStateIdx(sIdx) {
+		idx, err := ag.BestActionIdx(sIdx, e.Actions.Mask(m))
+		if err != nil {
+			return sim.Target{}, fmt.Errorf("core: predict %s: %w", m.Name, err)
+		}
+		return e.Actions.Target(idx), nil
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s := e.ObserveState(m, c)
-	e.seedIfUnseen(s)
-	idx, err := e.agent.BestAction(s, e.Actions.Mask(m))
+	ag = e.agent.Load()
+	e.seedIfUnseenIdx(ag, sIdx)
+	idx, err := ag.BestActionIdx(sIdx, e.Actions.Mask(m))
 	if err != nil {
 		return sim.Target{}, fmt.Errorf("core: predict %s: %w", m.Name, err)
 	}
@@ -245,32 +272,34 @@ func (e *Engine) RunInferenceFiltered(ctx *exec.Context, m *dnn.Model, c sim.Con
 	defer e.mu.Unlock()
 	if ctx == nil {
 		e.steps++
-		ctx = e.root.Child("step", e.steps)
+		e.root.Rekey(&e.stepCtx, "step", e.steps)
+		ctx = &e.stepCtx
 	}
-	mask := e.Actions.MaskWith(m, allow)
-	s := e.ObserveState(m, e.World.ObservedConditions(ctx, c))
-	e.seedIfUnseen(s)
+	ag := e.agent.Load()
+	mask := e.Actions.MaskWithBuf(m, allow, &e.maskBuf)
+	sIdx := e.States.Index(ObservationOf(m, e.World.ObservedConditions(ctx, c)))
+	e.seedIfUnseenIdx(ag, sIdx)
 
 	// Q-learning completes the previous step's update as soon as S' is
 	// known, so the selection below sees the freshest values (Algorithm 1).
-	if e.sarsa == nil && e.pending != nil {
-		if err := e.agent.Update(e.pending.state, e.pending.action, e.pending.reward, s, mask); err != nil {
+	if e.sarsa == nil && e.hasPending {
+		if err := ag.UpdateIdx(e.pending.stateIdx, e.pending.action, e.pending.reward, sIdx, mask); err != nil {
 			return Decision{}, err
 		}
-		e.pending = nil
+		e.hasPending = false
 	}
 
-	idx, err := e.agent.SelectAction(s, mask)
+	idx, err := ag.SelectActionIdx(sIdx, mask)
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: select for %s: %w", m.Name, err)
 	}
 
 	// SARSA bootstraps from the action the policy actually took in S'.
-	if e.sarsa != nil && e.pending != nil {
-		if err := e.sarsa.UpdateSarsa(e.pending.state, e.pending.action, e.pending.reward, s, idx); err != nil {
+	if e.sarsa != nil && e.hasPending {
+		if err := e.sarsa.UpdateSarsaIdx(e.pending.stateIdx, e.pending.action, e.pending.reward, sIdx, idx); err != nil {
 			return Decision{}, err
 		}
-		e.pending = nil
+		e.hasPending = false
 	}
 	target := e.Actions.Target(idx)
 
@@ -286,12 +315,13 @@ func (e *Engine) RunInferenceFiltered(ctx *exec.Context, m *dnn.Model, c sim.Con
 	reward := rc.Reward(energyEst, meas.LatencyS, meas.Accuracy)
 	e.noteRewardLocked(reward)
 
-	if !e.agent.Frozen() {
-		e.pending = &pendingUpdate{state: s, action: idx, reward: reward}
+	if !ag.Frozen() {
+		e.pending = pendingUpdate{stateIdx: sIdx, action: idx, reward: reward}
+		e.hasPending = true
 	}
 
 	return Decision{
-		State:            s,
+		State:            e.States.KeyOf(sIdx),
 		ActionIndex:      idx,
 		Target:           target,
 		Measurement:      meas,
@@ -339,21 +369,21 @@ func (e *Engine) Reset() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.cfg.Algorithm == AlgorithmSARSA {
-		sarsa, err := rl.NewSarsaAgent(e.cfg.RL, e.Actions.Len())
+		sarsa, err := rl.NewSarsaAgentInterned(e.cfg.RL, e.Actions.Len(), e.States)
 		if err != nil {
 			return err
 		}
 		e.sarsa = sarsa
-		e.agent = sarsa.Agent
+		e.agent.Store(sarsa.Agent)
 	} else {
-		agent, err := rl.NewAgent(e.cfg.RL, e.Actions.Len())
+		agent, err := rl.NewAgentInterned(e.cfg.RL, e.Actions.Len(), e.States)
 		if err != nil {
 			return err
 		}
-		e.agent = agent
+		e.agent.Store(agent)
 		e.sarsa = nil
 	}
-	e.pending = nil
+	e.hasPending = false
 	e.rewards = nil
 	e.rewardIdx, e.rewardN = 0, 0
 	return nil
@@ -364,12 +394,12 @@ func (e *Engine) Reset() error {
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.pending == nil {
+	if !e.hasPending {
 		return nil
 	}
 	p := e.pending
-	e.pending = nil
-	return e.agent.Update(p.state, p.action, p.reward, p.state, nil)
+	e.hasPending = false
+	return e.agent.Load().UpdateIdx(p.stateIdx, p.action, p.reward, p.stateIdx, nil)
 }
 
 // Freeze switches the engine to exploitation-only mode (greedy policy, no
@@ -377,8 +407,8 @@ func (e *Engine) Flush() error {
 func (e *Engine) Freeze() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.pending = nil
-	e.agent.Freeze()
+	e.hasPending = false
+	e.agent.Load().Freeze()
 }
 
 // TransferFrom warm-starts this engine's Q-table from another engine — the
@@ -439,7 +469,11 @@ func (e *Engine) SnapshotQTable() ([]byte, error) { return e.Agent().Snapshot() 
 // configured update rule: a SARSA engine re-wraps the restored table instead
 // of silently falling back to Q-learning.
 func (e *Engine) RestoreQTable(data []byte) error {
-	ag, err := rl.Restore(data)
+	// Re-home the snapshot onto this engine's state grid: keys the grid can
+	// render land on their dense indices (keeping the zero-alloc decide
+	// path); keys from a foreign state space go to the agent's overflow
+	// interner and keep working through the string API.
+	ag, err := rl.RestoreInterned(data, e.States)
 	if err != nil {
 		return err
 	}
@@ -448,11 +482,11 @@ func (e *Engine) RestoreQTable(data []byte) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.agent = ag
+	e.agent.Store(ag)
 	e.sarsa = nil
 	if e.cfg.Algorithm == AlgorithmSARSA {
 		e.sarsa = &rl.SarsaAgent{Agent: ag}
 	}
-	e.pending = nil
+	e.hasPending = false
 	return nil
 }

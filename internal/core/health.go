@@ -52,8 +52,8 @@ type Health struct {
 // concurrently with inference and is pure observation: no RNG draws, no
 // clock movement, no agent mutation.
 func (e *Engine) Health() Health {
+	agent := e.agent.Load()
 	e.mu.Lock()
-	agent := e.agent
 	rewards := make([]float64, 0, e.rewardN)
 	for i := 0; i < e.rewardN; i++ {
 		rewards = append(rewards, e.rewards[i])

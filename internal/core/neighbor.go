@@ -66,29 +66,39 @@ func stateDistance(a, b [NumFeatures]int) int {
 	return d
 }
 
-// seedIfUnseen seeds the Q row of s from the nearest visited state. It is a
-// no-op when s already has a row or no other state exists.
-func (e *Engine) seedIfUnseen(s rl.State) {
-	if e.agent.HasState(s) {
+// seedIfUnseenIdx seeds the Q row of the state at dense index i from the
+// nearest visited state. It is a no-op when the state already has a row or
+// no other state exists. The scan walks materialized states in ascending
+// index order — for grid-interned states the same order the map-backed table
+// produced by sorting string keys, so the first-wins tie-break is preserved.
+func (e *Engine) seedIfUnseenIdx(ag *rl.Agent, i int32) {
+	if ag.HasStateIdx(i) {
 		return
 	}
-	target, ok := parseKey(s)
-	if !ok {
+	var target [NumFeatures]int
+	if !e.States.BinsOf(i, &target) {
 		return
 	}
-	bestDist := -1
-	var best rl.State
-	for _, cand := range e.agent.States() {
-		cb, ok := parseKey(cand)
-		if !ok {
-			continue
+	bestDist := int64(-1)
+	var best int32
+	ag.ForEachMaterialized(func(j int32, key rl.State) {
+		var cb [NumFeatures]int
+		if !e.States.BinsOf(j, &cb) {
+			// Overflow index: a state restored from a foreign grid.
+			// Fall back to parsing its key.
+			pb, ok := parseKey(key)
+			if !ok {
+				return
+			}
+			cb = pb
 		}
-		d := stateDistance(target, cb)
+		d := int64(stateDistance(target, cb))
 		if bestDist < 0 || d < bestDist {
-			bestDist, best = d, cand
+			bestDist, best = d, j
 		}
-	}
+	})
 	if bestDist >= 0 {
-		e.agent.CopyRow(s, best)
+		// Both indices are interned, so the copy cannot fail.
+		_ = ag.CopyRowIdx(i, best)
 	}
 }

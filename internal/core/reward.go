@@ -109,7 +109,13 @@ func (e *EnergyEstimator) EstimateCtx(ctx *exec.Context, meas sim.Measurement) f
 	if ctx == nil {
 		return e.Estimate(meas)
 	}
-	return e.estimate(ctx.Stream("core.energy-est"), meas)
+	if e.sigma == 0 {
+		return e.estimate(nil, meas) // no draw needed; skip the stream
+	}
+	rng := ctx.GetStream("core.energy-est")
+	est := e.estimate(rng, meas)
+	exec.PutStream(rng)
+	return est
 }
 
 func (e *EnergyEstimator) estimate(rng *exec.Rand, meas sim.Measurement) float64 {

@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"autoscale/internal/cluster"
 	"autoscale/internal/dnn"
@@ -98,12 +99,34 @@ func (o Observation) value(f Feature) float64 {
 	return 0
 }
 
-// StateSpace discretizes observations into rl.State keys. Each feature has a
-// Discretizer and may be disabled (for the paper's state-ablation study).
+// StateSpace discretizes observations into dense state indices and their
+// rl.State keys. Each feature has a Discretizer and may be disabled (for the
+// paper's state-ablation study).
+//
+// StateSpace implements rl.Interner: every state is a mixed-radix number
+// over the enabled feature bins (feature 0 most significant, so ascending
+// index order equals ascending lexicographic key order), which lets the
+// engine and agent run the decide path on int32 arithmetic with string keys
+// rendered only at the checkpoint boundary.
 type StateSpace struct {
 	disc    [NumFeatures]*cluster.Discretizer
 	enabled [NumFeatures]bool
+
+	// cache holds the lazily built radix table and pre-rendered keys.
+	// Disable invalidates it; readers rebuild on demand.
+	cache atomic.Pointer[internCache]
 }
+
+// internCache is the immutable derived indexing state of a StateSpace.
+type internCache struct {
+	size  int
+	radix [NumFeatures]int32 // 1 for disabled features
+	keys  []rl.State         // nil when size > maxPrecomputedKeys
+}
+
+// maxPrecomputedKeys bounds the pre-rendered key table (the paper's space is
+// 3,072 states; pathological fitted spaces fall back to on-demand rendering).
+const maxPrecomputedKeys = 1 << 16
 
 // NewStateSpace returns the paper's Table I discretization, which its
 // authors obtained by running DBSCAN over observed feature samples:
@@ -173,6 +196,7 @@ func FitStateSpace(samples []Observation) (*StateSpace, error) {
 func (s *StateSpace) Disable(f Feature) *StateSpace {
 	if f >= 0 && f < numFeatures {
 		s.enabled[f] = false
+		s.cache.Store(nil)
 	}
 	return s
 }
@@ -200,37 +224,229 @@ func (s *StateSpace) Size() int {
 	return n
 }
 
-// Key discretizes an observation into the Q-table state key. Disabled
-// features render as "*" so ablated tables collapse their dimension. Bin
-// indices are single digits for every realistic discretization; larger
-// indices fall back to full formatting.
-func (s *StateSpace) Key(o Observation) rl.State {
-	var buf [2*NumFeatures - 1]byte
+// cacheLoad returns the derived indexing tables, building them on first use
+// (or after Disable). Concurrent rebuilds produce identical caches, so the
+// last Store winning is harmless.
+func (s *StateSpace) cacheLoad() *internCache {
+	if c := s.cache.Load(); c != nil {
+		return c
+	}
+	c := s.buildCache()
+	s.cache.Store(c)
+	return c
+}
+
+func (s *StateSpace) buildCache() *internCache {
+	c := &internCache{size: 1}
 	for f := Feature(0); f < numFeatures; f++ {
+		r := 1
+		if s.enabled[f] {
+			r = s.disc[f].Bins()
+		}
+		c.radix[f] = int32(r)
+		c.size *= r
+	}
+	if c.size <= maxPrecomputedKeys {
+		c.keys = make([]rl.State, c.size)
+		var bins [NumFeatures]int
+		for i := range c.keys {
+			decodeBins(c, int32(i), &bins)
+			c.keys[i] = s.renderEnabled(c, &bins)
+		}
+	}
+	return c
+}
+
+// decodeBins splits a dense index into per-feature bins (0 for radix-1
+// features, including disabled ones). The caller guarantees i is in
+// [0, c.size).
+func decodeBins(c *internCache, i int32, bins *[NumFeatures]int) {
+	for f := int(numFeatures) - 1; f >= 0; f-- {
+		r := c.radix[f]
+		bins[f] = int(i % r)
+		i /= r
+	}
+}
+
+// Index discretizes an observation straight to its dense state index —
+// the allocation-free hot-path replacement for Key.
+func (s *StateSpace) Index(o Observation) int32 {
+	c := s.cacheLoad()
+	idx := int32(0)
+	for f := Feature(0); f < numFeatures; f++ {
+		if !s.enabled[f] {
+			continue
+		}
+		idx = idx*c.radix[f] + int32(s.disc[f].Bin(o.value(f)))
+	}
+	return idx
+}
+
+// KeyOf renders the canonical string key of a dense index (rl.Interner).
+// For realistic spaces the key comes from a pre-rendered table, so repeated
+// calls return the same interned string without allocating.
+func (s *StateSpace) KeyOf(i int32) rl.State {
+	c := s.cacheLoad()
+	if i < 0 || int(i) >= c.size {
+		return ""
+	}
+	if c.keys != nil {
+		return c.keys[i]
+	}
+	var bins [NumFeatures]int
+	decodeBins(c, i, &bins)
+	return s.renderEnabled(c, &bins)
+}
+
+// BinsOf decodes a dense index into per-feature bins; disabled features
+// decode as -1. It reports false for out-of-range indices.
+func (s *StateSpace) BinsOf(i int32, bins *[NumFeatures]int) bool {
+	c := s.cacheLoad()
+	if i < 0 || int(i) >= c.size {
+		return false
+	}
+	decodeBins(c, i, bins)
+	for f := Feature(0); f < numFeatures; f++ {
+		if !s.enabled[f] {
+			bins[f] = -1
+		}
+	}
+	return true
+}
+
+// Lookup parses a canonical state key back to its dense index
+// (rl.Interner). ok is false for keys this space cannot have rendered:
+// wrong feature count, '*' mismatches against the ablation set, bins out of
+// range, or non-canonical digit strings.
+func (s *StateSpace) Lookup(key rl.State) (int32, bool) {
+	c := s.cacheLoad()
+	if len(key) == 2*NumFeatures-1 {
+		if i, ok := s.lookupFast(c, key); ok {
+			return i, true
+		}
+	}
+	return s.lookupSlow(c, key)
+}
+
+// lookupFast parses the single-digit-per-feature rendering.
+func (s *StateSpace) lookupFast(c *internCache, key rl.State) (int32, bool) {
+	idx := int32(0)
+	for f := Feature(0); f < numFeatures; f++ {
+		if f > 0 && key[2*f-1] != '|' {
+			return 0, false
+		}
+		ch := key[2*f]
+		if !s.enabled[f] {
+			if ch != '*' {
+				return 0, false
+			}
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		bin := int32(ch - '0')
+		if bin >= c.radix[f] {
+			return 0, false
+		}
+		idx = idx*c.radix[f] + bin
+	}
+	return idx, true
+}
+
+func (s *StateSpace) lookupSlow(c *internCache, key rl.State) (int32, bool) {
+	parts := strings.Split(string(key), "|")
+	if len(parts) != NumFeatures {
+		return 0, false
+	}
+	idx := int32(0)
+	for f := Feature(0); f < numFeatures; f++ {
+		p := parts[f]
+		if !s.enabled[f] {
+			if p != "*" {
+				return 0, false
+			}
+			continue
+		}
+		// Canonical decimal only: digits, no leading zeros/signs.
+		if p == "" || (len(p) > 1 && p[0] == '0') {
+			return 0, false
+		}
+		bin := 0
+		for k := 0; k < len(p); k++ {
+			if p[k] < '0' || p[k] > '9' {
+				return 0, false
+			}
+			bin = bin*10 + int(p[k]-'0')
+			if bin >= int(c.radix[f]) {
+				return 0, false
+			}
+		}
+		idx = idx*c.radix[f] + int32(bin)
+	}
+	return idx, true
+}
+
+// Key discretizes an observation into the Q-table state key. Disabled
+// features render as "*" so ablated tables collapse their dimension. With
+// the pre-rendered key table this is a table lookup; oversized fitted
+// spaces render on demand.
+func (s *StateSpace) Key(o Observation) rl.State {
+	c := s.cacheLoad()
+	if c.keys != nil {
+		return c.keys[s.Index(o)]
+	}
+	var bins [NumFeatures]int
+	for f := Feature(0); f < numFeatures; f++ {
+		if s.enabled[f] {
+			bins[f] = s.disc[f].Bin(o.value(f))
+		}
+	}
+	return s.renderEnabled(c, &bins)
+}
+
+// renderEnabled renders bins as a key, writing '*' for disabled features.
+func (s *StateSpace) renderEnabled(c *internCache, bins *[NumFeatures]int) rl.State {
+	var b [NumFeatures]int
+	for f := Feature(0); f < numFeatures; f++ {
+		if s.enabled[f] {
+			b[f] = bins[f]
+		} else {
+			b[f] = -1
+		}
+	}
+	return renderBins(&b)
+}
+
+// renderBins renders per-feature bins into the canonical key string; -1
+// renders as '*'. Bin indices are single digits for every realistic
+// discretization; larger indices fall back to full formatting.
+func renderBins(bins *[NumFeatures]int) rl.State {
+	var buf [2*NumFeatures - 1]byte
+	for f := 0; f < NumFeatures; f++ {
 		if f > 0 {
 			buf[2*f-1] = '|'
 		}
-		if !s.enabled[f] {
+		switch {
+		case bins[f] < 0:
 			buf[2*f] = '*'
-			continue
+		case bins[f] > 9:
+			return slowRenderBins(bins)
+		default:
+			buf[2*f] = byte('0' + bins[f])
 		}
-		bin := s.disc[f].Bin(o.value(f))
-		if bin > 9 {
-			return s.slowKey(o)
-		}
-		buf[2*f] = byte('0' + bin)
 	}
 	return rl.State(buf[:])
 }
 
-func (s *StateSpace) slowKey(o Observation) rl.State {
+func slowRenderBins(bins *[NumFeatures]int) rl.State {
 	parts := make([]string, NumFeatures)
-	for f := Feature(0); f < numFeatures; f++ {
-		if !s.enabled[f] {
+	for f := 0; f < NumFeatures; f++ {
+		if bins[f] < 0 {
 			parts[f] = "*"
 			continue
 		}
-		parts[f] = fmt.Sprintf("%d", s.disc[f].Bin(o.value(f)))
+		parts[f] = fmt.Sprintf("%d", bins[f])
 	}
 	return rl.State(strings.Join(parts, "|"))
 }

@@ -110,23 +110,33 @@ func (c *Clock) Advance(d float64) float64 {
 
 // Context is a request-scoped execution context: a derivation point for
 // deterministic RNG streams, a shared virtual clock, and observation
-// hooks. Contexts are immutable; Child/WithHook return new values.
+// hooks. Contexts are immutable; Child/WithHook return new values (Rekey
+// is the explicit exception for caller-owned scratch contexts).
 // A nil *Context is not usable — components that accept an optional
 // context must substitute their own fallback before drawing.
+//
+// The derivation path ("root/req#7") is materialized lazily from the
+// parent chain: it is pure diagnostics (event hooks), and building the
+// string eagerly was a measurable allocation on the per-request decide
+// path.
 type Context struct {
 	seed  uint64
-	path  string
 	clock *Clock
 	hooks []Hook
+
+	parent  *Context // nil at the root
+	purpose string   // "root" at the root
+	id      uint64
+	hasID   bool
 }
 
 // NewRoot creates a root context from a seed. The root owns a fresh
 // virtual clock starting at zero and has no hooks.
 func NewRoot(seed int64) *Context {
 	return &Context{
-		seed:  splitmix64(uint64(seed)),
-		path:  "root",
-		clock: NewClock(0),
+		seed:    splitmix64(uint64(seed)),
+		purpose: "root",
+		clock:   NewClock(0),
 	}
 }
 
@@ -134,16 +144,30 @@ func NewRoot(seed int64) *Context {
 // parent's clock and hooks; its seed is a pure function of the parent
 // seed, purpose, and ids.
 func (c *Context) Child(purpose string, ids ...uint64) *Context {
-	child := &Context{
-		seed:  deriveSeed(c.seed, purpose, ids...),
-		path:  c.path + "/" + purpose,
-		clock: c.clock,
-		hooks: c.hooks,
-	}
-	if len(ids) > 0 {
-		child.path += "#" + strconv.FormatUint(ids[0], 10)
-	}
+	child := &Context{clock: c.clock, hooks: c.hooks}
+	c.rekeyInto(child, purpose, ids)
 	return child
+}
+
+// Rekey repositions dst in place as the named child of c, reusing dst's
+// storage — the allocation-free alternative to Child for a caller-owned
+// scratch context. dst must not be retained past the scope of the call
+// that rekeyed it or shared across goroutines while in use.
+func (c *Context) Rekey(dst *Context, purpose string, ids ...uint64) {
+	dst.clock = c.clock
+	dst.hooks = c.hooks
+	c.rekeyInto(dst, purpose, ids)
+}
+
+func (c *Context) rekeyInto(dst *Context, purpose string, ids []uint64) {
+	dst.seed = deriveSeed(c.seed, purpose, ids...)
+	dst.parent = c
+	dst.purpose = purpose
+	dst.hasID = len(ids) > 0
+	dst.id = 0
+	if dst.hasID {
+		dst.id = ids[0]
+	}
 }
 
 // Stream derives a deterministic RNG stream by name. Repeated calls with
@@ -152,6 +176,25 @@ func (c *Context) Child(purpose string, ids ...uint64) *Context {
 func (c *Context) Stream(purpose string, ids ...uint64) *Rand {
 	return NewRand(deriveSeed(c.seed, purpose, ids...))
 }
+
+// randPool recycles Rand streams for GetStream/PutStream: reseeding a
+// xoshiro-backed Rand repositions it exactly at the head of the named
+// sequence (see xoshiro.Seed), so a pooled stream is indistinguishable
+// from a fresh one.
+var randPool = sync.Pool{New: func() any { return NewRand(0) }}
+
+// GetStream returns a pooled *Rand positioned at the head of the named
+// stream — identical draws to Stream with the same arguments, without
+// allocating. Pass it back to PutStream when the draws are done.
+func (c *Context) GetStream(purpose string, ids ...uint64) *Rand {
+	r := randPool.Get().(*Rand)
+	r.Seed(int64(deriveSeed(c.seed, purpose, ids...)))
+	return r
+}
+
+// PutStream recycles a stream obtained from GetStream. The caller must not
+// use r afterwards.
+func PutStream(r *Rand) { randPool.Put(r) }
 
 // Seed derives a raw int64 seed by name, for components that still
 // construct their own generators (e.g. snapshot-restored agents).
@@ -167,8 +210,18 @@ func (c *Context) WithHook(h Hook) *Context {
 	return &cp
 }
 
-// Path returns the derivation path, e.g. "root/eval/req#12".
-func (c *Context) Path() string { return c.path }
+// Path returns the derivation path, e.g. "root/eval/req#12", building it
+// from the parent chain on demand.
+func (c *Context) Path() string {
+	if c.parent == nil {
+		return c.purpose
+	}
+	p := c.parent.Path() + "/" + c.purpose
+	if c.hasID {
+		p += "#" + strconv.FormatUint(c.id, 10)
+	}
+	return p
+}
 
 // Clock returns the shared virtual clock.
 func (c *Context) Clock() *Clock { return c.clock }
@@ -185,7 +238,7 @@ func (c *Context) Emit(name string, value float64) {
 	if len(c.hooks) == 0 {
 		return
 	}
-	ev := Event{Path: c.path, Name: name, Value: value}
+	ev := Event{Path: c.Path(), Name: name, Value: value}
 	for _, h := range c.hooks {
 		h(ev)
 	}

@@ -27,9 +27,74 @@ const (
 	PhaseFailover = "failover"
 )
 
+// Phase indices for PhaseTotals, in the same pipeline order as Phases().
+const (
+	PhaseQueueIdx = iota
+	PhaseDecideIdx
+	PhaseExecuteIdx
+	PhaseRetryIdx
+	PhaseHedgeIdx
+	PhaseFailoverIdx
+	// NumPhases is the number of canonical phases.
+	NumPhases
+)
+
+// phaseNames maps phase index -> canonical name.
+var phaseNames = [NumPhases]string{PhaseQueue, PhaseDecide, PhaseExecute, PhaseRetry, PhaseHedge, PhaseFailover}
+
+// PhaseName returns the canonical name of a phase index.
+func PhaseName(idx int) string { return phaseNames[idx] }
+
 // Phases returns the canonical phase names in pipeline order.
 func Phases() []string {
 	return []string{PhaseQueue, PhaseDecide, PhaseExecute, PhaseRetry, PhaseHedge, PhaseFailover}
+}
+
+// PhaseTotals accumulates per-phase durations in a fixed array — the
+// allocation-free alternative to Stopwatch for hot paths that only need
+// per-phase totals, not individual spans. The zero value is ready to use;
+// like Stopwatch it belongs to one request and is not safe for concurrent
+// use.
+type PhaseTotals struct {
+	totals [NumPhases]float64
+}
+
+// Add accumulates durS seconds into the indexed phase.
+func (p *PhaseTotals) Add(idx int, durS float64) { p.totals[idx] += durS }
+
+// Total returns the accumulated seconds of the indexed phase.
+func (p PhaseTotals) Total(idx int) float64 { return p.totals[idx] }
+
+// ForEach calls fn for every phase with a non-zero total, in pipeline
+// order — the same phase set Durations exposes, without building a map.
+func (p PhaseTotals) ForEach(fn func(phase string, durS float64)) {
+	for i, d := range p.totals {
+		if d != 0 {
+			fn(phaseNames[i], d)
+		}
+	}
+}
+
+// Durations materializes the non-zero totals as a map, nil when every
+// phase is zero — the same shape and zero-drop semantics as
+// Stopwatch.Durations, for the trace's phases field.
+func (p PhaseTotals) Durations() map[string]float64 {
+	n := 0
+	for _, d := range p.totals {
+		if d != 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make(map[string]float64, n)
+	for i, d := range p.totals {
+		if d != 0 {
+			out[phaseNames[i]] = d
+		}
+	}
+	return out
 }
 
 // Span is one named phase of a request, stamped on a clock (virtual seconds

@@ -1,0 +1,88 @@
+package policy_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"autoscale/internal/core"
+	"autoscale/internal/policy"
+	"autoscale/internal/rl"
+)
+
+// TestMapEraEnvelopeRoundTrip proves the dense-table agent is envelope
+// byte-compatible with the historical map-backed table: a hand-built
+// map-era snapshot (string-keyed Q and visit maps, exactly what the old
+// agent serialized) wrapped in a checkpoint envelope warm-starts a dense
+// agent on the engine's state-space interner, and the agent re-emits the
+// identical snapshot — and hence an identical envelope, CRC and all.
+func TestMapEraEnvelopeRoundTrip(t *testing.T) {
+	// mapSnapshot mirrors the map-era agent's serialized shape.
+	type mapSnapshot struct {
+		Config  rl.Config              `json:"config"`
+		Actions int                    `json:"actions"`
+		Q       map[rl.State][]float64 `json:"q"`
+		Visits  map[rl.State]int       `json:"visits"`
+	}
+	const actions = 4
+	// Two real Table I grid keys (interned on the dense base) plus one
+	// alien key that must survive through the overflow interner.
+	q := map[rl.State][]float64{
+		"0|1|0|1|0|0|1|1": {0.5, -1.25, 3.75, 0.1},
+		"3|0|1|2|3|2|0|0": {-0.9, 2.5, 0.25, -4.5},
+		"foreign|key":     {1.5, 1.5, -0.75, 0.3},
+	}
+	visits := map[rl.State]int{
+		"0|1|0|1|0|0|1|1": 17,
+		"3|0|1|2|3|2|0|0": 3,
+		"foreign|key":     1,
+	}
+	snapBytes, err := json.Marshal(mapSnapshot{
+		Config: rl.DefaultConfig(), Actions: actions, Q: q, Visits: visits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := &policy.Checkpoint{
+		Meta:     policy.Meta{Device: "phone-0", ConfigHash: "h", Actions: actions, States: len(q)},
+		Snapshot: snapBytes,
+	}
+	env, err := policy.Encode(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec, err := policy.Decode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm-start the dense agent on the full Table I interner — grid keys
+	// land on their arithmetic indices, the alien key in the overflow.
+	ag, err := rl.RestoreInterned(dec.Snapshot, core.NewStateSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, want := range visits {
+		if got := ag.Visits(s); got != want {
+			t.Fatalf("Visits(%q) = %d, want %d", s, got, want)
+		}
+	}
+
+	resnap, err := ag.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resnap, snapBytes) {
+		t.Fatalf("dense agent re-emitted a different snapshot:\n got %s\nwant %s", resnap, snapBytes)
+	}
+
+	env2, err := policy.Encode(&policy.Checkpoint{Meta: dec.Meta, Snapshot: resnap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(env2, env) {
+		t.Fatalf("re-encoded envelope differs (CRC contents changed):\n got %s\nwant %s", env2, env)
+	}
+}

@@ -1,0 +1,102 @@
+package rl
+
+import "sync/atomic"
+
+// Interner maps between string state keys and dense int32 indices. The core
+// package's StateSpace implements it over the mixed-radix Table I grid, which
+// lets the engine drive the agent entirely through indices on the hot path
+// while string keys survive only at the checkpoint/serialization boundary.
+//
+// Implementations must be safe for concurrent use and must be stable: an
+// index, once returned, always maps back to the same key.
+type Interner interface {
+	// Size returns the number of representable states; every index in
+	// [0, Size) is valid for KeyOf.
+	Size() int
+	// KeyOf renders the canonical string key of a dense index.
+	KeyOf(i int32) State
+	// Lookup parses a key into its dense index. ok is false when the key
+	// is not representable in this interner (alien formatting, bins out of
+	// range) — the agent then falls back to its dynamic overflow table.
+	Lookup(s State) (int32, bool)
+}
+
+// overflow is the dynamic half of the agent's state interner: keys the fixed
+// base interner cannot represent (or every key, for agents built without a
+// base) get indices at base.Size() and beyond. It is published through an
+// atomic.Pointer and copied on insert, so lookups are lock-free; inserts are
+// serialized by the agent's writer lock and are rare on engine-backed agents
+// (only checkpoint keys from foreign state spaces land here).
+type overflow struct {
+	index map[State]int32
+	keys  []State // keys[i] is the key of index base+i
+}
+
+// intern is the agent's hybrid key<->index mapping.
+type intern struct {
+	base Interner // optional fixed interner; nil = fully dynamic
+	over atomic.Pointer[overflow]
+}
+
+func (t *intern) baseSize() int {
+	if t.base == nil {
+		return 0
+	}
+	return t.base.Size()
+}
+
+// count returns how many states are currently interned (valid index bound).
+func (t *intern) count() int {
+	n := t.baseSize()
+	if ov := t.over.Load(); ov != nil {
+		n += len(ov.keys)
+	}
+	return n
+}
+
+// lookup resolves a key without interning it. Lock-free.
+func (t *intern) lookup(s State) (int32, bool) {
+	if t.base != nil {
+		if i, ok := t.base.Lookup(s); ok {
+			return i, true
+		}
+	}
+	if ov := t.over.Load(); ov != nil {
+		if i, ok := ov.index[s]; ok {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// add assigns the next overflow index to s. Caller holds the agent's writer
+// lock; concurrent lookups keep reading the previous published table.
+func (t *intern) add(s State) int32 {
+	old := t.over.Load()
+	var next *overflow
+	if old == nil {
+		next = &overflow{index: make(map[State]int32, 8)}
+	} else {
+		next = &overflow{
+			index: make(map[State]int32, len(old.index)+1),
+			keys:  old.keys,
+		}
+		for k, v := range old.index {
+			next.index[k] = v
+		}
+	}
+	i := int32(t.baseSize() + len(next.keys))
+	next.index[s] = i
+	next.keys = append(next.keys, s)
+	t.over.Store(next)
+	return i
+}
+
+// keyOf renders the key for an interned index. Lock-free.
+func (t *intern) keyOf(i int32) State {
+	if b := t.baseSize(); int(i) < b {
+		return t.base.KeyOf(i)
+	}
+	ov := t.over.Load()
+	return ov.keys[int(i)-t.baseSize()]
+}

@@ -1,0 +1,85 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestRCUTornReadHunt hammers the lock-free read paths (Q, BestAction,
+// HasState, NumStates, Visits) while a single writer materializes rows,
+// rewrites cells between two bit-distinct values, and forces repeated
+// table growth and republication. Run under -race this is the data-race
+// proof for the RCU table design; the bit-pattern assertion additionally
+// catches torn float64 reads directly — both chosen values have non-zero,
+// distinct high and low 32-bit halves, so any half-and-half mix is a value
+// outside the allowed set.
+func TestRCUTornReadHunt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitLo, cfg.InitHi = 0, 0 // rows materialize to exactly zero
+	cfg.LearningRate = 1          // Update writes the reward verbatim...
+	cfg.Discount = 0              // ...with no bootstrap term
+	const actions = 4
+	ag, err := NewAgent(cfg, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 64 states against the initial 16-row table forces several growth
+	// republications while readers are live.
+	states := make([]State, 64)
+	for i := range states {
+		states[i] = State(fmt.Sprintf("torn|%d", i))
+	}
+	valA := math.Float64frombits(0x4010123456789ABC)
+	valB := math.Float64frombits(0xC01FEDCBA9876543)
+	allowed := map[uint64]bool{
+		0:                      true, // unmaterialized or freshly seeded cell
+		math.Float64bits(valA): true,
+		math.Float64bits(valB): true,
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := states[(i*7+r)%len(states)]
+				q := ag.Q(s, (i+r)%actions)
+				if !allowed[math.Float64bits(q)] {
+					t.Errorf("torn read: Q=%v (bits %#x) is neither 0, %v nor %v",
+						q, math.Float64bits(q), valA, valB)
+					return
+				}
+				if a, err := ag.BestAction(s, nil); err == nil && (a < 0 || a >= actions) {
+					t.Errorf("BestAction(%q) = %d out of range", s, a)
+					return
+				}
+				ag.HasState(s)
+				ag.NumStates()
+				ag.Visits(s)
+			}
+		}(r)
+	}
+
+	for i := 0; i < 20000; i++ {
+		s := states[i%len(states)]
+		v := valA
+		if i%2 == 1 {
+			v = valB
+		}
+		if err := ag.Update(s, i%actions, v, states[(i+1)%len(states)], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -3,14 +3,29 @@
 // states, epsilon-greedy action selection, the standard one-step Q update,
 // snapshot/restore for persistence, and table transfer for the paper's
 // learning-transfer experiments (Section VI-C).
+//
+// Hot-path representation (DESIGN.md §14): the table is a flat
+// [states*actions] array of float64 bit patterns stored in atomic.Uint64
+// cells, published through an atomic.Pointer. States are dense int32 indices
+// minted by an Interner (the core StateSpace's mixed-radix grid plus a
+// dynamic overflow for alien keys); string keys survive only at the
+// snapshot/checkpoint boundary, where they are re-rendered so envelopes stay
+// byte-compatible with the map-based format. Reads (greedy selection, Q
+// lookups, HasState) are lock-free and allocation-free once a row is
+// materialized; every write — RNG draws, row materialization, Q updates,
+// interning, growth — funnels through one writer mutex (the single-writer
+// rule), so readers can never observe a torn row: values are stored before
+// the row's ready flag, and per-cell loads are atomic.
 package rl
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"autoscale/internal/exec"
 )
@@ -65,24 +80,66 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Agent is a tabular Q-learning agent. It is safe for concurrent use.
-type Agent struct {
-	mu      sync.Mutex
-	cfg     Config
+// Per-state flag bits in table.flags. flagRow gates every lock-free row
+// read: it is set (atomically, after the row's values) only once the row is
+// fully materialized, so observing it implies the values are visible.
+// flagVisit marks states carrying a visit-count entry — including restored
+// zero-count entries, which must round-trip through snapshots.
+const (
+	flagRow   uint32 = 1 << 0
+	flagVisit uint32 = 1 << 1
+)
+
+// table is one RCU-published generation of the dense Q storage. Cells hold
+// float64 bit patterns; growth (dynamic interners only) copies into a larger
+// table and republishes, so a reader holding the old generation still sees a
+// consistent (if momentarily stale) snapshot.
+type table struct {
 	actions int
-	q       map[State][]float64
-	visits  map[State]int
-	rng     *exec.Rand
-	frozen  bool
+	states  int
+	q       []atomic.Uint64 // states*actions float64 bits, row-major
+	flags   []atomic.Uint32
+	visits  []atomic.Int64
+}
+
+func newTable(actions, states int) *table {
+	return &table{
+		actions: actions,
+		states:  states,
+		q:       make([]atomic.Uint64, states*actions),
+		flags:   make([]atomic.Uint32, states),
+		visits:  make([]atomic.Int64, states),
+	}
+}
+
+// Agent is a tabular Q-learning agent. It is safe for concurrent use:
+// greedy reads are lock-free against the published table, and all mutation
+// serializes on the writer lock.
+type Agent struct {
+	cfg     Config // Epsilon herein is the initial value; live value in epsBits
+	actions int
+
+	tab    atomic.Pointer[table]
+	intern intern
+
+	// wmu is the single-writer lock: everything that draws from rng,
+	// materializes rows, writes Q values, interns overflow keys or grows
+	// the table holds it. Readers never do.
+	wmu sync.Mutex
+	rng *exec.Rand
+
+	epsBits      atomic.Uint64 // float64 bits of the live epsilon
+	frozen       atomic.Bool
+	materialized atomic.Int64
 
 	// Learning-health counters, sampled read-only by the telemetry plane.
 	// They are deliberately excluded from Snapshot: they describe this
 	// process's learning dynamics, not the policy, so checkpoint envelopes
 	// stay byte-compatible.
-	tdEMA      float64 // EMA of |TD error|, alpha 1/16
-	tdSamples  int64
-	selections int64 // SelectAction calls that returned an action
-	explores   int64 // of those, how many took the epsilon branch
+	tdEMABits  atomic.Uint64 // EMA of |TD error|, alpha 1/16
+	tdSamples  atomic.Int64
+	selections atomic.Int64 // SelectAction calls that returned an action
+	explores   atomic.Int64 // of those, how many took the epsilon branch
 }
 
 // tdAlpha is the smoothing factor of the TD-error EMA: 1/16 averages over
@@ -90,37 +147,54 @@ type Agent struct {
 // noise, short enough to show convergence stalls within a scrape interval.
 const tdAlpha = 1.0 / 16
 
-// NewAgent creates an agent over a fixed-size action space.
+// NewAgent creates an agent over a fixed-size action space with a fully
+// dynamic state interner (states get indices in first-touch order).
 func NewAgent(cfg Config, numActions int) (*Agent, error) {
+	return newAgent(cfg, numActions, nil)
+}
+
+// NewAgentInterned creates an agent whose state indices come from a fixed
+// base interner — the engine passes its StateSpace so the whole decide path
+// runs on arithmetic indices. Keys outside the base grid (foreign checkpoint
+// states) still work through the dynamic overflow.
+func NewAgentInterned(cfg Config, numActions int, base Interner) (*Agent, error) {
+	return newAgent(cfg, numActions, base)
+}
+
+func newAgent(cfg Config, numActions int, base Interner) (*Agent, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if numActions < 1 {
 		return nil, errors.New("rl: need at least one action")
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:     cfg,
 		actions: numActions,
-		q:       make(map[State][]float64),
-		visits:  make(map[State]int),
 		rng:     exec.NewRoot(cfg.Seed).Stream("rl.agent"),
-	}, nil
+	}
+	a.intern.base = base
+	a.epsBits.Store(math.Float64bits(cfg.Epsilon))
+	// The base grid is pre-sized so base indices never trigger growth; the
+	// zeroed cells are untouched pages until rows materialize.
+	a.tab.Store(newTable(numActions, a.intern.baseSize()))
+	return a, nil
 }
 
 // NumActions returns the size of the action space.
 func (a *Agent) NumActions() int { return a.actions }
 
-// Config returns the agent's hyperparameters.
-func (a *Agent) Config() Config { return a.cfg }
+// Config returns the agent's hyperparameters (with the live epsilon).
+func (a *Agent) Config() Config {
+	c := a.cfg
+	c.Epsilon = math.Float64frombits(a.epsBits.Load())
+	return c
+}
 
 // Freeze disables exploration and learning: SelectAction becomes purely
 // greedy and Update becomes a no-op. This is the paper's post-convergence
 // exploitation mode.
-func (a *Agent) Freeze() {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.frozen = true
-}
+func (a *Agent) Freeze() { a.frozen.Store(true) }
 
 // SetEpsilon changes the exploration probability at runtime. AutoScale uses
 // this to switch a converged agent to greedy selection ("after the learning
@@ -131,92 +205,249 @@ func (a *Agent) SetEpsilon(eps float64) error {
 	if eps < 0 || eps > 1 {
 		return errors.New("rl: epsilon must be in [0,1]")
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.cfg.Epsilon = eps
+	a.epsBits.Store(math.Float64bits(eps))
 	return nil
 }
 
 // Epsilon returns the current exploration probability (which SetEpsilon may
 // change at runtime).
-func (a *Agent) Epsilon() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.cfg.Epsilon
-}
+func (a *Agent) Epsilon() float64 { return math.Float64frombits(a.epsBits.Load()) }
 
 // Frozen reports whether the agent is in exploitation-only mode.
-func (a *Agent) Frozen() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.frozen
+func (a *Agent) Frozen() bool { return a.frozen.Load() }
+
+// StateIndex resolves a key to its dense index without interning it; ok is
+// false for keys the agent has never seen and cannot represent in its base
+// grid.
+func (a *Agent) StateIndex(s State) (int32, bool) { return a.intern.lookup(s) }
+
+// KeyOf renders the string key of a dense state index.
+func (a *Agent) KeyOf(i int32) State { return a.intern.keyOf(i) }
+
+// internLocked resolves or mints the index for s. Caller holds wmu.
+func (a *Agent) internLocked(s State) int32 {
+	if i, ok := a.intern.lookup(s); ok {
+		return i
+	}
+	i := a.intern.add(s)
+	a.growToLocked(int(i) + 1)
+	return i
 }
 
-// row returns the Q row for s, materializing it with random values on first
-// touch. Caller must hold the lock.
-func (a *Agent) row(s State) []float64 {
-	r, ok := a.q[s]
-	if !ok {
-		r = make([]float64, a.actions)
-		span := a.cfg.InitHi - a.cfg.InitLo
-		for i := range r {
-			r[i] = a.cfg.InitLo + span*a.rng.Float64()
+// growToLocked republishes a table with capacity >= states. Caller holds wmu.
+func (a *Agent) growToLocked(states int) *table {
+	t := a.tab.Load()
+	if t.states >= states {
+		return t
+	}
+	n := t.states * 2
+	if n < 16 {
+		n = 16
+	}
+	if n < states {
+		n = states
+	}
+	nt := newTable(a.actions, n)
+	for i := 0; i < t.states*t.actions; i++ {
+		nt.q[i].Store(t.q[i].Load())
+	}
+	for i := 0; i < t.states; i++ {
+		nt.flags[i].Store(t.flags[i].Load())
+		nt.visits[i].Store(t.visits[i].Load())
+	}
+	a.tab.Store(nt)
+	return nt
+}
+
+// tableForLocked validates an externally supplied index and returns a table
+// covering it. Caller holds wmu.
+func (a *Agent) tableForLocked(i int32) (*table, error) {
+	if i < 0 || int(i) >= a.intern.count() {
+		return nil, fmt.Errorf("rl: state index %d out of range", i)
+	}
+	return a.growToLocked(int(i) + 1), nil
+}
+
+// ensureRowLocked materializes row i with random values on first touch —
+// the same draw sequence (one Float64 per action, in action order) as the
+// historical map-backed table, so fixed-seed runs replay identically.
+// Values are stored before flagRow, which readers acquire-load to gate the
+// lock-free fast path. Caller holds wmu.
+func (a *Agent) ensureRowLocked(t *table, i int32) {
+	if t.flags[i].Load()&flagRow != 0 {
+		return
+	}
+	row := t.q[int(i)*t.actions : (int(i)+1)*t.actions]
+	span := a.cfg.InitHi - a.cfg.InitLo
+	for j := range row {
+		row[j].Store(math.Float64bits(a.cfg.InitLo + span*a.rng.Float64()))
+	}
+	t.flags[i].Or(flagRow)
+	a.materialized.Add(1)
+}
+
+// installRowLocked writes explicit values into row i without consuming any
+// randomness (restore/copy paths). Caller holds wmu.
+func (a *Agent) installRowLocked(t *table, i int32, values []float64) {
+	row := t.q[int(i)*t.actions : (int(i)+1)*t.actions]
+	for j, v := range values {
+		row[j].Store(math.Float64bits(v))
+	}
+	if t.flags[i].Load()&flagRow == 0 {
+		t.flags[i].Or(flagRow)
+		a.materialized.Add(1)
+	}
+}
+
+func actionEnabled(mask []bool, j int) bool {
+	return mask == nil || (j < len(mask) && mask[j])
+}
+
+func countEnabled(mask []bool, n int) int {
+	if mask == nil {
+		return n
+	}
+	c := 0
+	for j := 0; j < n; j++ {
+		if j < len(mask) && mask[j] {
+			c++
 		}
-		a.q[s] = r
 	}
-	return r
+	return c
 }
 
-// SelectAction chooses an action for state s with the epsilon-greedy policy
-// over the actions enabled in mask. A nil mask enables every action. It
-// returns an error if the mask disables everything.
-func (a *Agent) SelectAction(s State, mask []bool) (int, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	enabled := enabledActions(mask, a.actions)
-	if len(enabled) == 0 {
-		return 0, errors.New("rl: no enabled action")
+// nthEnabled returns the index of the k-th (0-based) enabled action.
+func nthEnabled(mask []bool, n, k int) int {
+	for j := 0; j < n; j++ {
+		if actionEnabled(mask, j) {
+			if k == 0 {
+				return j
+			}
+			k--
+		}
 	}
-	a.visits[s]++
-	a.selections++
-	a.row(s) // materialize so a visited state exists even when exploring
-	if !a.frozen && a.rng.Float64() < a.cfg.Epsilon {
-		a.explores++
-		return enabled[a.rng.Intn(len(enabled))], nil
-	}
-	return a.argmaxLocked(s, enabled), nil
+	return 0
 }
 
-// BestAction returns the greedy action for s over the enabled actions.
-func (a *Agent) BestAction(s State, mask []bool) (int, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	enabled := enabledActions(mask, a.actions)
-	if len(enabled) == 0 {
-		return 0, errors.New("rl: no enabled action")
-	}
-	return a.argmaxLocked(s, enabled), nil
+func loadQ(t *table, i int32, j int) float64 {
+	return math.Float64frombits(t.q[int(i)*t.actions+j].Load())
 }
 
-func (a *Agent) argmaxLocked(s State, enabled []int) int {
-	r := a.row(s)
-	best := enabled[0]
-	for _, i := range enabled[1:] {
-		if r[i] > r[best] {
-			best = i
+// argmaxRow returns the first-enabled argmax of row i (strict > keeps the
+// historical first-wins tie-break). Returns -1 when mask disables everything.
+func argmaxRow(t *table, i int32, mask []bool) int {
+	best := -1
+	var bestQ float64
+	for j := 0; j < t.actions; j++ {
+		if !actionEnabled(mask, j) {
+			continue
+		}
+		q := loadQ(t, i, j)
+		if best < 0 || q > bestQ {
+			best, bestQ = j, q
 		}
 	}
 	return best
 }
 
-func enabledActions(mask []bool, n int) []int {
-	out := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if mask == nil || (i < len(mask) && mask[i]) {
-			out = append(out, i)
+// maxRowQ returns the max Q of row i over enabled actions. Caller guarantees
+// at least one enabled action.
+func maxRowQ(t *table, i int32, mask []bool) float64 {
+	first := true
+	var best float64
+	for j := 0; j < t.actions; j++ {
+		if !actionEnabled(mask, j) {
+			continue
+		}
+		q := loadQ(t, i, j)
+		if first || q > best {
+			best, first = q, false
 		}
 	}
-	return out
+	return best
+}
+
+var errNoEnabled = errors.New("rl: no enabled action")
+
+// SelectAction chooses an action for state s with the epsilon-greedy policy
+// over the actions enabled in mask. A nil mask enables every action. It
+// returns an error if the mask disables everything.
+func (a *Agent) SelectAction(s State, mask []bool) (int, error) {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return a.selectLocked(a.internLocked(s), mask)
+}
+
+// SelectActionIdx is SelectAction over a dense state index — the engine's
+// hot path. It allocates nothing; the epsilon-greedy draw serializes on the
+// writer lock because it advances the agent's RNG.
+func (a *Agent) SelectActionIdx(i int32, mask []bool) (int, error) {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if _, err := a.tableForLocked(i); err != nil {
+		return 0, err
+	}
+	return a.selectLocked(i, mask)
+}
+
+func (a *Agent) selectLocked(i int32, mask []bool) (int, error) {
+	n := countEnabled(mask, a.actions)
+	if n == 0 {
+		return 0, errNoEnabled
+	}
+	t := a.tab.Load()
+	t.visits[i].Add(1)
+	t.flags[i].Or(flagVisit)
+	a.selections.Add(1)
+	a.ensureRowLocked(t, i) // materialize so a visited state exists even when exploring
+	if !a.frozen.Load() && a.rng.Float64() < math.Float64frombits(a.epsBits.Load()) {
+		a.explores.Add(1)
+		return nthEnabled(mask, a.actions, a.rng.Intn(n)), nil
+	}
+	return argmaxRow(t, i, mask), nil
+}
+
+// BestAction returns the greedy action for s over the enabled actions.
+func (a *Agent) BestAction(s State, mask []bool) (int, error) {
+	if i, ok := a.intern.lookup(s); ok {
+		if t := a.tab.Load(); int(i) < t.states && t.flags[i].Load()&flagRow != 0 {
+			if best := argmaxRow(t, i, mask); best >= 0 {
+				return best, nil
+			}
+			return 0, errNoEnabled
+		}
+	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return a.bestLocked(a.internLocked(s), mask)
+}
+
+// BestActionIdx is the lock-free greedy read the serving fast path uses: for
+// a materialized state it reads the published table with zero locks and zero
+// allocations. Never-seen states fall to the writer path, which materializes
+// the row (consuming the same init draws the map-backed table did).
+func (a *Agent) BestActionIdx(i int32, mask []bool) (int, error) {
+	if t := a.tab.Load(); i >= 0 && int(i) < t.states && t.flags[i].Load()&flagRow != 0 {
+		if best := argmaxRow(t, i, mask); best >= 0 {
+			return best, nil
+		}
+		return 0, errNoEnabled
+	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if _, err := a.tableForLocked(i); err != nil {
+		return 0, err
+	}
+	return a.bestLocked(i, mask)
+}
+
+func (a *Agent) bestLocked(i int32, mask []bool) (int, error) {
+	if countEnabled(mask, a.actions) == 0 {
+		return 0, errNoEnabled
+	}
+	t := a.tab.Load()
+	a.ensureRowLocked(t, i)
+	return argmaxRow(t, i, mask), nil
 }
 
 // Update applies the one-step Q-learning rule of Algorithm 1:
@@ -226,43 +457,62 @@ func enabledActions(mask []bool, n int) []int {
 // nextMask restricts which next-state actions are considered (feasibility of
 // the next request's model). Frozen agents ignore updates.
 func (a *Agent) Update(s State, action int, reward float64, next State, nextMask []bool) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.frozen {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if a.frozen.Load() {
 		return nil
 	}
+	return a.updateLocked(a.internLocked(s), action, reward, a.internLocked(next), nextMask)
+}
+
+// UpdateIdx is Update over dense state indices (the engine's deferred-update
+// hot path).
+func (a *Agent) UpdateIdx(si int32, action int, reward float64, ni int32, nextMask []bool) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if a.frozen.Load() {
+		return nil
+	}
+	if _, err := a.tableForLocked(si); err != nil {
+		return err
+	}
+	if _, err := a.tableForLocked(ni); err != nil {
+		return err
+	}
+	return a.updateLocked(si, action, reward, ni, nextMask)
+}
+
+func (a *Agent) updateLocked(si int32, action int, reward float64, ni int32, nextMask []bool) error {
 	if action < 0 || action >= a.actions {
 		return fmt.Errorf("rl: action %d out of range", action)
 	}
-	enabled := enabledActions(nextMask, a.actions)
+	t := a.tab.Load()
 	var nextBest float64
-	if len(enabled) > 0 {
-		nr := a.row(next)
-		nextBest = nr[enabled[0]]
-		for _, i := range enabled[1:] {
-			if nr[i] > nextBest {
-				nextBest = nr[i]
-			}
-		}
+	if countEnabled(nextMask, a.actions) > 0 {
+		a.ensureRowLocked(t, ni)
+		nextBest = maxRowQ(t, ni, nextMask)
 	}
-	r := a.row(s)
-	delta := reward + a.cfg.Discount*nextBest - r[action]
+	a.ensureRowLocked(t, si)
+	cell := &t.q[int(si)*t.actions+action]
+	q := math.Float64frombits(cell.Load())
+	delta := reward + a.cfg.Discount*nextBest - q
 	a.noteTDLocked(delta)
-	r[action] += a.cfg.LearningRate * delta
+	cell.Store(math.Float64bits(q + a.cfg.LearningRate*delta))
 	return nil
 }
 
-// noteTDLocked folds one TD error into the health EMA. Caller holds the lock.
+// noteTDLocked folds one TD error into the health EMA. Caller holds wmu.
 func (a *Agent) noteTDLocked(delta float64) {
 	if delta < 0 {
 		delta = -delta
 	}
-	if a.tdSamples == 0 {
-		a.tdEMA = delta
+	if a.tdSamples.Load() == 0 {
+		a.tdEMABits.Store(math.Float64bits(delta))
 	} else {
-		a.tdEMA += tdAlpha * (delta - a.tdEMA)
+		ema := math.Float64frombits(a.tdEMABits.Load())
+		a.tdEMABits.Store(math.Float64bits(ema + tdAlpha*(delta-ema)))
 	}
-	a.tdSamples++
+	a.tdSamples.Add(1)
 }
 
 // TDErrorEMA returns the exponential moving average of the absolute TD error
@@ -270,34 +520,43 @@ func (a *Agent) noteTDLocked(delta float64) {
 // signal ("the error rate is gradually decreasing", Section VI-A) made
 // observable at runtime; zero samples means the agent has never learned.
 func (a *Agent) TDErrorEMA() (ema float64, samples int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.tdEMA, a.tdSamples
+	return math.Float64frombits(a.tdEMABits.Load()), a.tdSamples.Load()
 }
 
 // ExplorationStats returns how many SelectAction calls took the epsilon
 // (exploration) branch out of the total. The ratio should track epsilon for
 // a healthy unfrozen agent and fall to zero once frozen.
 func (a *Agent) ExplorationStats() (explores, selections int64) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.explores, a.selections
+	return a.explores.Load(), a.selections.Load()
 }
 
 // NumStates returns how many Q rows are materialized — the numerator of the
 // state-space coverage gauge.
-func (a *Agent) NumStates() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.q)
+func (a *Agent) NumStates() int { return int(a.materialized.Load()) }
+
+// HasState reports whether state s has a materialized Q row. Lock-free.
+func (a *Agent) HasState(s State) bool {
+	i, ok := a.intern.lookup(s)
+	return ok && a.HasStateIdx(i)
 }
 
-// HasState reports whether state s has a materialized Q row.
-func (a *Agent) HasState(s State) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	_, ok := a.q[s]
-	return ok
+// HasStateIdx reports whether the state at dense index i has a materialized
+// Q row. Lock-free.
+func (a *Agent) HasStateIdx(i int32) bool {
+	t := a.tab.Load()
+	return i >= 0 && int(i) < t.states && t.flags[i].Load()&flagRow != 0
+}
+
+// ForEachMaterialized calls fn for every materialized state in ascending
+// dense-index order (for a grid-interned agent that is also ascending
+// lexicographic key order). fn must not mutate the agent.
+func (a *Agent) ForEachMaterialized(fn func(i int32, key State)) {
+	t := a.tab.Load()
+	for i := 0; i < t.states; i++ {
+		if t.flags[i].Load()&flagRow != 0 {
+			fn(int32(i), a.intern.keyOf(int32(i)))
+		}
+	}
 }
 
 // CopyRow initializes dst's Q row as a copy of src's current row. It is the
@@ -306,50 +565,91 @@ func (a *Agent) HasState(s State) bool {
 // trained model carries implicitly). Copying from a missing src materializes
 // it first (random init).
 func (a *Agent) CopyRow(dst, src State) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	srcRow := a.row(src)
-	a.q[dst] = append([]float64(nil), srcRow...)
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	di := a.internLocked(dst)
+	si := a.internLocked(src)
+	a.copyRowLocked(di, si)
+}
+
+// CopyRowIdx is CopyRow over dense state indices.
+func (a *Agent) CopyRowIdx(dst, src int32) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if _, err := a.tableForLocked(dst); err != nil {
+		return err
+	}
+	if _, err := a.tableForLocked(src); err != nil {
+		return err
+	}
+	a.copyRowLocked(dst, src)
+	return nil
+}
+
+func (a *Agent) copyRowLocked(di, si int32) {
+	t := a.tab.Load()
+	a.ensureRowLocked(t, si)
+	if di == si {
+		return
+	}
+	for j := 0; j < t.actions; j++ {
+		t.q[int(di)*t.actions+j].Store(t.q[int(si)*t.actions+j].Load())
+	}
+	if t.flags[di].Load()&flagRow == 0 {
+		t.flags[di].Or(flagRow)
+		a.materialized.Add(1)
+	}
 }
 
 // Q returns the current Q value of (s, action); untouched states return
 // their lazily initialized values.
 func (a *Agent) Q(s State, action int) float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if action < 0 || action >= a.actions {
 		return 0
 	}
-	return a.row(s)[action]
+	if i, ok := a.intern.lookup(s); ok {
+		if t := a.tab.Load(); int(i) < t.states && t.flags[i].Load()&flagRow != 0 {
+			return loadQ(t, i, action)
+		}
+	}
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	i := a.internLocked(s)
+	t := a.tab.Load()
+	a.ensureRowLocked(t, i)
+	return loadQ(t, i, action)
 }
 
 // States returns the visited/materialized states in sorted order.
 func (a *Agent) States() []State {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]State, 0, len(a.q))
-	for s := range a.q {
-		out = append(out, s)
-	}
+	out := make([]State, 0, a.materialized.Load())
+	a.ForEachMaterialized(func(_ int32, key State) { out = append(out, key) })
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Visits returns how many times s was selected against.
+// Visits returns how many times s was selected against. Lock-free.
 func (a *Agent) Visits(s State) int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.visits[s]
+	i, ok := a.intern.lookup(s)
+	if !ok {
+		return 0
+	}
+	t := a.tab.Load()
+	if int(i) >= t.states {
+		return 0
+	}
+	return int(t.visits[i].Load())
 }
 
 // VisitCounts returns a copy of the per-state visit counts — the experience
 // weights the policy plane uses when federating Q-tables across a fleet.
 func (a *Agent) VisitCounts() map[State]int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make(map[State]int, len(a.visits))
-	for s, n := range a.visits {
-		out[s] = n
+	t := a.tab.Load()
+	out := make(map[State]int)
+	for i := 0; i < t.states; i++ {
+		if t.flags[i].Load()&flagVisit != 0 {
+			out[a.intern.keyOf(int32(i))] = int(t.visits[i].Load())
+		}
 	}
 	return out
 }
@@ -358,36 +658,39 @@ func (a *Agent) VisitCounts() map[State]int {
 // states — zero means the agent has never been asked for a decision, which
 // the fleet syncer treats as "new device, warm-start me".
 func (a *Agent) TotalVisits() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	t := a.tab.Load()
 	total := 0
-	for _, n := range a.visits {
-		total += n
+	for i := 0; i < t.states; i++ {
+		total += int(t.visits[i].Load())
 	}
 	return total
 }
 
 // Rows returns a deep copy of the materialized Q-table.
 func (a *Agent) Rows() map[State][]float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make(map[State][]float64, len(a.q))
-	for s, row := range a.q {
-		out[s] = append([]float64(nil), row...)
+	t := a.tab.Load()
+	out := make(map[State][]float64, a.materialized.Load())
+	for i := 0; i < t.states; i++ {
+		if t.flags[i].Load()&flagRow == 0 {
+			continue
+		}
+		row := make([]float64, t.actions)
+		for j := range row {
+			row[j] = loadQ(t, int32(i), j)
+		}
+		out[a.intern.keyOf(int32(i))] = row
 	}
 	return out
 }
 
 // MemoryBytes estimates the Q-table's resident footprint: one float64 per
 // (materialized state, action) pair plus key overhead. The paper reports
-// 0.4 MB for its full table.
+// 0.4 MB for its full table. (The dense backing array reserves the full
+// grid up front, but untouched rows are never written, so their pages stay
+// unmapped; this reports the touched working set, as the map did.)
 func (a *Agent) MemoryBytes() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	total := 0
-	for s := range a.q {
-		total += len(s) + 8*a.actions
-	}
+	a.ForEachMaterialized(func(_ int32, key State) { total += len(key) + 8*a.actions })
 	return total
 }
 
@@ -400,10 +703,18 @@ type snapshot struct {
 }
 
 // Snapshot serializes the agent (Q-table, visit counts, config) to JSON.
+// The dense table is re-rendered as string-keyed maps, so the payload is
+// byte-compatible with snapshots written by the historical map-backed table
+// (json.Marshal sorts map keys).
 func (a *Agent) Snapshot() ([]byte, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return json.Marshal(snapshot{Config: a.cfg, Actions: a.actions, Q: a.q, Visits: a.visits})
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	return json.Marshal(snapshot{
+		Config:  a.Config(),
+		Actions: a.actions,
+		Q:       a.Rows(),
+		Visits:  a.VisitCounts(),
+	})
 }
 
 // Restore creates an agent from a Snapshot payload. Snapshots written before
@@ -411,25 +722,39 @@ func (a *Agent) Snapshot() ([]byte, error) {
 // visit, so downstream visit-weighted federation still counts the table as
 // (minimal) experience instead of discarding it.
 func Restore(data []byte) (*Agent, error) {
+	return RestoreInterned(data, nil)
+}
+
+// RestoreInterned is Restore with a fixed base interner: snapshot keys on
+// the base grid land on their arithmetic indices (so a restored engine agent
+// keeps the zero-alloc decide path), foreign keys go to the overflow.
+func RestoreInterned(data []byte, base Interner) (*Agent, error) {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("rl: restore: %w", err)
 	}
-	ag, err := NewAgent(snap.Config, snap.Actions)
+	ag, err := newAgent(snap.Config, snap.Actions, base)
 	if err != nil {
 		return nil, err
 	}
+	ag.wmu.Lock()
+	defer ag.wmu.Unlock()
 	for s, row := range snap.Q {
 		if len(row) != snap.Actions {
 			return nil, fmt.Errorf("rl: restore: state %q has %d actions, want %d", s, len(row), snap.Actions)
 		}
-		ag.q[s] = row
+		i := ag.internLocked(s)
+		ag.installRowLocked(ag.tab.Load(), i, row)
 	}
 	switch {
 	case snap.Visits == nil:
 		// Backward compat: pre-visit-count snapshot.
-		for s := range ag.q {
-			ag.visits[s] = 1
+		t := ag.tab.Load()
+		for i := 0; i < t.states; i++ {
+			if t.flags[i].Load()&flagRow != 0 {
+				t.visits[i].Store(1)
+				t.flags[i].Or(flagVisit)
+			}
 		}
 	default:
 		for s, n := range snap.Visits {
@@ -437,7 +762,12 @@ func Restore(data []byte) (*Agent, error) {
 				return nil, fmt.Errorf("rl: restore: state %q has negative visit count %d", s, n)
 			}
 		}
-		ag.visits = snap.Visits
+		for s, n := range snap.Visits {
+			i := ag.internLocked(s)
+			t := ag.tab.Load()
+			t.visits[i].Store(int64(n))
+			t.flags[i].Or(flagVisit)
+		}
 	}
 	return ag, nil
 }
@@ -451,22 +781,30 @@ func NewAgentFromTable(cfg Config, actions int, q map[State][]float64, visits ma
 	if err != nil {
 		return nil, err
 	}
+	ag.wmu.Lock()
+	defer ag.wmu.Unlock()
 	for s, row := range q {
 		if len(row) != actions {
 			return nil, fmt.Errorf("rl: table: state %q has %d actions, want %d", s, len(row), actions)
 		}
-		ag.q[s] = append([]float64(nil), row...)
+		i := ag.internLocked(s)
+		ag.installRowLocked(ag.tab.Load(), i, row)
 	}
-	for s := range ag.q {
+	t := ag.tab.Load()
+	for i := 0; i < t.states; i++ {
+		if t.flags[i].Load()&flagRow == 0 {
+			continue
+		}
+		s := ag.intern.keyOf(int32(i))
 		n, ok := visits[s]
 		switch {
 		case !ok:
-			ag.visits[s] = 1
+			n = 1
 		case n < 0:
 			return nil, fmt.Errorf("rl: table: state %q has negative visit count %d", s, n)
-		default:
-			ag.visits[s] = n
 		}
+		t.visits[i].Store(int64(n))
+		t.flags[i].Or(flagVisit)
 	}
 	return ag, nil
 }
@@ -502,26 +840,23 @@ func (a *Agent) ImportMapped(donor *Agent, srcForDst []int) error {
 	if len(srcForDst) != a.actions {
 		return fmt.Errorf("rl: mapping has %d entries, want %d", len(srcForDst), a.actions)
 	}
-	donor.mu.Lock()
-	donorQ := make(map[State][]float64, len(donor.q))
-	for s, row := range donor.q {
-		donorQ[s] = append([]float64(nil), row...)
-	}
+	donorQ := donor.Rows()
 	donorActions := donor.actions
-	donor.mu.Unlock()
 	for _, src := range srcForDst {
 		if src >= donorActions {
 			return fmt.Errorf("rl: mapping refers to donor action %d of %d", src, donorActions)
 		}
 	}
 
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
 	for s, donorRow := range donorQ {
-		row := a.row(s)
-		for i, src := range srcForDst {
+		i := a.internLocked(s)
+		t := a.tab.Load()
+		a.ensureRowLocked(t, i)
+		for j, src := range srcForDst {
 			if src >= 0 {
-				row[i] = donorRow[src]
+				t.q[int(i)*t.actions+j].Store(math.Float64bits(donorRow[src]))
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package rl
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // SarsaAgent is an on-policy TD(0) alternative to the Q-learning Agent. The
@@ -30,25 +31,60 @@ func NewSarsaAgent(cfg Config, numActions int) (*SarsaAgent, error) {
 	return &SarsaAgent{Agent: ag}, nil
 }
 
+// NewSarsaAgentInterned creates an on-policy agent whose state indices come
+// from a fixed base interner (see NewAgentInterned).
+func NewSarsaAgentInterned(cfg Config, numActions int, base Interner) (*SarsaAgent, error) {
+	ag, err := NewAgentInterned(cfg, numActions, base)
+	if err != nil {
+		return nil, err
+	}
+	return &SarsaAgent{Agent: ag}, nil
+}
+
 // UpdateSarsa applies the SARSA rule using nextAction — the action the
 // policy selected in the next state. Frozen agents ignore updates.
 func (a *SarsaAgent) UpdateSarsa(s State, action int, reward float64, next State, nextAction int) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.frozen {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if a.frozen.Load() {
 		return nil
 	}
+	return a.updateSarsaLocked(a.internLocked(s), action, reward, a.internLocked(next), nextAction)
+}
+
+// UpdateSarsaIdx is UpdateSarsa over dense state indices (the engine's hot
+// path).
+func (a *SarsaAgent) UpdateSarsaIdx(si int32, action int, reward float64, ni int32, nextAction int) error {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if a.frozen.Load() {
+		return nil
+	}
+	if _, err := a.tableForLocked(si); err != nil {
+		return err
+	}
+	if _, err := a.tableForLocked(ni); err != nil {
+		return err
+	}
+	return a.updateSarsaLocked(si, action, reward, ni, nextAction)
+}
+
+func (a *SarsaAgent) updateSarsaLocked(si int32, action int, reward float64, ni int32, nextAction int) error {
 	if action < 0 || action >= a.actions {
 		return fmt.Errorf("rl: action %d out of range", action)
 	}
 	if nextAction < 0 || nextAction >= a.actions {
 		return fmt.Errorf("rl: next action %d out of range", nextAction)
 	}
-	nextQ := a.row(next)[nextAction]
-	r := a.row(s)
-	delta := reward + a.cfg.Discount*nextQ - r[action]
+	t := a.tab.Load()
+	a.ensureRowLocked(t, ni)
+	nextQ := loadQ(t, ni, nextAction)
+	a.ensureRowLocked(t, si)
+	cell := &t.q[int(si)*t.actions+action]
+	q := math.Float64frombits(cell.Load())
+	delta := reward + a.cfg.Discount*nextQ - q
 	a.noteTDLocked(delta)
-	r[action] += a.cfg.LearningRate * delta
+	cell.Store(math.Float64bits(q + a.cfg.LearningRate*delta))
 	return nil
 }
 

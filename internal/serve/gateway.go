@@ -65,7 +65,18 @@ type worker struct {
 	events    []fault.Event // scripted crash/corruption drills, time-ordered
 	nextEvent int
 	seq       uint64 // per-worker request sequence (trace + retry streams)
+
+	// tbuf buffers this lane's trace records between batch flushes; only the
+	// worker goroutine touches it. It drains to the shared writer when it
+	// fills, when the lane's queue runs empty (so a synchronous client sees
+	// its record in the trace before its response arrives), and when the
+	// worker exits.
+	tbuf []trace.Record
 }
+
+// traceBatch bounds a worker's trace buffer: under sustained load records
+// drain to the shared writer in batches of this size.
+const traceBatch = 64
 
 // breakerFor returns the worker's breaker for a remote site (nil when the
 // resilience layer is off or the location is local).
@@ -275,13 +286,25 @@ func (g *Gateway) now() time.Time {
 // execution. The error return is reserved for misuse (nil model) and a
 // closed gateway.
 func (g *Gateway) Submit(req Request) (<-chan Response, error) {
-	if req.Model == nil {
-		return nil, errors.New("serve: request needs a model")
+	p := &pending{req: req, resp: make(chan Response, 1)}
+	if err := g.submit(p); err != nil {
+		return nil, err
+	}
+	return p.resp, nil
+}
+
+// submit runs admission control on one pending request. On a nil error the
+// request's resp channel is guaranteed exactly one delivery; on an error
+// (misuse, closed gateway) nothing was enqueued and nothing will be
+// delivered, so a pooled pending can be recycled immediately.
+func (g *Gateway) submit(p *pending) error {
+	if p.req.Model == nil {
+		return errors.New("serve: request needs a model")
 	}
 	g.mu.RLock()
 	if g.closed {
 		g.mu.RUnlock()
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	// inflight is raised before the closed check releases so Shutdown
 	// cannot close the queues while this request is between admission and
@@ -292,27 +315,27 @@ func (g *Gateway) Submit(req Request) (<-chan Response, error) {
 
 	now := g.now()
 	g.met.IncSubmitted()
-	p := &pending{req: req, resp: make(chan Response, 1), submittedAt: now}
+	p.submittedAt = now
 
 	// A dead-on-arrival deadline is failed fast without touching a queue.
-	if !req.Deadline.IsZero() && now.After(req.Deadline) {
+	if !p.req.Deadline.IsZero() && now.After(p.req.Deadline) {
 		g.met.IncExpired()
 		p.resp <- Response{
 			Status: StatusExpired, Err: ErrDeadlineExpired,
 			SubmittedAt: now, DoneAt: now,
 		}
-		return p.resp, nil
+		return nil
 	}
 
-	w, err := g.pick(req.Device)
+	w, err := g.pick(p.req.Device)
 	if err != nil {
 		g.met.IncFailed()
 		p.resp <- Response{Status: StatusFailed, Err: err, SubmittedAt: now, DoneAt: now}
-		return p.resp, nil
+		return nil
 	}
 
 	if g.enqueue(w, p) {
-		return p.resp, nil
+		return nil
 	}
 	if g.cfg.Shed == ShedOldest {
 		// Evict the oldest queued request to make room; if a worker drained
@@ -325,11 +348,11 @@ func (g *Gateway) Submit(req Request) (<-chan Response, error) {
 		default:
 		}
 		if g.enqueue(w, p) {
-			return p.resp, nil
+			return nil
 		}
 	}
 	g.reject(p, w.device)
-	return p.resp, nil
+	return nil
 }
 
 func (g *Gateway) enqueue(w *worker, p *pending) bool {
@@ -446,15 +469,28 @@ func (g *Gateway) MinLaneClock() float64 {
 	return min
 }
 
+// pendingPool recycles pending envelopes (and their one-shot response
+// channels) for the synchronous Do path. A pending's resp channel always
+// receives exactly one delivery, so after Do drains it the channel is empty
+// and the envelope is safe to reuse.
+var pendingPool = sync.Pool{
+	New: func() any { return &pending{resp: make(chan Response, 1)} },
+}
+
 // Do submits one request and waits for its response — the synchronous
 // convenience for closed-loop clients. The response's Err is also returned
 // for non-served outcomes.
 func (g *Gateway) Do(req Request) (Response, error) {
-	ch, err := g.Submit(req)
-	if err != nil {
+	p := pendingPool.Get().(*pending)
+	p.req = req
+	if err := g.submit(p); err != nil {
+		p.req = Request{}
+		pendingPool.Put(p)
 		return Response{}, err
 	}
-	r := <-ch
+	r := <-p.resp
+	p.req = Request{} // drop model/conditions references before pooling
+	pendingPool.Put(p)
 	if r.Status != StatusServed {
 		return r, r.Err
 	}
@@ -479,6 +515,20 @@ func (g *Gateway) runWorker(w *worker) {
 		}
 		g.serveOne(w, p)
 	}
+	// Queue closed: drain any trace records still buffered so Shutdown's
+	// final writer flush covers the complete lane.
+	g.flushTrace(w)
+}
+
+// flushTrace drains the worker's buffered trace records into the shared
+// writer in one locked batch append. Write errors stick in the writer and
+// surface at Shutdown's final flush, exactly as per-record appends did.
+func (g *Gateway) flushTrace(w *worker) {
+	if len(w.tbuf) == 0 || g.cfg.Trace == nil {
+		return
+	}
+	g.cfg.Trace.AppendBatch(w.tbuf)
+	w.tbuf = w.tbuf[:0]
 }
 
 // serveOne executes one admitted request: scripted fault drills, deadline
@@ -494,9 +544,11 @@ func (g *Gateway) runWorker(w *worker) {
 func (g *Gateway) serveOne(w *worker, p *pending) {
 	start := g.now()
 	wait := start.Sub(p.submittedAt).Seconds()
-	g.met.ObserveWait(wait)
-	g.met.ObservePhase(obs.PhaseQueue, wait)
-	sw := obs.NewStopwatch(w.engine.Now)
+	// pt accumulates the deterministic virtual-clock legs (execute, retry,
+	// hedge, failover) without allocating; the wall-clock queue and decide
+	// phases feed the registry's histograms directly and stay out of the
+	// trace.
+	var pt obs.PhaseTotals
 	w.seq++
 
 	// Virtual wait: how far the serving lane's clock has run past the
@@ -504,7 +556,8 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	// deterministic time scale, and the observable the capacity planner's
 	// M/M/c model is calibrated against.
 	vwait := 0.0
-	if p.req.ArrivalS > 0 {
+	hasVWait := p.req.ArrivalS > 0
+	if hasVWait {
 		if lag := w.engine.Now() - p.req.ArrivalS; lag > 0 {
 			vwait = lag
 		} else {
@@ -513,8 +566,8 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 			// exists rather than at the lane's accumulated busy time.
 			w.engine.AdvanceTo(p.req.ArrivalS)
 		}
-		g.met.ObserveVWait(vwait)
 	}
+	g.met.ObserveAdmission(wait, vwait, hasVWait)
 
 	base := Response{Device: w.device, SubmittedAt: p.submittedAt, WaitS: wait, VWaitS: vwait}
 
@@ -560,9 +613,9 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	// overhead — observe, Q-lookup, bookkeeping — the paper reports as the
 	// decision cost (the simulated inference itself costs no wall time).
 	decideStart := time.Now()
-	stopExec := sw.Start(obs.PhaseExecute)
+	execStart := w.engine.Now()
 	d, err := w.engine.RunInferenceFiltered(nil, p.req.Model, p.req.Conditions, allow)
-	stopExec()
+	pt.Add(obs.PhaseExecuteIdx, w.engine.Now()-execStart)
 	g.met.ObservePhase(obs.PhaseDecide, time.Since(decideStart).Seconds())
 	if err != nil {
 		g.met.IncFailed()
@@ -590,17 +643,17 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 
 	retries, recovered := 0, false
 	if outage && g.cfg.Resilience.Enabled && g.cfg.Resilience.MaxRetries > 0 {
-		stopRetry := sw.Start(obs.PhaseRetry)
+		retryStart := w.engine.Now()
 		retries, recovered = g.retryOffload(w, p, &d)
-		stopRetry()
+		pt.Add(obs.PhaseRetryIdx, w.engine.Now()-retryStart)
 	}
 
 	hedged, hedgeWon := false, false
 	if g.cfg.Resilience.Enabled && g.cfg.Resilience.Hedge && !outage &&
 		d.Measurement.Target.Location != sim.Local && w.hasFallback {
-		stopHedge := sw.Start(obs.PhaseHedge)
+		hedgeStart := w.engine.Now()
 		hedged, hedgeWon = g.hedge(w, p, &d)
-		stopHedge()
+		pt.Add(obs.PhaseHedgeIdx, w.engine.Now()-hedgeStart)
 	}
 
 	retried := false
@@ -614,7 +667,7 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 			if meas, ferr := w.engine.World.Execute(p.req.Model, w.fallback, p.req.Conditions); ferr == nil {
 				// The failover runs on the world's own clock, not the
 				// engine's, so its leg is added by measured duration.
-				sw.Add(obs.PhaseFailover, meas.LatencyS)
+				pt.Add(obs.PhaseFailoverIdx, meas.LatencyS)
 				d.Measurement = meas
 				d.QoSViolated = meas.LatencyS > d.QoSTargetS
 				retried = true
@@ -625,21 +678,16 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		}
 	}
 
-	if d.QoSViolated {
-		g.met.IncQoSViolation()
-	}
-	g.met.IncServed()
-	g.met.ObserveLatency(d.Measurement.LatencyS)
-	g.met.ObserveEnergy(d.Measurement.EnergyJ)
-	if p.req.Tenant != "" {
-		g.met.ObserveTenantResponse(p.req.Tenant, vwait+d.Measurement.LatencyS)
-	}
-	g.met.CountTarget(d.Measurement.Target.Location.String())
-	g.met.CountDevice(w.device)
-	phases := sw.Durations()
-	for phase, durS := range phases {
-		g.met.ObservePhase(phase, durS)
-	}
+	g.met.ObserveServed(metrics.ServedSample{
+		QoSViolated: d.QoSViolated,
+		LatencyS:    d.Measurement.LatencyS,
+		EnergyJ:     d.Measurement.EnergyJ,
+		Tenant:      p.req.Tenant,
+		TenantRespS: vwait + d.Measurement.LatencyS,
+		Target:      d.Measurement.Target.Location.String(),
+		Device:      w.device,
+		Phases:      pt,
+	})
 
 	if g.cfg.Trace != nil {
 		rec := trace.FromDecision(int(w.seq), p.req.Model.Name, d)
@@ -651,8 +699,14 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		rec.Hedged = hedged
 		rec.Degraded = degraded
 		rec.VWaitS = vwait
-		rec.Phases = phases
-		g.cfg.Trace.Append(rec)
+		rec.Phases = pt.Durations()
+		// Buffer the record on the lane and drain in batches: when the lane
+		// still has queued work the batch rides until it fills; an idle lane
+		// flushes immediately so the record is visible before the response.
+		w.tbuf = append(w.tbuf, rec)
+		if len(w.tbuf) >= traceBatch || len(w.queue) == 0 {
+			g.flushTrace(w)
+		}
 	}
 
 	base.Status, base.Decision, base.Retried, base.Outage, base.DoneAt =

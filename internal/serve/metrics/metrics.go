@@ -245,6 +245,74 @@ func (r *Registry) ObservePhase(phase string, s float64) {
 	r.shared(func() { h.Observe(s) })
 }
 
+// ObserveAdmission batches the per-request admission observations — queue
+// wait into both the wait and queue-phase histograms, plus the virtual wait
+// when the request carried an arrival stamp — under one shared bracket of
+// the snapshot seqlock.
+func (r *Registry) ObserveAdmission(waitS, vwaitS float64, hasVWait bool) {
+	r.shared(func() {
+		r.wait.Observe(waitS)
+		if h, ok := r.phases[obs.PhaseQueue]; ok {
+			h.Observe(waitS)
+		}
+		if hasVWait {
+			r.vwait.Observe(vwaitS)
+		}
+	})
+}
+
+// ServedSample batches every observation the gateway records when a request
+// completes service, so the hot path crosses the snapshot seqlock once at
+// the tail instead of once per metric.
+type ServedSample struct {
+	QoSViolated bool
+	LatencyS    float64
+	EnergyJ     float64
+	// Tenant, when non-empty, records TenantRespS (virtual wait plus
+	// execution latency) into the tenant's response-time histogram.
+	Tenant      string
+	TenantRespS float64
+	// Target and Device label the execution for the per-target and
+	// per-device counters.
+	Target string
+	Device string
+	// Phases feeds each non-zero phase total into its phase histogram.
+	Phases obs.PhaseTotals
+}
+
+// ObserveServed records one served request as a single batched mutation:
+// the same counters and histograms the individual mutators update, in one
+// consistent cut relative to Snapshot.
+func (r *Registry) ObserveServed(s ServedSample) {
+	r.shared(func() {
+		r.served.Add(1)
+		if s.QoSViolated {
+			r.qosViolations.Add(1)
+		}
+		r.latency.Observe(s.LatencyS)
+		r.energy.Observe(s.EnergyJ)
+		if s.Tenant != "" {
+			r.mu.Lock()
+			h, ok := r.byTenant[s.Tenant]
+			if !ok {
+				h = obs.NewHistogram(Scheme())
+				r.byTenant[s.Tenant] = h
+			}
+			r.mu.Unlock()
+			h.Observe(s.TenantRespS)
+		}
+		r.mu.Lock()
+		r.byTarget[s.Target]++
+		r.byDevice[s.Device]++
+		r.mu.Unlock()
+		s.Phases.ForEach(func(phase string, durS float64) {
+			if h, ok := r.phases[phase]; ok {
+				h.Observe(durS)
+			}
+		})
+	})
+}
+
 // CountTarget counts one execution against a target label (the coarse
 // location — local/connected/cloud — keeps the map small).
 func (r *Registry) CountTarget(label string) {

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"autoscale/internal/dnn"
@@ -141,6 +142,46 @@ type World struct {
 	// from its own named stream regardless of goroutine interleaving.
 	root *exec.Context
 	seq  atomic.Uint64
+
+	// latMu/latMemo cache interference-free model latencies. ModelLatency
+	// walks every layer of the network; for remote targets (always top
+	// step, no interference) and unloaded local targets the result depends
+	// only on (model, processor, step, precision), so the per-request walk
+	// on the serving hot path collapses to one map read. Loaded local
+	// executions bypass the cache — their penalties vary per request.
+	latMu   sync.RWMutex
+	latMemo map[latKey]float64
+}
+
+// latKey identifies one interference-free (model, engine placement) pair.
+type latKey struct {
+	m    *dnn.Model
+	proc *soc.Processor
+	step int
+	prec dnn.Precision
+}
+
+// modelLatency computes perf.ModelLatency, memoizing interference-free
+// results (see latMemo).
+func (w *World) modelLatency(e perf.Exec, m *dnn.Model, pen interfere.Penalties) float64 {
+	if pen != perf.NoInterference() {
+		return perf.ModelLatency(e, m, pen)
+	}
+	k := latKey{m: m, proc: e.Proc, step: e.Step, prec: e.Prec}
+	w.latMu.RLock()
+	v, ok := w.latMemo[k]
+	w.latMu.RUnlock()
+	if ok {
+		return v
+	}
+	v = perf.ModelLatency(e, m, pen)
+	w.latMu.Lock()
+	if w.latMemo == nil {
+		w.latMemo = make(map[latKey]float64)
+	}
+	w.latMemo[k] = v
+	w.latMu.Unlock()
+	return v
 }
 
 // NewWorld builds the standard evaluation world around the given phone, with
@@ -273,7 +314,7 @@ func (w *World) Expected(m *dnn.Model, t Target, c Conditions) (Measurement, err
 
 	if t.Location == Local {
 		pen := interfere.PenaltiesFor(c.Load)
-		lat := perf.ModelLatency(perf.Exec{Proc: proc, Step: t.Step, Prec: t.Prec}, m, pen)
+		lat := w.modelLatency(perf.Exec{Proc: proc, Step: t.Step, Prec: t.Prec}, m, pen)
 		bd, err := power.OnDevice(proc, t.Step, lat, w.Device.PlatformIdleW)
 		if err != nil {
 			return Measurement{}, err
@@ -290,7 +331,7 @@ func (w *World) Expected(m *dnn.Model, t Target, c Conditions) (Measurement, err
 	rssi := c.rssiFor(t.Location)
 	tTX := link.TransferSeconds(m.InputBytes, rssi)
 	tRX := link.TransferSeconds(m.OutputBytes, rssi)
-	remote := perf.ModelLatency(perf.Exec{Proc: proc, Step: proc.Steps - 1, Prec: t.Prec}, m, perf.NoInterference())
+	remote := w.modelLatency(perf.Exec{Proc: proc, Step: proc.Steps - 1, Prec: t.Prec}, m, perf.NoInterference())
 	total := tTX + remote + w.serviceOverhead(t.Location) + tRX
 
 	bd, err := power.Offload(link, rssi, tTX, tRX, total, w.Device.PlatformIdleW)
@@ -342,7 +383,10 @@ func (w *World) ExecuteCtx(ctx *exec.Context, m *dnn.Model, t Target, c Conditio
 			return w.executeOutage(ctx, m, t, c)
 		}
 		if w.OutageProb > 0 {
-			if ctx.Stream("sim.request").Float64() < w.OutageProb {
+			st := ctx.GetStream("sim.request")
+			down := st.Float64() < w.OutageProb
+			exec.PutStream(st)
+			if down {
 				ctx.Emit("sim.outage", 1)
 				return w.executeOutage(ctx, m, t, c)
 			}
@@ -354,8 +398,9 @@ func (w *World) ExecuteCtx(ctx *exec.Context, m *dnn.Model, t Target, c Conditio
 	}
 	w.applyWindowFaults(now, &meas)
 	if w.NoiseFrac > 0 {
-		st := ctx.Stream("sim.request")
+		st := ctx.GetStream("sim.request")
 		f := 1 + w.NoiseFrac*st.NormFloat64()
+		exec.PutStream(st)
 		if f < 0.5 {
 			f = 0.5
 		}

@@ -135,6 +135,29 @@ func (t *Writer) Append(r Record) error {
 	return nil
 }
 
+// AppendBatch writes a slice of records under one lock acquisition — the
+// gateway's workers buffer records per request batch and drain them here,
+// so a loaded trace pays the writer's mutex once per batch instead of once
+// per record. Records land contiguously: no other worker's records can
+// interleave inside a batch. On a write error the batch stops at the
+// failing record and the error sticks, exactly as if the records had been
+// appended one at a time.
+func (t *Writer) AppendBatch(recs []Record) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	for i := range recs {
+		if err := t.enc.Encode(recs[i]); err != nil {
+			t.err = fmt.Errorf("trace: append: %w", err)
+			return t.err
+		}
+		t.n++
+	}
+	return nil
+}
+
 // Count returns the number of records appended.
 func (t *Writer) Count() int {
 	t.mu.Lock()

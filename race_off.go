@@ -1,0 +1,8 @@
+//go:build !race
+
+package autoscale
+
+// raceEnabled reports whether the race detector instruments this build.
+// The zero-alloc regression guard skips under -race: detector shadow
+// memory makes otherwise allocation-free paths allocate.
+const raceEnabled = false

@@ -1,0 +1,28 @@
+package autoscale
+
+import "testing"
+
+// TestDecideZeroAlloc is the allocs-per-op regression guard for the decide
+// fast path: observe -> dense state index -> lock-free RCU Q-row argmax.
+// The path must not allocate — make verify runs this test, so any future
+// allocation on the hot path fails the build rather than silently eroding
+// throughput.
+func TestDecideZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates on otherwise alloc-free paths")
+	}
+	e, m, c := trainedBenchEngine(t)
+	e.Agent().Freeze()
+	// One warm call materializes any row the training loop missed.
+	if _, err := e.Predict(m, c); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if _, err := e.Predict(m, c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Predict fast path allocates %.2f allocs/op, want 0", avg)
+	}
+}
