@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router race-plan race-hot alloc-guard fuzz-fault smoke-admin smoke-plan verify bench bench-all bench-diff profile
+.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router race-plan race-hot race-super alloc-guard fuzz-fault smoke-admin smoke-plan smoke-chaos chaos chaos-short verify bench bench-all bench-diff profile
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,28 @@ race-plan:
 race-hot:
 	$(GO) test -race ./internal/rl/ ./internal/core/ ./internal/serve/
 
+# The supervision tier: health scoring, the cordon/drain/restart ladder and
+# the crash-loop budget run against the router's lifecycle concurrently with
+# the request path. The soak is excluded here (it runs un-instrumented in
+# chaos-short; race instrumentation slows the full matrix past the point of
+# usefulness) — the gray-failure, crash-loop and status tests are the
+# race-sensitive surface.
+race-super:
+	$(GO) test -race -run 'TestGrayFailureCordon|TestCrashLoopConvergesToDead|TestSupervisorStatusJSONAndProm' ./internal/super/
+
+# Seeded chaos soak, small matrix (~seconds): 2 seeds at high intensity with
+# the invariant auditor, byte-identical replay and the goroutine-leak check.
+# Part of `make verify`.
+chaos-short:
+	$(GO) test -short -run '^TestChaosSoak$$' -count=1 ./internal/super/
+
+# The full chaos soak: 5 seeds x 2 intensities, every fault kind, supervised
+# three-shard fleet, all invariants. The long-soak counterpart of
+# chaos-short; run it before touching the supervisor, router lifecycle or
+# checkpoint planes.
+chaos:
+	$(GO) test -run '^TestChaosSoak$$' -count=1 -timeout 1800s -v ./internal/super/
+
 # Allocs-per-op regression guard: the frozen decide fast path (observe,
 # dense state index, RCU argmax) must stay at zero allocations. Runs
 # un-instrumented (the race detector's shadow memory allocates).
@@ -123,11 +145,33 @@ smoke-plan:
 	grep '^autoscale_plan_class_attained' $$tmp/metrics > /dev/null; \
 	wait $$pid; echo "smoke-plan: ok"
 
+# End-to-end chaos check: a seeded storm over a supervised sharded fleet via
+# the CLI, scraping /supervisor and the autoscale_super_* series, and
+# requiring the run to end with "all invariants held" (the binary exits
+# non-zero on any violation).
+smoke-chaos:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/autoscale-serve ./cmd/autoscale-serve; \
+	$$tmp/autoscale-serve -chaos -shards 2 -replicas 2 -n 1500 -clients 4 -seed 7 \
+		-admin 127.0.0.1:0 -linger 8s > $$tmp/out 2>&1 & pid=$$!; \
+	addr=; for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's#^admin listening on http://##p' $$tmp/out); \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	if [ -z "$$addr" ]; then echo "smoke-chaos: no admin address"; cat $$tmp/out; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -fsS "http://$$addr/supervisor" > $$tmp/super; \
+	grep '"ticks"' $$tmp/super > /dev/null; \
+	grep '"phase"' $$tmp/super > /dev/null; \
+	curl -fsS "http://$$addr/metrics" | grep '^autoscale_super_score' > /dev/null; \
+	wait $$pid || { echo "smoke-chaos: run failed"; cat $$tmp/out; exit 1; }; \
+	grep 'chaos audit: all invariants held' $$tmp/out > /dev/null; \
+	echo "smoke-chaos: ok"
+
 # The full gate: tier-1 (build + test) plus formatting, vet, the race
 # detector (which includes the dedicated policy-plane, exec-plane, fault-plane,
-# telemetry-plane and planning-plane passes), the schedule-parser fuzz smoke
-# and the admin and planner scrape smokes.
-verify: build fmt vet race race-policy race-exp race-fault race-obs race-router race-plan race-hot alloc-guard fuzz-fault smoke-admin smoke-plan
+# telemetry-plane, planning-plane and supervision-plane passes), the
+# schedule-parser fuzz smoke, the short chaos soak and the admin, planner and
+# chaos scrape smokes.
+verify: build fmt vet race race-policy race-exp race-fault race-obs race-router race-plan race-hot race-super chaos-short alloc-guard fuzz-fault smoke-admin smoke-plan smoke-chaos
 
 # Archive the representative benchmarks (end-to-end Fig 9, gateway and
 # routing-tier throughput, the telemetry hot path, the router dispatch path

@@ -14,10 +14,12 @@
 //	autoscale-serve -admin :9090 -linger 30s   # scrape /metrics while it runs
 //	autoscale-serve -shards 4 -replicas 4 -tenants gold:4,silver:2,best:1
 //	autoscale-serve -shards 2 -replicas 4 -plan -slo-classes "gold:250ms:4,best:1s:1:100ms"
+//	autoscale-serve -chaos -chaos-intensity 0.9 -shards 3 -replicas 2 -admin :9090
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -27,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autoscale"
@@ -49,6 +52,8 @@ func main() {
 		snapdir   = flag.String("snapshots", "", "policy checkpoint store directory: warm-start at boot, flush at shutdown")
 		sync      = flag.Duration("sync", 0, "background policy sync interval (0 = off; needs -snapshots)")
 		faults    = flag.String("faults", "", "JSON fault schedule to inject (see examples/faults/)")
+		chaos     = flag.Bool("chaos", false, "seeded chaos storm over the routing tier: generated faults, self-healing supervisor, invariant audit")
+		chaosInt  = flag.Float64("chaos-intensity", 0.7, "chaos storm intensity in (0,1]: scales fault density, severity and window width")
 		resilient = flag.Bool("resilient", false, "enable circuit breakers and deadline-budgeted offload retries")
 		hedge     = flag.Bool("hedge", false, "hedge slow offloads with a local run (needs -resilient)")
 		admin     = flag.String("admin", "", "serve the observability endpoint on this address (e.g. :9090)")
@@ -66,7 +71,8 @@ func main() {
 		devices: strings.Split(*devices, ","), donor: *donor, train: *train,
 		model: *model, envID: *envID, n: *n, clients: *clients, rate: *rate,
 		queue: *queue, deadline: *deadline, shed: *shed, failover: *failover,
-		snapdir: *snapdir, sync: *sync, faults: *faults, resilient: *resilient,
+		snapdir: *snapdir, sync: *sync, faults: *faults, chaos: *chaos,
+		chaosIntensity: *chaosInt, resilient: *resilient,
 		hedge: *hedge, admin: *admin, linger: *linger, shards: *shards,
 		replicas: *replicas, tenants: *tenants, plan: *plan, sloClasses: *sloSpec,
 		seed: *seed,
@@ -77,29 +83,97 @@ func main() {
 }
 
 type config struct {
-	devices      []string
-	donor        string
-	train        int
-	model, envID string
-	n, clients   int
-	rate         float64
-	queue        int
-	deadline     time.Duration
-	shed         string
-	failover     bool
-	snapdir      string
-	sync         time.Duration
-	faults       string
-	resilient    bool
-	hedge        bool
-	admin        string
-	linger       time.Duration
-	shards       int
-	replicas     int
-	tenants      string
-	plan         bool
-	sloClasses   string
-	seed         int64
+	devices        []string
+	donor          string
+	train          int
+	model, envID   string
+	n, clients     int
+	rate           float64
+	queue          int
+	deadline       time.Duration
+	shed           string
+	failover       bool
+	snapdir        string
+	sync           time.Duration
+	faults         string
+	chaos          bool
+	chaosIntensity float64
+	resilient      bool
+	hedge          bool
+	admin          string
+	linger         time.Duration
+	shards         int
+	replicas       int
+	tenants        string
+	plan           bool
+	sloClasses     string
+	seed           int64
+}
+
+// chaosHorizonS is the virtual span the generated storm fits inside — small
+// enough that a default-sized load drives every lane's clock past it, so the
+// fleet gets storm-free time to settle before the final audit.
+const chaosHorizonS = 6.0
+
+// chaosRig bundles the chaos-mode control plane the flood loop drives: the
+// supervisor ticking on virtual time, the invariant auditor, and the atomic
+// clock the checkpoint fault sink reads (it must never query the router
+// directly — see PolicyFaultSink.Now).
+type chaosRig struct {
+	rt    *autoscale.Router
+	sup   *autoscale.Supervisor
+	aud   *autoscale.ChaosAuditor
+	clock atomic.Uint64 // float64 bits of the newest virtual time seen
+}
+
+// observe advances the rig after one response: bump the atomic clock to the
+// router's virtual now, run a supervision pass if the interval elapsed, and
+// audit clock monotonicity on every pass.
+func (cr *chaosRig) observe() {
+	now := cr.rt.VirtualNow()
+	for {
+		old := cr.clock.Load()
+		if math.Float64frombits(old) >= now || cr.clock.CompareAndSwap(old, math.Float64bits(now)) {
+			break
+		}
+	}
+	if cr.sup.MaybeTick(now) {
+		cr.aud.Observe()
+	}
+}
+
+// now is the checkpoint fault sink's clock.
+func (cr *chaosRig) now() float64 { return math.Float64frombits(cr.clock.Load()) }
+
+// printChaos reports the supervision outcome and the invariant audit; any
+// violation makes the whole run fail.
+func printChaos(out *os.File, rig *chaosRig) error {
+	rig.aud.Final()
+	st := rig.sup.Status()
+	fmt.Fprintf(out, "\nsupervisor (%d passes):\n", st.Ticks)
+	for _, sh := range st.Shards {
+		line := fmt.Sprintf("  %-10s phase %-8s score %.2f  restarts %d  incarnation %d",
+			sh.Name, sh.Phase, sh.Score, sh.Restarts, sh.Incarnation)
+		if sh.Reason != "" {
+			line += "  (" + sh.Reason + ")"
+		}
+		fmt.Fprintln(out, line)
+	}
+	if len(st.Actions) > 0 {
+		fmt.Fprintf(out, "remediation log:\n")
+		for _, a := range st.Actions {
+			fmt.Fprintf(out, "  [%7.2fs] %-10s %-8s %s\n", a.AtS, a.Shard, a.Action, a.Detail)
+		}
+	}
+	viols := rig.aud.Violations()
+	if len(viols) > 0 {
+		for _, v := range viols {
+			fmt.Fprintf(out, "INVARIANT VIOLATION: %s\n", v)
+		}
+		return fmt.Errorf("chaos audit failed: %d invariant violations", len(viols))
+	}
+	fmt.Fprintf(out, "chaos audit: all invariants held\n")
+	return nil
 }
 
 // server is the front door the load generator drives: a single gateway or
@@ -127,8 +201,10 @@ func run(c config, out *os.File) error {
 	default:
 		return fmt.Errorf("unknown shed policy %q (newest, oldest)", c.shed)
 	}
+	var store *autoscale.PolicyStore
 	if c.snapdir != "" {
-		store, err := autoscale.OpenPolicyStore(c.snapdir, 0)
+		var err error
+		store, err = autoscale.OpenPolicyStore(c.snapdir, 0)
 		if err != nil {
 			return err
 		}
@@ -193,6 +269,40 @@ func run(c config, out *os.File) error {
 		return fmt.Errorf("need at least one replica, got %d", c.replicas)
 	}
 
+	var sched *autoscale.FaultSchedule
+	var fsink *autoscale.PolicyFaultSink
+	if c.chaos {
+		if c.faults != "" {
+			return fmt.Errorf("-chaos generates its own storm; drop -faults")
+		}
+		if c.plan {
+			return fmt.Errorf("-chaos and -plan are separate control loops; pick one")
+		}
+		if c.chaosIntensity <= 0 || c.chaosIntensity > 1 {
+			return fmt.Errorf("-chaos-intensity must be in (0,1], got %g", c.chaosIntensity)
+		}
+		if c.shards == 1 && len(tenantCfg) == 0 {
+			return fmt.Errorf("-chaos supervises the routing tier; set -shards >= 2 or -tenants")
+		}
+		_, lanes, _ := laneSpecs(c.devices, c.replicas)
+		shardNames := make([]string, c.shards)
+		for i := range shardNames {
+			shardNames[i] = fmt.Sprintf("shard-%d", i)
+		}
+		sched = autoscale.RandomFaultSchedule(c.seed, c.chaosIntensity, autoscale.FaultRandomOpts{
+			Devices: lanes, Shards: shardNames, HorizonS: chaosHorizonS,
+		})
+		gcfg.Faults = autoscale.CompileFaultSchedule(sched, c.seed)
+		if store != nil {
+			// The storm's checkpoint I/O faults need the saves to flow
+			// through a fault sink; the raw store stays in scope for the
+			// auditor's CRC sweep. Now/Verdict are wired once the rig (and
+			// its router-free clock) exists.
+			fsink = &autoscale.PolicyFaultSink{Inner: store}
+			gcfg.Checkpoints = fsink
+		}
+	}
+
 	var srv server
 	var rt *autoscale.Router
 	var pl *autoscale.Planner
@@ -214,6 +324,37 @@ func run(c config, out *os.File) error {
 			return err
 		}
 	}
+	var rig *chaosRig
+	if c.chaos {
+		sup, err := autoscale.NewSupervisor(rt, autoscale.SupervisorConfig{})
+		if err != nil {
+			return err
+		}
+		aud, err := autoscale.NewChaosAuditor(rt, store)
+		if err != nil {
+			return err
+		}
+		rig = &chaosRig{rt: rt, sup: sup, aud: aud}
+		if fsink != nil {
+			inj := gcfg.Faults
+			// The sink's clock must not call back into the router: its
+			// queries can fire under the router's lock (re-homing warm
+			// starts, drain flushes), so it reads the atomic the flood loop
+			// advances instead.
+			fsink.Now = rig.now
+			fsink.Verdict = func(dev string, tm float64) autoscale.PolicyIOVerdict {
+				switch inj.CheckpointIO(dev, tm) {
+				case autoscale.FaultIOSlowFsync:
+					return autoscale.PolicyIOSlow
+				case autoscale.FaultIOWriteFail:
+					return autoscale.PolicyIOFailWrite
+				case autoscale.FaultIODiskFull:
+					return autoscale.PolicyIOFailAll
+				}
+				return autoscale.PolicyIOHealthy
+			}
+		}
+	}
 	if c.sync > 0 {
 		if err := srv.StartPolicySync(); err != nil {
 			return err
@@ -223,6 +364,8 @@ func run(c config, out *os.File) error {
 		var adm *autoscale.GatewayAdmin
 		if pl != nil {
 			adm, err = autoscale.ServePlannerAdmin(pl, c.admin)
+		} else if rig != nil {
+			adm, err = autoscale.ServeSupervisorAdmin(rig.sup, c.admin)
 		} else if rt != nil {
 			adm, err = autoscale.ServeRouterAdmin(rt, c.admin)
 		} else {
@@ -263,9 +406,13 @@ func run(c config, out *os.File) error {
 		}
 		fmt.Fprintf(out, "injecting fault schedule %q (%s)\n", gcfg.Faults.Name(), resil)
 	}
+	if rig != nil {
+		fmt.Fprintf(out, "chaos storm: %d faults, intensity %.2f, horizon %.0fs — supervised, invariants audited\n",
+			len(sched.Faults), c.chaosIntensity, chaosHorizonS)
+	}
 
 	start := time.Now()
-	if err := flood(srv, m, c, tenantNames, pl, gcfg.Faults); err != nil {
+	if err := flood(srv, m, c, tenantNames, pl, gcfg.Faults, rig); err != nil {
 		return err
 	}
 	if c.linger > 0 {
@@ -274,10 +421,19 @@ func run(c config, out *os.File) error {
 		fmt.Fprintf(out, "load done; lingering %s for scrapes\n", c.linger)
 		time.Sleep(c.linger)
 	}
+	if rig != nil {
+		rig.observe() // one last pass before the drain freezes the clocks
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		return err
+		// Under chaos the final flush may land inside an injected I/O
+		// window; the prior generations survive in the raw store, so report
+		// the scripted damage and keep auditing.
+		if rig == nil || !errors.Is(err, autoscale.ErrPolicyInjectedIO) {
+			return err
+		}
+		fmt.Fprintf(out, "shutdown flush hit injected checkpoint faults (prior generations survive): %v\n", err)
 	}
 	printSnapshot(out, srv.Snapshot(), time.Since(start))
 	if rt != nil {
@@ -287,6 +443,9 @@ func run(c config, out *os.File) error {
 		printPlan(out, pl)
 	}
 	printHealth(out, srv.Health())
+	if rig != nil {
+		return printChaos(out, rig)
+	}
 	return nil
 }
 
@@ -433,6 +592,22 @@ func buildRouter(c config, gcfg autoscale.GatewayConfig, tenants []autoscale.Rou
 	rcfg.EngineFactory = coldEngine
 	rcfg.Checkpoints = gcfg.Checkpoints
 	rcfg.Faults = gcfg.Faults
+	rcfg.PolicySync = gcfg.PolicySync
+	// Restart path for the supervisor: rebuild a dead shard's lanes on cold
+	// engines (warm-started from checkpoints when a store is configured).
+	rcfg.ShardFactory = func(name string, devs []string) (*autoscale.Gateway, error) {
+		backends := make([]autoscale.GatewayBackend, 0, len(devs))
+		for _, lane := range devs {
+			engine, err := coldEngine(lane)
+			if err != nil {
+				return nil, err
+			}
+			backends = append(backends, autoscale.GatewayBackend{Device: lane, Engine: engine})
+		}
+		shardCfg := gcfg
+		shardCfg.Name = name
+		return autoscale.NewGateway(backends, shardCfg)
+	}
 	return autoscale.NewRouter(shards, rcfg)
 }
 
@@ -443,7 +618,7 @@ func buildRouter(c config, gcfg autoscale.GatewayConfig, tenants []autoscale.Rou
 // clock — exponential gaps at the -rate (or 100 req/s per client by
 // default), compressed by any scheduled load surge — and drives the
 // planner's tick from it, so capacity decisions replay under a fixed seed.
-func flood(srv server, m *autoscale.DNNModel, c config, tenantNames []string, pl *autoscale.Planner, inj *autoscale.FaultInjector) error {
+func flood(srv server, m *autoscale.DNNModel, c config, tenantNames []string, pl *autoscale.Planner, inj *autoscale.FaultInjector, rig *chaosRig) error {
 	per := c.n / c.clients
 	extra := c.n % c.clients
 	errs := make(chan error, c.clients)
@@ -501,9 +676,15 @@ func flood(srv server, m *autoscale.DNNModel, c config, tenantNames []string, pl
 					errs <- err
 					return
 				}
+				if rig != nil {
+					rig.observe()
+				}
 			}
 			for _, ch := range pending {
 				<-ch
+				if rig != nil {
+					rig.observe()
+				}
 			}
 		}(cl, count)
 	}

@@ -37,6 +37,18 @@ const (
 	FaultThermal           = fault.KindThermal
 	FaultWorkerCrash       = fault.KindWorkerCrash
 	FaultCheckpointCorrupt = fault.KindCheckpointCorrupt
+	FaultShardCrash        = fault.KindShardCrash
+	FaultLoadSurge         = fault.KindLoadSurge
+	FaultGrayDegrade       = fault.KindGrayDegrade
+	FaultCheckpointIO      = fault.KindCheckpointIO
+	FaultSyncPartition     = fault.KindSyncPartition
+)
+
+// Checkpoint-store I/O fault modes (FaultCheckpointIO specs).
+const (
+	FaultIOWriteFail = fault.IOWriteFail
+	FaultIOSlowFsync = fault.IOSlowFsync
+	FaultIODiskFull  = fault.IODiskFull
 )
 
 // Fault sites and links.
@@ -66,4 +78,16 @@ func NewFaultInjector(s *FaultSchedule, ctx *ExecContext) *FaultInjector {
 // the experiment harness and CLIs do.
 func CompileFaultSchedule(s *FaultSchedule, seed int64) *FaultInjector {
 	return fault.New(s, exec.NewRoot(seed).Child("faults"))
+}
+
+// FaultRandomOpts scopes RandomFaultSchedule's generation: which device
+// lanes and shards exist, and how long the storm runs.
+type FaultRandomOpts = fault.RandomOpts
+
+// RandomFaultSchedule generates a seeded chaos schedule mixing every fault
+// kind over the given fleet — the storm behind `autoscale-serve -chaos` and
+// `make chaos`. Intensity in (0, 1] scales fault count and window length;
+// the same seed and opts always yield the same schedule.
+func RandomFaultSchedule(seed int64, intensity float64, opt FaultRandomOpts) *FaultSchedule {
+	return fault.Randomize(seed, intensity, opt)
 }

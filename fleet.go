@@ -223,6 +223,36 @@ func (f *Fleet) ProvisionRouter(devices []string, shards int, cfg EngineConfig, 
 	if rcfg.Faults == nil {
 		rcfg.Faults = gcfg.Faults
 	}
+	if rcfg.ShardFactory == nil {
+		// Rebuild a drained/dead shard's gateway for ReviveShard: each lane
+		// gets its original seed back (determinism) and a fresh donor
+		// transfer, then serve.New warm-starts from the checkpoint store —
+		// so a revived shard resumes from the fleet's persisted learning,
+		// not from scratch.
+		rcfg.ShardFactory = func(name string, devs []string) (*Gateway, error) {
+			backends := make([]GatewayBackend, 0, len(devs))
+			for _, lane := range devs {
+				model, ok := hw[lane]
+				if !ok {
+					return nil, fmt.Errorf("autoscale: unknown device %q", lane)
+				}
+				engine, err := f.Provision(model, cfg, seeds[lane])
+				if err != nil {
+					return nil, err
+				}
+				backends = append(backends, GatewayBackend{Device: lane, Engine: engine})
+			}
+			shardCfg := gcfg
+			shardCfg.Name = name
+			if shardCfg.Checkpoints == nil {
+				shardCfg.Checkpoints = rcfg.Checkpoints
+			}
+			if shardCfg.Faults == nil {
+				shardCfg.Faults = rcfg.Faults
+			}
+			return serve.New(backends, shardCfg)
+		}
+	}
 	return router.New(gateways, rcfg)
 }
 

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// --- control-plane fault kinds ---------------------------------------------
+
+func TestGrayDegradeFactor(t *testing.T) {
+	s := &Schedule{Faults: []Spec{
+		{Kind: KindGrayDegrade, Device: "phone-0", StartS: 2, EndS: 6, Factor: 3},
+		{Kind: KindGrayDegrade, Device: "phone-0", StartS: 4, EndS: 8, Factor: 2},
+		{Kind: KindGrayDegrade, Device: "phone-1", StartS: 0, EndS: 10, Factor: 5},
+	}}
+	inj := New(s, testCtx(1))
+	cases := []struct {
+		device string
+		t      float64
+		want   float64
+	}{
+		{"phone-0", 1.0, 1}, // before any window
+		{"phone-0", 3.0, 3}, // first window only
+		{"phone-0", 5.0, 6}, // overlap multiplies
+		{"phone-0", 7.0, 2}, // second window only
+		{"phone-0", 8.0, 1}, // end-exclusive
+		{"phone-1", 5.0, 5}, // other device
+		{"phone-2", 5.0, 1}, // unknown device
+	}
+	for _, c := range cases {
+		if got := inj.GrayFactor(c.device, c.t); got != c.want {
+			t.Errorf("GrayFactor(%s, %.1f) = %v, want %v", c.device, c.t, got, c.want)
+		}
+	}
+	var nilInj *Injector
+	if got := nilInj.GrayFactor("phone-0", 3); got != 1 {
+		t.Errorf("nil injector GrayFactor = %v, want 1", got)
+	}
+}
+
+func TestCheckpointIOSeverity(t *testing.T) {
+	s := &Schedule{Faults: []Spec{
+		{Kind: KindCheckpointIO, IOMode: IOSlowFsync, StartS: 0, EndS: 10}, // store-wide
+		{Kind: KindCheckpointIO, Device: "phone-0", IOMode: IODiskFull, StartS: 2, EndS: 4},
+		{Kind: KindCheckpointIO, Device: "phone-1", IOMode: IOWriteFail, StartS: 2, EndS: 4},
+	}}
+	inj := New(s, testCtx(1))
+	cases := []struct {
+		device string
+		t      float64
+		want   string
+	}{
+		{"phone-0", 1.0, IOSlowFsync}, // store-wide only
+		{"phone-0", 3.0, IODiskFull},  // most severe wins over store-wide
+		{"phone-1", 3.0, IOWriteFail},
+		{"phone-1", 5.0, IOSlowFsync},
+		{"phone-9", 3.0, IOSlowFsync}, // unknown device still store-wide
+		{"phone-0", 11.0, ""},         // after everything
+	}
+	for _, c := range cases {
+		if got := inj.CheckpointIO(c.device, c.t); got != c.want {
+			t.Errorf("CheckpointIO(%s, %.1f) = %q, want %q", c.device, c.t, got, c.want)
+		}
+	}
+	var nilInj *Injector
+	if got := nilInj.CheckpointIO("phone-0", 3); got != "" {
+		t.Errorf("nil injector CheckpointIO = %q, want empty", got)
+	}
+}
+
+func TestSyncPartitionWindows(t *testing.T) {
+	s := &Schedule{Faults: []Spec{
+		{Kind: KindSyncPartition, Device: "phone-0", StartS: 1, EndS: 3},
+	}}
+	inj := New(s, testCtx(1))
+	if inj.Partitioned("phone-0", 0.5) {
+		t.Error("partitioned before window")
+	}
+	if !inj.Partitioned("phone-0", 2) {
+		t.Error("not partitioned inside window")
+	}
+	if inj.Partitioned("phone-0", 3) {
+		t.Error("partitioned at end (exclusive)")
+	}
+	if inj.Partitioned("phone-1", 2) {
+		t.Error("other device partitioned")
+	}
+	if !inj.Active(2) {
+		t.Error("Active misses sync partition windows")
+	}
+}
+
+func TestChaosKindsValidation(t *testing.T) {
+	cases := map[string]string{
+		"gray no device":   `{"faults": [{"kind": "gray_degrade", "start_s": 0, "end_s": 1, "factor": 2}]}`,
+		"gray factor 1":    `{"faults": [{"kind": "gray_degrade", "device": "d", "start_s": 0, "end_s": 1, "factor": 1}]}`,
+		"io no mode":       `{"faults": [{"kind": "checkpoint_io", "start_s": 0, "end_s": 1}]}`,
+		"io bad mode":      `{"faults": [{"kind": "checkpoint_io", "io_mode": "explode", "start_s": 0, "end_s": 1}]}`,
+		"partition no dev": `{"faults": [{"kind": "sync_partition", "start_s": 0, "end_s": 1}]}`,
+	}
+	for name, data := range cases {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("%s: Parse accepted %s", name, data)
+		}
+	}
+	ok := `{"faults": [
+		{"kind": "gray_degrade", "device": "d", "start_s": 0, "end_s": 1, "factor": 1.5},
+		{"kind": "checkpoint_io", "io_mode": "slow_fsync", "start_s": 0, "end_s": 1},
+		{"kind": "checkpoint_io", "device": "d", "io_mode": "disk_full", "start_s": 0, "end_s": 1},
+		{"kind": "sync_partition", "device": "d", "start_s": 0, "end_s": 1}
+	]}`
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Fatalf("Parse rejected valid chaos kinds: %v", err)
+	}
+}
+
+// --- Randomize -------------------------------------------------------------
+
+func TestRandomizeDeterministicAndComplete(t *testing.T) {
+	opt := RandomOpts{
+		Devices:  []string{"lane-0", "lane-1", "lane-2"},
+		Shards:   []string{"shard-a", "shard-b"},
+		HorizonS: 10,
+	}
+	a := Randomize(7, 0.5, opt)
+	b := Randomize(7, 0.5, opt)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("same seed diverged:\n%s\n%s", ja, jb)
+	}
+	c := Randomize(8, 0.5, opt)
+	jc, _ := json.Marshal(c)
+	if string(ja) == string(jc) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+
+	// Every applicable kind appears at least once, even at low intensity.
+	low := Randomize(7, 0.05, opt)
+	want := []Kind{KindOutage, KindQueueSpike, KindRSSIRamp, KindThermal, KindLoadSurge,
+		KindGrayDegrade, KindCheckpointIO, KindSyncPartition, KindWorkerCrash,
+		KindCheckpointCorrupt, KindShardCrash}
+	for _, sched := range []*Schedule{a, low} {
+		have := map[Kind]bool{}
+		for _, sp := range sched.Faults {
+			have[sp.Kind] = true
+			if sp.StartS < 0 || sp.StartS >= 10 || (sp.EndS != 0 && sp.EndS > 10) {
+				t.Errorf("%s: spec outside horizon: %+v", sched.Name, sp)
+			}
+		}
+		for _, k := range want {
+			if !have[k] {
+				t.Errorf("%s: missing kind %s", sched.Name, k)
+			}
+		}
+		if err := sched.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", sched.Name, err)
+		}
+	}
+}
+
+func TestRandomizeNeverKillsEveryShard(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		s := Randomize(seed, 1.0, RandomOpts{
+			Devices: []string{"l0"}, Shards: []string{"s0", "s1"}, HorizonS: 5,
+		})
+		crashed := map[string]bool{}
+		for _, sp := range s.Faults {
+			if sp.Kind == KindShardCrash {
+				crashed[sp.Shard] = true
+			}
+		}
+		if len(crashed) >= 2 {
+			t.Fatalf("seed %d crashed every shard: %v", seed, crashed)
+		}
+	}
+	// A single-shard fleet never gets shard crashes at all.
+	s := Randomize(1, 1.0, RandomOpts{Devices: []string{"l0"}, Shards: []string{"only"}})
+	for _, sp := range s.Faults {
+		if sp.Kind == KindShardCrash {
+			t.Fatalf("single-shard fleet got a shard crash: %+v", sp)
+		}
+	}
+}

@@ -65,6 +65,30 @@ const (
 	// capacity planner reads PeakSurge to scale worker pools ahead of the
 	// wave.
 	KindLoadSurge Kind = "load_surge"
+	// KindGrayDegrade is a gray failure: the named serving worker stays
+	// alive and keeps answering, but every inference it executes takes
+	// Factor times longer while the window holds. Nothing crashes, no
+	// breaker sees an error — only latency-sensitive health scoring can
+	// catch it.
+	KindGrayDegrade Kind = "gray_degrade"
+	// KindCheckpointIO degrades the checkpoint store's I/O path for the
+	// named device (or the whole store when Device is empty) while the
+	// window holds. IOMode selects the failure: "write_fail" (saves error),
+	// "slow_fsync" (saves succeed but are counted as slow), "disk_full"
+	// (saves and reads both fail — the disk is unusable).
+	KindCheckpointIO Kind = "checkpoint_io"
+	// KindSyncPartition partitions the named device from the policy-sync
+	// plane while the window holds: the federation Syncer cannot reach it
+	// (checkpoint/merge passes fail for it) even though it keeps serving
+	// traffic.
+	KindSyncPartition Kind = "sync_partition"
+)
+
+// Checkpoint-store I/O failure modes for KindCheckpointIO specs.
+const (
+	IOWriteFail = "write_fail"
+	IOSlowFsync = "slow_fsync"
+	IODiskFull  = "disk_full"
 )
 
 // Offload sites and radio links a spec can target. Sites mirror
@@ -103,9 +127,13 @@ type Spec struct {
 	DeltaDBm float64 `json:"delta_dbm,omitempty"`
 	// ExtraServiceS is the added remote service time of a queue spike.
 	ExtraServiceS float64 `json:"extra_service_s,omitempty"`
-	// Factor is the thermal throttle's local latency multiplier, or the
-	// load surge's arrival-rate multiplier (> 1 for both).
+	// Factor is the thermal throttle's local latency multiplier, the load
+	// surge's arrival-rate multiplier, or the gray degradation's latency
+	// multiplier (> 1 for all three).
 	Factor float64 `json:"factor,omitempty"`
+	// IOMode selects a checkpoint_io spec's failure mode: "write_fail",
+	// "slow_fsync" or "disk_full".
+	IOMode string `json:"io_mode,omitempty"`
 }
 
 // Schedule is a declarative list of scripted faults.
@@ -180,6 +208,24 @@ func (sp Spec) validate() error {
 	case KindLoadSurge:
 		if sp.Factor <= 1 {
 			return fmt.Errorf("load_surge needs factor > 1, got %g", sp.Factor)
+		}
+	case KindGrayDegrade:
+		if sp.Device == "" {
+			return fmt.Errorf("gray_degrade needs a device name")
+		}
+		if sp.Factor <= 1 {
+			return fmt.Errorf("gray_degrade needs factor > 1, got %g", sp.Factor)
+		}
+	case KindCheckpointIO:
+		switch sp.IOMode {
+		case IOWriteFail, IOSlowFsync, IODiskFull:
+		default:
+			return fmt.Errorf("checkpoint_io needs io_mode %q, %q or %q, got %q",
+				IOWriteFail, IOSlowFsync, IODiskFull, sp.IOMode)
+		}
+	case KindSyncPartition:
+		if sp.Device == "" {
+			return fmt.Errorf("sync_partition needs a device name")
 		}
 	case KindWorkerCrash, KindCheckpointCorrupt:
 		if sp.Device == "" {

@@ -39,6 +39,19 @@ type surge struct {
 	factor float64
 }
 
+// gray is one gray degradation: a device's inference latency multiplied by
+// factor while the window holds, with no crash and no error.
+type gray struct {
+	window
+	factor float64
+}
+
+// ioFault is one checkpoint-store I/O degradation window with its mode.
+type ioFault struct {
+	window
+	mode string
+}
+
 // Event is a one-shot fault (worker crash, checkpoint corruption, shard
 // crash) firing at AtS on the virtual clock.
 type Event struct {
@@ -60,8 +73,11 @@ type Injector struct {
 	spikes    map[string][]spike  // site -> spikes, sorted by start
 	throttles []throttle
 	surges    []surge
-	events    map[string][]Event // device -> one-shot events, sorted by time
-	shardEvs  map[string][]Event // shard -> one-shot events, sorted by time
+	grays     map[string][]gray    // device -> gray degradations
+	ioFaults  map[string][]ioFault // device ("" = whole store) -> I/O faults
+	partits   map[string][]window  // device -> sync-partition windows
+	events    map[string][]Event   // device -> one-shot events, sorted by time
+	shardEvs  map[string][]Event   // shard -> one-shot events, sorted by time
 }
 
 // New compiles a schedule into an injector, drawing any Markov window
@@ -81,6 +97,9 @@ func New(s *Schedule, ctx *exec.Context) *Injector {
 		outages:  map[string][]window{},
 		ramps:    map[string][]ramp{},
 		spikes:   map[string][]spike{},
+		grays:    map[string][]gray{},
+		ioFaults: map[string][]ioFault{},
+		partits:  map[string][]window{},
 		events:   map[string][]Event{},
 		shardEvs: map[string][]Event{},
 	}
@@ -96,6 +115,12 @@ func New(s *Schedule, ctx *exec.Context) *Injector {
 			inj.throttles = append(inj.throttles, throttle{window{sp.StartS, sp.EndS}, sp.Factor})
 		case KindLoadSurge:
 			inj.surges = append(inj.surges, surge{window{sp.StartS, sp.EndS}, sp.Factor})
+		case KindGrayDegrade:
+			inj.grays[sp.Device] = append(inj.grays[sp.Device], gray{window{sp.StartS, sp.EndS}, sp.Factor})
+		case KindCheckpointIO:
+			inj.ioFaults[sp.Device] = append(inj.ioFaults[sp.Device], ioFault{window{sp.StartS, sp.EndS}, sp.IOMode})
+		case KindSyncPartition:
+			inj.partits[sp.Device] = append(inj.partits[sp.Device], window{sp.StartS, sp.EndS})
 		case KindWorkerCrash, KindCheckpointCorrupt:
 			inj.events[sp.Device] = append(inj.events[sp.Device],
 				Event{Kind: sp.Kind, Device: sp.Device, AtS: sp.StartS})
@@ -225,6 +250,71 @@ func (inj *Injector) PeakSurge(from, to float64) float64 {
 	return peak
 }
 
+// GrayFactor returns the device's gray-degradation latency multiplier at
+// virtual time t (>= 1; overlapping degradations multiply).
+func (inj *Injector) GrayFactor(device string, t float64) float64 {
+	f := 1.0
+	if inj == nil {
+		return f
+	}
+	for _, g := range inj.grays[device] {
+		if g.contains(t) {
+			f *= g.factor
+		}
+	}
+	return f
+}
+
+// ioSeverity orders checkpoint I/O modes from benign to fatal so overlapping
+// windows resolve to the most severe one.
+func ioSeverity(mode string) int {
+	switch mode {
+	case IOSlowFsync:
+		return 1
+	case IOWriteFail:
+		return 2
+	case IODiskFull:
+		return 3
+	}
+	return 0
+}
+
+// CheckpointIO returns the checkpoint store's active I/O failure mode for the
+// device at virtual time t ("" when the store is healthy). Store-wide specs
+// (empty Device) apply to every device; when windows overlap, the most severe
+// mode wins (disk_full > write_fail > slow_fsync).
+func (inj *Injector) CheckpointIO(device string, t float64) string {
+	if inj == nil {
+		return ""
+	}
+	mode := ""
+	for _, scope := range []string{device, ""} {
+		for _, f := range inj.ioFaults[scope] {
+			if f.contains(t) && ioSeverity(f.mode) > ioSeverity(mode) {
+				mode = f.mode
+			}
+		}
+		if device == "" {
+			break
+		}
+	}
+	return mode
+}
+
+// Partitioned reports whether the device is cut off from the policy-sync
+// plane at virtual time t (still serving traffic, unreachable to the Syncer).
+func (inj *Injector) Partitioned(device string, t float64) bool {
+	if inj == nil {
+		return false
+	}
+	for _, w := range inj.partits[device] {
+		if w.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
 // Events returns the device's one-shot faults (crashes, corruption drills)
 // in firing order. The returned slice is shared immutable state: read-only.
 func (inj *Injector) Events(device string) []Event {
@@ -279,6 +369,27 @@ func (inj *Injector) Active(t float64) bool {
 	for _, s := range inj.surges {
 		if s.end > t {
 			return true
+		}
+	}
+	for _, gs := range inj.grays {
+		for _, g := range gs {
+			if g.end > t {
+				return true
+			}
+		}
+	}
+	for _, fs := range inj.ioFaults {
+		for _, f := range fs {
+			if f.end > t {
+				return true
+			}
+		}
+	}
+	for _, ws := range inj.partits {
+		for _, w := range ws {
+			if w.end > t {
+				return true
+			}
 		}
 	}
 	for _, es := range inj.events {

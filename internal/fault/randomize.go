@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"fmt"
+
+	"autoscale/internal/exec"
+)
+
+// RandomOpts parameterizes Randomize: the fleet topology the generated storm
+// should target and the virtual horizon it should fit inside.
+type RandomOpts struct {
+	// Devices are the serving lane names device-scoped faults (crashes,
+	// corruption drills, gray degradations, I/O faults, sync partitions)
+	// pick from. Empty disables those kinds.
+	Devices []string
+	// Shards are the gateway shard names shard crashes pick from. Empty
+	// disables shard crashes.
+	Shards []string
+	// HorizonS bounds every generated window/event to [0, HorizonS).
+	// Defaults to 60 virtual seconds.
+	HorizonS float64
+}
+
+func (o RandomOpts) horizon() float64 {
+	if o.HorizonS > 0 {
+		return o.HorizonS
+	}
+	return 60
+}
+
+// Randomize generates a chaos-soak schedule mixing every fault kind the
+// engine knows, scaled by intensity in (0, 1]: higher intensity means more
+// faults, longer windows and harsher factors. The schedule is a pure
+// function of (seed, intensity, opts) — the same triple always yields a
+// byte-identical schedule — and always validates. At least one fault of
+// every applicable kind is included, so a soak exercises the full surface
+// even at low intensity.
+func Randomize(seed int64, intensity float64, opt RandomOpts) *Schedule {
+	if intensity <= 0 {
+		intensity = 0.1
+	} else if intensity > 1 {
+		intensity = 1
+	}
+	ctx := exec.NewRoot(seed).Child("fault.randomize")
+	h := opt.horizon()
+	s := &Schedule{Name: fmt.Sprintf("chaos-%d-i%02.0f", seed, intensity*100)}
+
+	// count draws how many specs one fault family contributes: at least
+	// one, growing with intensity.
+	count := func(st *exec.Rand, max int) int {
+		n := 1 + st.Intn(1+int(intensity*float64(max)))
+		if n > max+1 {
+			n = max + 1
+		}
+		return n
+	}
+	// win draws a window whose length scales with intensity, clamped to
+	// the horizon.
+	win := func(st *exec.Rand, maxFrac float64) (float64, float64) {
+		length := h * maxFrac * (0.2 + 0.8*intensity) * (0.25 + 0.75*st.Float64())
+		start := st.Float64() * (h - length)
+		return start, start + length
+	}
+	pick := func(st *exec.Rand, from []string) string { return from[st.Intn(len(from))] }
+
+	// Site-level faults: outages (solid and Markov), queue spikes.
+	st := ctx.Stream("outage")
+	for i := 0; i < count(st, 3); i++ {
+		sp := Spec{Kind: KindOutage, Site: pick(st, []string{SiteCloud, SiteConnected})}
+		sp.StartS, sp.EndS = win(st, 0.3)
+		if st.Float64() < 0.5 { // Markov up/down alternation
+			sp.MeanDownS = 0.05 + st.Float64()*0.5
+			sp.MeanUpS = 0.05 + st.Float64()*0.5
+		}
+		s.Faults = append(s.Faults, sp)
+	}
+	st = ctx.Stream("spike")
+	for i := 0; i < count(st, 2); i++ {
+		sp := Spec{Kind: KindQueueSpike, Site: pick(st, []string{SiteCloud, SiteConnected}),
+			ExtraServiceS: 0.005 + 0.05*intensity*st.Float64()}
+		sp.StartS, sp.EndS = win(st, 0.25)
+		s.Faults = append(s.Faults, sp)
+	}
+
+	// Link and device-wide analog faults: RSSI ramps, thermal throttles,
+	// load surges.
+	st = ctx.Stream("rssi")
+	for i := 0; i < count(st, 2); i++ {
+		sp := Spec{Kind: KindRSSIRamp, Link: pick(st, []string{LinkWLAN, LinkP2P}),
+			DeltaDBm: -(5 + 25*intensity*st.Float64())}
+		sp.StartS, sp.EndS = win(st, 0.3)
+		s.Faults = append(s.Faults, sp)
+	}
+	st = ctx.Stream("thermal")
+	for i := 0; i < count(st, 2); i++ {
+		sp := Spec{Kind: KindThermal, Factor: 1.2 + 2*intensity*st.Float64()}
+		sp.StartS, sp.EndS = win(st, 0.25)
+		s.Faults = append(s.Faults, sp)
+	}
+	st = ctx.Stream("surge")
+	for i := 0; i < count(st, 2); i++ {
+		sp := Spec{Kind: KindLoadSurge, Factor: 1.2 + 2.5*intensity*st.Float64()}
+		sp.StartS, sp.EndS = win(st, 0.25)
+		s.Faults = append(s.Faults, sp)
+	}
+
+	// Device-scoped faults need lane names.
+	if len(opt.Devices) > 0 {
+		st = ctx.Stream("gray")
+		for i := 0; i < count(st, 2); i++ {
+			sp := Spec{Kind: KindGrayDegrade, Device: pick(st, opt.Devices),
+				Factor: 2 + 8*intensity*st.Float64()}
+			sp.StartS, sp.EndS = win(st, 0.3)
+			s.Faults = append(s.Faults, sp)
+		}
+		st = ctx.Stream("ckptio")
+		modes := []string{IOSlowFsync, IOWriteFail, IODiskFull}
+		for i := 0; i < count(st, 2); i++ {
+			sp := Spec{Kind: KindCheckpointIO, IOMode: pick(st, modes)}
+			if st.Float64() < 0.5 { // half device-scoped, half store-wide
+				sp.Device = pick(st, opt.Devices)
+			}
+			sp.StartS, sp.EndS = win(st, 0.25)
+			s.Faults = append(s.Faults, sp)
+		}
+		st = ctx.Stream("partition")
+		for i := 0; i < count(st, 2); i++ {
+			sp := Spec{Kind: KindSyncPartition, Device: pick(st, opt.Devices)}
+			sp.StartS, sp.EndS = win(st, 0.35)
+			s.Faults = append(s.Faults, sp)
+		}
+		st = ctx.Stream("crash")
+		for i := 0; i < count(st, 2); i++ {
+			s.Faults = append(s.Faults, Spec{Kind: KindWorkerCrash,
+				Device: pick(st, opt.Devices), StartS: st.Float64() * h})
+		}
+		st = ctx.Stream("corrupt")
+		for i := 0; i < count(st, 1); i++ {
+			s.Faults = append(s.Faults, Spec{Kind: KindCheckpointCorrupt,
+				Device: pick(st, opt.Devices), StartS: st.Float64() * h})
+		}
+	}
+
+	// Shard crashes need at least two shards so the routing tier retains
+	// survivors to re-home onto; at most one crash per shard, never all.
+	if len(opt.Shards) > 1 {
+		st = ctx.Stream("shardcrash")
+		perm := st.Perm(len(opt.Shards))
+		n := count(st, len(opt.Shards)-1)
+		if n > len(opt.Shards)-1 {
+			n = len(opt.Shards) - 1
+		}
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			s.Faults = append(s.Faults, Spec{Kind: KindShardCrash,
+				Shard: opt.Shards[perm[i]], StartS: st.Float64() * h})
+		}
+	}
+
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("fault: Randomize produced invalid schedule: %v", err))
+	}
+	return s
+}

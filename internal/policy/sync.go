@@ -29,7 +29,19 @@ type SyncConfig struct {
 	Backoff time.Duration
 	// Sleep overrides the backoff wait (tests; default time.Sleep).
 	Sleep func(time.Duration)
+	// OnPass, when set, observes every completed sync pass (background and
+	// synchronous alike) — the hook the serving tier uses to export sync
+	// failure state into its metrics registry. Called outside the syncer's
+	// lock, after the pass's failure accounting has been recorded.
+	OnPass func(Report)
+	// Unreachable, when set, reports whether a device is partitioned from
+	// the sync plane right now: the syncer skips it (recording an
+	// ErrPartitioned failure) while the device keeps serving traffic.
+	Unreachable func(device string) bool
 }
+
+// ErrPartitioned marks a device the syncer could not reach this pass.
+var ErrPartitioned = errors.New("policy: device partitioned from sync plane")
 
 func (c SyncConfig) interval() time.Duration {
 	if c.Interval <= 0 {
@@ -117,6 +129,54 @@ type Syncer struct {
 	started bool
 	stop    chan struct{}
 	done    chan struct{}
+
+	// Failure state, guarded by mu: how the sync plane has been doing.
+	passes      uint64
+	failures    uint64
+	consecFails uint64
+	lastErr     string
+}
+
+// SyncHealth is a point-in-time summary of the sync plane's failure state.
+type SyncHealth struct {
+	// Passes counts completed sync passes; Failures counts the ones that
+	// reported at least one error.
+	Passes, Failures uint64
+	// ConsecutiveFailures counts failed passes since the last clean one —
+	// the signal health endpoints alarm on.
+	ConsecutiveFailures uint64
+	// LastError is the most recent pass failure ("" after a clean pass).
+	LastError string
+}
+
+// Health reports the syncer's current failure state.
+func (s *Syncer) Health() SyncHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SyncHealth{
+		Passes:              s.passes,
+		Failures:            s.failures,
+		ConsecutiveFailures: s.consecFails,
+		LastError:           s.lastErr,
+	}
+}
+
+// notePass records one pass's outcome and fires the OnPass hook.
+func (s *Syncer) notePass(rep Report) {
+	s.mu.Lock()
+	s.passes++
+	if err := rep.Err(); err != nil {
+		s.failures++
+		s.consecFails++
+		s.lastErr = err.Error()
+	} else {
+		s.consecFails = 0
+		s.lastErr = ""
+	}
+	s.mu.Unlock()
+	if s.cfg.OnPass != nil {
+		s.cfg.OnPass(rep)
+	}
 }
 
 // NewSyncer builds a syncer over a checkpoint sink and a node source (called
@@ -133,6 +193,12 @@ func NewSyncer(sink Sink, nodes func() []Node, cfg SyncConfig) (*Syncer, error) 
 
 // SyncOnce runs one full pass synchronously and reports what happened.
 func (s *Syncer) SyncOnce() Report {
+	rep := s.syncOnce()
+	s.notePass(rep)
+	return rep
+}
+
+func (s *Syncer) syncOnce() Report {
 	var rep Report
 	type saved struct {
 		node Node
@@ -142,6 +208,10 @@ func (s *Syncer) SyncOnce() Report {
 
 	for _, n := range s.nodes() {
 		if n.Engine == nil || n.Device == "" {
+			continue
+		}
+		if s.cfg.Unreachable != nil && s.cfg.Unreachable(n.Device) {
+			rep.Errs = append(rep.Errs, fmt.Errorf("sync %s: %w", n.Device, ErrPartitioned))
 			continue
 		}
 		snap, err := n.Engine.SnapshotQTable()

@@ -11,10 +11,14 @@ type routerMetrics struct {
 	dispatched  atomic.Uint64
 	shed        atomic.Uint64
 	failed      atomic.Uint64
+	completed   atomic.Uint64
 	failovers   atomic.Uint64
 	rehomed     atomic.Uint64
 	shardKills  atomic.Uint64
 	shardDrains atomic.Uint64
+	cordons     atomic.Uint64
+	uncordons   atomic.Uint64
+	revives     atomic.Uint64
 }
 
 // RouterSnapshot is a point-in-time copy of the routing tier's counters.
@@ -28,6 +32,10 @@ type RouterSnapshot struct {
 	// Failed counts requests the router itself terminated (unknown tenant or
 	// device, no healthy shard, failover budget exhausted).
 	Failed uint64 `json:"failed"`
+	// Completed counts requests whose shard response was relayed to the
+	// caller (any shard-level status). Exactly-once conservation holds at
+	// the router: Submitted == Shed + Failed + Completed once quiet.
+	Completed uint64 `json:"completed"`
 	// Failovers counts re-dispatches of requests bounced by a dead or
 	// draining shard.
 	Failovers uint64 `json:"failovers"`
@@ -36,6 +44,11 @@ type RouterSnapshot struct {
 	// ShardKills / ShardDrains count lifecycle transitions.
 	ShardKills  uint64 `json:"shard_kills"`
 	ShardDrains uint64 `json:"shard_drains"`
+	// Cordons / Uncordons / Revives count supervisor-driven lifecycle
+	// transitions: placement holds and shard restarts.
+	Cordons   uint64 `json:"cordons"`
+	Uncordons uint64 `json:"uncordons"`
+	Revives   uint64 `json:"revives"`
 }
 
 func (m *routerMetrics) snapshot() RouterSnapshot {
@@ -44,9 +57,13 @@ func (m *routerMetrics) snapshot() RouterSnapshot {
 		Dispatched:     m.dispatched.Load(),
 		Shed:           m.shed.Load(),
 		Failed:         m.failed.Load(),
+		Completed:      m.completed.Load(),
 		Failovers:      m.failovers.Load(),
 		RehomedDevices: m.rehomed.Load(),
 		ShardKills:     m.shardKills.Load(),
 		ShardDrains:    m.shardDrains.Load(),
+		Cordons:        m.cordons.Load(),
+		Uncordons:      m.uncordons.Load(),
+		Revives:        m.revives.Load(),
 	}
 }

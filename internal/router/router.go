@@ -93,6 +93,11 @@ type Config struct {
 	// the shard gateway's policy plane. Without a factory, a dead shard's
 	// devices are lost and pinned requests to them fail.
 	EngineFactory func(device string) (*core.Engine, error)
+	// ShardFactory, when set, lets ReviveShard rebuild a drained or dead
+	// shard's gateway from scratch: a fresh serve.Gateway over the named
+	// device lanes, warm-started from the checkpoint store by its own
+	// policy plane. Without it, downed shards stay down.
+	ShardFactory func(name string, devices []string) (*serve.Gateway, error)
 	// Checkpoints, when non-nil, is the cross-shard learning plane: the
 	// router's policy syncer federates every shard's workers against it, so
 	// experience merges fleet-wide rather than per shard.
@@ -154,6 +159,11 @@ const (
 	shardDraining
 	shardDrained
 	shardDead
+	// shardCordoned is a supervised placement hold: the shard keeps serving
+	// pinned requests (its lanes stay homed) but receives no unpinned work
+	// and is never a re-homing target, so a suspect shard can be observed
+	// under reduced load without losing its warm state.
+	shardCordoned
 )
 
 func (s shardState) String() string {
@@ -166,9 +176,15 @@ func (s shardState) String() string {
 		return "drained"
 	case shardDead:
 		return "dead"
+	case shardCordoned:
+		return "cordoned"
 	}
 	return fmt.Sprintf("shardState(%d)", int(s))
 }
+
+// serving reports whether the state accepts pinned traffic (healthy or
+// cordoned).
+func (s shardState) serving() bool { return s == shardHealthy || s == shardCordoned }
 
 // shard is one gateway plus its lifecycle and drill state.
 type shard struct {
@@ -176,6 +192,13 @@ type shard struct {
 	gw       *serve.Gateway
 	state    shardState
 	inflight atomic.Int64 // router-dispatched requests inside this shard
+
+	// lanes records the devices homed here at the last takedown, so a
+	// revive can rebuild the same lane set; incarnation counts gateway
+	// rebuilds (the supervisor audits virtual-clock monotonicity per
+	// incarnation, since a fresh gateway's clock restarts at zero).
+	lanes       []string
+	incarnation int
 
 	events    []fault.Event // scripted shard_crash drills, time-ordered
 	nextEvent int
@@ -455,7 +478,7 @@ func (rt *Router) fireDrills() {
 		rt.mu.RLock()
 		for _, name := range rt.order {
 			sh := rt.shards[name]
-			if sh.state != shardHealthy || sh.nextEvent >= len(sh.events) {
+			if !sh.state.serving() || sh.nextEvent >= len(sh.events) {
 				continue
 			}
 			if ev := sh.events[sh.nextEvent]; ev.Kind == fault.KindShardCrash && sh.gw.VirtualNow() >= ev.AtS {
@@ -469,7 +492,7 @@ func (rt *Router) fireDrills() {
 		}
 		rt.mu.Lock()
 		sh := rt.shards[victim]
-		fire := sh.state == shardHealthy && sh.nextEvent < len(sh.events)
+		fire := sh.state.serving() && sh.nextEvent < len(sh.events)
 		if fire {
 			sh.nextEvent++
 		}
@@ -492,7 +515,7 @@ func (rt *Router) dispatchOne(r *rreq) {
 		home, ok := rt.homes[r.req.Device]
 		if !ok {
 			err = fmt.Errorf("%w: %q", serve.ErrUnknownDevice, r.req.Device)
-		} else if s := rt.shards[home]; s.state == shardHealthy {
+		} else if s := rt.shards[home]; s.state.serving() {
 			sh = s
 		} else {
 			err = fmt.Errorf("%w: device %q homed on %s shard %q", ErrNoHealthyShard, r.req.Device, s.state, home)
@@ -579,6 +602,8 @@ func (rt *Router) pipe(r *rreq, sh *shard) {
 	rt.inflight.Add(-1)
 	if bounced {
 		rt.met.failed.Add(1)
+	} else {
+		rt.met.completed.Add(1)
 	}
 	r.resp <- resp
 	rt.wakeUp()
@@ -626,8 +651,9 @@ func (rt *Router) DrainShard(ctx context.Context, name string) error {
 	return shutErr
 }
 
-// takeDown transitions one healthy shard to the given state and re-homes its
-// devices, all under the lifecycle lock.
+// takeDown transitions one serving (healthy or cordoned) shard to the given
+// state and re-homes its devices, all under the lifecycle lock. The lane set
+// owned at takedown is recorded so ReviveShard can rebuild it.
 func (rt *Router) takeDown(name string, to shardState) (*shard, int, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -635,11 +661,94 @@ func (rt *Router) takeDown(name string, to shardState) (*shard, int, error) {
 	if !ok {
 		return nil, 0, fmt.Errorf("router: unknown shard %q", name)
 	}
-	if sh.state != shardHealthy {
+	if !sh.state.serving() {
 		return nil, 0, fmt.Errorf("router: shard %q is %s", name, sh.state)
 	}
 	sh.state = to
+	sh.lanes = sh.lanes[:0]
+	for dev, home := range rt.homes {
+		if home == name {
+			sh.lanes = append(sh.lanes, dev)
+		}
+	}
+	sort.Strings(sh.lanes)
 	return sh, rt.rehomeLocked(sh), nil
+}
+
+// CordonShard places a hold on one healthy shard: it keeps its lanes and
+// keeps serving pinned requests, but receives no new unpinned work and is
+// excluded from re-homing and planner capacity until uncordoned.
+func (rt *Router) CordonShard(name string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sh, ok := rt.shards[name]
+	if !ok {
+		return fmt.Errorf("router: unknown shard %q", name)
+	}
+	if sh.state != shardHealthy {
+		return fmt.Errorf("router: shard %q is %s, not healthy", name, sh.state)
+	}
+	sh.state = shardCordoned
+	rt.met.cordons.Add(1)
+	return nil
+}
+
+// UncordonShard lifts a cordon, returning the shard to full service.
+func (rt *Router) UncordonShard(name string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sh, ok := rt.shards[name]
+	if !ok {
+		return fmt.Errorf("router: unknown shard %q", name)
+	}
+	if sh.state != shardCordoned {
+		return fmt.Errorf("router: shard %q is %s, not cordoned", name, sh.state)
+	}
+	sh.state = shardHealthy
+	rt.met.uncordons.Add(1)
+	rt.wakeUp()
+	return nil
+}
+
+// ReviveShard restarts a drained or dead shard: a fresh gateway over the
+// shard's recorded lane set from Config.ShardFactory (warm-started from the
+// checkpoint store by the gateway's policy plane), its lanes reclaimed from
+// whichever survivors hold them, and the shard returned to healthy. The
+// incarnation counter bumps so clock-monotonicity audits reset. Survivor
+// gateways keep their now-stale lane copies; every routing decision filters
+// by the home map, so those lanes simply idle.
+func (rt *Router) ReviveShard(name string) error {
+	if rt.cfg.ShardFactory == nil {
+		return errors.New("router: no shard factory configured")
+	}
+	if rt.closed.Load() {
+		return serve.ErrClosed
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sh, ok := rt.shards[name]
+	if !ok {
+		return fmt.Errorf("router: unknown shard %q", name)
+	}
+	if sh.state != shardDrained && sh.state != shardDead {
+		return fmt.Errorf("router: shard %q is %s, not revivable", name, sh.state)
+	}
+	if len(sh.lanes) == 0 {
+		return fmt.Errorf("router: shard %q has no recorded lanes", name)
+	}
+	gw, err := rt.cfg.ShardFactory(name, append([]string(nil), sh.lanes...))
+	if err != nil {
+		return fmt.Errorf("router: revive %s: %w", name, err)
+	}
+	sh.gw = gw
+	sh.state = shardHealthy
+	sh.incarnation++
+	for _, dev := range gw.Devices() {
+		rt.homes[dev] = name
+	}
+	rt.met.revives.Add(1)
+	rt.wakeUp()
+	return nil
 }
 
 // rehomeLocked moves every device homed on sh to a surviving healthy shard:
@@ -699,6 +808,27 @@ func (rt *Router) rehomeLocked(sh *shard) int {
 	return moved
 }
 
+// CondemnShard marks a drained shard permanently dead — the supervisor's
+// terminal verdict when a shard's remediation budget is exhausted, so a
+// flapping shard converges to dead instead of oscillating through restarts.
+// Condemning a dead shard is a no-op.
+func (rt *Router) CondemnShard(name string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	sh, ok := rt.shards[name]
+	if !ok {
+		return fmt.Errorf("router: unknown shard %q", name)
+	}
+	switch sh.state {
+	case shardDead:
+		return nil
+	case shardDrained:
+		sh.state = shardDead
+		return nil
+	}
+	return fmt.Errorf("router: shard %q is %s, not condemnable", name, sh.state)
+}
+
 // Devices returns the routable device names in sorted order.
 func (rt *Router) Devices() []string {
 	rt.mu.RLock()
@@ -734,7 +864,24 @@ func (rt *Router) Snapshot() metrics.Snapshot {
 		snaps = append(snaps, rt.shards[name].gw.Snapshot())
 	}
 	rt.mu.RUnlock()
-	return metrics.Merge(snaps...)
+	out := metrics.Merge(snaps...)
+	// The cross-shard syncer is the router's own — shard registries never
+	// see it — so its failure state overlays the merged view here.
+	rt.syncMu.Lock()
+	syn := rt.syncer
+	rt.syncMu.Unlock()
+	if syn != nil {
+		h := syn.Health()
+		out.SyncPasses += int64(h.Passes)
+		out.SyncFailures += int64(h.Failures)
+		if c := int64(h.ConsecutiveFailures); c > out.SyncConsecutiveFailures {
+			out.SyncConsecutiveFailures = c
+		}
+		if out.SyncLastError == "" {
+			out.SyncLastError = h.LastError
+		}
+	}
+	return out
 }
 
 // Health unions per-device learning health across live shards, filtered to
@@ -746,7 +893,7 @@ func (rt *Router) Health() map[string]core.Health {
 	out := make(map[string]core.Health, len(rt.homes))
 	for _, name := range rt.order {
 		sh := rt.shards[name]
-		if sh.state != shardHealthy && sh.state != shardDraining {
+		if !sh.state.serving() && sh.state != shardDraining {
 			continue
 		}
 		for dev, h := range sh.gw.Health() {
@@ -775,15 +922,64 @@ func (rt *Router) ShardStatuses() []serve.ShardStatus {
 		sort.Strings(devices)
 		snap := sh.gw.Snapshot()
 		out = append(out, serve.ShardStatus{
-			Name:       name,
-			State:      sh.state.String(),
-			Devices:    devices,
-			QueueDepth: snap.QueueDepth,
-			Served:     snap.Served,
-			Shed:       snap.Shed,
-			Failed:     snap.Failed,
-			VirtualS:   sh.gw.VirtualNow(),
+			Name:        name,
+			State:       sh.state.String(),
+			Incarnation: sh.incarnation,
+			Devices:     devices,
+			QueueDepth:  snap.QueueDepth,
+			Served:      snap.Served,
+			Shed:        snap.Shed,
+			Failed:      snap.Failed,
+			VirtualS:    sh.gw.VirtualNow(),
 		})
+	}
+	return out
+}
+
+// ShardState reports one shard's lifecycle state name ("" when unknown).
+func (rt *Router) ShardState(name string) string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if sh, ok := rt.shards[name]; ok {
+		return sh.state.String()
+	}
+	return ""
+}
+
+// ShardSignal is one shard's raw health inputs, gathered in a single locked
+// pass for the supervisor: lifecycle, per-shard serving metrics, per-device
+// learning health, and the in-flight gauge.
+type ShardSignal struct {
+	Name        string
+	State       string
+	Incarnation int
+	VirtualS    float64
+	Inflight    int64
+	Snap        metrics.Snapshot
+	Health      map[string]core.Health
+}
+
+// ShardSignals collects every shard's health inputs in shard-name order.
+// Dead and drained shards report their frozen counters (nil Health), so a
+// supervisor can still audit their final accounting.
+func (rt *Router) ShardSignals() []ShardSignal {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]ShardSignal, 0, len(rt.order))
+	for _, name := range rt.order {
+		sh := rt.shards[name]
+		sig := ShardSignal{
+			Name:        name,
+			State:       sh.state.String(),
+			Incarnation: sh.incarnation,
+			VirtualS:    sh.gw.VirtualNow(),
+			Inflight:    sh.inflight.Load(),
+			Snap:        sh.gw.Snapshot(),
+		}
+		if sh.state.serving() || sh.state == shardDraining {
+			sig.Health = sh.gw.Health()
+		}
+		out = append(out, sig)
 	}
 	return out
 }
@@ -1032,17 +1228,21 @@ func (rt *Router) PromText() []byte {
 	p.Counter("autoscale_router_dispatched_total", "Requests dispatched to a shard.", float64(rs.Dispatched))
 	p.Counter("autoscale_router_shed_total", "Requests shed at tenant-queue admission.", float64(rs.Shed))
 	p.Counter("autoscale_router_failed_total", "Requests terminated by the router.", float64(rs.Failed))
+	p.Counter("autoscale_router_completed_total", "Shard responses relayed to callers.", float64(rs.Completed))
 	p.Counter("autoscale_router_failovers_total", "Re-dispatches after a shard bounce.", float64(rs.Failovers))
 	p.Counter("autoscale_router_rehomed_devices_total", "Device lanes moved to a surviving shard.", float64(rs.RehomedDevices))
 	p.Counter("autoscale_router_shard_kills_total", "Shards crashed (drills or KillShard).", float64(rs.ShardKills))
 	p.Counter("autoscale_router_shard_drains_total", "Shards gracefully drained.", float64(rs.ShardDrains))
+	p.Counter("autoscale_router_shard_cordons_total", "Shards cordoned by supervision.", float64(rs.Cordons))
+	p.Counter("autoscale_router_shard_uncordons_total", "Cordons lifted.", float64(rs.Uncordons))
+	p.Counter("autoscale_router_shard_revives_total", "Shards restarted from the factory.", float64(rs.Revives))
 	p.Gauge("autoscale_router_inflight", "Router-dispatched requests in flight.", float64(rt.inflight.Load()))
 	alive := 0
 	for _, s := range rt.ShardStatuses() {
 		if s.State == "healthy" {
 			alive++
 		}
-		p.Gauge("autoscale_router_shard_state", "Shard lifecycle: 0 healthy, 1 draining, 2 drained, 3 dead.",
+		p.Gauge("autoscale_router_shard_state", "Shard lifecycle: 0 healthy, 1 draining, 2 drained, 3 dead, 4 cordoned.",
 			shardStateValue(s.State), "shard", s.Name)
 		p.Gauge("autoscale_router_shard_devices", "Device lanes homed on the shard.",
 			float64(len(s.Devices)), "shard", s.Name)
@@ -1065,6 +1265,8 @@ func shardStateValue(state string) float64 {
 		return 2
 	case "dead":
 		return 3
+	case "cordoned":
+		return 4
 	}
 	return 0
 }
@@ -1077,7 +1279,7 @@ func (rt *Router) policyNodes() []policy.Node {
 	var nodes []policy.Node
 	for _, name := range rt.order {
 		sh := rt.shards[name]
-		if sh.state != shardHealthy && sh.state != shardDraining {
+		if !sh.state.serving() && sh.state != shardDraining {
 			continue
 		}
 		for _, n := range sh.gw.PolicyNodes() {
@@ -1097,13 +1299,39 @@ func (rt *Router) policySyncer() (*policy.Syncer, error) {
 	rt.syncMu.Lock()
 	defer rt.syncMu.Unlock()
 	if rt.syncer == nil {
-		s, err := policy.NewSyncer(rt.cfg.Checkpoints, rt.policyNodes, rt.cfg.PolicySync)
+		cfg := rt.cfg.PolicySync
+		if cfg.Unreachable == nil && rt.cfg.Faults != nil {
+			// Scripted sync partitions: the lane serves but the cross-shard
+			// syncer cannot reach it while its window holds.
+			cfg.Unreachable = func(dev string) bool {
+				return rt.cfg.Faults.Partitioned(dev, rt.VirtualNow())
+			}
+		}
+		s, err := policy.NewSyncer(rt.cfg.Checkpoints, rt.policyNodes, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("router: policy sync: %w", err)
 		}
 		rt.syncer = s
 	}
 	return rt.syncer, nil
+}
+
+// VirtualNow is the fleet's virtual clock: the maximum shard clock across
+// serving and draining shards (dead shards' frozen clocks are ignored).
+func (rt *Router) VirtualNow() float64 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	max := 0.0
+	for _, name := range rt.order {
+		sh := rt.shards[name]
+		if !sh.state.serving() && sh.state != shardDraining {
+			continue
+		}
+		if v := sh.gw.VirtualNow(); v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // SyncPolicies runs one cross-shard federation pass synchronously:
@@ -1177,7 +1405,7 @@ func (rt *Router) Shutdown(ctx context.Context) error {
 	rt.mu.Lock()
 	var toClose []*shard
 	for _, name := range rt.order {
-		if sh := rt.shards[name]; sh.state == shardHealthy {
+		if sh := rt.shards[name]; sh.state.serving() {
 			sh.state = shardDrained
 			toClose = append(toClose, sh)
 		}

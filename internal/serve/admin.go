@@ -28,8 +28,12 @@ type Source interface {
 type ShardStatus struct {
 	// Name is the shard label (Config.Name).
 	Name string `json:"name"`
-	// State is the lifecycle state: "healthy", "draining" or "dead".
+	// State is the lifecycle state: "healthy", "cordoned", "draining",
+	// "drained" or "dead".
 	State string `json:"state"`
+	// Incarnation counts gateway rebuilds (supervisor revives); 0 for the
+	// original gateway.
+	Incarnation int `json:"incarnation,omitempty"`
 	// Devices are the device lanes currently homed on the shard, sorted.
 	Devices []string `json:"devices"`
 	// QueueDepth is the shard's aggregate queued-request gauge.
@@ -86,6 +90,20 @@ type PlanSource interface {
 	PlanJSON() ([]byte, error)
 }
 
+// SuperSource is the optional Source extension that lights up the
+// /supervisor handler: the supervision tier's per-shard health scores,
+// remediation state and budgets, already rendered to JSON (bytes for the
+// same layering reason as PlanSource).
+type SuperSource interface {
+	SupervisorJSON() ([]byte, error)
+}
+
+// HealthzSyncFailThreshold is the consecutive policy-sync failure count at
+// which /healthz flips to 503: one or two failed passes are retried noise,
+// a persistent streak means the fleet's learning plane is down and the node
+// should be pulled from rotation.
+const HealthzSyncFailThreshold = 3
+
 // Admin is the serving layer's opt-in observability endpoint: a small HTTP
 // server exposing the source's metrics as Prometheus text (/metrics), the
 // full snapshot plus per-device learning health as JSON (/snapshot.json), a
@@ -128,6 +146,7 @@ func ServeAdminSource(src Source, addr string) (*Admin, error) {
 	mux.HandleFunc("/breakers", a.handleBreakers)
 	mux.HandleFunc("/shards", a.handleShards)
 	mux.HandleFunc("/plan", a.handlePlan)
+	mux.HandleFunc("/supervisor", a.handleSupervisor)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -173,6 +192,11 @@ func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
+	if s := a.src.Snapshot(); s.SyncConsecutiveFailures >= HealthzSyncFailThreshold {
+		http.Error(w, fmt.Sprintf("policy sync failing (%d consecutive): %s",
+			s.SyncConsecutiveFailures, s.SyncLastError), http.StatusServiceUnavailable)
+		return
+	}
 	w.Write([]byte("ok\n")) //nolint:errcheck
 }
 
@@ -200,6 +224,21 @@ func (a *Admin) handleShards(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(shardsDoc{Shards: ss.ShardStatuses(), Tenants: ss.TenantQueues()}) //nolint:errcheck
+}
+
+func (a *Admin) handleSupervisor(w http.ResponseWriter, r *http.Request) {
+	ss, ok := a.src.(SuperSource)
+	if !ok {
+		http.Error(w, "not a supervised source", http.StatusNotFound)
+		return
+	}
+	b, err := ss.SupervisorJSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b) //nolint:errcheck
 }
 
 func (a *Admin) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +301,11 @@ func PromText(s metrics.Snapshot, health map[string]core.Health) []byte {
 	p.Counter("autoscale_checkpoint_corruptions_total", "Scripted checkpoint-corruption drills fired.", float64(s.CorruptDrills))
 	p.Counter("autoscale_degraded_seconds_total", "Seconds served with at least one breaker open.", s.DegradedSeconds)
 	p.Counter("autoscale_wasted_joules_total", "Energy burned on failed or superseded offload attempts.", s.OutageWastedJ)
+
+	// Policy-sync plane.
+	p.Counter("autoscale_policy_sync_passes_total", "Completed policy-sync passes.", float64(s.SyncPasses))
+	p.Counter("autoscale_policy_sync_failures_total", "Policy-sync passes reporting errors.", float64(s.SyncFailures))
+	p.Gauge("autoscale_policy_sync_consecutive_failures", "Failed sync passes since the last clean one.", float64(s.SyncConsecutiveFailures))
 
 	for _, label := range sortedKeys(s.ByBreaker) {
 		p.Gauge("autoscale_breaker_state", "Breaker state: 0 closed, 1 half-open, 2 open.",

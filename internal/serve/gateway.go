@@ -624,6 +624,19 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		return
 	}
 
+	// Gray degradation: the lane is scripted slow-but-alive, so the executed
+	// inference stretches by the injected factor — the lane's clock advances
+	// by the extra time, latency and QoS are re-judged — while nothing
+	// errors and no breaker sees a failure. The factor is a pure function of
+	// the virtual execution start, so replays stay byte-identical.
+	if f := g.cfg.Faults.GrayFactor(w.device, execStart); f > 1 {
+		extra := d.Measurement.LatencyS * (f - 1)
+		w.engine.AdvanceTo(w.engine.Now() + extra)
+		pt.Add(obs.PhaseExecuteIdx, extra)
+		d.Measurement.LatencyS += extra
+		d.QoSViolated = d.Measurement.LatencyS > d.QoSTargetS
+	}
+
 	// The sim reports an outage by executing the local fallback in place of
 	// the chosen remote target.
 	outage := d.Target.Location != sim.Local && d.Measurement.Target.Location == sim.Local

@@ -63,6 +63,10 @@ type Registry struct {
 	queueDepth atomic.Int64
 	queueMax   atomic.Int64
 
+	syncPasses      atomic.Int64
+	syncFailures    atomic.Int64
+	syncConsecFails atomic.Int64
+
 	latency *obs.Histogram
 	wait    *obs.Histogram
 	energy  *obs.Histogram
@@ -78,6 +82,9 @@ type Registry struct {
 	// byTenant maps tenant -> virtual response-time histogram (vwait plus
 	// execution latency), built lazily on first observation per tenant.
 	byTenant map[string]*obs.Histogram
+	// syncLastErr is the most recent policy-sync pass failure ("" after a
+	// clean pass); guarded by mu like the label maps.
+	syncLastErr string
 }
 
 // New builds a registry over the shared Scheme ladder, with one phase
@@ -313,6 +320,26 @@ func (r *Registry) ObserveServed(s ServedSample) {
 	})
 }
 
+// ObserveSyncPass records one policy-sync pass outcome: failures bump the
+// consecutive-failure gauge and remember the error, a clean pass resets
+// both. The health endpoint alarms once consecutive failures cross its
+// threshold.
+func (r *Registry) ObserveSyncPass(failed bool, errStr string) {
+	r.shared(func() {
+		r.syncPasses.Add(1)
+		if failed {
+			r.syncFailures.Add(1)
+			r.syncConsecFails.Add(1)
+		} else {
+			r.syncConsecFails.Store(0)
+			errStr = ""
+		}
+		r.mu.Lock()
+		r.syncLastErr = errStr
+		r.mu.Unlock()
+	})
+}
+
 // CountTarget counts one execution against a target label (the coarse
 // location — local/connected/cloud — keeps the map small).
 func (r *Registry) CountTarget(label string) {
@@ -361,6 +388,14 @@ type Snapshot struct {
 
 	QueueDepth    int64
 	QueueMaxDepth int64
+
+	// Policy-sync failure state: total passes, failed passes, failed passes
+	// since the last clean one (the health-endpoint alarm signal), and the
+	// most recent failure message.
+	SyncPasses              int64
+	SyncFailures            int64
+	SyncConsecutiveFailures int64
+	SyncLastError           string
 
 	Latency HistogramSnapshot
 	Wait    HistogramSnapshot
@@ -416,15 +451,20 @@ func (r *Registry) Snapshot() Snapshot {
 
 		QueueDepth:    r.queueDepth.Load(),
 		QueueMaxDepth: r.queueMax.Load(),
-		Latency:       r.latency.Snapshot(),
-		Wait:          r.wait.Snapshot(),
-		Energy:        r.energy.Snapshot(),
-		VWait:         r.vwait.Snapshot(),
-		Phases:        make(map[string]HistogramSnapshot),
-		ByTarget:      make(map[string]int64),
-		ByDevice:      make(map[string]int64),
-		ByBreaker:     make(map[string]string),
-		ByTenant:      make(map[string]HistogramSnapshot),
+
+		SyncPasses:              r.syncPasses.Load(),
+		SyncFailures:            r.syncFailures.Load(),
+		SyncConsecutiveFailures: r.syncConsecFails.Load(),
+
+		Latency:   r.latency.Snapshot(),
+		Wait:      r.wait.Snapshot(),
+		Energy:    r.energy.Snapshot(),
+		VWait:     r.vwait.Snapshot(),
+		Phases:    make(map[string]HistogramSnapshot),
+		ByTarget:  make(map[string]int64),
+		ByDevice:  make(map[string]int64),
+		ByBreaker: make(map[string]string),
+		ByTenant:  make(map[string]HistogramSnapshot),
 	}
 	for p, h := range r.phases {
 		if hs := h.Snapshot(); hs.Count > 0 {
@@ -434,6 +474,7 @@ func (r *Registry) Snapshot() Snapshot {
 	// No mutator is in flight (they all hold snapMu shared), so locking mu
 	// here is belt-and-braces for the map copies.
 	r.mu.Lock()
+	s.SyncLastError = r.syncLastErr
 	for k, v := range r.byTarget {
 		s.ByTarget[k] = v
 	}
@@ -492,6 +533,16 @@ func Merge(snaps ...Snapshot) Snapshot {
 		out.OutageWastedJ += s.OutageWastedJ
 		out.QueueDepth += s.QueueDepth
 		out.QueueMaxDepth += s.QueueMaxDepth
+		out.SyncPasses += s.SyncPasses
+		out.SyncFailures += s.SyncFailures
+		// Consecutive failures merge by max: the sickest sync plane in the
+		// fleet decides the alarm. Its error message rides along.
+		if s.SyncConsecutiveFailures > out.SyncConsecutiveFailures {
+			out.SyncConsecutiveFailures = s.SyncConsecutiveFailures
+		}
+		if out.SyncLastError == "" && s.SyncLastError != "" {
+			out.SyncLastError = s.SyncLastError
+		}
 		out.Latency = mergeHist(out.Latency, s.Latency)
 		out.Wait = mergeHist(out.Wait, s.Wait)
 		out.Energy = mergeHist(out.Energy, s.Energy)

@@ -82,7 +82,26 @@ func (g *Gateway) policySyncer() (*policy.Syncer, error) {
 	g.syncMu.Lock()
 	defer g.syncMu.Unlock()
 	if g.syncer == nil {
-		s, err := policy.NewSyncer(g.cfg.Checkpoints, g.PolicyNodes, g.cfg.PolicySync)
+		cfg := g.cfg.PolicySync
+		if cfg.OnPass == nil {
+			// Export pass outcomes into the registry so /healthz and the
+			// autoscale_policy_sync_* series see persistent failure.
+			cfg.OnPass = func(rep policy.Report) {
+				if err := rep.Err(); err != nil {
+					g.met.ObserveSyncPass(true, err.Error())
+				} else {
+					g.met.ObserveSyncPass(false, "")
+				}
+			}
+		}
+		if cfg.Unreachable == nil && g.cfg.Faults != nil {
+			// Scripted sync partitions: the device serves traffic but the
+			// syncer cannot reach it while its window holds.
+			cfg.Unreachable = func(dev string) bool {
+				return g.cfg.Faults.Partitioned(dev, g.VirtualNow())
+			}
+		}
+		s, err := policy.NewSyncer(g.cfg.Checkpoints, g.PolicyNodes, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("serve: policy sync: %w", err)
 		}

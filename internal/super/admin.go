@@ -1,0 +1,30 @@
+package super
+
+import (
+	"autoscale/internal/core"
+	"autoscale/internal/serve"
+	"autoscale/internal/serve/metrics"
+)
+
+// The supervisor fronts its router for the admin endpoint: point
+// serve.ServeAdminSource at the supervisor and every router view works
+// unchanged, plus /supervisor lights up and /metrics gains the
+// autoscale_super_* series. All views are read-side only.
+
+// Snapshot merges the shard registries (router view, unchanged).
+func (s *Supervisor) Snapshot() metrics.Snapshot { return s.rt.Snapshot() }
+
+// Health merges per-device learning health (router view, unchanged).
+func (s *Supervisor) Health() map[string]core.Health { return s.rt.Health() }
+
+// Closed reports whether the routing tier has shut down.
+func (s *Supervisor) Closed() bool { return s.rt.Closed() }
+
+// ShardStatuses delegates the /shards shard rows to the router.
+func (s *Supervisor) ShardStatuses() []serve.ShardStatus { return s.rt.ShardStatuses() }
+
+// TenantQueues delegates the /shards tenant rows to the router.
+func (s *Supervisor) TenantQueues() []serve.TenantQueueStatus { return s.rt.TenantQueues() }
+
+// SupervisorJSON renders the /supervisor document.
+func (s *Supervisor) SupervisorJSON() ([]byte, error) { return s.StatusJSON() }

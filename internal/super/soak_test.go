@@ -1,0 +1,277 @@
+package super
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autoscale/internal/dnn"
+	"autoscale/internal/fault"
+	"autoscale/internal/policy"
+	"autoscale/internal/serve"
+)
+
+// chaosHorizonS is the virtual span every generated storm fits inside; the
+// run drives traffic until every surviving lane's clock clears it, so no
+// fault window is still active at the final audit.
+const chaosHorizonS = 6.0
+
+// chaosResult is everything one supervised chaos run produces.
+type chaosResult struct {
+	digest    string
+	viols     []string
+	states    map[string]string
+	phases    map[string]string
+	requests  int
+	responses int
+	met       map[string]uint64
+}
+
+// runChaos drives one seeded chaos soak: a three-shard fleet under a
+// Randomize-generated schedule mixing every fault kind, supervised and
+// audited, driven sequentially on the virtual clock until the storm expires
+// and the supervisor settles every shard to healthy or dead.
+func runChaos(t *testing.T, seed int64, intensity float64) chaosResult {
+	t.Helper()
+	shards := map[string][]string{
+		"shard-a": {"lane-a0", "lane-a1"},
+		"shard-b": {"lane-b0", "lane-b1"},
+		"shard-c": {"lane-c0", "lane-c1"},
+	}
+	shardNames := []string{"shard-a", "shard-b", "shard-c"}
+	laneNames := []string{"lane-a0", "lane-a1", "lane-b0", "lane-b1", "lane-c0", "lane-c1"}
+
+	sched := fault.Randomize(seed, intensity, fault.RandomOpts{
+		Devices: laneNames, Shards: shardNames, HorizonS: chaosHorizonS,
+	})
+
+	// The checkpoint plane runs through a fault sink so the storm's I/O
+	// faults (write failure, slow fsync, disk full) hit every save; the
+	// auditor sweeps the raw store underneath.
+	fsink := &policy.FaultSink{}
+	fl := buildFleet(t, seed, sched, shards, fsink)
+	fsink.Inner = fl.store
+	// The sink's clock must not call back into the router (its queries can
+	// fire under the router's lock, during re-homing warm starts and drain
+	// flushes) — feed it the virtual time sampled by the driving loop.
+	var vclock atomic.Uint64
+	bumpClock := func() {
+		now := fl.rt.VirtualNow()
+		for {
+			old := vclock.Load()
+			if math.Float64frombits(old) >= now || vclock.CompareAndSwap(old, math.Float64bits(now)) {
+				return
+			}
+		}
+	}
+	fsink.Now = func() float64 { return math.Float64frombits(vclock.Load()) }
+	fsink.Verdict = func(dev string, tm float64) policy.IOVerdict {
+		switch fl.inj.CheckpointIO(dev, tm) {
+		case fault.IOSlowFsync:
+			return policy.IOSlow
+		case fault.IOWriteFail:
+			return policy.IOFailWrite
+		case fault.IODiskFull:
+			return policy.IOFailAll
+		}
+		return policy.IOHealthy
+	}
+
+	sup, err := New(fl.rt, Config{
+		IntervalS:       0.25,
+		LatencyTargetS:  0.1,
+		RestartBackoffS: 0.5,
+		MaxRestarts:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud, err := NewAuditor(fl.rt, fl.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := dnn.MustByName("MobileNet v3")
+	tenants := []string{"gold", "silver", "best"}
+	h := fnv.New64a()
+	res := chaosResult{states: map[string]string{}, phases: map[string]string{}}
+
+	do := func(i int) {
+		req := serve.Request{Model: m, Conditions: conds(), Tenant: tenants[i%len(tenants)]}
+		if i%4 == 3 {
+			// Pinned probes: they reach cordoned shards (lifting cordons
+			// needs evidence) and advance lagging lane clocks.
+			req.Device = laneNames[(i/4)%len(laneNames)]
+		}
+		r, _ := fl.rt.Do(req)
+		res.requests++
+		res.responses++ // Do returned exactly once, whatever the status
+		bumpClock()
+		fmt.Fprintf(h, "%d|%s|%x;", r.Status, r.Device,
+			math.Float64bits(r.Decision.Measurement.LatencyS))
+		if sup.MaybeTick(fl.rt.VirtualNow()) {
+			aud.Observe()
+		}
+		if i%150 == 149 {
+			fl.rt.SyncPolicies() // exercises partitions and checkpoint I/O
+		}
+	}
+
+	// settled: the storm has expired at every surviving lane and the
+	// supervisor has nothing pending (every shard ok or condemned).
+	settled := func() bool {
+		minClock := math.Inf(1)
+		for _, sig := range fl.rt.ShardSignals() {
+			if sig.State == "dead" || sig.State == "drained" {
+				continue
+			}
+			if sig.VirtualS < minClock {
+				minClock = sig.VirtualS
+			}
+		}
+		if minClock < chaosHorizonS+0.1 {
+			return false
+		}
+		for _, row := range sup.Status().Shards {
+			if row.Phase != "ok" && row.Phase != "dead" {
+				return false
+			}
+		}
+		return true
+	}
+
+	i := 0
+	for ; i < 20000 && !settled(); i++ {
+		do(i)
+	}
+	if !settled() {
+		t.Fatalf("chaos(seed=%d,i=%.1f) never settled in %d requests: states=%v phases=%v",
+			seed, intensity, i, shardStates(fl), phaseMap(sup))
+	}
+	aud.Observe()
+	res.states = shardStates(fl)
+	res.phases = phaseMap(sup)
+	for _, sig := range fl.rt.ShardSignals() {
+		fmt.Fprintf(h, "S:%s=%s/%d@%x;", sig.Name, sig.State, sig.Incarnation,
+			math.Float64bits(sig.VirtualS))
+	}
+
+	if err := fl.rt.Shutdown(context.Background()); err != nil {
+		t.Fatalf("chaos(seed=%d,i=%.1f) shutdown: %v", seed, intensity, err)
+	}
+	aud.Final()
+	res.viols = aud.Violations()
+
+	met := fl.rt.RouterMetrics()
+	res.met = map[string]uint64{
+		"submitted": met.Submitted, "shed": met.Shed, "failed": met.Failed,
+		"completed": met.Completed, "kills": met.ShardKills, "drains": met.ShardDrains,
+		"cordons": met.Cordons, "revives": met.Revives, "rehomed": met.RehomedDevices,
+	}
+	merged := fl.rt.Snapshot()
+	fmt.Fprintf(h, "M:%+v;served=%d;shed=%d;failed=%d;energy=%x",
+		met, merged.Served, merged.Shed, merged.Failed, math.Float64bits(merged.Energy.Sum))
+	res.digest = fmt.Sprintf("%x-n%d", h.Sum64(), res.requests)
+	return res
+}
+
+func shardStates(fl *fleet) map[string]string {
+	out := map[string]string{}
+	for _, sig := range fl.rt.ShardSignals() {
+		out[sig.Name] = sig.State
+	}
+	return out
+}
+
+func phaseMap(sup *Supervisor) map[string]string {
+	out := map[string]string{}
+	for _, row := range sup.Status().Shards {
+		out[row.Name] = row.Phase
+	}
+	return out
+}
+
+// checkChaos asserts the invariants one run must satisfy.
+func checkChaos(t *testing.T, seed int64, intensity float64, res chaosResult) {
+	t.Helper()
+	label := fmt.Sprintf("chaos(seed=%d,i=%.1f)", seed, intensity)
+	if len(res.viols) != 0 {
+		t.Errorf("%s: invariant violations: %v", label, res.viols)
+	}
+	if res.responses != res.requests {
+		t.Errorf("%s: %d responses for %d requests", label, res.responses, res.requests)
+	}
+	if res.met["submitted"] != uint64(res.requests) {
+		t.Errorf("%s: router saw %d submissions for %d requests", label, res.met["submitted"], res.requests)
+	}
+	// Every non-dead shard ends the storm healthy; dead means the
+	// supervisor spent the shard's remediation budget, which the schedule
+	// can legitimately force — but the phases must agree.
+	for name, st := range res.states {
+		switch st {
+		case "healthy":
+			if ph := res.phases[name]; ph != "ok" {
+				t.Errorf("%s: %s healthy at the router but %q at the supervisor", label, name, ph)
+			}
+		case "dead":
+			if ph := res.phases[name]; ph != "dead" {
+				t.Errorf("%s: %s dead at the router but %q at the supervisor", label, name, ph)
+			}
+		default:
+			t.Errorf("%s: shard %s ended the storm %q, want healthy or dead", label, name, st)
+		}
+	}
+}
+
+// TestChaosSoak is the capstone: seeded storms mixing every fault kind over
+// a supervised three-shard fleet, with the invariant auditor asserting
+// conservation, clock monotonicity, in-flight settling and checkpoint CRC
+// integrity — plus byte-identical fixed-seed replay and cross-seed
+// divergence. Short mode runs a small matrix (the `make chaos-short` /
+// `make verify` gate); the full matrix is `make chaos`.
+func TestChaosSoak(t *testing.T) {
+	seeds := []int64{101, 102, 103, 104, 105}
+	intensities := []float64{0.4, 0.9}
+	if testing.Short() {
+		seeds = seeds[:2]
+		intensities = intensities[1:]
+	}
+
+	base := runtime.NumGoroutine()
+	digests := map[string]string{}
+	for _, seed := range seeds {
+		for _, in := range intensities {
+			res := runChaos(t, seed, in)
+			checkChaos(t, seed, in, res)
+			digests[fmt.Sprintf("%d/%.1f", seed, in)] = res.digest
+		}
+	}
+
+	// Fixed-seed replay must be byte-identical (same digest over every
+	// response and final counter); different seeds must diverge.
+	re := runChaos(t, seeds[0], intensities[0])
+	if want := digests[fmt.Sprintf("%d/%.1f", seeds[0], intensities[0])]; re.digest != want {
+		t.Errorf("replay diverged: digest %s vs %s", re.digest, want)
+	}
+	k1 := fmt.Sprintf("%d/%.1f", seeds[0], intensities[0])
+	k2 := fmt.Sprintf("%d/%.1f", seeds[1], intensities[0])
+	if digests[k1] == digests[k2] {
+		t.Errorf("different seeds produced identical storms: %s", digests[k1])
+	}
+
+	// No goroutine leaks: all gateways (including revived incarnations)
+	// shut down, so the count settles back to the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutine leak: %d now vs %d at start\n%s", n, base, buf[:runtime.Stack(buf, true)])
+	}
+}

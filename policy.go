@@ -29,6 +29,20 @@ type (
 	PolicySyncReport = policy.Report
 	// PolicyNode is one fleet member (device name + engine) under sync.
 	PolicyNode = policy.Node
+	// PolicyFaultSink wraps a sink with scripted I/O faults (write failure,
+	// slow fsync, disk-full) for chaos drills; wire its Verdict from a fault
+	// injector's CheckpointIO query.
+	PolicyFaultSink = policy.FaultSink
+	// PolicyIOVerdict is a fault sink's per-operation ruling.
+	PolicyIOVerdict = policy.IOVerdict
+)
+
+// Fault-sink I/O verdicts.
+const (
+	PolicyIOHealthy   = policy.IOHealthy
+	PolicyIOSlow      = policy.IOSlow
+	PolicyIOFailWrite = policy.IOFailWrite
+	PolicyIOFailAll   = policy.IOFailAll
 )
 
 // Policy plane sentinel errors.
@@ -38,6 +52,9 @@ var (
 	ErrPolicyVersion      = policy.ErrVersion
 	ErrNoPolicyCheckpoint = policy.ErrNoCheckpoint
 	ErrPolicyStaleGen     = policy.ErrStaleGeneration
+	// ErrPolicyInjectedIO marks checkpoint-store damage dealt by a fault
+	// sink, distinguishing scripted I/O failures from real bugs.
+	ErrPolicyInjectedIO = policy.ErrInjectedIO
 )
 
 // OpenPolicyStore creates (or reopens) a checkpoint store rooted at dir,

@@ -1,0 +1,51 @@
+package autoscale
+
+import (
+	"autoscale/internal/router"
+	"autoscale/internal/serve"
+	"autoscale/internal/super"
+)
+
+// Self-healing tier: a supervision loop on the virtual clock above the
+// router, scoring shard health from signals the system already emits and
+// remediating with hysteresis — probe, cordon, drain + warm re-home, restart
+// with crash-loop backoff, condemn when the remediation budget runs out —
+// plus the chaos-soak invariant auditor. See internal/super for full
+// documentation.
+type (
+	// Supervisor is the self-healing loop over one router; drive it by
+	// calling MaybeTick with each request's virtual arrival time, like the
+	// capacity planner.
+	Supervisor = super.Supervisor
+	// SupervisorConfig tunes tick interval, score thresholds, hysteresis
+	// widths and the remediation budget. Zero values select the defaults.
+	SupervisorConfig = super.Config
+	// SupervisorStatus is the /supervisor document.
+	SupervisorStatus = super.Status
+	// SupervisorAction is one remediation in the status log.
+	SupervisorAction = super.Action
+	// ChaosAuditor asserts the chaos-soak invariants: clock monotonicity
+	// per shard incarnation, exactly-once request conservation, in-flight
+	// settling to zero, and checkpoint CRC integrity.
+	ChaosAuditor = super.Auditor
+)
+
+// NewSupervisor builds the self-healing loop over a router.
+func NewSupervisor(rt *Router, cfg SupervisorConfig) (*Supervisor, error) {
+	return super.New(rt, cfg)
+}
+
+// ServeSupervisorAdmin binds the admin/observability endpoint for a
+// supervised deployment: the full router surface (merged metrics, /shards)
+// plus /supervisor (per-shard health scores, remediation phases, the action
+// log) and autoscale_super_* series appended to /metrics.
+func ServeSupervisorAdmin(s *Supervisor, addr string) (*GatewayAdmin, error) {
+	return serve.ServeAdminSource(s, addr)
+}
+
+// NewChaosAuditor builds an invariant auditor over a router and (optionally)
+// the raw checkpoint store backing it — pass the *PolicyStore itself, not a
+// fault sink, so the final CRC sweep sees real I/O.
+func NewChaosAuditor(rt *router.Router, store *PolicyStore) (*ChaosAuditor, error) {
+	return super.NewAuditor(rt, store)
+}
