@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router race-plan race-hot race-super alloc-guard fuzz-fault smoke-admin smoke-plan smoke-chaos chaos chaos-short verify bench bench-all bench-diff profile
+.PHONY: build test vet fmt race race-policy race-exp race-fault race-obs race-router race-plan race-hot race-super race-tracez alloc-guard fuzz-fault smoke-admin smoke-plan smoke-chaos smoke-traces chaos chaos-short verify bench bench-all bench-diff profile
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,13 @@ race-hot:
 race-super:
 	$(GO) test -race -run 'TestGrayFailureCordon|TestCrashLoopConvergesToDead|TestSupervisorStatusJSONAndProm' ./internal/super/
 
+# The tracing plane: the tracer's ring and pool run against concurrent
+# request goroutines, and the flight recorder takes notes from the breaker,
+# supervisor and planner paths while admin scrapes read it — the tracez
+# suite plus the traced serving paths must hold under race instrumentation.
+race-tracez:
+	$(GO) test -race ./internal/tracez/ ./internal/serve/
+
 # Seeded chaos soak, small matrix (~seconds): 2 seeds at high intensity with
 # the invariant auditor, byte-identical replay and the goroutine-leak check.
 # Part of `make verify`.
@@ -98,11 +105,13 @@ chaos-short:
 chaos:
 	$(GO) test -run '^TestChaosSoak$$' -count=1 -timeout 1800s -v ./internal/super/
 
-# Allocs-per-op regression guard: the frozen decide fast path (observe,
-# dense state index, RCU argmax) must stay at zero allocations. Runs
-# un-instrumented (the race detector's shadow memory allocates).
+# Allocs-per-op regression guards: the frozen decide fast path (observe,
+# dense state index, RCU argmax) must stay at zero allocations with tracing
+# disabled; provenance capture and the sampled trace lifecycle each get a
+# 2 allocs/op budget. Runs un-instrumented (the race detector's shadow
+# memory allocates).
 alloc-guard:
-	$(GO) test -run '^TestDecideZeroAlloc$$' .
+	$(GO) test -run '^(TestDecideZeroAlloc|TestTracedDecideAllocBudget|TestTraceLifecycleAllocBudget)$$' .
 
 # Fuzz smoke over the fault-schedule parser: any input that parses must also
 # compile and answer injector queries without panicking.
@@ -166,12 +175,36 @@ smoke-chaos:
 	grep 'chaos audit: all invariants held' $$tmp/out > /dev/null; \
 	echo "smoke-chaos: ok"
 
+# End-to-end tracing check: a chaos storm with causal tracing and the flight
+# recorder on, scraping /traces (index + chrome export) like an operator
+# chasing an incident would, and requiring the supervisor's remediations to
+# have left at least one incident bundle on disk.
+smoke-traces:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/autoscale-serve ./cmd/autoscale-serve; \
+	$$tmp/autoscale-serve -chaos -shards 2 -replicas 2 -n 1500 -clients 4 -seed 7 \
+		-trace-sample 0.25 -flight-recorder $$tmp/fr \
+		-admin 127.0.0.1:0 -linger 8s > $$tmp/out 2>&1 & pid=$$!; \
+	addr=; for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's#^admin listening on http://##p' $$tmp/out); \
+		[ -n "$$addr" ] && break; sleep 0.1; done; \
+	if [ -z "$$addr" ]; then echo "smoke-traces: no admin address"; cat $$tmp/out; kill $$pid 2>/dev/null; exit 1; fi; \
+	curl -fsS "http://$$addr/traces" > $$tmp/idx; \
+	grep '"stats"' $$tmp/idx > /dev/null; \
+	grep '"traces"' $$tmp/idx > /dev/null; \
+	curl -fsS "http://$$addr/traces?format=chrome" > $$tmp/chrome; \
+	grep 'traceEvents' $$tmp/chrome > /dev/null; \
+	curl -fsS "http://$$addr/metrics" | grep '^autoscale_trace_kept_total' > /dev/null; \
+	wait $$pid || { echo "smoke-traces: run failed"; cat $$tmp/out; exit 1; }; \
+	ls $$tmp/fr/incident-*.json > /dev/null 2>&1 || { echo "smoke-traces: no incident bundle"; cat $$tmp/out; exit 1; }; \
+	echo "smoke-traces: ok"
+
 # The full gate: tier-1 (build + test) plus formatting, vet, the race
 # detector (which includes the dedicated policy-plane, exec-plane, fault-plane,
-# telemetry-plane, planning-plane and supervision-plane passes), the
-# schedule-parser fuzz smoke, the short chaos soak and the admin, planner and
-# chaos scrape smokes.
-verify: build fmt vet race race-policy race-exp race-fault race-obs race-router race-plan race-hot race-super chaos-short alloc-guard fuzz-fault smoke-admin smoke-plan smoke-chaos
+# telemetry-plane, planning-plane, supervision-plane and tracing-plane
+# passes), the schedule-parser fuzz smoke, the short chaos soak and the
+# admin, planner, chaos and tracing scrape smokes.
+verify: build fmt vet race race-policy race-exp race-fault race-obs race-router race-plan race-hot race-super race-tracez chaos-short alloc-guard fuzz-fault smoke-admin smoke-plan smoke-chaos smoke-traces
 
 # Archive the representative benchmarks (end-to-end Fig 9, gateway and
 # routing-tier throughput, the telemetry hot path, the router dispatch path

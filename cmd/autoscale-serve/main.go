@@ -63,6 +63,8 @@ func main() {
 		tenants   = flag.String("tenants", "", "weighted fairness classes, e.g. gold:4,silver:2,best:1 (implies the routing tier)")
 		plan      = flag.Bool("plan", false, "run the model-driven capacity planner over the routing tier")
 		sloSpec   = flag.String("slo-classes", "", `SLO classes for -plan, "name:target[:weight[:maxqueue]],..." (default gold/silver/best)`)
+		traceRate = flag.Float64("trace-sample", 0, "causal-trace head-sampling rate in [0,1]; sheds/misses/failovers are always kept (0 = tracing off)")
+		flightDir = flag.String("flight-recorder", "", "incident flight-recorder directory: control-plane events + kept traces bundled on supervisor remediation (needs -trace-sample)")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -75,6 +77,7 @@ func main() {
 		chaosIntensity: *chaosInt, resilient: *resilient,
 		hedge: *hedge, admin: *admin, linger: *linger, shards: *shards,
 		replicas: *replicas, tenants: *tenants, plan: *plan, sloClasses: *sloSpec,
+		traceSample: *traceRate, flightDir: *flightDir,
 		seed: *seed,
 	}, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "autoscale-serve:", err)
@@ -107,6 +110,8 @@ type config struct {
 	tenants        string
 	plan           bool
 	sloClasses     string
+	traceSample    float64
+	flightDir      string
 	seed           int64
 }
 
@@ -269,6 +274,19 @@ func run(c config, out *os.File) error {
 		return fmt.Errorf("need at least one replica, got %d", c.replicas)
 	}
 
+	// Causal tracing: a tracer exists when head sampling is requested or a
+	// flight-recorder directory is given (tail-kept traces and control-plane
+	// events are worth recording even at sample rate 0).
+	var tracer *autoscale.Tracer
+	var recorder *autoscale.FlightRecorder
+	if c.traceSample < 0 || c.traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1], got %g", c.traceSample)
+	}
+	if c.traceSample > 0 || c.flightDir != "" {
+		tracer = autoscale.NewTracer(autoscale.TracerConfig{SampleRate: c.traceSample, Seed: c.seed})
+		recorder = autoscale.NewFlightRecorder(tracer, c.flightDir, 0, 0)
+	}
+
 	var sched *autoscale.FaultSchedule
 	var fsink *autoscale.PolicyFaultSink
 	if c.chaos {
@@ -307,12 +325,16 @@ func run(c config, out *os.File) error {
 	var rt *autoscale.Router
 	var pl *autoscale.Planner
 	if c.shards > 1 || len(tenantCfg) > 0 {
-		rt, err = buildRouter(c, gcfg, tenantCfg)
+		// The router starts traces at admission; shard gateways must not
+		// also carry a tracer, or requests would double-start.
+		rt, err = buildRouter(c, gcfg, tenantCfg, tracer, recorder)
 		if err != nil {
 			return err
 		}
 		srv = rt
 	} else {
+		gcfg.Tracer = tracer
+		gcfg.Recorder = recorder
 		srv, err = buildGateway(c, gcfg)
 		if err != nil {
 			return err
@@ -336,6 +358,9 @@ func run(c config, out *os.File) error {
 		}
 		rig = &chaosRig{rt: rt, sup: sup, aud: aud}
 		if fsink != nil {
+			// Injected checkpoint-I/O verdicts join the flight ring when a
+			// recorder is configured; Note on a nil recorder is a no-op.
+			fsink.Events = recorder.Note
 			inj := gcfg.Faults
 			// The sink's clock must not call back into the router: its
 			// queries can fire under the router's lock (re-homing warm
@@ -410,6 +435,13 @@ func run(c config, out *os.File) error {
 		fmt.Fprintf(out, "chaos storm: %d faults, intensity %.2f, horizon %.0fs — supervised, invariants audited\n",
 			len(sched.Faults), c.chaosIntensity, chaosHorizonS)
 	}
+	if tracer != nil {
+		line := fmt.Sprintf("causal tracing: sample rate %.2f, tail-keep on shed/miss/failover/hedge", c.traceSample)
+		if c.flightDir != "" {
+			line += fmt.Sprintf("; flight recorder bundles -> %s", c.flightDir)
+		}
+		fmt.Fprintln(out, line)
+	}
 
 	start := time.Now()
 	if err := flood(srv, m, c, tenantNames, pl, gcfg.Faults, rig); err != nil {
@@ -443,6 +475,19 @@ func run(c config, out *os.File) error {
 		printPlan(out, pl)
 	}
 	printHealth(out, srv.Health())
+	if tracer != nil {
+		st := tracer.Stats()
+		fmt.Fprintf(out, "\ntraces: started %d  kept %d (%d head-sampled, %d dropped)  ring %d/%d\n",
+			st.Started, st.Kept, st.Sampled, st.Dropped, st.RingLen, st.RingCap)
+		if c.flightDir != "" {
+			n, derr := recorder.Dumps()
+			if derr != nil {
+				return fmt.Errorf("flight recorder: %w", derr)
+			}
+			fmt.Fprintf(out, "flight recorder: %d events in ring, %d incident bundles in %s\n",
+				len(recorder.Events()), n, c.flightDir)
+		}
+	}
 	if rig != nil {
 		return printChaos(out, rig)
 	}
@@ -545,10 +590,10 @@ func laneSpecs(devices []string, replicas int) (specs, lanes []string, hw map[st
 
 // buildRouter stands up the sharded routing tier: donor-warm-started lanes
 // via Fleet.ProvisionRouter, or cold lanes round-robined over the shards.
-func buildRouter(c config, gcfg autoscale.GatewayConfig, tenants []autoscale.RouterTenant) (*autoscale.Router, error) {
+func buildRouter(c config, gcfg autoscale.GatewayConfig, tenants []autoscale.RouterTenant, tr *autoscale.Tracer, rec *autoscale.FlightRecorder) (*autoscale.Router, error) {
 	ecfg := autoscale.DefaultEngineConfig()
 	specs, lanes, hw := laneSpecs(c.devices, c.replicas)
-	rcfg := autoscale.RouterConfig{Tenants: tenants, Shed: gcfg.Shed}
+	rcfg := autoscale.RouterConfig{Tenants: tenants, Shed: gcfg.Shed, Tracer: tr, Recorder: rec}
 	if c.donor != "" {
 		fleet, err := autoscale.NewFleet(c.donor, ecfg, c.train, c.seed)
 		if err != nil {

@@ -268,6 +268,32 @@ func (e *Engine) RunInferenceCtx(ctx *exec.Context, m *dnn.Model, c sim.Conditio
 // (scripted RSSI ramps applied), so the agent learns against what
 // execution will see.
 func (e *Engine) RunInferenceFiltered(ctx *exec.Context, m *dnn.Model, c sim.Conditions, allow func(sim.Target) bool) (Decision, error) {
+	return e.runInference(ctx, m, c, allow, nil)
+}
+
+// DecisionProv captures one decide step's provenance for the tracing plane:
+// the dense state index, the mask actually applied (breakers and lane
+// filters included), how many actions it disabled, and the agent's
+// selection provenance. Slices are truncated and refilled in place, so a
+// caller-owned DecisionProv is allocation-free in steady state.
+type DecisionProv struct {
+	StateIdx  int32
+	MaskedOut int
+	Mask      []bool
+	Sel       rl.SelectProv
+}
+
+// RunInferenceProv is RunInferenceFiltered with decision-provenance
+// capture into prov (which must be non-nil). The selection mirrors the
+// plain path draw for draw, so traced and untraced runs of the same seed
+// take identical decisions.
+func (e *Engine) RunInferenceProv(ctx *exec.Context, m *dnn.Model, c sim.Conditions, allow func(sim.Target) bool, prov *DecisionProv) (Decision, error) {
+	return e.runInference(ctx, m, c, allow, prov)
+}
+
+// runInference is the shared step body; prov nil is the untraced hot path
+// (one pointer test of overhead, no allocations).
+func (e *Engine) runInference(ctx *exec.Context, m *dnn.Model, c sim.Conditions, allow func(sim.Target) bool, prov *DecisionProv) (Decision, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if ctx == nil {
@@ -289,7 +315,21 @@ func (e *Engine) RunInferenceFiltered(ctx *exec.Context, m *dnn.Model, c sim.Con
 		e.hasPending = false
 	}
 
-	idx, err := ag.SelectActionIdx(sIdx, mask)
+	var idx int
+	var err error
+	if prov == nil {
+		idx, err = ag.SelectActionIdx(sIdx, mask)
+	} else {
+		prov.StateIdx = sIdx
+		prov.Mask = append(prov.Mask[:0], mask...)
+		prov.MaskedOut = 0
+		for _, ok := range prov.Mask {
+			if !ok {
+				prov.MaskedOut++
+			}
+		}
+		idx, err = ag.SelectActionProvIdx(sIdx, mask, &prov.Sel)
+	}
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: select for %s: %w", m.Name, err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"autoscale/internal/fault"
 	"autoscale/internal/router"
+	"autoscale/internal/tracez"
 )
 
 // Config tunes a Planner.
@@ -174,12 +175,13 @@ type Planner struct {
 	rt  *router.Router
 	cfg Config
 
-	mu        sync.Mutex
-	rates     map[string]*rateEstimator
-	svc       meanEstimator
-	lastTick  float64
-	primed    bool
-	lastLanes int
+	mu         sync.Mutex
+	rates      map[string]*rateEstimator
+	svc        meanEstimator
+	lastTick   float64
+	primed     bool
+	lastLanes  int
+	lastBudget int
 	// calibration window state: previous snapshot's service-time sum, tick
 	// time, lane count and predicted occupancy.
 	prevSum   float64
@@ -367,8 +369,14 @@ func (p *Planner) recomputeLocked(now float64) Decision {
 		}
 	}
 
-	// Actuation, all through clamped router setters.
+	// Actuation, all through clamped router setters. Capacity moves land in
+	// the flight recorder's event ring — only actual changes, so a steady
+	// plan does not flood the ring with per-tick noise.
 	applied := p.rt.SetActiveLanes(lanes)
+	if applied > 0 && applied != p.lastLanes {
+		p.rt.Recorder().Note(now, "plan", "lanes",
+			fmt.Sprintf("active lanes %d -> %d (required %d)", p.lastLanes, applied, need))
+	}
 	if applied > 0 {
 		p.lastLanes = applied
 	}
@@ -381,6 +389,13 @@ func (p *Planner) recomputeLocked(now float64) Decision {
 		budget = p.cfg.MaxBudget
 	}
 	d.Budget = p.rt.SetGlobalBudget(budget)
+	if d.Budget != p.lastBudget {
+		if p.lastBudget != 0 {
+			p.rt.Recorder().Note(now, "plan", "budget",
+				fmt.Sprintf("global budget %d -> %d", p.lastBudget, d.Budget))
+		}
+		p.lastBudget = d.Budget
+	}
 	for _, c := range p.cfg.Classes {
 		// Depth: the queue a class may accumulate before its admission
 		// gate bites anyway — its surged arrival share for MaxQueueS.
@@ -416,6 +431,10 @@ func (p *Planner) noteWindow(now, latencySum float64, lanes int, pred float64) {
 
 // Status assembles the /plan document: latest decision plus per-class SLO
 // attainment measured from the per-tenant response histograms.
+// Tracer exposes the routing tier's causal tracer so a planner-fronted
+// admin endpoint serves the /traces surface; nil when tracing is off.
+func (p *Planner) Tracer() *tracez.Tracer { return p.rt.Tracer() }
+
 func (p *Planner) Status() Status {
 	p.mu.Lock()
 	last := p.last

@@ -52,6 +52,12 @@ type FaultSink struct {
 	Now func() float64
 	// Verdict maps (device, virtual time) to the injected I/O state.
 	Verdict func(device string, t float64) IOVerdict
+	// Events, when set, receives one call per non-healthy verdict that
+	// actually altered an operation (a failed save, a slow save, a refused
+	// read). The wiring layer typically points it at a flight recorder's
+	// Note so checkpoint I/O damage lands in the incident event ring; it is
+	// a plain function so policy does not import the tracing plane.
+	Events func(atS float64, kind, subject, detail string)
 
 	slowSaves   atomic.Uint64
 	failedOps   atomic.Uint64
@@ -60,25 +66,35 @@ type FaultSink struct {
 
 var _ Sink = (*FaultSink)(nil)
 
-func (f *FaultSink) verdict(device string) IOVerdict {
+func (f *FaultSink) verdict(device string) (IOVerdict, float64) {
 	if f.Verdict == nil || f.Now == nil {
-		return IOHealthy
+		return IOHealthy, 0
 	}
-	return f.Verdict(device, f.Now())
+	t := f.Now()
+	return f.Verdict(device, t), t
+}
+
+func (f *FaultSink) note(atS float64, subject, detail string) {
+	if f.Events != nil {
+		f.Events(atS, "checkpoint-io", subject, detail)
+	}
 }
 
 // SaveNext persists through the inner sink unless the injected verdict says
 // the write must fail; IOSlow saves succeed and are counted.
 func (f *FaultSink) SaveNext(c *Checkpoint) (uint64, error) {
-	switch f.verdict(c.Device) {
+	switch v, t := f.verdict(c.Device); v {
 	case IOFailWrite:
 		f.failedOps.Add(1)
+		f.note(t, c.Device, "save failed: write failure")
 		return 0, fmt.Errorf("save %s: write failure: %w", c.Device, ErrInjectedIO)
 	case IOFailAll:
 		f.failedOps.Add(1)
+		f.note(t, c.Device, "save failed: disk full")
 		return 0, fmt.Errorf("save %s: disk full: %w", c.Device, ErrInjectedIO)
 	case IOSlow:
 		f.slowSaves.Add(1)
+		f.note(t, c.Device, "slow save")
 	}
 	return f.Inner.SaveNext(c)
 }
@@ -86,8 +102,9 @@ func (f *FaultSink) SaveNext(c *Checkpoint) (uint64, error) {
 // Latest reads through the inner sink unless the disk is injected as fully
 // unusable (IOFailAll).
 func (f *FaultSink) Latest(device string) (*Checkpoint, error) {
-	if f.verdict(device) == IOFailAll {
+	if v, t := f.verdict(device); v == IOFailAll {
 		f.failedReads.Add(1)
+		f.note(t, device, "read refused: disk full")
 		return nil, fmt.Errorf("latest %s: disk full: %w", device, ErrInjectedIO)
 	}
 	return f.Inner.Latest(device)

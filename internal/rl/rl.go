@@ -407,6 +407,56 @@ func (a *Agent) selectLocked(i int32, mask []bool) (int, error) {
 	return argmaxRow(t, i, mask), nil
 }
 
+// SelectProv captures why one epsilon-greedy selection chose its action:
+// the epsilon in force, whether the agent was frozen, whether the draw
+// explored, and the per-action Q-row from the published RCU snapshot. The
+// Q slice is truncated and refilled in place so a caller-owned SelectProv
+// is allocation-free in steady state.
+type SelectProv struct {
+	Epsilon  float64
+	Frozen   bool
+	Explored bool
+	Q        []float64
+}
+
+// SelectActionProvIdx is SelectActionIdx with decision-provenance capture.
+// It mirrors selectLocked draw for draw — the same ensureRowLocked init
+// draws, the same epsilon comparison, the same exploration Intn — so a run
+// that swaps it in for SelectActionIdx replays byte-identically. p must be
+// non-nil.
+func (a *Agent) SelectActionProvIdx(i int32, mask []bool, p *SelectProv) (int, error) {
+	a.wmu.Lock()
+	defer a.wmu.Unlock()
+	if _, err := a.tableForLocked(i); err != nil {
+		return 0, err
+	}
+	n := countEnabled(mask, a.actions)
+	if n == 0 {
+		return 0, errNoEnabled
+	}
+	t := a.tab.Load()
+	t.visits[i].Add(1)
+	t.flags[i].Or(flagVisit)
+	a.selections.Add(1)
+	a.ensureRowLocked(t, i)
+	p.Epsilon = math.Float64frombits(a.epsBits.Load())
+	p.Frozen = a.frozen.Load()
+	p.Explored = false
+	var idx int
+	if !p.Frozen && a.rng.Float64() < p.Epsilon {
+		a.explores.Add(1)
+		p.Explored = true
+		idx = nthEnabled(mask, a.actions, a.rng.Intn(n))
+	} else {
+		idx = argmaxRow(t, i, mask)
+	}
+	p.Q = p.Q[:0]
+	for j := 0; j < a.actions; j++ {
+		p.Q = append(p.Q, loadQ(t, i, j))
+	}
+	return idx, nil
+}
+
 // BestAction returns the greedy action for s over the enabled actions.
 func (a *Agent) BestAction(s State, mask []bool) (int, error) {
 	if i, ok := a.intern.lookup(s); ok {

@@ -33,6 +33,7 @@ import (
 	"autoscale/internal/policy"
 	"autoscale/internal/serve"
 	"autoscale/internal/serve/metrics"
+	"autoscale/internal/tracez"
 )
 
 // Sentinel errors for router-terminated requests.
@@ -110,6 +111,16 @@ type Config struct {
 	Faults *fault.Injector
 	// Clock overrides the router's time source (tests; default time.Now).
 	Clock func() time.Time
+	// Tracer, when non-nil, starts one causal trace per submitted request at
+	// admission, so the span tree covers the whole path: router admission and
+	// DRR dispatch, then the shard's queue/decide/execute legs. Shard configs
+	// should NOT also set a Tracer — requests arrive at the gateway already
+	// carrying their handle, and the gateway only annotates it.
+	Tracer *tracez.Tracer
+	// Recorder, when non-nil, is the incident flight recorder shared with the
+	// shards (breaker transitions) and the tiers above (supervisor ladder
+	// edges, planner actuations).
+	Recorder *tracez.FlightRecorder
 }
 
 func (c Config) globalBudget() int {
@@ -352,6 +363,12 @@ func (rt *Router) Submit(req serve.Request) (<-chan serve.Response, error) {
 	// fairness accounting agree on the class.
 	r.req.Tenant = name
 
+	// Causal tracing starts at cross-shard admission: every later hop
+	// (dispatch, shard queue, decide, recovery legs) annotates this handle.
+	if rt.cfg.Tracer != nil && r.req.Trace == nil {
+		r.req.Trace = rt.cfg.Tracer.Start(req.Model.Name, name, req.ArrivalS)
+	}
+
 	// The backlog estimate reads shard state under rt.mu, so it is computed
 	// before qmu (the lock order never nests qmu inside mu or vice versa).
 	// Negative means "no gate applies to this request".
@@ -365,6 +382,8 @@ func (rt *Router) Submit(req serve.Request) (<-chan serve.Response, error) {
 	if tq == nil {
 		rt.qmu.Unlock()
 		rt.met.failed.Add(1)
+		r.req.Trace.Flag(tracez.FlagFailed)
+		r.req.Trace.Finish("failed")
 		r.resp <- serve.Response{
 			Status: serve.StatusFailed, Err: fmt.Errorf("%w: %q", ErrUnknownTenant, name),
 			SubmittedAt: now, DoneAt: now,
@@ -412,7 +431,12 @@ func (rt *Router) queueDepthLocked(tq *tenantQueue) int {
 	return rt.tenantDepth
 }
 
+// shedResponse builds the terminal shed response for one request and closes
+// its trace — every router-level shed path (admission gate, full tenant
+// queue, planner queue-depth evictions) terminates through here.
 func (rt *Router) shedResponse(r *rreq) serve.Response {
+	r.req.Trace.Flag(tracez.FlagShed)
+	r.req.Trace.Finish("shed")
 	return serve.Response{
 		Status: serve.StatusShed, Err: serve.ErrQueueFull,
 		SubmittedAt: r.submittedAt, DoneAt: rt.now(),
@@ -552,6 +576,8 @@ func (rt *Router) dispatchOne(r *rreq) {
 // fail terminates one request at the router.
 func (rt *Router) fail(r *rreq, err error) {
 	rt.met.failed.Add(1)
+	r.req.Trace.Flag(tracez.FlagFailed)
+	r.req.Trace.Finish("failed")
 	r.resp <- serve.Response{
 		Status: serve.StatusFailed, Err: err,
 		SubmittedAt: r.submittedAt, DoneAt: rt.now(),
@@ -567,6 +593,10 @@ func (rt *Router) pipe(r *rreq, sh *shard) {
 	defer rt.pipeWG.Done()
 	var resp serve.Response
 	bounced := false
+	// The dispatch span records the router-side delay (admission to shard
+	// handoff) and the chosen shard; a failed-over request accumulates one
+	// dispatch span per hop.
+	r.req.Trace.Span("dispatch", rt.now().Sub(r.submittedAt).Seconds(), sh.name)
 	ch, err := sh.gw.Submit(r.req)
 	if err != nil {
 		// Admission refused: the shard closed between routing and submit.
@@ -583,6 +613,9 @@ func (rt *Router) pipe(r *rreq, sh *shard) {
 	if bounced && r.attempts < rt.maxFailovers {
 		r.attempts++
 		rt.met.failovers.Add(1)
+		// The same trace keeps accumulating: the next dispatch span lands on
+		// the surviving shard, and the failover flag tail-keeps the trace.
+		r.req.Trace.Flag(tracez.FlagFailover)
 		rt.qmu.Lock()
 		tq := rt.drr.queue(r.req.Tenant)
 		if tq != nil {
@@ -604,6 +637,13 @@ func (rt *Router) pipe(r *rreq, sh *shard) {
 		rt.met.failed.Add(1)
 	} else {
 		rt.met.completed.Add(1)
+	}
+	if resp.Status == serve.StatusFailed {
+		// Bounced or admission-refused requests never reached a finishing
+		// point inside the shard. The handle is one-shot, so this is a no-op
+		// for traces the gateway already closed.
+		r.req.Trace.Flag(tracez.FlagFailed)
+		r.req.Trace.Finish("failed")
 	}
 	r.resp <- resp
 	rt.wakeUp()
@@ -853,6 +893,15 @@ func (rt *Router) Closed() bool { return rt.closed.Load() }
 
 // RouterMetrics copies the routing tier's own counters.
 func (rt *Router) RouterMetrics() RouterSnapshot { return rt.met.snapshot() }
+
+// Tracer exposes the routing tier's causal tracer — nil when tracing is off.
+// It lights up the admin server's /traces endpoints (serve.TraceSource).
+func (rt *Router) Tracer() *tracez.Tracer { return rt.cfg.Tracer }
+
+// Recorder exposes the incident flight recorder (nil when not configured),
+// so the supervision and planning tiers note their events into the same ring
+// the shards' breakers feed.
+func (rt *Router) Recorder() *tracez.FlightRecorder { return rt.cfg.Recorder }
 
 // Snapshot merges every shard's metrics registry into one fleet-wide view
 // (dead shards included — their counters froze at the kill but their served

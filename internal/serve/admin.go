@@ -1,17 +1,21 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"autoscale/internal/core"
 	"autoscale/internal/obs"
 	"autoscale/internal/serve/metrics"
+	"autoscale/internal/tracez"
 )
 
 // Source is what the admin endpoint observes: anything that can produce a
@@ -98,6 +102,14 @@ type SuperSource interface {
 	SupervisorJSON() ([]byte, error)
 }
 
+// TraceSource is the optional Source extension that lights up the /traces
+// handlers: the causal tracer holding the kept span trees. A gateway or
+// routing tier with tracing configured implements it (returning nil when the
+// tracer is off answers 404, same as not implementing it).
+type TraceSource interface {
+	Tracer() *tracez.Tracer
+}
+
 // HealthzSyncFailThreshold is the consecutive policy-sync failure count at
 // which /healthz flips to 503: one or two failed passes are retried noise,
 // a persistent streak means the fleet's learning plane is down and the node
@@ -147,6 +159,8 @@ func ServeAdminSource(src Source, addr string) (*Admin, error) {
 	mux.HandleFunc("/shards", a.handleShards)
 	mux.HandleFunc("/plan", a.handlePlan)
 	mux.HandleFunc("/supervisor", a.handleSupervisor)
+	mux.HandleFunc("/traces", a.handleTraces)
+	mux.HandleFunc("/traces/", a.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -160,8 +174,24 @@ func ServeAdminSource(src Source, addr string) (*Admin, error) {
 // Addr returns the bound address (resolving ":0" to the chosen port).
 func (a *Admin) Addr() string { return a.ln.Addr().String() }
 
-// Close stops the admin server immediately.
-func (a *Admin) Close() error { return a.srv.Close() }
+// Close stops the admin server gracefully: the listener closes immediately
+// (no new connections) and in-flight handlers get up to a second to finish
+// writing their responses before the server is torn down. The old behavior —
+// http.Server.Close alone — could sever a /metrics or /traces response
+// mid-body and leave handler goroutines running behind a "closed" admin.
+func (a *Admin) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	err := a.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain timed out (a wedged handler): fall back to the hard close so
+		// Close never leaks the server, and report the drain failure.
+		if cerr := a.srv.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var body []byte
@@ -170,8 +200,93 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	} else {
 		body = PromText(a.src.Snapshot(), a.src.Health())
 	}
+	// Trace-plane series ride after the source body; they live in their own
+	// autoscale_trace_* namespace, so the HELP/TYPE-once invariant holds for
+	// the concatenation. Appending here (not in each PromText) keeps every
+	// source's renderer ignorant of the tracer.
+	if tr := a.tracer(); tr != nil {
+		var p obs.Prom
+		tr.AppendProm(&p)
+		body = append(append([]byte(nil), body...), p.Bytes()...)
+	}
 	w.Header().Set("Content-Type", obs.PromContentType)
 	w.Write(body) //nolint:errcheck
+}
+
+// tracer resolves the source's causal tracer, nil when the source has none
+// (or tracing is off).
+func (a *Admin) tracer() *tracez.Tracer {
+	if ts, ok := a.src.(TraceSource); ok {
+		return ts.Tracer()
+	}
+	return nil
+}
+
+// handleTraces serves the /traces index (sampling counters plus one row per
+// kept trace). ?format=chrome exports the whole ring as one Chrome
+// trace-event document for chrome://tracing; ?format=bin as the compact
+// binary dump.
+func (a *Admin) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tr := a.tracer()
+	if tr == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	a.writeTraceDoc(w, tr, 0, r.URL.Query().Get("format"))
+}
+
+// handleTrace serves one kept trace by ID (/traces/{id}): the full span tree
+// with decision provenance as JSON by default, ?format=chrome / ?format=bin
+// for the other codecs.
+func (a *Admin) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := a.tracer()
+	if tr == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	id, err := strconv.ParseUint(strings.TrimPrefix(r.URL.Path, "/traces/"), 10, 64)
+	if err != nil || id == 0 {
+		http.Error(w, "bad trace id", http.StatusBadRequest)
+		return
+	}
+	a.writeTraceDoc(w, tr, id, r.URL.Query().Get("format"))
+}
+
+// writeTraceDoc renders one trace (or, with id 0, the whole ring) in the
+// requested format. The empty format means the natural default: the index
+// document for the ring, raw JSON for a single trace.
+func (a *Admin) writeTraceDoc(w http.ResponseWriter, tr *tracez.Tracer, id uint64, format string) {
+	var b []byte
+	var err error
+	ct := "application/json"
+	switch format {
+	case "":
+		if id == 0 {
+			b, err = tr.IndexJSON()
+		} else {
+			b, err = tr.TraceJSON(id)
+		}
+	case "json":
+		if id == 0 {
+			b, err = tr.IndexJSON()
+		} else {
+			b, err = tr.TraceJSON(id)
+		}
+	case "chrome":
+		b, err = tr.ChromeJSON(id)
+	case "bin":
+		b, err = tr.Binary(id)
+		ct = "application/octet-stream"
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Write(b) //nolint:errcheck
 }
 
 // adminSnapshot is the /snapshot.json document.

@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"autoscale/internal/dnn"
 	"autoscale/internal/obs"
+	"autoscale/internal/tracez"
 )
 
 // adminGet fetches a path from the admin server.
@@ -249,6 +252,167 @@ func TestPromTextDeterministic(t *testing.T) {
 		}
 		if sp := strings.LastIndexByte(ln, ' '); sp <= 0 {
 			t.Fatalf("malformed sample line %q", ln)
+		}
+	}
+}
+
+// TestAdminCloseDrains pins the admin-shutdown satellite: Close performs a
+// context-bounded graceful drain, the listener stops accepting, and the
+// server's goroutines are released rather than leaked.
+func TestAdminCloseDrains(t *testing.T) {
+	g := testGateway(t, Config{})
+	defer g.Shutdown(context.Background()) //nolint:errcheck
+
+	before := runtime.NumGoroutine()
+	a, err := ServeAdmin(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{}
+	resp, err := client.Get("http://" + a.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	client.CloseIdleConnections()
+	if _, err := client.Get("http://" + a.Addr() + "/healthz"); err == nil {
+		t.Fatal("admin accepted a connection after Close")
+	}
+	client.CloseIdleConnections()
+
+	// The serve loop and any idle-connection goroutines must wind down;
+	// allow scheduler slack but fail on a persistent leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Close: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAdminTraceEndpoints covers the /traces surface: the index, single-trace
+// JSON, chrome and binary formats, bad-id handling, and the autoscale_trace_*
+// series appearing in /metrics exactly once.
+func TestAdminTraceEndpoints(t *testing.T) {
+	tr := tracez.New(tracez.Config{SampleRate: 1, Ring: 64, Seed: 3})
+	g := testGateway(t, Config{Tracer: tr})
+	defer g.Shutdown(context.Background()) //nolint:errcheck
+	a, err := ServeAdmin(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	m := dnn.MustByName("MobileNet v3")
+	for i := 0; i < 20; i++ {
+		if _, err := g.Do(Request{Model: m, Conditions: conds()}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	// Index: every request kept at sample rate 1, with provenance.
+	code, ctype, body := adminGet(t, a, "/traces")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/traces = %d %q", code, ctype)
+	}
+	var idx tracez.Index
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatalf("/traces decode: %v", err)
+	}
+	if idx.Stats.Kept != 20 || len(idx.Traces) != 20 {
+		t.Fatalf("index kept=%d rows=%d, want 20", idx.Stats.Kept, len(idx.Traces))
+	}
+	id := idx.Traces[0].ID
+	if !idx.Traces[0].HasProv {
+		t.Fatalf("kept trace %d has no provenance", id)
+	}
+
+	// Single trace as raw JSON exposes the decide provenance.
+	code, _, body = adminGet(t, a, "/traces/"+strconv.FormatUint(id, 10))
+	if code != http.StatusOK {
+		t.Fatalf("/traces/%d = %d", id, code)
+	}
+	var one tracez.Trace
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatalf("trace decode: %v", err)
+	}
+	if one.ID != id || len(one.Prov.Q) == 0 || len(one.Spans) == 0 {
+		t.Fatalf("trace %d: spans=%d qlen=%d", one.ID, len(one.Spans), len(one.Prov.Q))
+	}
+
+	// Chrome trace-event export carries the provenance in the decide args.
+	code, _, body = adminGet(t, a, "/traces/"+strconv.FormatUint(id, 10)+"?format=chrome")
+	if code != http.StatusOK || !strings.Contains(body, "traceEvents") ||
+		!strings.Contains(body, `"state_idx"`) {
+		t.Fatalf("chrome export = %d, body %.120s", code, body)
+	}
+
+	// Binary export round-trips through the decoder.
+	code, ctype, body = adminGet(t, a, "/traces?format=bin")
+	if code != http.StatusOK || ctype != "application/octet-stream" {
+		t.Fatalf("binary export = %d %q", code, ctype)
+	}
+	decoded, err := tracez.DecodeBinary([]byte(body))
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if len(decoded) != 20 {
+		t.Fatalf("binary export decoded %d traces, want 20", len(decoded))
+	}
+
+	// Error paths: malformed id, id 0, unknown id, unknown format.
+	for path, want := range map[string]int{
+		"/traces/abc":        http.StatusBadRequest,
+		"/traces/0":          http.StatusBadRequest,
+		"/traces/999999":     http.StatusNotFound,
+		"/traces?format=wat": http.StatusBadRequest,
+		"/traces/" + strconv.FormatUint(id, 10) + "?format=wat": http.StatusBadRequest,
+	} {
+		if code, _, _ := adminGet(t, a, path); code != want {
+			t.Errorf("%s = %d, want %d", path, code, want)
+		}
+	}
+
+	// /metrics gains the trace series, HELP/TYPE exactly once.
+	_, _, body = adminGet(t, a, "/metrics")
+	for _, want := range []string{
+		"autoscale_trace_started_total 20",
+		"autoscale_trace_kept_total 20",
+		"# TYPE autoscale_trace_started_total counter",
+		"autoscale_trace_ring_occupancy 20",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if n := strings.Count(body, "# TYPE autoscale_trace_started_total"); n != 1 {
+		t.Errorf("trace series TYPE line appears %d times, want once", n)
+	}
+}
+
+// TestAdminTracesWithoutTracer: a gateway with no tracer 404s the trace
+// endpoints instead of panicking or returning empty documents.
+func TestAdminTracesWithoutTracer(t *testing.T) {
+	g := testGateway(t, Config{})
+	defer g.Shutdown(context.Background()) //nolint:errcheck
+	a, err := ServeAdmin(g, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for _, path := range []string{"/traces", "/traces/1"} {
+		if code, _, _ := adminGet(t, a, path); code != http.StatusNotFound {
+			t.Errorf("%s without tracer = %d, want 404", path, code)
 		}
 	}
 }

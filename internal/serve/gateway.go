@@ -19,6 +19,7 @@ import (
 	"autoscale/internal/sim"
 	"autoscale/internal/soc"
 	"autoscale/internal/trace"
+	"autoscale/internal/tracez"
 )
 
 // Gateway serves inference requests against a fleet of per-device engines,
@@ -72,6 +73,12 @@ type worker struct {
 	// its record in the trace before its response arrives), and when the
 	// worker exits.
 	tbuf []trace.Record
+
+	// prov is the lane's decision-provenance scratch, reused across requests
+	// so the traced decide path allocates nothing in steady state; only the
+	// worker goroutine touches it, and it is copied into the request's trace
+	// immediately after each engine step.
+	prov core.DecisionProv
 }
 
 // traceBatch bounds a worker's trace buffer: under sustained load records
@@ -180,8 +187,8 @@ func (g *Gateway) newWorker(b Backend) (*worker, error) {
 	}
 	if g.cfg.Resilience.Enabled {
 		w.breakers = map[sim.Location]*breaker{
-			sim.Connected: newBreaker(b.Device, sim.Connected, g.cfg.Resilience, g.met),
-			sim.Cloud:     newBreaker(b.Device, sim.Cloud, g.cfg.Resilience, g.met),
+			sim.Connected: newBreaker(b.Device, sim.Connected, g.cfg.Resilience, g.met, g.cfg.Recorder),
+			sim.Cloud:     newBreaker(b.Device, sim.Cloud, g.cfg.Resilience, g.met, g.cfg.Recorder),
 		}
 	}
 	return w, nil
@@ -229,6 +236,10 @@ func (g *Gateway) Devices() []string {
 
 // Metrics exposes the live registry.
 func (g *Gateway) Metrics() *metrics.Registry { return g.met }
+
+// Tracer exposes the gateway's causal tracer — nil when tracing is off. It
+// lights up the admin server's /traces endpoints (TraceSource).
+func (g *Gateway) Tracer() *tracez.Tracer { return g.cfg.Tracer }
 
 // Snapshot copies the current metrics.
 func (g *Gateway) Snapshot() metrics.Snapshot { return g.met.Snapshot() }
@@ -317,9 +328,18 @@ func (g *Gateway) submit(p *pending) error {
 	g.met.IncSubmitted()
 	p.submittedAt = now
 
+	// Standalone-gateway tracing: requests arriving without a trace handle
+	// get one here, so the span tree starts at admission. Under the routing
+	// tier requests already carry the handle the router started.
+	if g.cfg.Tracer != nil && p.req.Trace == nil {
+		p.req.Trace = g.cfg.Tracer.Start(p.req.Model.Name, p.req.Tenant, p.req.ArrivalS)
+	}
+
 	// A dead-on-arrival deadline is failed fast without touching a queue.
 	if !p.req.Deadline.IsZero() && now.After(p.req.Deadline) {
 		g.met.IncExpired()
+		p.req.Trace.Flag(tracez.FlagExpired)
+		p.req.Trace.Finish("expired")
 		p.resp <- Response{
 			Status: StatusExpired, Err: ErrDeadlineExpired,
 			SubmittedAt: now, DoneAt: now,
@@ -330,6 +350,8 @@ func (g *Gateway) submit(p *pending) error {
 	w, err := g.pick(p.req.Device)
 	if err != nil {
 		g.met.IncFailed()
+		p.req.Trace.Flag(tracez.FlagFailed)
+		p.req.Trace.Finish("failed")
 		p.resp <- Response{Status: StatusFailed, Err: err, SubmittedAt: now, DoneAt: now}
 		return nil
 	}
@@ -368,6 +390,8 @@ func (g *Gateway) enqueue(w *worker, p *pending) bool {
 // reject sheds one request with a terminal response.
 func (g *Gateway) reject(p *pending, device string) {
 	g.met.IncShed()
+	p.req.Trace.Flag(tracez.FlagShed)
+	p.req.Trace.Finish("shed")
 	p.resp <- Response{
 		Status: StatusShed, Device: device, Err: ErrQueueFull,
 		SubmittedAt: p.submittedAt, DoneAt: g.now(),
@@ -507,6 +531,10 @@ func (g *Gateway) runWorker(w *worker) {
 		g.met.QueueExit()
 		if g.killed.Load() {
 			g.met.IncFailed()
+			// The trace handle is deliberately left open: an ErrShardDown
+			// rejection bounces back to the routing tier, which either fails
+			// the request over (the same trace keeps accumulating spans on the
+			// surviving shard) or terminates it with a final status.
 			p.resp <- Response{
 				Status: StatusFailed, Device: w.device, Err: ErrShardDown,
 				SubmittedAt: p.submittedAt, DoneAt: g.now(),
@@ -544,6 +572,8 @@ func (g *Gateway) flushTrace(w *worker) {
 func (g *Gateway) serveOne(w *worker, p *pending) {
 	start := g.now()
 	wait := start.Sub(p.submittedAt).Seconds()
+	act := p.req.Trace // nil-safe handle; nil when tracing is off
+	act.SetShard(g.cfg.Name)
 	// pt accumulates the deterministic virtual-clock legs (execute, retry,
 	// hedge, failover) without allocating; the wall-clock queue and decide
 	// phases feed the registry's histograms directly and stay out of the
@@ -568,6 +598,7 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		}
 	}
 	g.met.ObserveAdmission(wait, vwait, hasVWait)
+	act.Span("queue", wait, w.device)
 
 	base := Response{Device: w.device, SubmittedAt: p.submittedAt, WaitS: wait, VWaitS: vwait}
 
@@ -581,6 +612,8 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	if !p.req.Deadline.IsZero() && start.After(p.req.Deadline) {
 		g.met.IncExpired()
 		base.Status, base.Err, base.DoneAt = StatusExpired, ErrDeadlineExpired, start
+		act.Flag(tracez.FlagExpired)
+		act.Finish("expired")
 		p.resp <- base
 		return
 	}
@@ -614,15 +647,43 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	// decision cost (the simulated inference itself costs no wall time).
 	decideStart := time.Now()
 	execStart := w.engine.Now()
-	d, err := w.engine.RunInferenceFiltered(nil, p.req.Model, p.req.Conditions, allow)
+	var d core.Decision
+	var err error
+	pr := act.Prov()
+	if pr != nil {
+		// Traced decide: the engine fills the worker's reusable provenance
+		// scratch with the exact Q-row, mask and exploration verdict behind
+		// this selection — same RNG draws as the plain path, so enabling
+		// tracing never changes what the policy chooses.
+		d, err = w.engine.RunInferenceProv(nil, p.req.Model, p.req.Conditions, allow, &w.prov)
+	} else {
+		d, err = w.engine.RunInferenceFiltered(nil, p.req.Model, p.req.Conditions, allow)
+	}
 	pt.Add(obs.PhaseExecuteIdx, w.engine.Now()-execStart)
-	g.met.ObservePhase(obs.PhaseDecide, time.Since(decideStart).Seconds())
+	decideWallS := time.Since(decideStart).Seconds()
+	g.met.ObservePhase(obs.PhaseDecide, decideWallS)
 	if err != nil {
 		g.met.IncFailed()
 		base.Status, base.Err, base.DoneAt = StatusFailed, err, g.now()
+		act.Span("decide", decideWallS, "")
+		act.Flag(tracez.FlagFailed)
+		act.Finish("failed")
 		p.resp <- base
 		return
 	}
+	if pr != nil {
+		pr.StateIdx = w.prov.StateIdx
+		pr.State = string(d.State)
+		pr.Epsilon = w.prov.Sel.Epsilon
+		pr.Frozen = w.prov.Sel.Frozen
+		pr.Explored = w.prov.Sel.Explored
+		pr.Action = d.Target.String()
+		pr.ActionIdx = d.ActionIndex
+		pr.Q = append(pr.Q[:0], w.prov.Sel.Q...)
+		pr.Mask = append(pr.Mask[:0], w.prov.Mask...)
+		pr.MaskedOut = w.prov.MaskedOut
+	}
+	act.Span("decide", decideWallS, d.Target.Location.String())
 
 	// Gray degradation: the lane is scripted slow-but-alive, so the executed
 	// inference stretches by the injected factor — the lane's clock advances
@@ -691,6 +752,29 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		}
 	}
 
+	// Span tree tail: the deterministic execution legs, emitted from the same
+	// phase totals the trace record carries so span durations and the
+	// record's phases field reconcile exactly for every serve.
+	act.Span("execute", pt.Total(obs.PhaseExecuteIdx), d.Measurement.Target.Location.String())
+	if v := pt.Total(obs.PhaseRetryIdx); v > 0 {
+		act.Span("retry", v, "")
+	}
+	if v := pt.Total(obs.PhaseHedgeIdx); v > 0 {
+		act.Span("hedge", v, "")
+	}
+	if v := pt.Total(obs.PhaseFailoverIdx); v > 0 {
+		act.Span("failover", v, "")
+	}
+	if degraded {
+		act.Flag(tracez.FlagDegraded)
+	}
+	if hedged {
+		act.Flag(tracez.FlagHedged)
+	}
+	if retried {
+		act.Flag(tracez.FlagFailover)
+	}
+
 	g.met.ObserveServed(metrics.ServedSample{
 		QoSViolated: d.QoSViolated,
 		LatencyS:    d.Measurement.LatencyS,
@@ -713,6 +797,7 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 		rec.Degraded = degraded
 		rec.VWaitS = vwait
 		rec.Phases = pt.Durations()
+		rec.TraceID = act.ID()
 		// Buffer the record on the lane and drain in batches: when the lane
 		// still has queued work the batch rides until it fills; an idle lane
 		// flushes immediately so the record is visible before the response.
@@ -727,6 +812,7 @@ func (g *Gateway) serveOne(w *worker, p *pending) {
 	base.OffloadRetries, base.RetryRecovered = retries, recovered
 	base.Hedged, base.HedgeWon = hedged, hedgeWon
 	base.Degraded = degraded
+	act.Finish("served")
 	p.resp <- base
 }
 

@@ -15,6 +15,7 @@ import (
 	"autoscale/internal/obs"
 	"autoscale/internal/soc"
 	"autoscale/internal/trace"
+	"autoscale/internal/tracez"
 )
 
 // TestPhaseSumInvariant pins the phase-span accounting contract: for every
@@ -109,6 +110,99 @@ func TestPhaseSumInvariant(t *testing.T) {
 	}
 	if hs, ok := snap.Phases[obs.PhaseRetry]; !ok || hs.Count != int64(withRetry) {
 		t.Fatalf("registry retry phase: ok=%v count=%d, want %d", ok, hs.Count, withRetry)
+	}
+}
+
+// TestSpansReconcileWithPhases pins the causal-trace accounting contract:
+// for non-hedged serves, the execution-leg spans in a kept causal trace
+// (execute, retry, failover) carry exactly the durations the request-trace
+// record's Phases map reports — both are emitted from the same PhaseTotals,
+// so any drift means the span tree and the audit trail disagree about the
+// same request. Decide spans must carry full provenance.
+func TestSpansReconcileWithPhases(t *testing.T) {
+	const seed = 47
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.RL.Epsilon = 0.5
+
+	e := testEngine(t, soc.Mi8Pro(), seed, cfg)
+	e.World.Faults = fault.New(&fault.Schedule{Faults: []fault.Spec{
+		{Kind: fault.KindOutage, Site: fault.SiteCloud, StartS: 0.1, EndS: 2.0},
+		{Kind: fault.KindOutage, Site: fault.SiteConnected, StartS: 0.1, EndS: 2.0},
+	}}, exec.NewRoot(seed).Child("faults"))
+
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	tr := tracez.New(tracez.Config{SampleRate: 1, Ring: 512, Seed: seed})
+	g, err := New([]Backend{{Device: "Mi8Pro", Engine: e}}, Config{
+		Trace:      tw,
+		Tracer:     tr,
+		Resilience: ResilienceConfig{Enabled: true, MaxRetries: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dnn.MustByName("MobileNet v3")
+	for i := 0; i < 300; i++ {
+		if _, err := g.Do(Request{Model: m, Conditions: conds()}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if err := g.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[uint64]trace.Record, len(recs))
+	for _, rec := range recs {
+		if rec.TraceID != 0 {
+			byID[rec.TraceID] = rec
+		}
+	}
+	if len(byID) != len(recs) {
+		t.Fatalf("%d of %d trace records carry a trace ID, want all (sample rate 1)",
+			len(byID), len(recs))
+	}
+
+	kept := tr.Kept()
+	if len(kept) == 0 {
+		t.Fatal("tracer kept no traces at sample rate 1")
+	}
+	reconciled, withRetry := 0, 0
+	for _, ct := range kept {
+		rec, ok := byID[ct.ID]
+		if !ok {
+			t.Fatalf("kept trace %d has no matching trace record", ct.ID)
+		}
+		spans := make(map[string]float64, len(ct.Spans))
+		for _, sp := range ct.Spans {
+			spans[sp.Name] += sp.DurS
+		}
+		for _, leg := range []string{obs.PhaseExecute, obs.PhaseRetry, obs.PhaseFailover} {
+			if math.Abs(spans[leg]-rec.Phases[leg]) > 1e-12 {
+				t.Fatalf("trace %d: span %q = %.12f but phases say %.12f",
+					ct.ID, leg, spans[leg], rec.Phases[leg])
+			}
+		}
+		if spans[obs.PhaseQueue] <= 0 || spans[obs.PhaseDecide] <= 0 {
+			t.Fatalf("trace %d missing queue/decide spans: %v", ct.ID, spans)
+		}
+		if !ct.HasProv {
+			t.Fatalf("trace %d served without provenance", ct.ID)
+		}
+		if len(ct.Prov.Q) == 0 || len(ct.Prov.Mask) == 0 || ct.Prov.Action == "" {
+			t.Fatalf("trace %d provenance incomplete: %+v", ct.ID, ct.Prov)
+		}
+		if spans[obs.PhaseRetry] > 0 {
+			withRetry++
+		}
+		reconciled++
+	}
+	if withRetry == 0 {
+		t.Fatalf("none of the %d reconciled traces had a retry leg; invariant tested vacuously", reconciled)
 	}
 }
 

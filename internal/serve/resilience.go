@@ -3,6 +3,7 @@ package serve
 import (
 	"autoscale/internal/serve/metrics"
 	"autoscale/internal/sim"
+	"autoscale/internal/tracez"
 )
 
 // ResilienceConfig tunes the gateway's resilient offload path: per-target
@@ -91,9 +92,12 @@ func (s breakerState) String() string {
 // each device's requests), so it needs no lock; the metrics registry it
 // reports into is atomic.
 type breaker struct {
-	label    string
-	cfg      ResilienceConfig
-	met      *metrics.Registry
+	label string
+	cfg   ResilienceConfig
+	met   *metrics.Registry
+	// rec, when non-nil, receives one flight-recorder event per state
+	// transition, stamped on the virtual clock the transition happened at.
+	rec      *tracez.FlightRecorder
 	state    breakerState
 	failures int // consecutive failures while closed
 	probes   int // consecutive successes while half-open
@@ -106,15 +110,22 @@ type breaker struct {
 	degradedSince float64
 }
 
-func newBreaker(device string, loc sim.Location, cfg ResilienceConfig, met *metrics.Registry) *breaker {
-	b := &breaker{label: device + "/" + loc.String(), cfg: cfg, met: met}
+func newBreaker(device string, loc sim.Location, cfg ResilienceConfig, met *metrics.Registry, rec *tracez.FlightRecorder) *breaker {
+	b := &breaker{label: device + "/" + loc.String(), cfg: cfg, met: met, rec: rec}
 	met.SetBreakerState(b.label, b.state.String())
 	return b
 }
 
-func (b *breaker) setState(s breakerState) {
+// setState is the single transition choke point: every state change updates
+// the metrics gauge and, when a flight recorder is wired, lands one
+// "breaker" event carrying the edge (prev->next) at virtual time now.
+func (b *breaker) setState(now float64, s breakerState) {
+	prev := b.state
 	b.state = s
 	b.met.SetBreakerState(b.label, s.String())
+	if prev != s {
+		b.rec.Note(now, "breaker", b.label, prev.String()+"->"+s.String())
+	}
 }
 
 // allow reports whether the site may receive offloads at virtual time now,
@@ -123,7 +134,7 @@ func (b *breaker) allow(now float64) bool {
 	if b.state == breakerOpen && now-b.openedAt >= b.cfg.OpenForS {
 		b.probes = 0
 		b.met.IncBreakerHalfOpen()
-		b.setState(breakerHalfOpen)
+		b.setState(now, breakerHalfOpen)
 	}
 	return b.state != breakerOpen
 }
@@ -139,7 +150,7 @@ func (b *breaker) recordSuccess(now float64) {
 			b.failures = 0
 			b.met.IncBreakerClose()
 			b.met.AddDegradedSeconds(now - b.degradedSince)
-			b.setState(breakerClosed)
+			b.setState(now, breakerClosed)
 		}
 	}
 }
@@ -152,14 +163,14 @@ func (b *breaker) recordFailure(now float64) {
 		if b.failures >= b.cfg.FailureThreshold {
 			b.openedAt, b.degradedSince = now, now
 			b.met.IncBreakerOpen()
-			b.setState(breakerOpen)
+			b.setState(now, breakerOpen)
 		}
 	case breakerHalfOpen:
 		// A failed probe reopens immediately; the degraded episode keeps
 		// accumulating from the original trip.
 		b.openedAt = now
 		b.met.IncBreakerOpen()
-		b.setState(breakerOpen)
+		b.setState(now, breakerOpen)
 	}
 }
 

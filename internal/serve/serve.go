@@ -27,6 +27,7 @@ import (
 	"autoscale/internal/policy"
 	"autoscale/internal/sim"
 	"autoscale/internal/trace"
+	"autoscale/internal/tracez"
 )
 
 // Sentinel errors surfaced on rejected or failed requests.
@@ -102,6 +103,12 @@ type Request struct {
 	// wait bounds, and the capacity planner ticks on it. Zero disables
 	// virtual-wait accounting.
 	ArrivalS float64
+	// Trace is the request's causal-trace handle; nil means untraced. The
+	// routing tier starts it at admission so one span tree covers the whole
+	// path (admit, dispatch, queue, decide, execute, recovery legs); a
+	// standalone gateway with a Tracer configured starts one at submit. All
+	// handle methods are nil-safe, so serving code annotates unconditionally.
+	Trace *tracez.Active
 }
 
 // Response is the terminal outcome delivered on the request's channel.
@@ -208,6 +215,17 @@ type Config struct {
 	// Trace, when non-nil, receives one decision record per served request
 	// — the per-request decision log the replay tests compare.
 	Trace *trace.Writer
+	// Tracer, when non-nil, switches on the causal tracing plane: requests
+	// not already carrying a trace handle get one at submit, and served
+	// requests accumulate a span tree (queue, decide with decision
+	// provenance, execute, retry, hedge, failover). The tracer owns its own
+	// RNG root, so enabling it never perturbs the engines' deterministic
+	// streams.
+	Tracer *tracez.Tracer
+	// Recorder, when non-nil, is the incident flight recorder: circuit
+	// breaker transitions are noted into its event ring (the supervision and
+	// planning tiers add their own events at higher layers).
+	Recorder *tracez.FlightRecorder
 }
 
 // Backend pairs a device name with its (typically warm-started) engine.

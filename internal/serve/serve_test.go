@@ -568,8 +568,8 @@ func resilientWorker(t testing.TB, e *core.Engine, cfg Config) (*Gateway, *worke
 	}
 	if cfg.Resilience.Enabled {
 		w.breakers = map[sim.Location]*breaker{
-			sim.Connected: newBreaker(w.device, sim.Connected, cfg.Resilience, g.met),
-			sim.Cloud:     newBreaker(w.device, sim.Cloud, cfg.Resilience, g.met),
+			sim.Connected: newBreaker(w.device, sim.Connected, cfg.Resilience, g.met, nil),
+			sim.Cloud:     newBreaker(w.device, sim.Cloud, cfg.Resilience, g.met, nil),
 		}
 	}
 	return g, w

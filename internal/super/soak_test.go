@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -13,7 +16,9 @@ import (
 	"autoscale/internal/dnn"
 	"autoscale/internal/fault"
 	"autoscale/internal/policy"
+	"autoscale/internal/router"
 	"autoscale/internal/serve"
+	"autoscale/internal/tracez"
 )
 
 // chaosHorizonS is the virtual span every generated storm fits inside; the
@@ -36,7 +41,7 @@ type chaosResult struct {
 // Randomize-generated schedule mixing every fault kind, supervised and
 // audited, driven sequentially on the virtual clock until the storm expires
 // and the supervisor settles every shard to healthy or dead.
-func runChaos(t *testing.T, seed int64, intensity float64) chaosResult {
+func runChaos(t *testing.T, seed int64, intensity float64, opts ...func(*router.Config)) chaosResult {
 	t.Helper()
 	shards := map[string][]string{
 		"shard-a": {"lane-a0", "lane-a1"},
@@ -54,7 +59,7 @@ func runChaos(t *testing.T, seed int64, intensity float64) chaosResult {
 	// faults (write failure, slow fsync, disk full) hit every save; the
 	// auditor sweeps the raw store underneath.
 	fsink := &policy.FaultSink{}
-	fl := buildFleet(t, seed, sched, shards, fsink)
+	fl := buildFleet(t, seed, sched, shards, fsink, opts...)
 	fsink.Inner = fl.store
 	// The sink's clock must not call back into the router (its queries can
 	// fire under the router's lock, during re-homing warm starts and drain
@@ -70,6 +75,9 @@ func runChaos(t *testing.T, seed int64, intensity float64) chaosResult {
 		}
 	}
 	fsink.Now = func() float64 { return math.Float64frombits(vclock.Load()) }
+	// Injected checkpoint-I/O verdicts land in the flight recorder's event
+	// ring when one is configured; Note on a nil recorder is a no-op.
+	fsink.Events = fl.rt.Recorder().Note
 	fsink.Verdict = func(dev string, tm float64) policy.IOVerdict {
 		switch fl.inj.CheckpointIO(dev, tm) {
 		case fault.IOSlowFsync:
@@ -224,6 +232,84 @@ func checkChaos(t *testing.T, seed int64, intensity float64, res chaosResult) {
 			}
 		default:
 			t.Errorf("%s: shard %s ended the storm %q, want healthy or dead", label, name, st)
+		}
+	}
+}
+
+// TestChaosSoakTracing pins the observability acceptance bar: running the
+// storm with causal tracing and a flight recorder attached (1) does not
+// perturb a single decision — the response digest matches the untraced run
+// bit for bit, because the tracer samples from its own stream — (2) replays
+// byte-identically against a fresh tracer, and (3) the supervisor's
+// remediations during the storm snapshot incident bundles whose decide
+// provenance exposes Q-values, the applied mask, and the exploration flag.
+func TestChaosSoakTracing(t *testing.T) {
+	const seed, intensity = 101, 0.9
+
+	plain := runChaos(t, seed, intensity)
+
+	traceRun := func() (chaosResult, *tracez.Tracer, *tracez.FlightRecorder, string) {
+		dir := t.TempDir()
+		tr := tracez.New(tracez.Config{SampleRate: 0.25, Ring: 256, Seed: seed})
+		rec := tracez.NewFlightRecorder(tr, dir, 0, 0)
+		res := runChaos(t, seed, intensity, func(c *router.Config) {
+			c.Tracer = tr
+			c.Recorder = rec
+		})
+		return res, tr, rec, dir
+	}
+	traced, tr, rec, dir := traceRun()
+	if traced.digest != plain.digest {
+		t.Fatalf("tracing perturbed the storm: digest %s with tracing vs %s without",
+			traced.digest, plain.digest)
+	}
+	retraced, _, _, _ := traceRun()
+	if retraced.digest != traced.digest {
+		t.Fatalf("traced replay diverged: %s vs %s", retraced.digest, traced.digest)
+	}
+
+	// The storm forces remediations (checkChaos proves shards cycle); each
+	// cordon/drain/revive/condemn must have snapshotted a bundle.
+	dumps, err := rec.Dumps()
+	if err != nil {
+		t.Fatalf("flight recorder dump error: %v", err)
+	}
+	if dumps == 0 {
+		t.Fatal("storm completed without a single flight-recorder incident")
+	}
+	bundles, err := filepath.Glob(filepath.Join(dir, "incident-*.json"))
+	if err != nil || len(bundles) == 0 {
+		t.Fatalf("no incident bundles on disk (err=%v)", err)
+	}
+
+	// The event ring saw the non-trace sources: supervisor ladder edges at
+	// minimum (breaker/planner/checkpoint events depend on the schedule).
+	kinds := map[string]int{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds["super"] == 0 {
+		t.Fatalf("no supervisor events in the flight ring: %v", kinds)
+	}
+
+	// Kept decide spans expose full provenance, and it survives into the
+	// serialized bundle.
+	withProv := 0
+	for _, ct := range tr.Kept() {
+		if ct.HasProv && len(ct.Prov.Q) > 0 && len(ct.Prov.Mask) > 0 {
+			withProv++
+		}
+	}
+	if withProv == 0 {
+		t.Fatal("no kept trace carries decision provenance")
+	}
+	raw, err := os.ReadFile(bundles[len(bundles)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"events"`, `"reason"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("incident bundle missing %s:\n%.400s", want, raw)
 		}
 	}
 }

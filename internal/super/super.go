@@ -27,6 +27,7 @@ import (
 	"autoscale/internal/obs"
 	"autoscale/internal/router"
 	"autoscale/internal/serve/metrics"
+	"autoscale/internal/tracez"
 )
 
 // Config tunes a Supervisor. Zero values select the defaults.
@@ -238,7 +239,24 @@ func (s *Supervisor) note(now float64, shard, action, detail string) {
 	if len(s.actions) > maxActions {
 		s.actions = s.actions[len(s.actions)-maxActions:]
 	}
+	// Every ladder edge lands in the flight recorder's event ring, and the
+	// active interventions snapshot an incident bundle to disk — the black-box
+	// dump an operator replays after the fleet healed itself.
+	rec := s.rt.Recorder()
+	msg := action
+	if detail != "" {
+		msg = action + ": " + detail
+	}
+	rec.Note(now, "super", shard, msg)
+	switch action {
+	case "cordon", "drain", "revive", "condemn":
+		rec.Trigger(now, "super "+action+" "+shard)
+	}
 }
+
+// Tracer exposes the router's causal tracer, so a supervised deployment's
+// admin endpoint (ServeAdminSource over the Supervisor) lights up /traces.
+func (s *Supervisor) Tracer() *tracez.Tracer { return s.rt.Tracer() }
 
 func (s *Supervisor) tickLocked(now float64) {
 	for _, sig := range s.rt.ShardSignals() {

@@ -35,7 +35,7 @@ type fleet struct {
 // all sharing store and the compiled schedule. sink, when non-nil, replaces
 // the raw store as the gateways' and router's checkpoint sink (fault-drill
 // plumbing); the auditor still sweeps the raw store.
-func buildFleet(t testing.TB, seed int64, sched *fault.Schedule, shards map[string][]string, sink policy.Sink) *fleet {
+func buildFleet(t testing.TB, seed int64, sched *fault.Schedule, shards map[string][]string, sink policy.Sink, opts ...func(*router.Config)) *fleet {
 	t.Helper()
 	store, err := policy.Open(t.TempDir(), 0)
 	if err != nil {
@@ -95,7 +95,7 @@ func buildFleet(t testing.TB, seed int64, sched *fault.Schedule, shards map[stri
 		}
 		gws = append(gws, router.ShardGateway{Name: name, Gateway: gw})
 	}
-	rt, err := router.New(gws, router.Config{
+	rcfg := router.Config{
 		Tenants:          []router.Tenant{{Name: "gold", Weight: 4}, {Name: "silver", Weight: 2}, {Name: "best", Weight: 1}},
 		TenantQueueDepth: 1024,
 		Checkpoints:      sink,
@@ -103,7 +103,11 @@ func buildFleet(t testing.TB, seed int64, sched *fault.Schedule, shards map[stri
 		PolicySync:       policy.SyncConfig{Sleep: func(time.Duration) {}},
 		EngineFactory:    mkEngine,
 		ShardFactory:     mkShard,
-	})
+	}
+	for _, opt := range opts {
+		opt(&rcfg)
+	}
+	rt, err := router.New(gws, rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,11 +21,12 @@ import (
 
 // SchemaV is the current record schema version. Version 2 added the Shard
 // and Tenant attribution fields for the cluster-scale routing tier; version
-// 3 added VWaitS, the virtual queue wait of arrival-stamped requests.
-// Records without a "v" field are version 1; every earlier-version record is
-// a valid current-version record with the new fields zero, so old traces
-// keep parsing and summarizing unchanged.
-const SchemaV = 3
+// 3 added VWaitS, the virtual queue wait of arrival-stamped requests;
+// version 4 added TraceID, linking the audit record to its causal span tree
+// in the tracez plane. Records without a "v" field are version 1; every
+// earlier-version record is a valid current-version record with the new
+// fields zero, so old traces keep parsing and summarizing unchanged.
+const SchemaV = 4
 
 // Record is one scheduled inference, flattened for the log.
 type Record struct {
@@ -77,6 +78,10 @@ type Record struct {
 	// recorded — wall-clock waits stay out so replayed traces stay
 	// byte-identical. Absent for records without phase instrumentation.
 	Phases map[string]float64 `json:"phases,omitempty"`
+	// TraceID links this record to its span tree in the tracez causal
+	// tracing plane (the /traces admin endpoints). Zero for untraced
+	// requests. Schema v4.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // FromDecision flattens an engine decision into a Record.

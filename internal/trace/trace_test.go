@@ -267,3 +267,55 @@ func TestSchemaV1Compat(t *testing.T) {
 		t.Fatalf("v2 attribution lost in round trip: %+v", got)
 	}
 }
+
+// TestSchemaV4Compat pins the v4 contract: v1-v3 fixtures keep parsing
+// unchanged with TraceID zero, and a v4 record round-trips its trace link.
+func TestSchemaV4Compat(t *testing.T) {
+	fixtures := []struct {
+		name, raw string
+		wantV     int
+	}{
+		{"v1", `{"seq":0,"model":"MobileNet v1","state":"0|0|0|0|0|0|1|1","target":"local/CPU@0/FP32","location":"local","latency_s":0.02,"energy_j":0.05,"reward":-40,"qos_violated":false}`, 0},
+		{"v2", `{"v":2,"seq":1,"model":"ResNet50 v1","state":"1|0|0|0|0|0|1|1","target":"edge/GPU/FP16","location":"edge","latency_s":0.04,"energy_j":0.03,"reward":-25,"qos_violated":false,"device":"lane-0","shard":"shard-1","tenant":"gold"}`, 2},
+		{"v3", `{"v":3,"seq":2,"model":"Inception v4","state":"2|0|0|0|0|0|1|1","target":"cloud/GPU/FP32","location":"cloud","latency_s":0.08,"energy_j":0.02,"reward":-18,"qos_violated":true,"vwait_s":0.005,"phases":{"execute":0.08}}`, 3},
+	}
+	for _, fx := range fixtures {
+		recs, err := ReadAll(strings.NewReader(fx.raw + "\n"))
+		if err != nil {
+			t.Fatalf("%s fixture no longer parses: %v", fx.name, err)
+		}
+		if len(recs) != 1 {
+			t.Fatalf("%s fixture yields %d records", fx.name, len(recs))
+		}
+		r := recs[0]
+		if r.V != fx.wantV {
+			t.Errorf("%s fixture reports schema %d, want %d", fx.name, r.V, fx.wantV)
+		}
+		if r.TraceID != 0 {
+			t.Errorf("%s fixture grew a trace link %d", fx.name, r.TraceID)
+		}
+	}
+	// The v3 fixture's deterministic extras must survive untouched.
+	recs, _ := ReadAll(strings.NewReader(fixtures[2].raw + "\n"))
+	if recs[0].VWaitS != 0.005 || recs[0].Phases["execute"] != 0.08 {
+		t.Fatalf("v3 fields drifted: %+v", recs[0])
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := Record{V: SchemaV, Seq: 3, Model: "MobileNet v1", Target: "local/CPU@0/FP32",
+		Location: "local", LatencyS: 0.01, EnergyJ: 0.02, Reward: -10, TraceID: 42}
+	if err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].V != 4 || got[0].TraceID != 42 {
+		t.Fatalf("v4 trace link lost in round trip: %+v", got)
+	}
+}

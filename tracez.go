@@ -1,0 +1,76 @@
+package autoscale
+
+import "autoscale/internal/tracez"
+
+// Causal tracing plane: sampled requests carry a trace handle through
+// router admission, DRR dispatch, gateway queueing, the decide step and
+// the execution legs, accumulating a span tree whose decide span records
+// full decision provenance (dense state index, per-action Q-values, the
+// applied feasibility mask, the epsilon-draw exploration flag). Tail-based
+// sampling keeps every trace that sheds, expires, fails over or hedges;
+// the rest head-sample on the tracer's own deterministic stream, so a
+// fixed-seed replay keeps an identical trace set. The flight recorder
+// rides alongside: a structured event ring (breaker transitions,
+// supervisor ladder edges, planner actuations, checkpoint I/O verdicts)
+// snapshotted to disk as an incident bundle whenever the supervisor
+// remediates. See internal/tracez for full documentation.
+type (
+	// Tracer owns sampling, the kept-trace ring and the exports backing
+	// the admin /traces endpoints.
+	Tracer = tracez.Tracer
+	// TracerConfig tunes sample rate, ring capacity and the sampling
+	// seed. Zero values select the defaults.
+	TracerConfig = tracez.Config
+	// ActiveTrace is the per-request handle threaded through the serving
+	// tiers; every method is nil-safe, so untraced requests cost one
+	// branch per call site.
+	ActiveTrace = tracez.Active
+	// RequestTrace is one finished trace: identity, flags, span tree and
+	// decision provenance.
+	RequestTrace = tracez.Trace
+	// TraceSpan is one step of a request's lifecycle.
+	TraceSpan = tracez.Span
+	// TraceProvenance is the decide span's decision provenance.
+	TraceProvenance = tracez.Provenance
+	// TracerStats is the tracer's sampling-counter snapshot.
+	TracerStats = tracez.Stats
+	// TraceIndex is the admin /traces index document.
+	TraceIndex = tracez.Index
+	// FlightRecorder is the incident ring: structured control-plane
+	// events plus kept traces, dumped as a JSON bundle on supervisor
+	// remediation.
+	FlightRecorder = tracez.FlightRecorder
+	// FlightEvent is one structured entry in the recorder's ring.
+	FlightEvent = tracez.Event
+)
+
+// Tail-keep flags: a trace carrying any of these is kept regardless of the
+// head-sampling draw.
+const (
+	TraceFlagExpired  = tracez.FlagExpired
+	TraceFlagShed     = tracez.FlagShed
+	TraceFlagFailed   = tracez.FlagFailed
+	TraceFlagFailover = tracez.FlagFailover
+	TraceFlagHedged   = tracez.FlagHedged
+	TraceFlagDegraded = tracez.FlagDegraded
+)
+
+// NewTracer builds a causal tracer. Wire it into a RouterConfig (the router
+// starts traces at admission) or a GatewayConfig (a standalone gateway
+// starts them at submit).
+func NewTracer(cfg TracerConfig) *Tracer {
+	return tracez.New(cfg)
+}
+
+// NewFlightRecorder builds an incident flight recorder over a tracer.
+// dir "" keeps the ring in memory without disk bundles; maxEvents and
+// maxDumps zero select the defaults (512 events, 8 bundles).
+func NewFlightRecorder(tr *Tracer, dir string, maxEvents, maxDumps int) *FlightRecorder {
+	return tracez.NewFlightRecorder(tr, dir, maxEvents, maxDumps)
+}
+
+// DecodeTraceBinary decodes the compact binary export (/traces?format=bin)
+// back into traces.
+func DecodeTraceBinary(b []byte) ([]RequestTrace, error) {
+	return tracez.DecodeBinary(b)
+}

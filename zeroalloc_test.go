@@ -1,6 +1,11 @@
 package autoscale
 
-import "testing"
+import (
+	"testing"
+
+	"autoscale/internal/core"
+	"autoscale/internal/tracez"
+)
 
 // TestDecideZeroAlloc is the allocs-per-op regression guard for the decide
 // fast path: observe -> dense state index -> lock-free RCU Q-row argmax.
@@ -24,5 +29,70 @@ func TestDecideZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("Predict fast path allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestTracedDecideAllocBudget guards the sampled decide path: capturing
+// decision provenance into a caller-owned, reused DecisionProv must add at
+// most 2 allocs/op over the plain filtered step. The prov slot's Q and Mask
+// slices are refilled in place, so in practice the delta is zero once warm.
+func TestTracedDecideAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates on otherwise alloc-free paths")
+	}
+	e, m, c := trainedBenchEngine(t)
+	e.Agent().Freeze()
+	var prov core.DecisionProv
+	// Warm both paths so every row and scratch buffer is materialized.
+	if _, err := e.RunInferenceFiltered(nil, m, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunInferenceProv(nil, m, c, nil, &prov); err != nil {
+		t.Fatal(err)
+	}
+	plain := testing.AllocsPerRun(500, func() {
+		if _, err := e.RunInferenceFiltered(nil, m, c, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	traced := testing.AllocsPerRun(500, func() {
+		if _, err := e.RunInferenceProv(nil, m, c, nil, &prov); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if traced-plain > 2 {
+		t.Fatalf("provenance capture adds %.2f allocs/op over plain decide (%.2f vs %.2f), budget 2",
+			traced-plain, traced, plain)
+	}
+}
+
+// TestTraceLifecycleAllocBudget bounds the tracer's own per-request cost: a
+// full sampled lifecycle — Start, spans, provenance fill, Finish into the
+// kept ring — must stay within 2 allocs/op once the trace pool and span
+// slices are warm. The one unavoidable allocation is the Active handle.
+func TestTraceLifecycleAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates on otherwise alloc-free paths")
+	}
+	tr := tracez.New(tracez.Config{SampleRate: 1, Ring: 8})
+	lifecycle := func() {
+		a := tr.Start("MobileNet v3", "batch", 0)
+		a.SetShard("s0")
+		a.Span("queue", 0.001, "local")
+		a.Span("decide", 0.0001, "local")
+		pr := a.Prov()
+		pr.StateIdx = 7
+		pr.Q = append(pr.Q[:0], 1.5, 2.5, 0.5)
+		pr.Mask = append(pr.Mask[:0], true, true, false)
+		a.Span("execute", 0.01, "local")
+		a.Finish("served")
+	}
+	// Warm: fill the ring and pool so steady state recycles Trace structs.
+	for i := 0; i < 64; i++ {
+		lifecycle()
+	}
+	avg := testing.AllocsPerRun(1000, lifecycle)
+	if avg > 2 {
+		t.Fatalf("sampled trace lifecycle allocates %.2f allocs/op, budget 2", avg)
 	}
 }
